@@ -1,0 +1,27 @@
+package chc
+
+import (
+	"chc/internal/multiplex"
+)
+
+// Batch execution: many independent consensus instances multiplexed over
+// one network, the way a deployed system amortises its connections across
+// agreement tasks.
+type (
+	// BatchInstance is one consensus instance of a batch.
+	BatchInstance = multiplex.Instance
+
+	// BatchConfig describes a batch execution.
+	BatchConfig = multiplex.BatchConfig
+
+	// BatchResult maps instance index -> process -> output polytope.
+	BatchResult = multiplex.BatchResult
+)
+
+// RunBatch executes every instance of the batch concurrently over one
+// simulated network. Message kinds are namespaced per instance, so the
+// protocols cannot interfere; a crash kills every instance hosted by that
+// process, as it would in a real deployment.
+func RunBatch(cfg BatchConfig) (*BatchResult, error) {
+	return multiplex.RunBatch(cfg)
+}

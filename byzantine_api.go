@@ -1,0 +1,71 @@
+package chc
+
+import (
+	"chc/internal/byzantine"
+	"chc/internal/optimize"
+)
+
+// Byzantine-tolerant execution (the crash→Byzantine transformation of
+// Coan's compiler, referenced in Section 1 of the paper; requires
+// n >= 3f+1 in addition to the geometric bound).
+type (
+	// ByzantineBehavior selects an adversary strategy for Byzantine runs.
+	ByzantineBehavior = byzantine.Behavior
+
+	// ByzantineFault assigns a behaviour (and optional adversarial input)
+	// to one process.
+	ByzantineFault = byzantine.Fault
+
+	// ByzantineRunConfig describes one Byzantine execution.
+	ByzantineRunConfig = byzantine.RunConfig
+
+	// ByzantineRunResult holds the outputs of the correct processes.
+	ByzantineRunResult = byzantine.RunResult
+)
+
+// Byzantine adversary behaviours.
+const (
+	// ByzSilent never sends (an initial crash).
+	ByzSilent = byzantine.Silent
+	// ByzIncorrectInput follows the protocol with an adversarial input —
+	// the behaviour the transformation reduces every consistent Byzantine
+	// process to.
+	ByzIncorrectInput = byzantine.IncorrectInput
+	// ByzEquivocator sends different inputs to different processes.
+	ByzEquivocator = byzantine.Equivocator
+	// ByzGarbler floods malformed protocol traffic and fake votes.
+	ByzGarbler = byzantine.Garbler
+)
+
+// RunByzantine executes a Byzantine-tolerant convex hull consensus instance
+// under the deterministic simulator: all communication goes through Bracha
+// reliable broadcast, and processes exchange sender-choice certificates
+// instead of polytopes, so every correct process recomputes every state
+// locally and Byzantine behaviour reduces to crash faults with incorrect
+// inputs.
+func RunByzantine(cfg ByzantineRunConfig) (*ByzantineRunResult, error) {
+	return byzantine.Run(cfg)
+}
+
+// CheckByzantineValidity verifies the correct outputs against the hull of
+// the correct inputs.
+func CheckByzantineValidity(result *ByzantineRunResult, cfg *ByzantineRunConfig) error {
+	return byzantine.CheckValidity(result, cfg)
+}
+
+// CheckByzantineAgreement returns the worst pairwise Hausdorff distance
+// between correct outputs and whether it is within ε.
+func CheckByzantineAgreement(result *ByzantineRunResult) (float64, bool, error) {
+	return byzantine.CheckAgreement(result)
+}
+
+// ByzantineOptimizeResult is the outcome of the 2-step function
+// optimisation over a Byzantine execution.
+type ByzantineOptimizeResult = optimize.ByzantineRunResult
+
+// OptimizeByzantine runs the Section-7 2-step function optimisation on top
+// of the Byzantine-compiled consensus: weak β-optimality at the correct
+// processes under fully Byzantine faults (n >= 3f+1).
+func OptimizeByzantine(cfg ByzantineRunConfig, cost CostFunc, beta float64) (*ByzantineOptimizeResult, error) {
+	return optimize.RunByzantine(cfg, cost, beta)
+}

@@ -1,0 +1,310 @@
+package chc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"chc"
+)
+
+func inputs2D(n int, seed int64) []chc.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]chc.Point, n)
+	for i := range pts {
+		pts[i] = chc.NewPoint(rng.Float64()*10, rng.Float64()*10)
+	}
+	return pts
+}
+
+func params() chc.Params {
+	return chc.Params{
+		N: 5, F: 1, D: 2,
+		Epsilon:    0.05,
+		InputLower: 0, InputUpper: 10,
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params:  params(),
+		Inputs:  inputs2D(5, 1),
+		Faulty:  []chc.ProcID{1},
+		Crashes: []chc.CrashPlan{{Proc: 1, AfterSends: 6}},
+		Seed:    1,
+	}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chc.CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement: %+v, %v", rep, err)
+	}
+	if err := chc.CheckValidity(result, &cfg); err != nil {
+		t.Error(err)
+	}
+	if err := chc.CheckOptimality(result); err != nil {
+		t.Error(err)
+	}
+	iz, err := chc.OptimalityReference(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iz.NumVertices() == 0 {
+		t.Error("I_Z should be non-empty")
+	}
+	hull, err := chc.CorrectInputHull(&cfg)
+	if err != nil || hull.NumVertices() == 0 {
+		t.Errorf("correct hull: %v", err)
+	}
+}
+
+func TestPublicPolytopeOps(t *testing.T) {
+	a, err := chc.NewPolytope([]chc.Point{
+		chc.NewPoint(0, 0), chc.NewPoint(2, 0), chc.NewPoint(2, 2), chc.NewPoint(0, 2),
+	}, chc.DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Translate(chc.NewPoint(1, 0))
+	inter, err := chc.Intersect([]*chc.Polytope{a, b}, chc.DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := inter.Volume(chc.DefaultEps)
+	if err != nil || math.Abs(vol-2) > 1e-6 {
+		t.Errorf("intersection volume = %v, want 2", vol)
+	}
+	avg, err := chc.AveragePolytopes([]*chc.Polytope{a, b}, chc.DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := chc.Hausdorff(avg, a.Translate(chc.NewPoint(0.5, 0)), chc.DefaultEps)
+	if err != nil || d > 1e-6 {
+		t.Errorf("average polytope mismatch: d = %v, %v", d, err)
+	}
+	lc, err := chc.LinearCombination([]*chc.Polytope{a, b}, []float64{0.25, 0.75}, chc.DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmax, err := chc.MaxPairwiseHausdorff([]*chc.Polytope{a, b, lc}, chc.DefaultEps)
+	if err != nil || dmax <= 0 {
+		t.Errorf("max pairwise = %v, %v", dmax, err)
+	}
+	if chc.PointPolytope(chc.NewPoint(1)).NumVertices() != 1 {
+		t.Error("PointPolytope broken")
+	}
+}
+
+func TestPublicOptimize(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: params(),
+		Inputs: inputs2D(5, 2),
+		Seed:   2,
+	}
+	cost := chc.QuadraticCost{Target: chc.NewPoint(5, 5), Scale: 1, Radius: 15}
+	res, err := chc.Optimize(cfg, cost, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread := res.MaxValueSpread(); spread > 0.5 {
+		t.Errorf("value spread %v > beta", spread)
+	}
+	// Standalone minimisation.
+	p, err := chc.NewPolytope(cfg.Inputs, chc.DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := chc.Minimize(chc.LinearCost{A: chc.NewPoint(1, 0)}, p, chc.MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.X == nil {
+		t.Error("empty minimiser")
+	}
+}
+
+func TestPublicVectorConsensus(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: params(),
+		Inputs: inputs2D(5, 3),
+		Seed:   3,
+	}
+	res, err := chc.RunVectorConsensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.MaxPairwiseDistance(); d > cfg.Params.Epsilon {
+		t.Errorf("vector consensus agreement: %v", d)
+	}
+}
+
+func TestPublicTraceAnalysis(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: params(),
+		Inputs: inputs2D(5, 4),
+		Seed:   4,
+	}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := chc.AnalyzeTrace(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckLemma3(1e-9); err != nil {
+		t.Error(err)
+	}
+	if err := a.VerifyTheorem1(result, []int{1}, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicSchedulers(t *testing.T) {
+	for _, sched := range []chc.Scheduler{
+		chc.NewRandomScheduler(),
+		chc.NewRoundRobinScheduler(),
+		chc.NewDelayScheduler(0),
+		chc.NewSplitScheduler(0, 1),
+	} {
+		cfg := chc.RunConfig{
+			Params:    params(),
+			Inputs:    inputs2D(5, 5),
+			Faulty:    []chc.ProcID{0},
+			Seed:      5,
+			Scheduler: sched,
+		}
+		result, err := chc.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := chc.CheckAgreement(result)
+		if err != nil || !rep.Holds {
+			t.Errorf("agreement under %T: %+v, %v", sched, rep, err)
+		}
+	}
+}
+
+func TestRunNetworkedInProcess(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.5, // fewer rounds: the concurrent run is heavier
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: inputs2D(5, 6),
+	}
+	result, err := chc.RunNetworked(cfg, chc.InProcess, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chc.CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement: %+v, %v", rep, err)
+	}
+	if err := chc.CheckValidity(result, &cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunNetworkedTCP(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 4, F: 0, D: 1,
+			Epsilon:    0.5,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: []chc.Point{chc.NewPoint(1), chc.NewPoint(4), chc.NewPoint(7), chc.NewPoint(9)},
+	}
+	result, err := chc.RunNetworked(cfg, chc.TCP, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Outputs) != 4 {
+		t.Fatalf("%d outputs, want 4", len(result.Outputs))
+	}
+	rep, err := chc.CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement: %+v, %v", rep, err)
+	}
+	if result.Stats.Bytes == 0 {
+		t.Error("TCP run should account bytes")
+	}
+}
+
+func TestPublicBatch(t *testing.T) {
+	cfg := chc.BatchConfig{
+		N: 5,
+		Instances: []chc.BatchInstance{
+			{Params: params(), Inputs: inputs2D(5, 30)},
+			{Params: params(), Inputs: inputs2D(5, 31)},
+		},
+		Seed: 30,
+	}
+	result, err := chc.RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Outputs) != 2 {
+		t.Fatalf("%d instances, want 2", len(result.Outputs))
+	}
+	for k, outs := range result.Outputs {
+		if len(outs) != 5 {
+			t.Errorf("instance %d: %d outputs", k, len(outs))
+		}
+	}
+}
+
+func TestPublicTraceJSON(t *testing.T) {
+	cfg := chc.RunConfig{Params: params(), Inputs: inputs2D(5, 32), Seed: 32}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := chc.WriteTraceJSON(&buf, result); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("exported trace is not valid JSON")
+	}
+}
+
+func TestPublicByzantine(t *testing.T) {
+	cfg := chc.ByzantineRunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.2,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: inputs2D(5, 8),
+		Faults: []chc.ByzantineFault{{Proc: 1, Behavior: chc.ByzEquivocator}},
+		Seed:   8,
+	}
+	result, err := chc.RunByzantine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chc.CheckByzantineValidity(result, &cfg); err != nil {
+		t.Error(err)
+	}
+	d, holds, err := chc.CheckByzantineAgreement(result)
+	if err != nil || !holds {
+		t.Errorf("agreement: %v %v %v", d, holds, err)
+	}
+	if len(result.Correct()) != 4 {
+		t.Errorf("Correct() = %v", result.Correct())
+	}
+}
+
+func TestRunNetworkedBadTransport(t *testing.T) {
+	cfg := chc.RunConfig{Params: params(), Inputs: inputs2D(5, 7)}
+	if _, err := chc.RunNetworked(cfg, chc.TransportKind(99), time.Second); err == nil {
+		t.Error("unknown transport should error")
+	}
+}

@@ -1,0 +1,292 @@
+// Command chcrun executes one convex hull consensus instance and prints the
+// outcome: per-process output polytopes, the agreement/validity/optimality
+// checks, and message statistics.
+//
+// Usage examples:
+//
+//	chcrun -n 7 -f 1 -d 2 -eps 0.01 -seed 3
+//	chcrun -n 5 -f 1 -d 2 -faulty 3 -crash 3:9 -sched delay
+//	chcrun -n 3 -f 1 -d 2 -model correct
+//	chcrun -n 5 -f 1 -d 2 -transport tcp     # real sockets instead of simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"chc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("chcrun", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 7, "number of processes")
+		f         = fs.Int("f", 1, "maximum faulty processes")
+		d         = fs.Int("d", 2, "input dimension")
+		eps       = fs.Float64("eps", 0.01, "agreement parameter ε")
+		seed      = fs.Int64("seed", 1, "scheduler / input seed")
+		faulty    = fs.String("faulty", "", "comma-separated faulty process IDs")
+		crash     = fs.String("crash", "", "crash plans id:afterSends,...")
+		sched     = fs.String("sched", "random", "scheduler: random|rr|delay|split")
+		model     = fs.String("model", "incorrect", "fault model: incorrect|correct")
+		transport = fs.String("transport", "sim", "execution: sim|inproc|tcp")
+		byz       = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
+		traceFile = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := chc.Params{
+		N: *n, F: *f, D: *d,
+		Epsilon:    *eps,
+		InputLower: 0, InputUpper: 10,
+	}
+	switch *model {
+	case "incorrect":
+		params.Model = chc.IncorrectInputs
+	case "correct":
+		params.Model = chc.CorrectInputs
+	default:
+		return fmt.Errorf("unknown fault model %q", *model)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([]chc.Point, *n)
+	for i := range inputs {
+		p := make([]float64, *d)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		inputs[i] = chc.NewPoint(p...)
+	}
+
+	cfg := chc.RunConfig{Params: params, Inputs: inputs, Seed: *seed}
+	if *faulty != "" {
+		ids, err := parseIDs(*faulty)
+		if err != nil {
+			return err
+		}
+		cfg.Faulty = ids
+	}
+	if *crash != "" {
+		plans, err := parseCrashes(*crash)
+		if err != nil {
+			return err
+		}
+		cfg.Crashes = plans
+	}
+	switch *sched {
+	case "random":
+	case "rr":
+		cfg.Scheduler = chc.NewRoundRobinScheduler()
+	case "delay":
+		cfg.Scheduler = chc.NewDelayScheduler(cfg.Faulty...)
+	case "split":
+		half := make([]chc.ProcID, 0, *n/2)
+		for i := 0; i < *n/2; i++ {
+			half = append(half, chc.ProcID(i))
+		}
+		cfg.Scheduler = chc.NewSplitScheduler(half...)
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+
+	if *byz != "" {
+		return runByzantine(w, params, inputs, cfg.Faulty, *byz, *seed)
+	}
+
+	var (
+		result *chc.RunResult
+		err    error
+	)
+	start := time.Now()
+	switch *transport {
+	case "sim":
+		result, err = chc.Run(cfg)
+	case "inproc":
+		result, err = chc.RunNetworked(cfg, chc.InProcess, 5*time.Minute)
+	case "tcp":
+		result, err = chc.RunNetworked(cfg, chc.TCP, 5*time.Minute)
+	default:
+		return fmt.Errorf("unknown transport %q", *transport)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "convex hull consensus: n=%d f=%d d=%d ε=%g model=%v t_end=%d (%v)\n",
+		*n, *f, *d, *eps, params.Model, params.TEnd(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "inputs:\n")
+	for i, x := range inputs {
+		marker := ""
+		if containsID(cfg.Faulty, chc.ProcID(i)) {
+			marker = "  (faulty: incorrect input)"
+		}
+		fmt.Fprintf(w, "  p%-2d %v%s\n", i, x, marker)
+	}
+	fmt.Fprintf(w, "outputs:\n")
+	for i := 0; i < *n; i++ {
+		id := chc.ProcID(i)
+		out, ok := result.Outputs[id]
+		switch {
+		case result.Crashed[id]:
+			fmt.Fprintf(w, "  p%-2d CRASHED\n", i)
+		case !ok:
+			fmt.Fprintf(w, "  p%-2d (no decision)\n", i)
+		default:
+			vol, _ := out.Volume(chc.DefaultEps)
+			fmt.Fprintf(w, "  p%-2d %d vertices, volume %.4g: %v\n", i, out.NumVertices(), vol, out)
+		}
+	}
+	if rep, err := chc.CheckAgreement(result); err == nil {
+		fmt.Fprintf(w, "ε-agreement : max d_H = %.3g <= %g : %v\n", rep.MaxHausdorff, rep.Epsilon, rep.Holds)
+	}
+	if err := chc.CheckValidity(result, &cfg); err == nil {
+		fmt.Fprintln(w, "validity    : ok (outputs inside correct-input hull)")
+	} else {
+		fmt.Fprintf(w, "validity    : VIOLATED: %v\n", err)
+	}
+	if params.Model == chc.IncorrectInputs {
+		if err := chc.CheckOptimality(result); err == nil {
+			fmt.Fprintln(w, "optimality  : ok (I_Z contained in every output)")
+		} else {
+			fmt.Fprintf(w, "optimality  : VIOLATED: %v\n", err)
+		}
+	}
+	if result.Stats != nil {
+		fmt.Fprintf(w, "messages    : %d sends, %d bytes\n", result.Stats.Sends, result.Stats.Bytes)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "chcrun: close trace file:", cerr)
+			}
+		}()
+		if err := chc.WriteTraceJSON(f, result); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace       : written to %s\n", *traceFile)
+	}
+	return nil
+}
+
+// runByzantine executes the Byzantine-compiled protocol with the selected
+// adversary behaviour at the first listed faulty process (default: the
+// last process).
+func runByzantine(w io.Writer, params chc.Params, inputs []chc.Point, faulty []chc.ProcID, behaviorName string, seed int64) error {
+	var behavior chc.ByzantineBehavior
+	switch behaviorName {
+	case "silent":
+		behavior = chc.ByzSilent
+	case "incorrect":
+		behavior = chc.ByzIncorrectInput
+	case "equivocator":
+		behavior = chc.ByzEquivocator
+	case "garbler":
+		behavior = chc.ByzGarbler
+	default:
+		return fmt.Errorf("unknown byzantine behaviour %q", behaviorName)
+	}
+	target := chc.ProcID(params.N - 1)
+	if len(faulty) > 0 {
+		target = faulty[0]
+	}
+	cfg := chc.ByzantineRunConfig{
+		Params: params,
+		Inputs: inputs,
+		Faults: []chc.ByzantineFault{{
+			Proc:     target,
+			Behavior: behavior,
+			Input:    chc.NewPoint(make([]float64, params.D)...),
+		}},
+		Seed: seed,
+	}
+	start := time.Now()
+	result, err := chc.RunByzantine(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "byzantine convex hull consensus: n=%d f=%d d=%d ε=%g adversary=%v at p%d (%v)\n",
+		params.N, params.F, params.D, params.Epsilon, behavior, target, elapsed.Round(time.Millisecond))
+	for _, id := range result.Correct() {
+		out, ok := result.Outputs[id]
+		if !ok {
+			fmt.Fprintf(w, "  p%-2d (no decision)\n", id)
+			continue
+		}
+		vol, _ := out.Volume(chc.DefaultEps)
+		fmt.Fprintf(w, "  p%-2d %d vertices, volume %.4g\n", id, out.NumVertices(), vol)
+	}
+	if err := chc.CheckByzantineValidity(result, &cfg); err == nil {
+		fmt.Fprintln(w, "validity    : ok")
+	} else {
+		fmt.Fprintf(w, "validity    : VIOLATED: %v\n", err)
+	}
+	if d, holds, err := chc.CheckByzantineAgreement(result); err == nil {
+		fmt.Fprintf(w, "ε-agreement : max d_H = %.3g <= %g : %v\n", d, params.Epsilon, holds)
+	}
+	fmt.Fprintf(w, "messages    : %d sends, %d bytes (reliable broadcast)\n",
+		result.Stats.Sends, result.Stats.Bytes)
+	return nil
+}
+
+func parseIDs(s string) ([]chc.ProcID, error) {
+	var out []chc.ProcID
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad process ID %q", part)
+		}
+		out = append(out, chc.ProcID(id))
+	}
+	return out, nil
+}
+
+func parseCrashes(s string) ([]chc.CrashPlan, error) {
+	var out []chc.CrashPlan
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad crash plan %q (want id:afterSends)", part)
+		}
+		id, err := strconv.Atoi(bits[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad crash process %q", bits[0])
+		}
+		after, err := strconv.Atoi(bits[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad crash afterSends %q", bits[1])
+		}
+		out = append(out, chc.CrashPlan{Proc: chc.ProcID(id), AfterSends: after})
+	}
+	return out, nil
+}
+
+func containsID(ids []chc.ProcID, id chc.ProcID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chc"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"convex hull consensus", "ε-agreement", "validity", "optimality", "messages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "true") {
+		t.Error("agreement should hold")
+	}
+}
+
+func TestRunWithFaultsAndSchedulers(t *testing.T) {
+	for _, sched := range []string{"random", "rr", "delay", "split"} {
+		var buf bytes.Buffer
+		args := []string{
+			"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1",
+			"-faulty", "2", "-crash", "2:5", "-sched", sched,
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		if !strings.Contains(buf.String(), "faulty: incorrect input") {
+			t.Errorf("%s: faulty process not marked", sched)
+		}
+	}
+}
+
+func TestRunCorrectInputsModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-f", "1", "-d", "2", "-eps", "0.2", "-model", "correct"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crash+correct-inputs") {
+		t.Error("model not reported")
+	}
+}
+
+func TestRunInProcTransport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-f", "0", "-d", "1", "-eps", "0.5", "-transport", "inproc"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "outputs:") {
+		t.Error("no outputs printed")
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	args := []string{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1", "-tracefile", path}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if parsed["n"] != float64(5) {
+		t.Errorf("trace n = %v", parsed["n"])
+	}
+}
+
+func TestRunByzantineMode(t *testing.T) {
+	for _, behavior := range []string{"silent", "incorrect", "equivocator", "garbler"} {
+		var buf bytes.Buffer
+		args := []string{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.2", "-byz", behavior}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", behavior, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "byzantine convex hull consensus") ||
+			!strings.Contains(out, "validity    : ok") {
+			t.Errorf("%s: unexpected output:\n%s", behavior, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-byz", "weird"}, &buf); err == nil {
+		t.Error("unknown byzantine behaviour should error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-model", "weird"},
+		{"-sched", "weird"},
+		{"-transport", "weird"},
+		{"-faulty", "zero,one"},
+		{"-crash", "nonsense"},
+		{"-crash", "1"},
+		{"-crash", "x:1"},
+		{"-crash", "1:y"},
+		{"-n", "3", "-f", "1", "-d", "2"}, // below resilience bound
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	ids, err := parseIDs("1, 2,3")
+	if err != nil || len(ids) != 3 || ids[2] != 3 {
+		t.Errorf("parseIDs = %v, %v", ids, err)
+	}
+	plans, err := parseCrashes("1:5, 2:0")
+	if err != nil || len(plans) != 2 || plans[0].AfterSends != 5 {
+		t.Errorf("parseCrashes = %v, %v", plans, err)
+	}
+	if !containsID([]chc.ProcID{1, 2}, 2) || containsID(nil, 0) {
+		t.Error("containsID broken")
+	}
+}

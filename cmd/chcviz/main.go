@@ -1,0 +1,245 @@
+// Command chcviz renders a 2-D convex hull consensus execution as an SVG:
+// the inputs, the correct-input hull, the round-0 polytopes of every
+// fault-free process, and the (near-identical) final outputs, making the
+// contraction toward agreement visible.
+//
+// Usage:
+//
+//	chcviz -n 7 -f 1 -eps 0.05 -seed 3 -o run.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"chc"
+)
+
+const svgSize = 640.0
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chcviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chcviz", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 7, "number of processes")
+		f      = fs.Int("f", 1, "maximum faulty processes")
+		eps    = fs.Float64("eps", 0.05, "agreement parameter ε")
+		seed   = fs.Int64("seed", 3, "seed")
+		out    = fs.String("o", "chc.svg", "output SVG path")
+		rounds = fs.String("rounds", "", "also render per-round frames (comma-separated round numbers) to this grid SVG alongside -o")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := chc.Params{
+		N: *n, F: *f, D: 2,
+		Epsilon:    *eps,
+		InputLower: 0, InputUpper: 10,
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([]chc.Point, *n)
+	for i := range inputs {
+		inputs[i] = chc.NewPoint(rng.Float64()*10, rng.Float64()*10)
+	}
+	cfg := chc.RunConfig{
+		Params: params,
+		Inputs: inputs,
+		Faulty: []chc.ProcID{0},
+		Seed:   *seed,
+	}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := file.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "chcviz: close:", cerr)
+		}
+	}()
+	if err := render(file, &cfg, result); err != nil {
+		return err
+	}
+	fmt.Printf("chcviz: wrote %s (n=%d f=%d ε=%g, %d rounds)\n", *out, *n, *f, *eps, params.TEnd())
+
+	if *rounds != "" {
+		gridPath := strings.TrimSuffix(*out, ".svg") + "_rounds.svg"
+		var roundList []int
+		for _, part := range strings.Split(*rounds, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad round %q", part)
+			}
+			roundList = append(roundList, r)
+		}
+		gf, err := os.Create(gridPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := gf.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "chcviz: close:", cerr)
+			}
+		}()
+		if err := renderRounds(gf, &cfg, result, roundList); err != nil {
+			return err
+		}
+		fmt.Printf("chcviz: wrote %s (rounds %v)\n", gridPath, roundList)
+	}
+	return nil
+}
+
+// toSVG maps input-domain coordinates [0,10]² to SVG pixels (y flipped).
+func toSVG(p chc.Point) (float64, float64) {
+	const margin = 40.0
+	scale := (svgSize - 2*margin) / 10.0
+	return margin + p[0]*scale, svgSize - margin - p[1]*scale
+}
+
+func polygonPath(verts []chc.Point) string {
+	s := ""
+	for i, v := range verts {
+		x, y := toSVG(v)
+		if i == 0 {
+			s += fmt.Sprintf("M %.1f %.1f ", x, y)
+		} else {
+			s += fmt.Sprintf("L %.1f %.1f ", x, y)
+		}
+	}
+	return s + "Z"
+}
+
+func render(w io.Writer, cfg *chc.RunConfig, result *chc.RunResult) error {
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		int(svgSize), int(svgSize), int(svgSize), int(svgSize))
+	fmt.Fprintln(w, `<rect width="100%" height="100%" fill="white"/>`)
+
+	// Correct-input hull (background reference).
+	hull, err := chc.CorrectInputHull(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<path d="%s" fill="#eef4ff" stroke="#8fb2e8" stroke-width="1.5"/>`+"\n",
+		polygonPath(hull.Vertices()))
+
+	colors := []string{"#c0392b", "#27ae60", "#8e44ad", "#d68910", "#16a085", "#2c3e50", "#7f8c8d", "#9b59b6", "#2980b9"}
+
+	// Round-0 polytopes (dashed) and final outputs (solid).
+	for idx, id := range result.FaultFree() {
+		color := colors[idx%len(colors)]
+		trace := result.Traces[id]
+		if len(trace.H0) > 0 {
+			h0, err := chc.NewPolytope(trace.H0, chc.DefaultEps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, `<path d="%s" fill="none" stroke="%s" stroke-width="1" stroke-dasharray="4 3" opacity="0.6"/>`+"\n",
+				polygonPath(h0.Vertices()), color)
+		}
+		if out, ok := result.Outputs[id]; ok {
+			fmt.Fprintf(w, `<path d="%s" fill="%s" fill-opacity="0.12" stroke="%s" stroke-width="2"/>`+"\n",
+				polygonPath(out.Vertices()), color, color)
+		}
+	}
+
+	// Inputs.
+	for i, p := range cfg.Inputs {
+		x, y := toSVG(p)
+		fill := "#2c3e50"
+		if result.Faulty[chc.ProcID(i)] {
+			fill = "#e74c3c"
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s"/>`+"\n", x, y, fill)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif">p%d</text>`+"\n", x+7, y-5, i)
+	}
+
+	fmt.Fprintf(w, `<text x="16" y="24" font-size="14" font-family="sans-serif">`+
+		`convex hull consensus: dashed = h[0], solid = outputs, shaded = correct-input hull</text>`+"\n")
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}
+
+// renderRounds draws a grid of small multiples, one frame per requested
+// round (0 = h[0]), showing the per-round states of all fault-free
+// processes contracting toward agreement.
+func renderRounds(w io.Writer, cfg *chc.RunConfig, result *chc.RunResult, rounds []int) error {
+	const cell = 320.0
+	cols := len(rounds)
+	if cols == 0 {
+		return fmt.Errorf("chcviz: no rounds requested")
+	}
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		int(cell)*cols, int(cell), int(cell)*cols, int(cell))
+	fmt.Fprintln(w, `<rect width="100%" height="100%" fill="white"/>`)
+	colors := []string{"#c0392b", "#27ae60", "#8e44ad", "#d68910", "#16a085", "#2c3e50", "#7f8c8d", "#9b59b6", "#2980b9"}
+
+	toCell := func(p chc.Point, col int) (float64, float64) {
+		const margin = 30.0
+		scale := (cell - 2*margin) / 10.0
+		return float64(col)*cell + margin + p[0]*scale, cell - margin - p[1]*scale
+	}
+	cellPath := func(verts []chc.Point, col int) string {
+		s := ""
+		for i, v := range verts {
+			x, y := toCell(v, col)
+			if i == 0 {
+				s += fmt.Sprintf("M %.1f %.1f ", x, y)
+			} else {
+				s += fmt.Sprintf("L %.1f %.1f ", x, y)
+			}
+		}
+		return s + "Z"
+	}
+
+	hull, err := chc.CorrectInputHull(cfg)
+	if err != nil {
+		return err
+	}
+	for col, round := range rounds {
+		fmt.Fprintf(w, `<path d="%s" fill="#eef4ff" stroke="#8fb2e8" stroke-width="1"/>`+"\n",
+			cellPath(hull.Vertices(), col))
+		for idx, id := range result.FaultFree() {
+			trace := result.Traces[id]
+			var verts []chc.Point
+			if round == 0 {
+				verts = trace.H0
+			} else {
+				for _, rec := range trace.Rounds {
+					if rec.Round == round {
+						verts = rec.State
+						break
+					}
+				}
+			}
+			if len(verts) == 0 {
+				continue
+			}
+			poly, err := chc.NewPolytope(verts, chc.DefaultEps)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5" opacity="0.8"/>`+"\n",
+				cellPath(poly.Vertices(), col), colors[idx%len(colors)])
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="20" font-size="13" font-family="sans-serif">round %d</text>`+"\n",
+			float64(col)*cell+12, round)
+	}
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}

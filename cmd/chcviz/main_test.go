@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chc"
+)
+
+func TestRenderSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.svg")
+	if err := run([]string{"-n", "5", "-f", "1", "-eps", "0.1", "-seed", "3", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "</svg>", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One circle per process.
+	if got := strings.Count(svg, "<circle"); got != 5 {
+		t.Errorf("%d circles, want 5", got)
+	}
+}
+
+func TestRenderDirect(t *testing.T) {
+	params := chc.Params{
+		N: 5, F: 1, D: 2,
+		Epsilon:    0.2,
+		InputLower: 0, InputUpper: 10,
+	}
+	inputs := []chc.Point{
+		chc.NewPoint(1, 1), chc.NewPoint(9, 1), chc.NewPoint(5, 9),
+		chc.NewPoint(5, 5), chc.NewPoint(3, 4),
+	}
+	cfg := chc.RunConfig{Params: params, Inputs: inputs, Seed: 1}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := render(&buf, &cfg, result); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Error("render did not produce SVG")
+	}
+}
+
+func TestPolygonPath(t *testing.T) {
+	p := polygonPath([]chc.Point{chc.NewPoint(0, 0), chc.NewPoint(10, 0), chc.NewPoint(0, 10)})
+	if !strings.HasPrefix(p, "M ") || !strings.HasSuffix(p, "Z") {
+		t.Errorf("path = %q", p)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRenderRoundsGrid(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.svg")
+	if err := run([]string{"-n", "5", "-f", "1", "-eps", "0.1", "-seed", "3", "-o", path, "-rounds", "0,1,5"}); err != nil {
+		t.Fatal(err)
+	}
+	gridPath := filepath.Join(dir, "run_rounds.svg")
+	data, err := os.ReadFile(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"round 0", "round 1", "round 5"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("grid missing frame label %q", want)
+		}
+	}
+	if err := run([]string{"-o", path, "-rounds", "nope"}); err == nil {
+		t.Error("bad round list should error")
+	}
+}

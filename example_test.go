@@ -1,0 +1,167 @@
+package chc_test
+
+import (
+	"fmt"
+	"sort"
+
+	"chc"
+)
+
+// ExampleRun shows a minimal 1-D consensus: four processes, one of which
+// is faulty with an incorrect input, agree on an interval inside the hull
+// of the three correct inputs.
+func ExampleRun() {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 4, F: 1, D: 1,
+			Epsilon:    0.01,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: []chc.Point{
+			chc.NewPoint(2), chc.NewPoint(3), chc.NewPoint(4),
+			chc.NewPoint(9), // incorrect input at the faulty process
+		},
+		Faulty: []chc.ProcID{3},
+		Seed:   1,
+	}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var ids []int
+	for id := range result.Outputs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	// All outputs lie within [2, 4] (the correct hull) and within ε of one
+	// another; print whether that held rather than the float endpoints.
+	rep, _ := chc.CheckAgreement(result)
+	fmt.Println("processes decided:", len(ids))
+	fmt.Println("ε-agreement:", rep.Holds)
+	fmt.Println("validity:", chc.CheckValidity(result, &cfg) == nil)
+	// Output:
+	// processes decided: 4
+	// ε-agreement: true
+	// validity: true
+}
+
+// ExampleMinimize minimises a linear cost over a triangle — exact, at a
+// vertex.
+func ExampleMinimize() {
+	tri, err := chc.NewPolytope([]chc.Point{
+		chc.NewPoint(0, 0), chc.NewPoint(4, 0), chc.NewPoint(0, 4),
+	}, chc.DefaultEps)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fv, err := chc.Minimize(chc.LinearCost{A: chc.NewPoint(-1, 0)}, tri, chc.MinimizeOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("min at %v with value %g\n", fv.X, fv.Value)
+	// Output:
+	// min at (4, 0) with value -4
+}
+
+// ExampleLinearCombination demonstrates the paper's function L on
+// intervals: 0.5·[0,2] + 0.5·[4,6] = [2,4].
+func ExampleLinearCombination() {
+	a, _ := chc.NewPolytope([]chc.Point{chc.NewPoint(0), chc.NewPoint(2)}, chc.DefaultEps)
+	b, _ := chc.NewPolytope([]chc.Point{chc.NewPoint(4), chc.NewPoint(6)}, chc.DefaultEps)
+	l, err := chc.LinearCombination([]*chc.Polytope{a, b}, []float64{0.5, 0.5}, chc.DefaultEps)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lo, hi, _ := l.BoundingBox()
+	fmt.Printf("[%g, %g]\n", lo[0], hi[0])
+	// Output:
+	// [2, 4]
+}
+
+// ExampleRunByzantine runs the Byzantine-tolerant transformation against an
+// equivocating adversary.
+func ExampleRunByzantine() {
+	cfg := chc.ByzantineRunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.2,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: []chc.Point{
+			chc.NewPoint(3, 3), chc.NewPoint(5, 3), chc.NewPoint(4, 5),
+			chc.NewPoint(3.5, 4), chc.NewPoint(9, 9),
+		},
+		Faults: []chc.ByzantineFault{{Proc: 4, Behavior: chc.ByzEquivocator}},
+		Seed:   1,
+	}
+	result, err := chc.RunByzantine(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, holds, err := chc.CheckByzantineAgreement(result)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("correct processes decided:", len(result.Outputs))
+	fmt.Println("ε-agreement:", holds)
+	fmt.Println("validity:", chc.CheckByzantineValidity(result, &cfg) == nil)
+	// Output:
+	// correct processes decided: 4
+	// ε-agreement: true
+	// validity: true
+}
+
+// ExampleRunBatch multiplexes two independent agreement tasks over one
+// network.
+func ExampleRunBatch() {
+	params := chc.Params{
+		N: 5, F: 1, D: 1,
+		Epsilon:    0.05,
+		InputLower: 0, InputUpper: 10,
+	}
+	cfg := chc.BatchConfig{
+		N: 5,
+		Instances: []chc.BatchInstance{
+			{Params: params, Inputs: []chc.Point{
+				chc.NewPoint(1), chc.NewPoint(2), chc.NewPoint(3), chc.NewPoint(2.5), chc.NewPoint(1.5),
+			}},
+			{Params: params, Inputs: []chc.Point{
+				chc.NewPoint(8), chc.NewPoint(9), chc.NewPoint(8.5), chc.NewPoint(9.5), chc.NewPoint(8.2),
+			}},
+		},
+		Seed: 1,
+	}
+	result, err := chc.RunBatch(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instances:", len(result.Outputs))
+	fmt.Println("decisions per instance:", len(result.Outputs[0]), len(result.Outputs[1]))
+	// Output:
+	// instances: 2
+	// decisions per instance: 5 5
+}
+
+// ExampleHausdorff computes the agreement metric between two unit squares
+// three units apart.
+func ExampleHausdorff() {
+	sq, _ := chc.NewPolytope([]chc.Point{
+		chc.NewPoint(0, 0), chc.NewPoint(1, 0), chc.NewPoint(1, 1), chc.NewPoint(0, 1),
+	}, chc.DefaultEps)
+	moved := sq.Translate(chc.NewPoint(3, 0))
+	d, err := chc.Hausdorff(sq, moved, chc.DefaultEps)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("d_H = %g\n", d)
+	// Output:
+	// d_H = 3
+}

@@ -1,0 +1,71 @@
+// Byzantine tolerance: the same convex hull consensus guarantees under a
+// fully Byzantine adversary, via the crash→Byzantine transformation the
+// paper references (all communication compiled through reliable broadcast,
+// states recomputed from broadcast certificates). The demo runs one
+// adversary of each flavour — silent, incorrect-input, equivocating,
+// garbage-flooding — and shows validity and ε-agreement holding at the
+// correct processes every time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := chc.Params{
+		N: 5, F: 1, D: 2,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	inputs := []chc.Point{
+		chc.NewPoint(3, 3),
+		chc.NewPoint(5, 2.5),
+		chc.NewPoint(4.5, 5),
+		chc.NewPoint(2.5, 4.5),
+		chc.NewPoint(9, 9), // the adversary's slot
+	}
+
+	for _, behavior := range []chc.ByzantineBehavior{
+		chc.ByzSilent, chc.ByzIncorrectInput, chc.ByzEquivocator, chc.ByzGarbler,
+	} {
+		cfg := chc.ByzantineRunConfig{
+			Params: params,
+			Inputs: inputs,
+			Faults: []chc.ByzantineFault{{
+				Proc:     4,
+				Behavior: behavior,
+				Input:    chc.NewPoint(9.9, 0.1),
+			}},
+			Seed: 42,
+		}
+		result, err := chc.RunByzantine(cfg)
+		if err != nil {
+			return fmt.Errorf("%v: %w", behavior, err)
+		}
+		if err := chc.CheckByzantineValidity(result, &cfg); err != nil {
+			return fmt.Errorf("%v: validity: %w", behavior, err)
+		}
+		dh, holds, err := chc.CheckByzantineAgreement(result)
+		if err != nil {
+			return err
+		}
+		out := result.Outputs[result.Correct()[0]]
+		vol, err := out.Volume(chc.DefaultEps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adversary %-16s: %d correct decisions, area %.3g, d_H %.2e (≤ %g: %v), %d msgs\n",
+			behavior, len(result.Outputs), vol, dh, params.Epsilon, holds, result.Stats.Sends)
+	}
+	fmt.Println("\nvalidity + ε-agreement held against every Byzantine behaviour (n ≥ 3f+1)")
+	return nil
+}

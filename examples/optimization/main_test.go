@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; examples are deterministic, so
+// a nil error means every property check inside them passed.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: seven processes agree on a convex polytope inside the hull of
+// the fault-free inputs, despite one faulty process with an incorrect input
+// that crashes mid-broadcast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := chc.Params{
+		N: 7, F: 1, D: 2,
+		Epsilon:    0.01, // agree up to Hausdorff distance 0.01
+		InputLower: 0, InputUpper: 10,
+	}
+
+	// Inputs: six honest sensors cluster around the truth; process 6 is
+	// faulty — its input is garbage and it will crash partway through.
+	inputs := []chc.Point{
+		chc.NewPoint(4.0, 4.2),
+		chc.NewPoint(5.1, 3.8),
+		chc.NewPoint(4.6, 5.0),
+		chc.NewPoint(5.5, 4.9),
+		chc.NewPoint(4.2, 4.8),
+		chc.NewPoint(5.0, 4.4),
+		chc.NewPoint(9.9, 0.1), // incorrect input
+	}
+
+	cfg := chc.RunConfig{
+		Params:  params,
+		Inputs:  inputs,
+		Faulty:  []chc.ProcID{6},
+		Crashes: []chc.CrashPlan{{Proc: 6, AfterSends: 8}}, // dies mid-broadcast
+		Seed:    1,
+	}
+
+	result, err := chc.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("t_end = %d asynchronous rounds\n", params.TEnd())
+	for _, id := range result.FaultFree() {
+		out := result.Outputs[id]
+		vol, err := out.Volume(chc.DefaultEps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("process %d decided %d-vertex polytope, area %.4f\n",
+			id, out.NumVertices(), vol)
+	}
+
+	rep, err := chc.CheckAgreement(result)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ε-agreement: max pairwise d_H = %.2e (ε = %g) -> %v\n",
+		rep.MaxHausdorff, rep.Epsilon, rep.Holds)
+
+	if err := chc.CheckValidity(result, &cfg); err != nil {
+		return fmt.Errorf("validity: %w", err)
+	}
+	fmt.Println("validity: every output inside the hull of the six honest inputs")
+
+	if err := chc.CheckOptimality(result); err != nil {
+		return fmt.Errorf("optimality: %w", err)
+	}
+	fmt.Println("optimality: every output contains the reference polytope I_Z")
+	return nil
+}

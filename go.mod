@@ -1,0 +1,3 @@
+module chc
+
+go 1.22

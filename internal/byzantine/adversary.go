@@ -1,0 +1,145 @@
+package byzantine
+
+import (
+	"math/rand"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/rbc"
+	"chc/internal/wire"
+)
+
+// Behavior selects a Byzantine strategy for the test/experiment harness.
+type Behavior int
+
+// Byzantine strategies.
+const (
+	// Silent sends nothing at all (indistinguishable from an initial crash).
+	Silent Behavior = iota + 1
+	// IncorrectInput follows the protocol faithfully with an adversarial
+	// input — the behaviour the crash-with-incorrect-inputs simulation maps
+	// every "benign-looking" Byzantine process onto.
+	IncorrectInput
+	// Equivocator sends different inputs to different processes (RBC must
+	// mask this: at most one value can ever be delivered).
+	Equivocator
+	// Garbler floods malformed protocol traffic: bogus choices, wrong
+	// payload types, fake readys for other origins.
+	Garbler
+)
+
+// String names the behaviour.
+func (b Behavior) String() string {
+	switch b {
+	case Silent:
+		return "silent"
+	case IncorrectInput:
+		return "incorrect-input"
+	case Equivocator:
+		return "equivocator"
+	case Garbler:
+		return "garbler"
+	default:
+		return "unknown"
+	}
+}
+
+// NewAdversary builds a Byzantine process with the given behaviour.
+// IncorrectInput adversaries run the real protocol (with a bad input);
+// the others are bespoke misbehaviours.
+func NewAdversary(params core.Params, id dist.ProcID, behavior Behavior, input geom.Point) (dist.Process, error) {
+	switch behavior {
+	case Silent:
+		return &silentProc{}, nil
+	case IncorrectInput:
+		return NewProcess(params, id, input)
+	case Equivocator:
+		return &equivocatorProc{id: id, params: params}, nil
+	case Garbler:
+		return &garblerProc{id: id, params: params}, nil
+	default:
+		return nil, errUnknownBehavior(behavior)
+	}
+}
+
+type errUnknownBehavior Behavior
+
+func (e errUnknownBehavior) Error() string { return "byzantine: unknown behaviour" }
+
+type silentProc struct{}
+
+func (*silentProc) Init(dist.Context)                  {}
+func (*silentProc) Deliver(dist.Context, dist.Message) {}
+func (*silentProc) Done() bool                         { return true }
+
+// equivocatorProc broadcasts a different input to every process, then
+// behaves like a crashed process.
+type equivocatorProc struct {
+	id     dist.ProcID
+	params core.Params
+}
+
+func (e *equivocatorProc) Init(ctx dist.Context) {
+	span := e.params.InputUpper - e.params.InputLower
+	for to := dist.ProcID(0); int(to) < ctx.N(); to++ {
+		if to == e.id {
+			continue
+		}
+		v := make(geom.Point, e.params.D)
+		for j := range v {
+			v[j] = e.params.InputLower + span*float64(to)/float64(ctx.N())
+		}
+		ctx.Send(to, rbc.KindInit, 0, wire.RBCPayload{
+			Origin: e.id, Seq: 0, Inner: wire.PointPayload{Value: v},
+		})
+	}
+}
+func (e *equivocatorProc) Deliver(dist.Context, dist.Message) {}
+func (e *equivocatorProc) Done() bool                         { return true }
+
+// garblerProc floods structurally invalid traffic and fake votes.
+type garblerProc struct {
+	id     dist.ProcID
+	params core.Params
+	rng    *rand.Rand
+	sent   int
+}
+
+func (g *garblerProc) Init(ctx dist.Context) {
+	g.rng = rand.New(rand.NewSource(int64(g.id) + 99))
+	// Out-of-bounds input.
+	ctx.Broadcast(rbc.KindInit, 0, wire.RBCPayload{
+		Origin: g.id, Seq: 0,
+		Inner: wire.PointPayload{Value: geom.NewPoint(make([]float64, g.params.D)...).AddScaled(1e6, onesPoint(g.params.D))},
+	})
+	// Undersized and unsorted choices.
+	ctx.Broadcast(rbc.KindInit, 1, wire.RBCPayload{
+		Origin: g.id, Seq: 1,
+		Inner: wire.SendersPayload{Round: 0, Senders: []dist.ProcID{2, 1}},
+	})
+	// Wrong payload type for a choice.
+	ctx.Broadcast(rbc.KindInit, 2, wire.RBCPayload{
+		Origin: g.id, Seq: 2, Inner: wire.IntPayload{Value: 7},
+	})
+}
+
+func (g *garblerProc) Deliver(ctx dist.Context, msg dist.Message) {
+	// Occasionally inject fake READY votes for other origins (bounded so
+	// the simulation terminates).
+	if g.sent < 50 && msg.Kind == rbc.KindEcho {
+		if rp, ok := msg.Payload.(wire.RBCPayload); ok && g.rng.Intn(4) == 0 {
+			g.sent++
+			ctx.Broadcast(rbc.KindReady, msg.Round, rp)
+		}
+	}
+}
+func (g *garblerProc) Done() bool { return true }
+
+func onesPoint(d int) geom.Point {
+	p := make(geom.Point, d)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}

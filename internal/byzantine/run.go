@@ -1,0 +1,191 @@
+package byzantine
+
+import (
+	"fmt"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/wire"
+)
+
+// Fault assigns a Byzantine behaviour to one process.
+type Fault struct {
+	Proc     dist.ProcID
+	Behavior Behavior
+	// Input is the adversarial input used by IncorrectInput faults.
+	Input geom.Point
+}
+
+// RunConfig describes one Byzantine execution.
+type RunConfig struct {
+	Params core.Params
+	// Inputs holds the correct processes' inputs (entries for Byzantine
+	// processes are ignored unless their behaviour needs one).
+	Inputs []geom.Point
+	Faults []Fault
+	Seed   int64
+	// Scheduler defaults to random delivery.
+	Scheduler dist.Scheduler
+	// MaxDeliveries overrides the livelock guard (0 = default).
+	MaxDeliveries int
+}
+
+// RunResult holds the outputs of the correct processes.
+type RunResult struct {
+	Params  core.Params
+	Outputs map[dist.ProcID]*polytope.Polytope
+	Faulty  map[dist.ProcID]Behavior
+	Stats   *dist.Stats
+}
+
+// Correct returns the sorted IDs of non-Byzantine processes.
+func (r *RunResult) Correct() []dist.ProcID {
+	var out []dist.ProcID
+	for i := 0; i < r.Params.N; i++ {
+		if _, bad := r.Faulty[dist.ProcID(i)]; !bad {
+			out = append(out, dist.ProcID(i))
+		}
+	}
+	return out
+}
+
+// Run executes one Byzantine-compiled consensus instance in the simulator.
+func Run(cfg RunConfig) (*RunResult, error) {
+	params := cfg.Params.WithDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.N < 3*params.F+1 {
+		return nil, fmt.Errorf("byzantine: n=%d < 3f+1 = %d", params.N, 3*params.F+1)
+	}
+	if len(cfg.Inputs) != params.N {
+		return nil, fmt.Errorf("byzantine: %d inputs for n=%d", len(cfg.Inputs), params.N)
+	}
+	if len(cfg.Faults) > params.F {
+		return nil, fmt.Errorf("byzantine: %d faults exceed f=%d", len(cfg.Faults), params.F)
+	}
+	faulty := make(map[dist.ProcID]Behavior, len(cfg.Faults))
+	for _, flt := range cfg.Faults {
+		if flt.Proc < 0 || int(flt.Proc) >= params.N {
+			return nil, fmt.Errorf("byzantine: fault for unknown process %d", flt.Proc)
+		}
+		if _, dup := faulty[flt.Proc]; dup {
+			return nil, fmt.Errorf("byzantine: duplicate fault for process %d", flt.Proc)
+		}
+		faulty[flt.Proc] = flt.Behavior
+	}
+
+	procs := make([]dist.Process, params.N)
+	impls := make(map[dist.ProcID]*Process, params.N)
+	for i := 0; i < params.N; i++ {
+		id := dist.ProcID(i)
+		if behavior, bad := faulty[id]; bad {
+			input := cfg.Inputs[i]
+			for _, flt := range cfg.Faults {
+				if flt.Proc == id && flt.Input != nil {
+					input = flt.Input
+				}
+			}
+			adv, err := NewAdversary(params, id, behavior, input)
+			if err != nil {
+				return nil, err
+			}
+			procs[i] = adv
+			continue
+		}
+		proc, err := NewProcess(params, id, cfg.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		impls[id] = proc
+		procs[i] = proc
+	}
+	sim, err := dist.NewSim(dist.Config{
+		N:             params.N,
+		Seed:          cfg.Seed,
+		Scheduler:     cfg.Scheduler,
+		MaxDeliveries: cfg.MaxDeliveries,
+		Sizer:         wire.MessageSize,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sim.Run()
+	result := &RunResult{
+		Params:  params,
+		Outputs: make(map[dist.ProcID]*polytope.Polytope, len(impls)),
+		Faulty:  faulty,
+		Stats:   stats,
+	}
+	for id, proc := range impls {
+		out, oerr := proc.Output()
+		if oerr != nil {
+			if err == nil {
+				err = oerr
+			}
+			continue
+		}
+		result.Outputs[id] = out
+	}
+	if err != nil {
+		return result, fmt.Errorf("byzantine: run: %w", err)
+	}
+	return result, nil
+}
+
+// CorrectInputHull returns the validity reference: the convex hull of the
+// inputs at correct processes.
+func CorrectInputHull(cfg *RunConfig) (*polytope.Polytope, error) {
+	faulty := make(map[dist.ProcID]bool, len(cfg.Faults))
+	for _, flt := range cfg.Faults {
+		faulty[flt.Proc] = true
+	}
+	var pts []geom.Point
+	for i, x := range cfg.Inputs {
+		if !faulty[dist.ProcID(i)] {
+			pts = append(pts, x)
+		}
+	}
+	return polytope.New(pts, cfg.Params.GeomEps)
+}
+
+// CheckValidity verifies every correct output against the correct-input
+// hull (within tolerance).
+func CheckValidity(result *RunResult, cfg *RunConfig) error {
+	ref, err := CorrectInputHull(cfg)
+	if err != nil {
+		return err
+	}
+	for id, out := range result.Outputs {
+		for _, v := range out.Vertices() {
+			d, err := ref.Distance(v, geom.DefaultEps)
+			if err != nil {
+				return err
+			}
+			if d > 1e-6 {
+				return fmt.Errorf("byzantine: validity violated at process %d: vertex %v at distance %v", id, v, d)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAgreement returns the max pairwise Hausdorff distance between the
+// correct outputs and whether it is within ε.
+func CheckAgreement(result *RunResult) (float64, bool, error) {
+	var outs []*polytope.Polytope
+	for _, id := range result.Correct() {
+		out, ok := result.Outputs[id]
+		if !ok {
+			return 0, false, fmt.Errorf("byzantine: correct process %d did not decide", id)
+		}
+		outs = append(outs, out)
+	}
+	d, err := polytope.MaxPairwiseHausdorff(outs, geom.DefaultEps)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d <= result.Params.Epsilon, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+
+	"chc/internal/geom"
+	"strings"
+	"testing"
+
+	"chc/internal/dist"
+)
+
+func TestRound0ModeString(t *testing.T) {
+	if StableVectorRound0.String() != "stable-vector" ||
+		NaiveCollectRound0.String() != "naive-collect" ||
+		!strings.HasPrefix(Round0Mode(7).String(), "Round0Mode") {
+		t.Error("Round0Mode.String broken")
+	}
+}
+
+func TestParamsValidateAblationFields(t *testing.T) {
+	p := baseParams(5, 1, 2)
+	p.Round0 = Round0Mode(9)
+	if err := p.Validate(); err == nil {
+		t.Error("unknown round-0 mode should error")
+	}
+	p = baseParams(5, 1, 2)
+	p.MaxStateVertices = 2 // < d+1 = 3
+	if err := p.Validate(); err == nil {
+		t.Error("too-small vertex budget should error")
+	}
+	p.MaxStateVertices = 3
+	if err := p.Validate(); err != nil {
+		t.Errorf("budget d+1 should be legal: %v", err)
+	}
+}
+
+func TestNaiveRound0StillValidAndAgrees(t *testing.T) {
+	// The ablation must still satisfy validity + ε-agreement (those come
+	// from the intersection and the averaging, not from stable vector).
+	params := baseParams(7, 1, 2)
+	params.Round0 = NaiveCollectRound0
+	cfg := RunConfig{
+		Params:  params,
+		Inputs:  inputs2D(7, 21),
+		Faulty:  []dist.ProcID{3},
+		Crashes: []dist.CrashPlan{{Proc: 3, AfterSends: 4}},
+		Seed:    21,
+	}
+	result := runConsensus(t, cfg)
+	rep, err := CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement: %+v, %v", rep, err)
+	}
+	if err := CheckValidity(result, &cfg); err != nil {
+		t.Errorf("validity: %v", err)
+	}
+}
+
+func TestNaiveRound0LosesContainmentGuarantee(t *testing.T) {
+	// With the stable vector, |Z| >= n-f in EVERY execution. With naive
+	// collection, some execution drops below — the optimality guarantee of
+	// Section 6 becomes vacuous there. Scan seeds for a witness.
+	params := baseParams(7, 2, 1)
+	params.Round0 = NaiveCollectRound0
+	foundSmallZ := false
+	for seed := int64(1); seed <= 60 && !foundSmallZ; seed++ {
+		cfg := RunConfig{
+			Params: params,
+			Inputs: inputs1D(7, seed),
+			Seed:   seed,
+		}
+		result, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		xz, err := CommonRound0(result)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(xz) < params.N-params.F {
+			foundSmallZ = true
+		}
+	}
+	if !foundSmallZ {
+		t.Error("no execution with |Z| < n-f found; the ablation should exhibit one")
+	}
+
+	// Control: under the stable vector, |Z| >= n-f on the same seeds.
+	params.Round0 = StableVectorRound0
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := RunConfig{
+			Params: params,
+			Inputs: inputs1D(7, seed),
+			Seed:   seed,
+		}
+		result, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("sv seed %d: %v", seed, err)
+		}
+		xz, err := CommonRound0(result)
+		if err != nil {
+			t.Fatalf("sv seed %d: %v", seed, err)
+		}
+		if len(xz) < params.N-params.F {
+			t.Fatalf("stable vector produced |Z| = %d < n-f (Containment violated)", len(xz))
+		}
+	}
+}
+
+func inputs1D(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = pt(rng.Float64() * 10)
+	}
+	return pts
+}
+
+func TestVertexBudgetRun(t *testing.T) {
+	params := baseParams(5, 1, 2)
+	params.MaxStateVertices = 4
+	// Budgeted runs perturb states by the approximation error each round;
+	// keep epsilon comfortably above it.
+	params.Epsilon = 0.2
+	cfg := RunConfig{
+		Params: params,
+		Inputs: inputs2D(5, 31),
+		Seed:   31,
+	}
+	result := runConsensus(t, cfg)
+	var worstApprox float64
+	for _, id := range result.FaultFree() {
+		out := result.Outputs[id]
+		if out.NumVertices() > 4 {
+			t.Errorf("process %d state has %d vertices, budget 4", id, out.NumVertices())
+		}
+		for _, rec := range result.Traces[id].Rounds {
+			if len(rec.State) > 4 {
+				t.Errorf("process %d round %d exceeded budget: %d vertices", id, rec.Round, len(rec.State))
+			}
+			if rec.ApproxErr > worstApprox {
+				worstApprox = rec.ApproxErr
+			}
+		}
+	}
+	rep, err := CheckAgreement(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Errorf("agreement under budget: d_H = %v > %v (worst per-round approx err %v)",
+			rep.MaxHausdorff, rep.Epsilon, worstApprox)
+	}
+	// Inner approximation preserves validity.
+	if err := CheckValidity(result, &cfg); err != nil {
+		t.Errorf("validity under budget: %v", err)
+	}
+}

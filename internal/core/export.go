@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/wire"
+)
+
+// Exported trace schema (a stable DTO decoupled from the in-memory protocol
+// types, so the JSON contract survives internal refactors).
+type (
+	// TraceFile is the root of an exported execution trace.
+	TraceFile struct {
+		N         int                `json:"n"`
+		F         int                `json:"f"`
+		D         int                `json:"d"`
+		Epsilon   float64            `json:"epsilon"`
+		TEnd      int                `json:"tEnd"`
+		Model     string             `json:"model"`
+		Faulty    []int              `json:"faulty"`
+		Crashed   []int              `json:"crashed"`
+		Processes []ProcessTraceJSON `json:"processes"`
+	}
+
+	// ProcessTraceJSON is one process's record.
+	ProcessTraceJSON struct {
+		ID      int               `json:"id"`
+		R0      []R0EntryJSON     `json:"round0,omitempty"`
+		H0      [][]float64       `json:"h0,omitempty"`
+		Rounds  []RoundRecordJSON `json:"rounds,omitempty"`
+		Output  [][]float64       `json:"output,omitempty"`
+		Decided bool              `json:"decided"`
+	}
+
+	// R0EntryJSON is one stable-vector entry.
+	R0EntryJSON struct {
+		Proc  int       `json:"proc"`
+		Value []float64 `json:"value"`
+	}
+
+	// RoundRecordJSON is one averaging round.
+	RoundRecordJSON struct {
+		Round     int         `json:"round"`
+		Senders   []int       `json:"senders"`
+		State     [][]float64 `json:"state"`
+		ApproxErr float64     `json:"approxErr,omitempty"`
+	}
+)
+
+// WriteTraceJSON serialises a run's full execution record — stable vector
+// results, every per-round state, decisions — as indented JSON. The file is
+// self-contained: external tooling (or a later debugging session) can replay
+// the matrix analysis from it without the Go process that produced it.
+func WriteTraceJSON(w io.Writer, result *RunResult) error {
+	params := result.Params.withDefaults()
+	tf := TraceFile{
+		N: params.N, F: params.F, D: params.D,
+		Epsilon: params.Epsilon,
+		TEnd:    params.TEnd(),
+		Model:   params.Model.String(),
+	}
+	for id := range result.Faulty {
+		tf.Faulty = append(tf.Faulty, int(id))
+	}
+	for id := range result.Crashed {
+		tf.Crashed = append(tf.Crashed, int(id))
+	}
+	sortInts(tf.Faulty)
+	sortInts(tf.Crashed)
+	for i := 0; i < params.N; i++ {
+		id := dist.ProcID(i)
+		pt := ProcessTraceJSON{ID: i}
+		if trace, ok := result.Traces[id]; ok {
+			for _, e := range trace.R0Entries {
+				pt.R0 = append(pt.R0, R0EntryJSON{Proc: int(e.Proc), Value: e.Value})
+			}
+			pt.H0 = pointsToJSON(trace.H0)
+			for _, rec := range trace.Rounds {
+				senders := make([]int, len(rec.Senders))
+				for k, s := range rec.Senders {
+					senders[k] = int(s)
+				}
+				pt.Rounds = append(pt.Rounds, RoundRecordJSON{
+					Round:     rec.Round,
+					Senders:   senders,
+					State:     pointsToJSON(rec.State),
+					ApproxErr: rec.ApproxErr,
+				})
+			}
+		}
+		if out, ok := result.Outputs[id]; ok {
+			pt.Decided = true
+			pt.Output = pointsToJSON(out.Vertices())
+		}
+		tf.Processes = append(tf.Processes, pt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("core: trace export: %w", err)
+	}
+	return nil
+}
+
+// ReadTraceJSON reconstructs a RunResult from an exported trace, enabling
+// offline re-analysis (matrix reconstruction, Lemma 3 / Theorem 1 checks)
+// without the process that produced it. Fields that are not serialised
+// (message statistics) come back empty.
+func ReadTraceJSON(r io.Reader) (*RunResult, error) {
+	var tf TraceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("core: trace import: %w", err)
+	}
+	var model FaultModel
+	switch tf.Model {
+	case IncorrectInputs.String():
+		model = IncorrectInputs
+	case CorrectInputs.String():
+		model = CorrectInputs
+	default:
+		return nil, fmt.Errorf("core: trace import: unknown model %q", tf.Model)
+	}
+	params := Params{
+		N: tf.N, F: tf.F, D: tf.D,
+		Epsilon: tf.Epsilon,
+		Model:   model,
+		// Input bounds are not serialised; use a domain wide enough for any
+		// recomputation that needs them.
+		InputLower: -1e12, InputUpper: 1e12,
+	}
+	result := &RunResult{
+		Params:  params.withDefaults(),
+		Outputs: make(map[dist.ProcID]*polytope.Polytope),
+		Crashed: make(map[dist.ProcID]bool),
+		Faulty:  make(map[dist.ProcID]bool),
+		Traces:  make(map[dist.ProcID]Trace),
+	}
+	for _, id := range tf.Faulty {
+		result.Faulty[dist.ProcID(id)] = true
+	}
+	for _, id := range tf.Crashed {
+		result.Crashed[dist.ProcID(id)] = true
+	}
+	for _, p := range tf.Processes {
+		id := dist.ProcID(p.ID)
+		trace := Trace{ID: id, H0: jsonToPoints(p.H0)}
+		for _, e := range p.R0 {
+			trace.R0Entries = append(trace.R0Entries, wire.Entry{
+				Proc: dist.ProcID(e.Proc), Value: geom.Point(e.Value),
+			})
+		}
+		for _, rec := range p.Rounds {
+			senders := make([]dist.ProcID, len(rec.Senders))
+			for k, s := range rec.Senders {
+				senders[k] = dist.ProcID(s)
+			}
+			trace.Rounds = append(trace.Rounds, RoundRecord{
+				Round:     rec.Round,
+				Senders:   senders,
+				State:     jsonToPoints(rec.State),
+				ApproxErr: rec.ApproxErr,
+			})
+		}
+		result.Traces[id] = trace
+		if p.Decided && len(p.Output) > 0 {
+			poly, err := polytope.New(jsonToPoints(p.Output), result.Params.GeomEps)
+			if err != nil {
+				return nil, fmt.Errorf("core: trace import: process %d output: %w", p.ID, err)
+			}
+			result.Outputs[id] = poly
+		}
+	}
+	return result, nil
+}
+
+func jsonToPoints(rows [][]float64) []geom.Point {
+	if rows == nil {
+		return nil
+	}
+	out := make([]geom.Point, len(rows))
+	for i, row := range rows {
+		out[i] = geom.Point(append([]float64(nil), row...))
+	}
+	return out
+}
+
+func pointsToJSON(pts []geom.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

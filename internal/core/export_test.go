@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chc/internal/dist"
+)
+
+func TestWriteTraceJSON(t *testing.T) {
+	cfg := RunConfig{
+		Params:  baseParams(5, 1, 2),
+		Inputs:  inputs2D(5, 51),
+		Faulty:  []dist.ProcID{1},
+		Crashes: []dist.CrashPlan{{Proc: 1, AfterSends: 12}},
+		Seed:    51,
+	}
+	result := runConsensus(t, cfg)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, result); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if tf.N != 5 || tf.F != 1 || tf.D != 2 {
+		t.Errorf("header = %+v", tf)
+	}
+	if len(tf.Faulty) != 1 || tf.Faulty[0] != 1 {
+		t.Errorf("faulty = %v", tf.Faulty)
+	}
+	if len(tf.Processes) != 5 {
+		t.Fatalf("%d process records, want 5", len(tf.Processes))
+	}
+	decided := 0
+	for _, p := range tf.Processes {
+		if !p.Decided {
+			continue
+		}
+		decided++
+		if len(p.Output) == 0 {
+			t.Errorf("process %d decided with empty output", p.ID)
+		}
+		if len(p.Rounds) != tf.TEnd {
+			t.Errorf("process %d has %d rounds, want %d", p.ID, len(p.Rounds), tf.TEnd)
+		}
+		if len(p.R0) < tf.N-tf.F {
+			t.Errorf("process %d round-0 set too small: %d", p.ID, len(p.R0))
+		}
+	}
+	if decided < 4 {
+		t.Errorf("only %d processes decided", decided)
+	}
+}
+
+func TestWriteTraceJSONRoundTripStates(t *testing.T) {
+	cfg := RunConfig{
+		Params: baseParams(5, 1, 2),
+		Inputs: inputs2D(5, 52),
+		Seed:   52,
+	}
+	result := runConsensus(t, cfg)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, result); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	// Exported final-round state must equal the exported output.
+	for _, p := range tf.Processes {
+		if !p.Decided || len(p.Rounds) == 0 {
+			continue
+		}
+		last := p.Rounds[len(p.Rounds)-1]
+		if len(last.State) != len(p.Output) {
+			t.Errorf("process %d: final state %d vertices, output %d", p.ID, len(last.State), len(p.Output))
+		}
+	}
+}
+
+func TestTraceJSONImportRoundTrip(t *testing.T) {
+	cfg := RunConfig{
+		Params:  baseParams(5, 1, 2),
+		Inputs:  inputs2D(5, 53),
+		Faulty:  []dist.ProcID{2},
+		Crashes: []dist.CrashPlan{{Proc: 2, AfterSends: 9}},
+		Seed:    53,
+	}
+	orig := runConsensus(t, cfg)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Params.N != 5 || back.Params.F != 1 || back.Params.D != 2 {
+		t.Errorf("params = %+v", back.Params)
+	}
+	if !back.Faulty[2] {
+		t.Error("faulty set lost in round trip")
+	}
+	if len(back.Outputs) != len(orig.Outputs) {
+		t.Fatalf("outputs: %d vs %d", len(back.Outputs), len(orig.Outputs))
+	}
+	// The imported traces must support the same analyses.
+	for _, id := range back.FaultFree() {
+		o1 := orig.Outputs[id]
+		o2 := back.Outputs[id]
+		d, err := polytopeHausdorff(o1, o2)
+		if err != nil || d > 1e-9 {
+			t.Errorf("process %d output changed in round trip: d_H = %v, %v", id, d, err)
+		}
+	}
+	rep, err := CheckAgreement(back)
+	if err != nil || !rep.Holds {
+		t.Errorf("agreement on imported trace: %+v, %v", rep, err)
+	}
+	if err := CheckOptimality(back); err != nil {
+		t.Errorf("optimality on imported trace: %v", err)
+	}
+}
+
+func TestReadTraceJSONErrors(t *testing.T) {
+	if _, err := ReadTraceJSON(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("corrupt JSON should error")
+	}
+	if _, err := ReadTraceJSON(bytes.NewReader([]byte(`{"model":"weird"}`))); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestParamsWithDefaultsAndCheckInput(t *testing.T) {
+	p := Params{N: 5, F: 1, D: 2, Epsilon: 0.1, InputUpper: 10}
+	dp := p.WithDefaults()
+	if dp.Model != IncorrectInputs || dp.Round0 != StableVectorRound0 || dp.GeomEps == 0 {
+		t.Errorf("defaults not applied: %+v", dp)
+	}
+	if err := dp.CheckInput(pt(5, 5)); err != nil {
+		t.Errorf("in-bounds input rejected: %v", err)
+	}
+	if err := dp.CheckInput(pt(50, 5)); err == nil {
+		t.Error("out-of-bounds input accepted")
+	}
+	if err := dp.CheckInput(pt(5)); err == nil {
+		t.Error("wrong-dimension input accepted")
+	}
+}

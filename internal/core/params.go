@@ -1,0 +1,223 @@
+// Package core implements Algorithm CC, the asynchronous approximate convex
+// hull consensus algorithm of Tseng & Vaidya (PODC 2014), for the crash
+// fault with incorrect inputs model, together with the crash-with-correct-
+// inputs variant of their technical report.
+//
+// The algorithm proceeds in asynchronous rounds. In round 0 each process
+// broadcasts its input and runs the stable vector primitive; on return it
+// computes
+//
+//	h_i[0] = ∩_{C ⊆ X_i, |C| = |X_i| - f} H(C)
+//
+// (line 5), which Tverberg's theorem guarantees non-empty when
+// n >= (d+2)f + 1. In each round t >= 1 the process broadcasts h_i[t-1],
+// waits until it holds n - f round-t states (its own included), and sets
+// h_i[t] to their equal-weight linear combination L (line 14). After t_end
+// rounds — equation (19) — the state is the decision; validity,
+// ε-agreement and termination are Theorem 2.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chc/internal/geom"
+)
+
+// FaultModel selects which crash-fault variant the algorithm runs under.
+type FaultModel int
+
+// Supported fault models.
+const (
+	// IncorrectInputs is the paper's main model: faulty processes follow the
+	// protocol with incorrect inputs until they (possibly) crash. Requires
+	// n >= (d+2)f + 1; the round-0 intersection discards any f inputs.
+	IncorrectInputs FaultModel = iota + 1
+	// CorrectInputs is the technical-report extension: faulty processes
+	// have correct inputs and may crash. Every received input is then
+	// trustworthy, so h_i[0] = H(X_i) and n >= 2f + 1 suffices.
+	CorrectInputs
+)
+
+// String names the fault model.
+func (m FaultModel) String() string {
+	switch m {
+	case IncorrectInputs:
+		return "crash+incorrect-inputs"
+	case CorrectInputs:
+		return "crash+correct-inputs"
+	default:
+		return fmt.Sprintf("FaultModel(%d)", int(m))
+	}
+}
+
+// Params are the static parameters of one consensus instance, shared by all
+// processes.
+type Params struct {
+	N int // number of processes
+	F int // maximum number of faulty processes
+	D int // dimension of the input points
+
+	// Epsilon is the agreement parameter: outputs at fault-free processes
+	// are within Hausdorff distance Epsilon of each other.
+	Epsilon float64
+
+	// InputLower and InputUpper are the known bounds µ and U on every input
+	// coordinate; they parameterise the round bound t_end via equation (19).
+	InputLower, InputUpper float64
+
+	// Model selects the fault model (default IncorrectInputs).
+	Model FaultModel
+
+	// GeomEps is the geometric tolerance (default geom.DefaultEps).
+	GeomEps float64
+
+	// Round0 selects the round-0 collection mechanism (default
+	// StableVectorRound0). NaiveCollectRound0 is an ABLATION: it replaces
+	// the stable vector with "use the first n-f inputs that arrive". The
+	// Containment property is then lost, so the optimality guarantee of
+	// Section 6 degrades — the common set Z can shrink below n-f and the
+	// reference polytope I_Z can become empty. Validity and ε-agreement
+	// still hold. Experiment E13 quantifies the difference.
+	Round0 Round0Mode
+
+	// MaxStateVertices, when positive, caps the number of vertices kept in
+	// each process state after every averaging round via an inner
+	// approximation (see polytope.LimitVertices). This bounds the per-round
+	// geometry cost in higher dimensions at the price of a measured
+	// approximation error; validity is preserved (inner approximations
+	// shrink states), optimality may shrink by the approximation error.
+	// Experiment E12 quantifies the trade-off. Zero means unlimited.
+	MaxStateVertices int
+}
+
+// Round0Mode selects how round 0 collects inputs.
+type Round0Mode int
+
+// Round-0 collection mechanisms.
+const (
+	// StableVectorRound0 is the paper's mechanism (Section 3).
+	StableVectorRound0 Round0Mode = iota + 1
+	// NaiveCollectRound0 takes the first n-f direct input messages —
+	// no Containment property; ablation only.
+	NaiveCollectRound0
+)
+
+// String names the round-0 mode.
+func (m Round0Mode) String() string {
+	switch m {
+	case StableVectorRound0:
+		return "stable-vector"
+	case NaiveCollectRound0:
+		return "naive-collect"
+	default:
+		return fmt.Sprintf("Round0Mode(%d)", int(m))
+	}
+}
+
+// WithDefaults returns a copy of the parameters with zero values replaced
+// by defaults (model, geometric tolerance, round-0 mode).
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
+// withDefaults returns a copy with zero values replaced by defaults.
+func (p Params) withDefaults() Params {
+	if p.Model == 0 {
+		p.Model = IncorrectInputs
+	}
+	if p.GeomEps == 0 {
+		p.GeomEps = geom.DefaultEps
+	}
+	if p.Round0 == 0 {
+		p.Round0 = StableVectorRound0
+	}
+	return p
+}
+
+// Validate checks the parameters against the bounds of the paper:
+// n >= (d+2)f + 1 for the incorrect-inputs model (equation 2) and
+// n >= 2f + 1 for the correct-inputs variant.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.N <= 0 || p.D <= 0 {
+		return fmt.Errorf("core: need positive N and D, got N=%d D=%d", p.N, p.D)
+	}
+	if p.F < 0 {
+		return fmt.Errorf("core: negative F=%d", p.F)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("core: Epsilon must be positive, got %v", p.Epsilon)
+	}
+	if math.IsNaN(p.InputLower) || math.IsNaN(p.InputUpper) || p.InputLower > p.InputUpper {
+		return fmt.Errorf("core: invalid input bounds [%v, %v]", p.InputLower, p.InputUpper)
+	}
+	switch p.Model {
+	case IncorrectInputs:
+		if p.N < (p.D+2)*p.F+1 {
+			return fmt.Errorf("core: n=%d < (d+2)f+1 = %d (equation 2)", p.N, (p.D+2)*p.F+1)
+		}
+	case CorrectInputs:
+		if p.N < 2*p.F+1 {
+			return fmt.Errorf("core: n=%d < 2f+1 = %d", p.N, 2*p.F+1)
+		}
+	default:
+		return fmt.Errorf("core: unknown fault model %v", p.Model)
+	}
+	switch p.Round0 {
+	case StableVectorRound0, NaiveCollectRound0:
+	default:
+		return fmt.Errorf("core: unknown round-0 mode %v", p.Round0)
+	}
+	if p.MaxStateVertices != 0 && p.MaxStateVertices < p.D+1 {
+		return fmt.Errorf("core: MaxStateVertices = %d cannot represent a full-dimensional state in %d-D (need >= d+1)", p.MaxStateVertices, p.D)
+	}
+	return nil
+}
+
+// TEnd returns the round bound of equation (19): the smallest t >= 0 with
+//
+//	(1 - 1/n)^t · sqrt(d · n² · max(U², µ²)) < ε.
+func (p Params) TEnd() int {
+	p = p.withDefaults()
+	bound := math.Sqrt(float64(p.D)) * float64(p.N) *
+		math.Max(math.Abs(p.InputUpper), math.Abs(p.InputLower))
+	if bound < p.Epsilon {
+		return 0
+	}
+	shrink := 1 - 1/float64(p.N)
+	t := 0
+	for bound >= p.Epsilon {
+		bound *= shrink
+		t++
+		if t > 1_000_000 {
+			// Unreachable for sane parameters; avoid an infinite loop if
+			// Epsilon is denormal-small.
+			break
+		}
+	}
+	return t
+}
+
+// errBadInput flags inputs outside the declared bounds.
+var errBadInput = errors.New("core: input outside declared bounds")
+
+// CheckInput verifies a candidate input against the declared dimension and
+// bounds; used by hosts (and the Byzantine transformation) to reject
+// out-of-domain values at the boundary.
+func (p Params) CheckInput(x geom.Point) error { return p.checkInput(x) }
+
+// checkInput verifies an input point against dimension and bounds.
+func (p Params) checkInput(x geom.Point) error {
+	if x.Dim() != p.D {
+		return fmt.Errorf("core: input has dimension %d, want %d", x.Dim(), p.D)
+	}
+	if !x.IsFinite() {
+		return fmt.Errorf("core: input %v is not finite", x)
+	}
+	for _, v := range x {
+		if v < p.InputLower-1e-12 || v > p.InputUpper+1e-12 {
+			return fmt.Errorf("%w: coordinate %v outside [%v, %v]", errBadInput, v, p.InputLower, p.InputUpper)
+		}
+	}
+	return nil
+}

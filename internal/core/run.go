@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/wire"
+)
+
+// RunConfig describes one complete consensus execution to simulate.
+type RunConfig struct {
+	Params Params
+
+	// Inputs holds one input point per process. Inputs of processes listed
+	// in Faulty are the "incorrect inputs" of the fault model.
+	Inputs []geom.Point
+
+	// Faulty is the set F of (potentially crashing, incorrect-input)
+	// processes; |Faulty| <= Params.F.
+	Faulty []dist.ProcID
+
+	// Crashes optionally schedules crashes; every crashing process must be
+	// listed in Faulty.
+	Crashes []dist.CrashPlan
+
+	// Seed drives the scheduler; Scheduler defaults to random delivery.
+	Seed      int64
+	Scheduler dist.Scheduler
+
+	// MaxDeliveries overrides the simulator's livelock guard (0 = default).
+	MaxDeliveries int
+
+	// SyntheticH0, when non-nil, bypasses round 0 entirely: process i
+	// starts round 1 with the polytope spanned by SyntheticH0[i] instead of
+	// running the stable vector + intersection. This is an analysis tool —
+	// equation (18) bounds convergence from ARBITRARY initial polytopes, so
+	// experiments can measure the contraction from controlled worst-case
+	// starting states. Validity/optimality checks do not apply to such runs.
+	SyntheticH0 [][]geom.Point
+}
+
+// Validate checks the execution description.
+func (cfg *RunConfig) Validate() error {
+	params := cfg.Params.withDefaults()
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if len(cfg.Inputs) != params.N {
+		return fmt.Errorf("core: %d inputs for n=%d", len(cfg.Inputs), params.N)
+	}
+	if len(cfg.Faulty) > params.F {
+		return fmt.Errorf("core: %d faulty processes exceeds f=%d", len(cfg.Faulty), params.F)
+	}
+	faulty := make(map[dist.ProcID]bool, len(cfg.Faulty))
+	for _, id := range cfg.Faulty {
+		if id < 0 || int(id) >= params.N {
+			return fmt.Errorf("core: faulty process %d out of range", id)
+		}
+		if faulty[id] {
+			return fmt.Errorf("core: duplicate faulty process %d", id)
+		}
+		faulty[id] = true
+	}
+	for _, c := range cfg.Crashes {
+		if !faulty[c.Proc] {
+			return fmt.Errorf("core: crash scheduled for process %d not in Faulty", c.Proc)
+		}
+	}
+	if cfg.SyntheticH0 != nil && len(cfg.SyntheticH0) != params.N {
+		return fmt.Errorf("core: %d synthetic initial states for n=%d", len(cfg.SyntheticH0), params.N)
+	}
+	return nil
+}
+
+// RunResult collects everything observable about one execution.
+type RunResult struct {
+	Params Params
+
+	// Outputs maps every process that decided to its output polytope.
+	Outputs map[dist.ProcID]*polytope.Polytope
+
+	// Crashed reports which processes crashed during the run.
+	Crashed map[dist.ProcID]bool
+
+	// Faulty echoes the configured fault set F.
+	Faulty map[dist.ProcID]bool
+
+	// Traces holds the per-process execution records of decided processes.
+	Traces map[dist.ProcID]Trace
+
+	// Stats are the simulator's message statistics.
+	Stats *dist.Stats
+}
+
+// FaultFree returns the sorted IDs of processes outside F.
+func (r *RunResult) FaultFree() []dist.ProcID {
+	var out []dist.ProcID
+	for i := 0; i < r.Params.N; i++ {
+		if !r.Faulty[dist.ProcID(i)] {
+			out = append(out, dist.ProcID(i))
+		}
+	}
+	return out
+}
+
+// CorrectInputHull returns the convex hull of the inputs at fault-free
+// processes — the validity reference of Definition 3. Under the
+// CorrectInputs model every input is correct, including those of processes
+// in F.
+func CorrectInputHull(cfg *RunConfig) (*polytope.Polytope, error) {
+	params := cfg.Params.withDefaults()
+	faulty := make(map[dist.ProcID]bool, len(cfg.Faulty))
+	for _, id := range cfg.Faulty {
+		faulty[id] = true
+	}
+	var pts []geom.Point
+	for i, x := range cfg.Inputs {
+		if params.Model == CorrectInputs || !faulty[dist.ProcID(i)] {
+			pts = append(pts, x)
+		}
+	}
+	return polytope.New(pts, params.GeomEps)
+}
+
+// Run executes one consensus instance under the deterministic simulator and
+// returns outputs, traces and statistics.
+func Run(cfg RunConfig) (*RunResult, error) {
+	cfg.Params = cfg.Params.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	procs := make([]dist.Process, params.N)
+	impls := make([]*Process, params.N)
+	for i := 0; i < params.N; i++ {
+		proc, err := NewProcess(params, dist.ProcID(i), cfg.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SyntheticH0 != nil {
+			if err := proc.setSyntheticH0(cfg.SyntheticH0[i]); err != nil {
+				return nil, err
+			}
+		}
+		impls[i] = proc
+		procs[i] = proc
+	}
+	sim, err := dist.NewSim(dist.Config{
+		N:             params.N,
+		Seed:          cfg.Seed,
+		Scheduler:     cfg.Scheduler,
+		Crashes:       cfg.Crashes,
+		MaxDeliveries: cfg.MaxDeliveries,
+		Sizer:         wire.MessageSize,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sim.Run()
+	result := &RunResult{
+		Params:  params,
+		Outputs: make(map[dist.ProcID]*polytope.Polytope),
+		Crashed: make(map[dist.ProcID]bool),
+		Faulty:  make(map[dist.ProcID]bool),
+		Traces:  make(map[dist.ProcID]Trace),
+		Stats:   stats,
+	}
+	for _, id := range cfg.Faulty {
+		result.Faulty[id] = true
+	}
+	for i, proc := range impls {
+		id := dist.ProcID(i)
+		if sim.Crashed(id) {
+			result.Crashed[id] = true
+		}
+		// Traces are collected for every process — crashed processes'
+		// partial traces are needed to reconstruct transition matrices.
+		result.Traces[id] = proc.TraceData()
+		if proc.decided {
+			out, oerr := proc.Output()
+			if oerr != nil {
+				return nil, oerr
+			}
+			result.Outputs[id] = out
+		} else if proc.failure != nil && err == nil {
+			err = proc.failure
+		}
+	}
+	if err != nil {
+		return result, fmt.Errorf("core: run: %w", err)
+	}
+	return result, nil
+}

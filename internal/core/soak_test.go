@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// TestSoakRandomConfigurations sweeps random legal configurations —
+// dimensions, process counts, fault counts, crash timings, schedulers,
+// fault models — and requires the full property set on every execution.
+// This is the repository's broadest single safety net.
+func TestSoakRandomConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		d := 1 + rng.Intn(2) // 1..2 (exact geometry paths)
+		f := 1 + rng.Intn(2) // 1..2
+		minN := (d+2)*f + 1
+		n := minN + rng.Intn(3) // at .. a bit above the bound
+		model := IncorrectInputs
+		if rng.Intn(4) == 0 {
+			model = CorrectInputs
+		}
+		params := Params{
+			N: n, F: f, D: d,
+			Epsilon:    []float64{0.2, 0.05, 0.01}[rng.Intn(3)],
+			InputLower: 0, InputUpper: 10,
+			Model: model,
+		}
+		inputs := make([]geom.Point, n)
+		for i := range inputs {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64() * 10
+			}
+			inputs[i] = p
+		}
+		var faulty []dist.ProcID
+		var crashes []dist.CrashPlan
+		nf := rng.Intn(f + 1)
+		for k := 0; k < nf; k++ {
+			id := dist.ProcID((trial + k*3) % n)
+			dup := false
+			for _, x := range faulty {
+				if x == id {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			faulty = append(faulty, id)
+			if rng.Intn(2) == 0 {
+				crashes = append(crashes, dist.CrashPlan{Proc: id, AfterSends: rng.Intn(50)})
+			}
+		}
+		var sched dist.Scheduler
+		switch rng.Intn(4) {
+		case 1:
+			sched = dist.NewRoundRobinScheduler()
+		case 2:
+			if len(faulty) > 0 {
+				sched = dist.NewDelayScheduler(faulty...)
+			}
+		case 3:
+			sched = dist.NewSplitScheduler(0, 1)
+		}
+		cfg := RunConfig{
+			Params:    params,
+			Inputs:    inputs,
+			Faulty:    faulty,
+			Crashes:   crashes,
+			Seed:      int64(trial*991 + 17),
+			Scheduler: sched,
+		}
+		result, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, params, err)
+		}
+		rep, err := CheckAgreement(result)
+		if err != nil || !rep.Holds {
+			t.Errorf("trial %d: agreement %+v, %v", trial, rep, err)
+		}
+		if err := CheckValidity(result, &cfg); err != nil {
+			t.Errorf("trial %d: validity: %v", trial, err)
+		}
+		if model == IncorrectInputs {
+			if err := CheckOptimality(result); err != nil {
+				t.Errorf("trial %d: optimality: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestReplayConsensusExecution records a consensus execution's schedule and
+// replays it under a different seed: outputs must match exactly.
+func TestReplayConsensusExecution(t *testing.T) {
+	rec := dist.NewRecordingScheduler(nil)
+	cfg := RunConfig{
+		Params:    baseParams(5, 1, 2),
+		Inputs:    inputs2D(5, 61),
+		Faulty:    []dist.ProcID{4},
+		Crashes:   []dist.CrashPlan{{Proc: 4, AfterSends: 13}},
+		Seed:      61,
+		Scheduler: rec,
+	}
+	r1 := runConsensus(t, cfg)
+	cfg.Seed = 8888
+	cfg.Scheduler = dist.NewReplayScheduler(rec.Picks)
+	r2 := runConsensus(t, cfg)
+	for id, o1 := range r1.Outputs {
+		o2, ok := r2.Outputs[id]
+		if !ok {
+			t.Fatalf("process %d decided in the original but not the replay", id)
+		}
+		d, err := polytopeHausdorff(o1, o2)
+		if err != nil || d > 1e-12 {
+			t.Errorf("process %d outputs differ under replay: d_H = %v, %v", id, d, err)
+		}
+	}
+	if r1.Stats.Sends != r2.Stats.Sends {
+		t.Errorf("message counts differ: %d vs %d", r1.Stats.Sends, r2.Stats.Sends)
+	}
+}
+
+func polytopeHausdorff(a, b *polytope.Polytope) (float64, error) {
+	return polytope.Hausdorff(a, b, geom.DefaultEps)
+}

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// collectProc is a tiny test protocol: broadcast your ID, finish after
+// hearing from `quorum` distinct processes (counting yourself).
+type collectProc struct {
+	quorum int
+	heard  map[ProcID]bool
+	order  []ProcID // delivery order, for FIFO tests
+}
+
+func newCollectProc(quorum int) *collectProc {
+	return &collectProc{quorum: quorum, heard: make(map[ProcID]bool)}
+}
+
+func (p *collectProc) Init(ctx Context) {
+	p.heard[ctx.ID()] = true
+	ctx.Broadcast("id", 0, int(ctx.ID()))
+}
+
+func (p *collectProc) Deliver(_ Context, msg Message) {
+	if p.Done() {
+		// Record only the deliveries that happened before the process
+		// decided, so tests can assert what information the decision used.
+		return
+	}
+	p.heard[msg.From] = true
+	p.order = append(p.order, msg.From)
+}
+
+func (p *collectProc) Done() bool { return len(p.heard) >= p.quorum }
+
+func runCollect(t *testing.T, cfg Config, quorum int) ([]*collectProc, *Stats, error) {
+	t.Helper()
+	procs := make([]Process, cfg.N)
+	impl := make([]*collectProc, cfg.N)
+	for i := range procs {
+		impl[i] = newCollectProc(quorum)
+		procs[i] = impl[i]
+	}
+	sim, err := NewSim(cfg, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Run()
+	return impl, stats, err
+}
+
+func TestAllDeliver(t *testing.T) {
+	impl, stats, err := runCollect(t, Config{N: 5, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range impl {
+		if !p.Done() {
+			t.Errorf("process %d not done", i)
+		}
+	}
+	if stats.Sends != 5*4 {
+		t.Errorf("Sends = %d, want 20", stats.Sends)
+	}
+	if stats.KindCounts["id"] != 20 {
+		t.Errorf("KindCounts = %v", stats.KindCounts)
+	}
+}
+
+func TestCrashBeforeAnySend(t *testing.T) {
+	// Process 0 crashes before sending; the rest need quorum 4 of 5.
+	impl, _, err := runCollect(t, Config{
+		N: 5, Seed: 2,
+		Crashes: []CrashPlan{{Proc: 0, AfterSends: 0}},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if !impl[i].Done() {
+			t.Errorf("process %d not done", i)
+		}
+		if impl[i].heard[0] {
+			t.Errorf("process %d heard from crashed process 0", i)
+		}
+	}
+}
+
+func TestCrashMidBroadcast(t *testing.T) {
+	// Process 0 sends exactly 2 of its 4 broadcast messages (to IDs 1, 2).
+	impl, _, err := runCollect(t, Config{
+		N: 5, Seed: 3,
+		Crashes: []CrashPlan{{Proc: 0, AfterSends: 2}},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impl[1].heard[0] || !impl[2].heard[0] {
+		t.Error("prefix recipients should have heard from 0")
+	}
+	if impl[3].heard[0] || impl[4].heard[0] {
+		t.Error("suffix recipients should not have heard from 0")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Quorum of 5 but one process crashed: the rest can never finish.
+	_, _, err := runCollect(t, Config{
+		N: 5, Seed: 4,
+		Crashes: []CrashPlan{{Proc: 0, AfterSends: 0}},
+	}, 5)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// fifoProc sends a numbered sequence to its peer; the peer checks order.
+type fifoProc struct {
+	id      ProcID
+	sendN   int
+	got     []int
+	done    bool
+	passive bool
+}
+
+func (p *fifoProc) Init(ctx Context) {
+	if p.passive {
+		return
+	}
+	for i := 0; i < p.sendN; i++ {
+		ctx.Send(1, "seq", 0, i)
+	}
+	p.done = true
+}
+
+func (p *fifoProc) Deliver(_ Context, msg Message) {
+	v, ok := msg.Payload.(int)
+	if !ok {
+		return
+	}
+	p.got = append(p.got, v)
+	if len(p.got) >= p.sendN {
+		p.done = true
+	}
+}
+
+func (p *fifoProc) Done() bool { return p.done }
+
+func TestFIFOOrder(t *testing.T) {
+	const k = 50
+	sender := &fifoProc{id: 0, sendN: k}
+	receiver := &fifoProc{id: 1, sendN: k, passive: true}
+	sim, err := NewSim(Config{N: 2, Seed: 5}, []Process{sender, receiver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range receiver.got {
+		if v != i {
+			t.Fatalf("FIFO violated at position %d: got %d", i, v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]ProcID, *Stats) {
+		impl, stats, err := runCollect(t, Config{N: 6, Seed: 42}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return impl[3].order, stats
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Errorf("delivery order differs between identical runs:\n%v\n%v", o1, o2)
+	}
+	if s1.Deliveries != s2.Deliveries || s1.Sends != s2.Sends {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	impl1, _, err := runCollect(t, Config{N: 6, Seed: 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl2, _, err := runCollect(t, Config{N: 6, Seed: 99}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(impl1[3].order, impl2[3].order) {
+		t.Log("schedules coincide for different seeds (possible but unlikely)")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mk := func(n int) []Process {
+		ps := make([]Process, n)
+		for i := range ps {
+			ps[i] = newCollectProc(n)
+		}
+		return ps
+	}
+	if _, err := NewSim(Config{N: 0}, nil); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := NewSim(Config{N: 3}, mk(2)); err == nil {
+		t.Error("process count mismatch should error")
+	}
+	if _, err := NewSim(Config{N: 3, Crashes: []CrashPlan{{Proc: 9}}}, mk(3)); err == nil {
+		t.Error("crash plan for unknown process should error")
+	}
+	if _, err := NewSim(Config{N: 3, Crashes: []CrashPlan{{Proc: 1}, {Proc: 1}}}, mk(3)); err == nil {
+		t.Error("duplicate crash plan should error")
+	}
+	if _, err := NewSim(Config{N: 3, Crashes: []CrashPlan{{Proc: 1, AfterSends: -1}}}, mk(3)); err == nil {
+		t.Error("negative AfterSends should error")
+	}
+}
+
+func TestLivelockGuard(t *testing.T) {
+	// A ping-pong pair that never finishes trips the delivery limit.
+	a := &pingPong{}
+	b := &pingPong{}
+	sim, err := NewSim(Config{N: 2, Seed: 1, MaxDeliveries: 100}, []Process{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); !errors.Is(err, ErrLivelock) {
+		t.Errorf("err = %v, want ErrLivelock", err)
+	}
+}
+
+type pingPong struct{}
+
+func (p *pingPong) Init(ctx Context) { ctx.Broadcast("ping", 0, nil) }
+func (p *pingPong) Deliver(ctx Context, msg Message) {
+	ctx.Send(msg.From, "ping", 0, nil)
+}
+func (p *pingPong) Done() bool { return false }
+
+func TestSizer(t *testing.T) {
+	_, stats, err := runCollect(t, Config{
+		N: 3, Seed: 1,
+		Sizer: func(Message) int { return 10 },
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bytes != stats.Sends*10 {
+		t.Errorf("Bytes = %d, want %d", stats.Bytes, stats.Sends*10)
+	}
+}
+
+func TestDelaySchedulerStarvesSlow(t *testing.T) {
+	// With process 4 slow and quorum 4, everyone else finishes without 4's
+	// messages ever being needed; 4 itself still finishes (its channel
+	// drains once nothing else is pending).
+	impl, _, err := runCollect(t, Config{
+		N: 5, Seed: 7, Scheduler: NewDelayScheduler(4),
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if impl[i].heard[4] {
+			t.Errorf("process %d heard from the starved process before finishing", i)
+		}
+	}
+}
+
+func TestSplitScheduler(t *testing.T) {
+	// Two halves with quorum 3: each half of 3 finishes on intra-group
+	// traffic alone.
+	impl, _, err := runCollect(t, Config{
+		N: 6, Seed: 8, Scheduler: NewSplitScheduler(0, 1, 2),
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			if impl[i].heard[ProcID(j)] {
+				t.Errorf("group A process %d heard cross-group process %d before finishing", i, j)
+			}
+			if impl[j].heard[ProcID(i)] {
+				t.Errorf("group B process %d heard cross-group process %d before finishing", j, i)
+			}
+		}
+	}
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	impl, _, err := runCollect(t, Config{N: 4, Seed: 9, Scheduler: NewRoundRobinScheduler()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range impl {
+		if !p.Done() {
+			t.Errorf("process %d not done", i)
+		}
+	}
+}
+
+// Property: for any n in [2,8], any seed, and any single crash after k
+// sends, all fault-free processes finish with quorum n-1 and never hear
+// more than n-1 distinct IDs.
+func TestQuorumAlwaysReached(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 2 + int(nRaw)%7
+		k := int(kRaw) % n
+		procs := make([]Process, n)
+		impl := make([]*collectProc, n)
+		for i := range procs {
+			impl[i] = newCollectProc(n - 1)
+			procs[i] = impl[i]
+		}
+		sim, err := NewSim(Config{
+			N: n, Seed: seed,
+			Crashes: []CrashPlan{{Proc: 0, AfterSends: k}},
+		}, procs)
+		if err != nil {
+			return false
+		}
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if !impl[i].Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	_, stats, err := runCollect(t, Config{N: 3, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := fmt.Sprintf("%+v", stats); s == "" {
+		t.Error("stats should be printable")
+	}
+}
+
+func TestRecordReplayScheduler(t *testing.T) {
+	// Record a random execution, then replay it with a DIFFERENT seed: the
+	// delivery order (and hence every observable) must be identical.
+	rec := NewRecordingScheduler(nil)
+	impl1, stats1, err := runCollect(t, Config{N: 6, Seed: 123, Scheduler: rec}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Picks) == 0 {
+		t.Fatal("recording captured no picks")
+	}
+	impl2, stats2, err := runCollect(t, Config{
+		N: 6, Seed: 999, // different seed: must not matter
+		Scheduler: NewReplayScheduler(rec.Picks),
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range impl1 {
+		if !reflect.DeepEqual(impl1[i].order, impl2[i].order) {
+			t.Fatalf("process %d delivery order differs under replay:\n%v\n%v",
+				i, impl1[i].order, impl2[i].order)
+		}
+	}
+	if stats1.Deliveries != stats2.Deliveries || stats1.Sends != stats2.Sends {
+		t.Errorf("stats differ under replay: %+v vs %+v", stats1, stats2)
+	}
+}
+
+func TestReplaySchedulerFallback(t *testing.T) {
+	// An exhausted or out-of-range recording falls back to FIFO and the
+	// protocol still completes.
+	impl, _, err := runCollect(t, Config{
+		N: 4, Seed: 1, Scheduler: NewReplayScheduler([]int{99, -1}),
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range impl {
+		if !p.Done() {
+			t.Errorf("process %d not done under fallback replay", i)
+		}
+	}
+}

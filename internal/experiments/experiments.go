@@ -1,0 +1,186 @@
+// Package experiments implements the reproduction suite of DESIGN.md: one
+// experiment per theorem/bound of the paper, each producing a table or
+// series that EXPERIMENTS.md records and cmd/chcbench regenerates.
+//
+// The paper (PODC 2014 theory) has no empirical evaluation section; its
+// results are theorems. Each experiment here measures both sides of one of
+// those theorems on real executions of the implementation:
+//
+//	E1  round complexity vs the t_end bound of equation (19)
+//	E2  per-round convergence vs the (1-1/n)^t contraction of Lemma 3
+//	E3  validity under adversarial schedules and crash storms (Theorem 2)
+//	E4  optimality: I_Z containment and volume ratios (Lemma 6 / Theorem 3)
+//	E5  output volume vs n, including the degenerate single-point case
+//	E6  convex hull consensus vs the vector consensus baseline
+//	E7  weak β-optimality of 2-step function optimisation (Section 7)
+//	E8  the Theorem 4 impossibility demonstration
+//	E9  message and byte complexity vs n
+//	E10 the resilience boundary n = (d+2)f + 1 (equation 2 / Lemma 2)
+//	E11 the crash-with-correct-inputs variant (TR extension)
+//	E12 ablation: per-round vertex budget (DESIGN.md §4 knob)
+//	E13 ablation: stable vector vs naive round-0 collection
+//	E14 the crash→Byzantine transformation (Coan compiler, n >= 3f+1)
+//	E15 the open conjecture on strongly convex arg-min agreement (Sec. 7)
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"chc/internal/core"
+	"chc/internal/geom"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as GitHub-flavoured markdown.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n%s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180 CSV (one file section per table:
+// a comment line with the ID/title, then header and rows). Notes are
+// emitted as trailing comment lines.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Options tunes experiment sizes.
+type Options struct {
+	// Quick shrinks grids and trial counts so the whole suite runs in
+	// seconds (used by benchmarks and smoke tests).
+	Quick bool
+}
+
+// trials returns quick or full repetition counts.
+func (o Options) trials(quick, full int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All returns the registered experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Round complexity vs the t_end bound (eq. 19)", E1RoundComplexity},
+		{"E2", "Per-round convergence vs Lemma 3 contraction", E2Convergence},
+		{"E3", "Validity & agreement under adversarial schedules (Thm 2)", E3Validity},
+		{"E4", "Optimality: I_Z containment and volumes (Lemma 6 / Thm 3)", E4Optimality},
+		{"E5", "Output volume vs n and the degenerate case", E5OutputVolume},
+		{"E6", "Convex hull consensus vs vector consensus baseline", E6VsVectorConsensus},
+		{"E7", "Weak β-optimality of 2-step optimisation (Sec. 7)", E7Optimization},
+		{"E8", "Theorem 4 impossibility demonstration", E8Impossibility},
+		{"E9", "Message and byte complexity", E9MessageCost},
+		{"E10", "Resilience boundary n = (d+2)f + 1 (eq. 2)", E10Resilience},
+		{"E11", "Crash-with-correct-inputs variant (TR extension)", E11CorrectInputs},
+		{"E12", "Ablation: per-round vertex budget", E12VertexBudget},
+		{"E13", "Ablation: stable vector vs naive round 0", E13StableVectorAblation},
+		{"E14", "Byzantine transformation (Coan compiler, n >= 3f+1)", E14Byzantine},
+		{"E15", "Open conjecture: strongly convex arg-min agreement", E15StrongConvexity},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// randInputs draws n points uniformly from [lo, hi]^d.
+func randInputs(n, d int, lo, hi float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = lo + rng.Float64()*(hi-lo)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// baseParams builds standard experiment parameters.
+func baseParams(n, f, d int, epsilon float64) core.Params {
+	return core.Params{
+		N: n, F: f, D: d,
+		Epsilon:    epsilon,
+		InputLower: 0, InputUpper: 10,
+	}
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtI formats an int.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

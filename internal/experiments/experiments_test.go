@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs the full registry in quick mode and sanity-
+// checks every table's shape and key invariants.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if table.ID != e.ID {
+				t.Errorf("table ID %q != %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %d has %d cells for %d headers", i, len(row), len(table.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("rendered table missing ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e3"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID should fail")
+	}
+}
+
+// TestE3AllPass parses the E3 table and requires 100% pass rates — this is
+// the paper's Theorem 2 and must never regress.
+func TestE3AllPass(t *testing.T) {
+	table, err := E3Validity(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		for col := 2; col <= 5; col++ {
+			parts := strings.Split(row[col], "/")
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Errorf("scheduler %s column %d: %s is not a full pass", row[0], col, row[col])
+			}
+		}
+	}
+}
+
+// TestE10Boundary requires: all trials non-empty at the bound, and at least
+// one empty below it.
+func TestE10Boundary(t *testing.T) {
+	table, err := E10Resilience(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		n, _ := strconv.Atoi(row[2])
+		d, _ := strconv.Atoi(row[0])
+		f, _ := strconv.Atoi(row[1])
+		bound := (d+2)*f + 1
+		parts := strings.Split(row[5], "/")
+		nonEmpty, _ := strconv.Atoi(parts[0])
+		total, _ := strconv.Atoi(parts[1])
+		if n >= bound && nonEmpty != total {
+			t.Errorf("d=%d f=%d n=%d: %d/%d non-empty at the bound, want all", d, f, n, nonEmpty, total)
+		}
+		if n < bound && nonEmpty == total {
+			t.Errorf("d=%d f=%d n=%d: all intersections non-empty below the bound (adversary should win)", d, f, n)
+		}
+	}
+}
+
+// TestE7WithinBeta requires every sweep row to be within its β.
+func TestE7WithinBeta(t *testing.T) {
+	table, err := E7Optimization(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		if !strings.HasPrefix(row[4], "true") {
+			t.Errorf("cost %s β %s: bound violated (%s)", row[0], row[1], row[4])
+		}
+	}
+}

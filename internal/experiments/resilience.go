@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// E10Resilience probes the bound n >= (d+2)f + 1 of equation (2): at the
+// bound, the round-0 intersection over any (n-f)-sized received multiset is
+// non-empty (Lemma 2, via Tverberg's theorem); one process below it,
+// generic adversarial inputs make the intersection empty, so the algorithm
+// cannot exist.
+func E10Resilience(opt Options) (*Table, error) {
+	trials := opt.trials(15, 60)
+	type cs struct{ d, f int }
+	cases := []cs{{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2}}
+	if opt.Quick {
+		cases = []cs{{1, 1}, {2, 1}}
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  "Resilience boundary: round-0 intersection non-emptiness around n = (d+2)f+1",
+		Header: []string{"d", "f", "n", "|X| = n-f", "trials", "non-empty", "expected"},
+		Notes: []string{
+			"|X| = n-f models the worst case where f processes stay silent. At the bound, |X| = (d+1)f+1 and Tverberg's theorem applies; below it, generic inputs yield empty intersections.",
+		},
+	}
+	for _, c := range cases {
+		bound := (c.d+2)*c.f + 1
+		for _, n := range []int{bound, bound - 1} {
+			x := n - c.f
+			if x-c.f < 1 {
+				continue
+			}
+			nonEmpty := 0
+			for s := 0; s < trials; s++ {
+				inputs := genericInputs(x, c.d, int64(n*1000+s))
+				params := core.Params{
+					N: n, F: c.f, D: c.d,
+					Epsilon: 0.1, InputLower: 0, InputUpper: 10,
+				}
+				_, err := core.InitialPolytope(params, inputs)
+				switch {
+				case err == nil:
+					nonEmpty++
+				case errors.Is(err, polytope.ErrEmpty):
+					// expected below the bound
+				default:
+					return nil, fmt.Errorf("E10 d=%d f=%d n=%d: %w", c.d, c.f, n, err)
+				}
+			}
+			expected := "all non-empty (Lemma 2)"
+			if n < bound {
+				expected = "mostly empty (below eq. 2)"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmtI(c.d), fmtI(c.f), fmtI(n), fmtI(x),
+				fmtI(trials), fmt.Sprintf("%d/%d", nonEmpty, trials), expected,
+			})
+		}
+	}
+	return t, nil
+}
+
+// genericInputs draws points in general position (no exact coincidences)
+// so that below-bound intersections are generically empty.
+func genericInputs(k, d int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, k)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// E11CorrectInputs contrasts the two fault models: the technical-report
+// variant (crash faults with correct inputs) runs with n as small as 2f+1
+// and keeps the whole hull H(X_i) — no input needs to be distrusted — while
+// the incorrect-inputs model needs n >= (d+2)f+1 and shrinks the output to
+// the f-robust intersection.
+func E11CorrectInputs(opt Options) (*Table, error) {
+	seeds := opt.trials(2, 5)
+	t := &Table{
+		ID:     "E11",
+		Title:  "Fault-model comparison (d=2, f=1): minimum n and output size",
+		Header: []string{"model", "n", "legal?", "runs", "validity", "agreement", "mean vol(output)"},
+		Notes: []string{
+			"CorrectInputs validity is measured against the hull of ALL inputs (every input is correct in that model).",
+		},
+	}
+	type cs struct {
+		model core.FaultModel
+		n     int
+	}
+	cases := []cs{
+		{core.CorrectInputs, 3},
+		{core.CorrectInputs, 5},
+		{core.IncorrectInputs, 3},
+		{core.IncorrectInputs, 5},
+		{core.IncorrectInputs, 7},
+	}
+	if opt.Quick {
+		cases = []cs{{core.CorrectInputs, 3}, {core.IncorrectInputs, 5}}
+	}
+	for _, c := range cases {
+		params := core.Params{
+			N: c.n, F: 1, D: 2,
+			Epsilon: 0.05, InputLower: 0, InputUpper: 10,
+			Model: c.model,
+		}
+		if err := params.Validate(); err != nil {
+			t.Rows = append(t.Rows, []string{
+				c.model.String(), fmtI(c.n), "no (" + err.Error() + ")", "-", "-", "-", "-",
+			})
+			continue
+		}
+		var vol float64
+		vOK, aOK, runs := 0, 0, 0
+		for s := 0; s < seeds; s++ {
+			seed := int64(c.n*100 + s)
+			cfg := core.RunConfig{
+				Params:  params,
+				Inputs:  randInputs(c.n, 2, 0, 10, seed),
+				Faulty:  []dist.ProcID{0},
+				Crashes: []dist.CrashPlan{{Proc: 0, AfterSends: s * 3}},
+				Seed:    seed,
+			}
+			result, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			runs++
+			if core.CheckValidity(result, &cfg) == nil {
+				vOK++
+			}
+			if rep, err := core.CheckAgreement(result); err == nil && rep.Holds {
+				aOK++
+			}
+			out := result.Outputs[result.FaultFree()[0]]
+			v, err := out.Volume(geom.DefaultEps)
+			if err != nil {
+				return nil, err
+			}
+			vol += v
+		}
+		t.Rows = append(t.Rows, []string{
+			c.model.String(), fmtI(c.n), "yes", fmtI(runs),
+			fmt.Sprintf("%d/%d", vOK, runs),
+			fmt.Sprintf("%d/%d", aOK, runs),
+			fmtF(vol / float64(runs)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// AffineBasis describes the affine hull of a point set: an origin point and
+// an orthonormal basis of the direction subspace. It supports projecting
+// ambient points into subspace coordinates and lifting them back, which the
+// hull kernel uses to handle degenerate (lower-dimensional) inputs.
+type AffineBasis struct {
+	Origin Point   // a point on the affine subspace
+	Basis  []Point // orthonormal directions spanning the subspace
+}
+
+// Dim returns the dimension of the affine subspace.
+func (ab *AffineBasis) Dim() int { return len(ab.Basis) }
+
+// AmbientDim returns the dimension of the surrounding space.
+func (ab *AffineBasis) AmbientDim() int { return len(ab.Origin) }
+
+// NewAffineBasis computes the affine hull of pts by Gram-Schmidt with
+// tolerance eps. The returned basis has between 0 (single point) and
+// len(pts[0]) directions.
+func NewAffineBasis(pts []Point, eps float64) (*AffineBasis, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("geom: affine basis of empty point set")
+	}
+	origin := pts[0].Clone()
+	ambient := len(origin)
+	basis := make([]Point, 0, ambient)
+	for _, p := range pts[1:] {
+		if len(basis) == ambient {
+			break
+		}
+		v := p.Sub(origin)
+		// Remove components along the existing basis.
+		for _, b := range basis {
+			v = v.AddScaled(-v.Dot(b), b)
+		}
+		if n := v.Norm(); n > eps {
+			basis = append(basis, v.Scale(1/n))
+		}
+	}
+	return &AffineBasis{Origin: origin, Basis: basis}, nil
+}
+
+// Project maps an ambient point to coordinates in the subspace basis. If the
+// point is not on the subspace, the result is the projection's coordinates.
+func (ab *AffineBasis) Project(p Point) Point {
+	v := p.Sub(ab.Origin)
+	out := make(Point, len(ab.Basis))
+	for i, b := range ab.Basis {
+		out[i] = v.Dot(b)
+	}
+	return out
+}
+
+// Lift maps subspace coordinates back to the ambient space.
+func (ab *AffineBasis) Lift(coords Point) Point {
+	p := ab.Origin.Clone()
+	for i, b := range ab.Basis {
+		p = p.AddScaled(coords[i], b)
+	}
+	return p
+}
+
+// DistanceToSubspace returns the Euclidean distance from p to the affine
+// subspace.
+func (ab *AffineBasis) DistanceToSubspace(p Point) float64 {
+	v := p.Sub(ab.Origin)
+	var along float64
+	for _, b := range ab.Basis {
+		c := v.Dot(b)
+		along += c * c
+	}
+	total := v.Dot(v)
+	if r := total - along; r > 0 {
+		return math.Sqrt(r)
+	}
+	return 0
+}
+
+// AffineDim returns the dimension of the affine hull of pts (0 for a single
+// point, up to the ambient dimension).
+func AffineDim(pts []Point, eps float64) (int, error) {
+	ab, err := NewAffineBasis(pts, eps)
+	if err != nil {
+		return 0, err
+	}
+	return ab.Dim(), nil
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p := NewPoint(1, 2, 3)
+	q := NewPoint(4, -1, 0.5)
+
+	if got := p.Add(q); !Equal(got, NewPoint(5, 1, 3.5), 1e-12) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !Equal(got, NewPoint(-3, 3, 2.5), 1e-12) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !Equal(got, NewPoint(2, 4, 6), 1e-12) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.AddScaled(2, q); !Equal(got, NewPoint(9, 0, 4), 1e-12) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	if got := p.Dot(q); !almostEqual(got, 4-2+1.5, 1e-12) {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	p := NewPoint(3, 4)
+	if !almostEqual(p.Norm(), 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", p.Norm())
+	}
+	if !almostEqual(Dist(NewPoint(1, 1), NewPoint(4, 5)), 5, 1e-12) {
+		t.Errorf("Dist wrong")
+	}
+	if !almostEqual(NewPoint(-7, 2).NormInf(), 7, 1e-12) {
+		t.Errorf("NormInf wrong")
+	}
+}
+
+func TestLex(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want int
+	}{
+		{NewPoint(1, 2), NewPoint(1, 2), 0},
+		{NewPoint(1, 2), NewPoint(1, 3), -1},
+		{NewPoint(2, 0), NewPoint(1, 9), 1},
+		{NewPoint(1+1e-12, 2), NewPoint(1, 2), 0}, // within eps
+	}
+	for _, tt := range tests {
+		if got := Lex(tt.p, tt.q, 1e-9); got != tt.want {
+			t.Errorf("Lex(%v,%v) = %d, want %d", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c, err := Centroid([]Point{NewPoint(0, 0), NewPoint(2, 0), NewPoint(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(c, NewPoint(1, 1), 1e-12) {
+		t.Errorf("Centroid = %v", c)
+	}
+	if _, err := Centroid(nil); err == nil {
+		t.Error("Centroid(nil) should error")
+	}
+	if _, err := Centroid([]Point{NewPoint(1), NewPoint(1, 2)}); err == nil {
+		t.Error("mixed dimensions should error")
+	}
+}
+
+func TestCombination(t *testing.T) {
+	pts := []Point{NewPoint(0, 0), NewPoint(4, 0), NewPoint(0, 4)}
+	w := []float64{0.25, 0.5, 0.25}
+	got, err := Combination(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, NewPoint(2, 1), 1e-12) {
+		t.Errorf("Combination = %v", got)
+	}
+	if _, err := Combination(pts, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	lo, hi, err := BoundingBox([]Point{NewPoint(1, 5), NewPoint(-2, 7), NewPoint(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(lo, NewPoint(-2, 0), 1e-12) || !Equal(hi, NewPoint(1, 7), 1e-12) {
+		t.Errorf("BoundingBox = %v %v", lo, hi)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	pts := []Point{NewPoint(0, 0), NewPoint(1, 1), NewPoint(0, 1e-12), NewPoint(1, 1)}
+	got := Dedup(pts, 1e-9)
+	if len(got) != 2 {
+		t.Fatalf("Dedup kept %d points, want 2: %v", len(got), got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !NewPoint(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if NewPoint(1, math.NaN()).IsFinite() {
+		t.Error("NaN point reported finite")
+	}
+	if NewPoint(math.Inf(1)).IsFinite() {
+		t.Error("Inf point reported finite")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := NewPoint(1, 2.5).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: distance satisfies the triangle inequality and symmetry.
+func TestDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyNaN(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := NewPoint(clamp(ax), clamp(ay)), NewPoint(clamp(bx), clamp(by)), NewPoint(clamp(cx), clamp(cy))
+		dab, dba := Dist(a, b), Dist(b, a)
+		if !almostEqual(dab, dba, 1e-9) {
+			return false
+		}
+		return Dist(a, c) <= dab+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: centroid of a set is within its bounding box.
+func TestCentroidInBox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = NewPoint(rng.Float64()*100-50, rng.Float64()*100-50, rng.Float64()*100-50)
+		}
+		c, err := Centroid(pts)
+		if err != nil {
+			return false
+		}
+		lo, hi, err := BoundingBox(pts)
+		if err != nil {
+			return false
+		}
+		for i := range c {
+			if c[i] < lo[i]-1e-9 || c[i] > hi[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1e6 {
+		return 1e6
+	}
+	if x < -1e6 {
+		return -1e6
+	}
+	return x
+}
+
+func anyNaN(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+// Package hull computes convex hulls and their facet (halfspace)
+// representations in d-dimensional Euclidean space.
+//
+// The kernel is engineered for the workloads of the convex hull consensus
+// library: point sets with tens of points, dimensions 1 through ~4, and a
+// premium on robustness over asymptotic speed. Dimension 1 uses exact
+// interval arithmetic, dimension 2 an exact monotone-chain / polygon kernel,
+// and higher dimensions an LP-based extreme-point filter (function H of the
+// paper) with brute-force oriented facet enumeration. Inputs whose affine
+// hull is lower-dimensional are projected to that subspace, solved there,
+// and lifted back.
+package hull
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chc/internal/geom"
+	"chc/internal/lp"
+)
+
+// ErrEmpty is returned when an operation needs a non-empty point set.
+var ErrEmpty = errors.New("hull: empty point set")
+
+// Facet is the halfspace Normal·x <= Offset. A polytope's H-representation
+// is a conjunction of facets; degenerate (lower-dimensional) polytopes are
+// represented with opposing facet pairs encoding equalities.
+type Facet struct {
+	Normal geom.Point
+	Offset float64
+}
+
+// Eval returns Normal·p - Offset: negative inside, positive outside.
+func (f Facet) Eval(p geom.Point) float64 { return f.Normal.Dot(p) - f.Offset }
+
+// ConvexHull returns the vertices of the convex hull of pts (the function
+// H(X) of the paper, Definition 1, applied to a multiset of points). For
+// d == 2 the vertices are returned in counter-clockwise order; for other
+// dimensions the order is unspecified but deterministic.
+func ConvexHull(pts []geom.Point, eps float64) ([]geom.Point, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmpty
+	}
+	d := pts[0].Dim()
+	for i, p := range pts {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("hull: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("hull: point %d is not finite: %v", i, p)
+		}
+	}
+	uniq := geom.Dedup(pts, eps)
+	switch {
+	case len(uniq) == 1:
+		return []geom.Point{uniq[0].Clone()}, nil
+	case d == 1:
+		lo, hi, err := geom.BoundingBox(uniq)
+		if err != nil {
+			return nil, err
+		}
+		return []geom.Point{lo, hi}, nil
+	case d == 2:
+		return MonotoneChain(uniq, eps), nil
+	default:
+		return ExtremeFilter(uniq, eps)
+	}
+}
+
+// ExtremeFilter returns the subset of pts that are vertices of conv(pts):
+// point p is extreme iff p is not a convex combination of the others. This
+// is robust in any dimension (each test is one small LP) at O(k) LP solves.
+func ExtremeFilter(pts []geom.Point, eps float64) ([]geom.Point, error) {
+	uniq := geom.Dedup(pts, eps)
+	if len(uniq) <= 2 {
+		out := make([]geom.Point, len(uniq))
+		for i, p := range uniq {
+			out[i] = p.Clone()
+		}
+		return out, nil
+	}
+	verts := make([]geom.Point, 0, len(uniq))
+	others := make([][]float64, 0, len(uniq)-1)
+	for i, p := range uniq {
+		others = others[:0]
+		for j, q := range uniq {
+			if j != i {
+				others = append(others, q)
+			}
+		}
+		_, err := lp.ConvexWeights(others, p, eps)
+		switch {
+		case err == nil:
+			// p is inside the hull of the others: not a vertex.
+		case errors.Is(err, lp.ErrInfeasible):
+			verts = append(verts, p.Clone())
+		default:
+			return nil, fmt.Errorf("hull: extreme test for point %d: %w", i, err)
+		}
+	}
+	if len(verts) == 0 {
+		// Cannot happen for a non-empty set, but guard against numerical
+		// weirdness: fall back to the deduplicated input.
+		return uniq, nil
+	}
+	return verts, nil
+}
+
+// Contains reports whether q lies in the convex hull of pts (within the LP
+// tolerance eps).
+func Contains(pts []geom.Point, q geom.Point, eps float64) (bool, error) {
+	if len(pts) == 0 {
+		return false, ErrEmpty
+	}
+	flat := make([][]float64, len(pts))
+	for i, p := range pts {
+		flat[i] = p
+	}
+	_, err := lp.ConvexWeights(flat, q, eps)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, lp.ErrInfeasible):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// sortPointsLex orders points lexicographically (deterministic output order
+// for hashing/serialisation).
+func sortPointsLex(pts []geom.Point, eps float64) {
+	sort.Slice(pts, func(i, j int) bool { return geom.Lex(pts[i], pts[j], eps) < 0 })
+}

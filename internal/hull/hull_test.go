@@ -1,0 +1,480 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chc/internal/geom"
+)
+
+const eps = 1e-9
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func TestConvexHull1D(t *testing.T) {
+	verts, err := ConvexHull([]geom.Point{pt(3), pt(-1), pt(2), pt(2)}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 2 || verts[0][0] != -1 || verts[1][0] != 3 {
+		t.Errorf("verts = %v", verts)
+	}
+}
+
+func TestConvexHullSinglePoint(t *testing.T) {
+	verts, err := ConvexHull([]geom.Point{pt(1, 2), pt(1, 2)}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 1 || !geom.Equal(verts[0], pt(1, 2), eps) {
+		t.Errorf("verts = %v", verts)
+	}
+}
+
+func TestConvexHullErrors(t *testing.T) {
+	if _, err := ConvexHull(nil, eps); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ConvexHull([]geom.Point{pt(1), pt(1, 2)}, eps); err == nil {
+		t.Error("mixed dims should error")
+	}
+	if _, err := ConvexHull([]geom.Point{pt(math.NaN())}, eps); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestMonotoneChainSquare(t *testing.T) {
+	pts := []geom.Point{pt(0, 0), pt(1, 0), pt(1, 1), pt(0, 1), pt(0.5, 0.5), pt(0.5, 0)}
+	hullPts := MonotoneChain(pts, eps)
+	if len(hullPts) != 4 {
+		t.Fatalf("hull has %d vertices, want 4: %v", len(hullPts), hullPts)
+	}
+	if a := PolygonArea(hullPts); math.Abs(a-1) > 1e-9 {
+		t.Errorf("area = %v, want 1 (CCW)", a)
+	}
+}
+
+func TestMonotoneChainCollinear(t *testing.T) {
+	pts := []geom.Point{pt(0, 0), pt(1, 1), pt(2, 2), pt(3, 3)}
+	hullPts := MonotoneChain(pts, eps)
+	if len(hullPts) != 2 {
+		t.Fatalf("collinear hull has %d vertices, want 2: %v", len(hullPts), hullPts)
+	}
+}
+
+func TestConvexHull2DDropsCollinearBoundary(t *testing.T) {
+	pts := []geom.Point{pt(0, 0), pt(2, 0), pt(1, 0), pt(2, 2), pt(0, 2)}
+	verts, err := ConvexHull(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 4 {
+		t.Errorf("hull has %d vertices, want 4 (midpoint of an edge dropped): %v", len(verts), verts)
+	}
+}
+
+func TestExtremeFilter3D(t *testing.T) {
+	// Unit tetrahedron plus its centroid: the centroid must be filtered.
+	pts := []geom.Point{
+		pt(0, 0, 0), pt(1, 0, 0), pt(0, 1, 0), pt(0, 0, 1),
+		pt(0.25, 0.25, 0.25),
+	}
+	verts, err := ExtremeFilter(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 4 {
+		t.Fatalf("kept %d vertices, want 4: %v", len(verts), verts)
+	}
+}
+
+func TestExtremeFilterCube(t *testing.T) {
+	// All 8 cube corners are vertices even though faces have 4 coplanar
+	// points (the degeneracy that breaks naive incremental hulls).
+	var pts []geom.Point
+	for _, x := range []float64{0, 1} {
+		for _, y := range []float64{0, 1} {
+			for _, z := range []float64{0, 1} {
+				pts = append(pts, pt(x, y, z))
+			}
+		}
+	}
+	pts = append(pts, pt(0.5, 0.5, 0.5), pt(0.5, 0.5, 0)) // interior + face point
+	verts, err := ExtremeFilter(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 8 {
+		t.Fatalf("kept %d vertices, want 8", len(verts))
+	}
+}
+
+func TestContains(t *testing.T) {
+	tri := []geom.Point{pt(0, 0), pt(4, 0), pt(0, 4)}
+	in, err := Contains(tri, pt(1, 1), eps)
+	if err != nil || !in {
+		t.Errorf("interior point: in=%v err=%v", in, err)
+	}
+	in, err = Contains(tri, pt(3, 3), eps)
+	if err != nil || in {
+		t.Errorf("exterior point: in=%v err=%v", in, err)
+	}
+	in, err = Contains(tri, pt(2, 0), eps)
+	if err != nil || !in {
+		t.Errorf("boundary point: in=%v err=%v", in, err)
+	}
+}
+
+func TestClipPolygonHalfplane(t *testing.T) {
+	square := []geom.Point{pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)}
+	clipped := ClipPolygonHalfplane(square, pt(1, 0), 1, eps) // x <= 1
+	got := MonotoneChain(clipped, eps)
+	if a := math.Abs(PolygonArea(got)); math.Abs(a-2) > 1e-9 {
+		t.Errorf("clipped area = %v, want 2", a)
+	}
+	// Clip everything away.
+	if got := ClipPolygonHalfplane(square, pt(1, 0), -1, eps); len(got) != 0 {
+		t.Errorf("fully clipped polygon should be empty, got %v", got)
+	}
+	// Point and segment cases.
+	if got := ClipPolygonHalfplane([]geom.Point{pt(0, 0)}, pt(1, 0), 1, eps); len(got) != 1 {
+		t.Errorf("inside point should survive")
+	}
+	seg := []geom.Point{pt(0, 0), pt(2, 0)}
+	if got := ClipPolygonHalfplane(seg, pt(1, 0), 1, eps); len(got) != 2 || math.Abs(got[1][0]-1) > eps {
+		t.Errorf("segment clip = %v", got)
+	}
+}
+
+func TestIntersectConvexPolygons(t *testing.T) {
+	a := []geom.Point{pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)}
+	b := []geom.Point{pt(1, 1), pt(3, 1), pt(3, 3), pt(1, 3)}
+	got := IntersectConvexPolygons(a, b, eps)
+	if area := math.Abs(PolygonArea(got)); math.Abs(area-1) > 1e-6 {
+		t.Errorf("intersection area = %v, want 1 (%v)", area, got)
+	}
+	// Disjoint.
+	c := []geom.Point{pt(10, 10), pt(11, 10), pt(10, 11)}
+	if got := IntersectConvexPolygons(a, c, eps); len(got) != 0 {
+		t.Errorf("disjoint intersection = %v", got)
+	}
+	// Touching at a point.
+	d := []geom.Point{pt(2, 2), pt(3, 2), pt(2, 3)}
+	got = IntersectConvexPolygons(a, d, eps)
+	if len(got) == 0 {
+		t.Errorf("touching intersection should be non-empty")
+	}
+}
+
+func TestPointInConvexPolygon(t *testing.T) {
+	tri := []geom.Point{pt(0, 0), pt(4, 0), pt(0, 4)}
+	if !PointInConvexPolygon(pt(1, 1), tri, eps) {
+		t.Error("interior point reported outside")
+	}
+	if PointInConvexPolygon(pt(5, 5), tri, eps) {
+		t.Error("exterior point reported inside")
+	}
+	if !PointInConvexPolygon(pt(0, 0), []geom.Point{pt(0, 0)}, eps) {
+		t.Error("point-polygon containment failed")
+	}
+	if !PointInConvexPolygon(pt(1, 0), []geom.Point{pt(0, 0), pt(2, 0)}, eps) {
+		t.Error("segment containment failed")
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	tests := []struct {
+		p, a, b geom.Point
+		want    float64
+	}{
+		{pt(0, 1), pt(-1, 0), pt(1, 0), 1},             // perpendicular foot inside
+		{pt(3, 4), pt(-1, 0), pt(1, 0), math.Sqrt(20)}, // beyond endpoint b
+		{pt(0, 0), pt(0, 0), pt(0, 0), 0},              // degenerate segment
+		{pt(0.5, 0), pt(0, 0), pt(1, 0), 0},            // on the segment
+	}
+	for i, tt := range tests {
+		if got := DistPointSegment(tt.p, tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("case %d: dist = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestMinkowskiSum2D(t *testing.T) {
+	// Square [0,1]^2 + square [0,1]^2 = square [0,2]^2.
+	sq := []geom.Point{pt(0, 0), pt(1, 0), pt(1, 1), pt(0, 1)}
+	sum := MinkowskiSum2D(sq, sq, eps)
+	if a := math.Abs(PolygonArea(sum)); math.Abs(a-4) > 1e-9 {
+		t.Errorf("sum area = %v, want 4 (%v)", a, sum)
+	}
+	// Triangle + point = translated triangle.
+	tri := []geom.Point{pt(0, 0), pt(1, 0), pt(0, 1)}
+	shift := []geom.Point{pt(5, 5)}
+	got := MinkowskiSum2D(tri, shift, eps)
+	want := MonotoneChain([]geom.Point{pt(5, 5), pt(6, 5), pt(5, 6)}, eps)
+	if len(got) != 3 {
+		t.Fatalf("translated triangle has %d vertices: %v", len(got), got)
+	}
+	for i := range got {
+		if !geom.Equal(got[i], want[i], 1e-9) {
+			t.Errorf("vertex %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Square + rotated square (octagon).
+	rot := []geom.Point{pt(0.5, 0), pt(1, 0.5), pt(0.5, 1), pt(0, 0.5)}
+	oct := MinkowskiSum2D(sq, rot, eps)
+	if len(oct) != 8 {
+		t.Errorf("octagon has %d vertices: %v", len(oct), oct)
+	}
+}
+
+func TestScalePolygon(t *testing.T) {
+	sq := []geom.Point{pt(0, 0), pt(1, 0), pt(1, 1), pt(0, 1)}
+	half := ScalePolygon(sq, 0.5)
+	if a := PolygonArea(half); math.Abs(a-0.25) > 1e-9 {
+		t.Errorf("scaled area = %v, want 0.25", a)
+	}
+	neg := ScalePolygon(sq, -1)
+	if a := PolygonArea(neg); math.Abs(a-1) > 1e-9 {
+		t.Errorf("negated polygon area = %v, want 1 (still CCW)", a)
+	}
+}
+
+func TestFacets2D(t *testing.T) {
+	sq := []geom.Point{pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)}
+	facets, err := Facets(sq, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 4 {
+		t.Fatalf("square has %d facets, want 4", len(facets))
+	}
+	if !ContainsHRep(facets, pt(1, 1), eps) {
+		t.Error("centre should satisfy all facets")
+	}
+	if ContainsHRep(facets, pt(3, 1), eps) {
+		t.Error("outside point should violate a facet")
+	}
+}
+
+func TestFacets3DCube(t *testing.T) {
+	var pts []geom.Point
+	for _, x := range []float64{0, 1} {
+		for _, y := range []float64{0, 1} {
+			for _, z := range []float64{0, 1} {
+				pts = append(pts, pt(x, y, z))
+			}
+		}
+	}
+	facets, err := Facets(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 6 {
+		t.Fatalf("cube has %d facets, want 6", len(facets))
+	}
+	if !ContainsHRep(facets, pt(0.5, 0.5, 0.5), eps) {
+		t.Error("cube centre outside")
+	}
+	if ContainsHRep(facets, pt(1.5, 0.5, 0.5), eps) {
+		t.Error("outside point inside")
+	}
+}
+
+func TestFacets3DTetrahedron(t *testing.T) {
+	tet := []geom.Point{pt(0, 0, 0), pt(1, 0, 0), pt(0, 1, 0), pt(0, 0, 1)}
+	facets, err := Facets(tet, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 4 {
+		t.Fatalf("tetrahedron has %d facets, want 4", len(facets))
+	}
+	for _, v := range tet {
+		if !ContainsHRep(facets, v, 1e-6) {
+			t.Errorf("vertex %v violates its own hull", v)
+		}
+	}
+}
+
+func TestFacetsDegenerateSegmentIn3D(t *testing.T) {
+	seg := []geom.Point{pt(0, 0, 0), pt(1, 1, 1)}
+	facets, err := Facets(seg, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-segment points satisfy the facets, off-subspace ones don't.
+	if !ContainsHRep(facets, pt(0.5, 0.5, 0.5), 1e-6) {
+		t.Error("midpoint should be inside")
+	}
+	if ContainsHRep(facets, pt(0.5, 0.5, 0.9), 1e-6) {
+		t.Error("off-line point should be outside")
+	}
+	if ContainsHRep(facets, pt(2, 2, 2), 1e-6) {
+		t.Error("beyond-endpoint point should be outside")
+	}
+}
+
+func TestFacetsSinglePoint3D(t *testing.T) {
+	facets, err := Facets([]geom.Point{pt(1, 2, 3)}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsHRep(facets, pt(1, 2, 3), 1e-6) {
+		t.Error("point should contain itself")
+	}
+	if ContainsHRep(facets, pt(1, 2, 3.01), 1e-6) {
+		t.Error("nearby point should be outside")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []geom.Point
+		want float64
+	}{
+		{"interval", []geom.Point{pt(1), pt(4)}, 3},
+		{"triangle", []geom.Point{pt(0, 0), pt(2, 0), pt(0, 2)}, 2},
+		{"unit cube", []geom.Point{
+			pt(0, 0, 0), pt(1, 0, 0), pt(0, 1, 0), pt(0, 0, 1),
+			pt(1, 1, 0), pt(1, 0, 1), pt(0, 1, 1), pt(1, 1, 1)}, 1},
+		{"tetrahedron", []geom.Point{pt(0, 0, 0), pt(1, 0, 0), pt(0, 1, 0), pt(0, 0, 1)}, 1.0 / 6},
+		{"degenerate triangle in 3d", []geom.Point{pt(0, 0, 0), pt(1, 0, 0), pt(0, 1, 0)}, 0},
+		{"single point", []geom.Point{pt(5, 5)}, 0},
+	}
+	for _, tt := range tests {
+		got, err := Volume(tt.pts, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if math.Abs(got-tt.want) > 1e-6 {
+			t.Errorf("%s: Volume = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter([]geom.Point{pt(0, 0), pt(3, 4), pt(1, 1)}); math.Abs(d-5) > 1e-9 {
+		t.Errorf("Diameter = %v, want 5", d)
+	}
+	if d := Diameter([]geom.Point{pt(0, 0)}); d != 0 {
+		t.Errorf("Diameter of single point = %v", d)
+	}
+}
+
+// Property: every input point is contained in its own hull (2-D).
+func TestHullContainsInputs2D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		}
+		h := MonotoneChain(pts, eps)
+		for _, p := range pts {
+			if !PointInConvexPolygon(p, h, 1e-6) {
+				return false
+			}
+		}
+		// CCW orientation.
+		return PolygonArea(h) >= -eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hull of a hull is idempotent (2-D vertex sets match).
+func TestHullIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		h1 := MonotoneChain(pts, eps)
+		h2 := MonotoneChain(h1, eps)
+		return len(h1) == len(h2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 3-D facet representation agrees with the LP containment test.
+func TestFacetsAgreeWithLP3D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = pt(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2)
+		}
+		verts, err := ConvexHull(pts, eps)
+		if err != nil {
+			return false
+		}
+		facets, err := Facets(verts, eps)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := pt(rng.Float64()*5-2.5, rng.Float64()*5-2.5, rng.Float64()*5-2.5)
+			inLP, err := Contains(verts, q, eps)
+			if err != nil {
+				return false
+			}
+			inH := ContainsHRep(facets, q, 1e-6)
+			// Allow disagreement only within a thin boundary band.
+			if inLP != inH {
+				if distToBoundaryIsTiny(facets, q) {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func distToBoundaryIsTiny(facets []Facet, q geom.Point) bool {
+	for _, f := range facets {
+		if math.Abs(f.Eval(q)) < 1e-4 {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: Minkowski sum area >= sum of individual areas (2-D, convex).
+func TestMinkowskiAreaMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []geom.Point {
+			n := 3 + rng.Intn(8)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = pt(rng.Float64()*6-3, rng.Float64()*6-3)
+			}
+			return MonotoneChain(pts, eps)
+		}
+		a, b := mk(), mk()
+		if len(a) < 3 || len(b) < 3 {
+			return true
+		}
+		sum := MinkowskiSum2D(a, b, eps)
+		sa, sb := math.Abs(PolygonArea(a)), math.Abs(PolygonArea(b))
+		ss := math.Abs(PolygonArea(sum))
+		return ss >= sa+sb-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package hull
+
+import (
+	"fmt"
+	"math"
+
+	"chc/internal/geom"
+)
+
+// Volume returns the d-dimensional volume (length / area / volume / ...) of
+// the convex hull of verts. Lower-dimensional hulls have volume 0.
+//
+// The computation uses the divergence theorem recursively:
+// Vol_d = (1/d) * sum over facets of offset_f * Vol_{d-1}(facet), with the
+// facet volume measured in the facet's own hyperplane and offsets taken with
+// unit normals from the origin.
+func Volume(verts []geom.Point, eps float64) (float64, error) {
+	if len(verts) == 0 {
+		return 0, ErrEmpty
+	}
+	d := verts[0].Dim()
+	dim, err := geom.AffineDim(verts, eps)
+	if err != nil {
+		return 0, err
+	}
+	if dim < d {
+		return 0, nil
+	}
+	// Recentre at the centroid: volume is translation-invariant, and the
+	// divergence-theorem sum below multiplies facet offsets by facet areas —
+	// computed about a distant global origin, the terms are large and cancel
+	// catastrophically (a tiny polytope far from the origin would otherwise
+	// lose all significant digits).
+	c, err := geom.Centroid(verts)
+	if err != nil {
+		return 0, err
+	}
+	centered := make([]geom.Point, len(verts))
+	for i, v := range verts {
+		centered[i] = v.Sub(c)
+	}
+	return fullDimVolume(centered, eps)
+}
+
+func fullDimVolume(verts []geom.Point, eps float64) (float64, error) {
+	d := verts[0].Dim()
+	switch d {
+	case 1:
+		lo, hi, err := geom.BoundingBox(verts)
+		if err != nil {
+			return 0, err
+		}
+		return hi[0] - lo[0], nil
+	case 2:
+		return math.Abs(PolygonArea(MonotoneChain(verts, eps))), nil
+	}
+	facets, err := Facets(verts, eps)
+	if err != nil {
+		return 0, err
+	}
+	scale := 1.0
+	for _, v := range verts {
+		if m := v.NormInf(); m > scale {
+			scale = m
+		}
+	}
+	tol := eps * scale * 100
+	var vol float64
+	for _, f := range facets {
+		// Collect the vertices lying on this facet.
+		var on []geom.Point
+		for _, v := range verts {
+			if math.Abs(f.Eval(v)) <= tol {
+				on = append(on, v)
+			}
+		}
+		if len(on) < d {
+			continue // numerical sliver, contributes ~0
+		}
+		// Measure the facet's (d-1)-volume in its own hyperplane.
+		ab, err := geom.NewAffineBasis(on, eps)
+		if err != nil {
+			return 0, err
+		}
+		if ab.Dim() < d-1 {
+			continue // degenerate facet
+		}
+		proj := make([]geom.Point, len(on))
+		for i, v := range on {
+			proj[i] = ab.Project(v)
+		}
+		fv, err := fullDimVolume(proj, eps)
+		if err != nil {
+			return 0, fmt.Errorf("hull: facet volume: %w", err)
+		}
+		vol += f.Offset * fv
+	}
+	return vol / float64(d), nil
+}
+
+// Diameter returns the maximum pairwise distance between verts.
+func Diameter(verts []geom.Point) float64 {
+	var best float64
+	for i := range verts {
+		for j := i + 1; j < len(verts); j++ {
+			if d := geom.Dist(verts[i], verts[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

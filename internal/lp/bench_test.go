@@ -1,0 +1,93 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a bounded feasible LP: minimise a random objective over a
+// randomly rotated box with extra random cutting planes.
+func randomLP(rng *rand.Rand, nVars, nCuts int) *Problem {
+	var cons []Constraint
+	for i := 0; i < nVars; i++ {
+		up := make([]float64, nVars)
+		up[i] = 1
+		cons = append(cons, Constraint{Coeffs: up, Op: LE, RHS: 10})
+		down := make([]float64, nVars)
+		down[i] = -1
+		cons = append(cons, Constraint{Coeffs: down, Op: LE, RHS: 10})
+	}
+	for c := 0; c < nCuts; c++ {
+		row := make([]float64, nVars)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		cons = append(cons, Constraint{Coeffs: row, Op: LE, RHS: 5 + rng.Float64()*20})
+	}
+	obj := make([]float64, nVars)
+	for i := range obj {
+		obj[i] = rng.NormFloat64()
+	}
+	free := make([]bool, nVars)
+	for i := range free {
+		free[i] = true
+	}
+	return &Problem{NumVars: nVars, Objective: obj, Minimize: true, Constraints: cons, Free: free}
+}
+
+func benchSolve(b *testing.B, nVars, nCuts int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	problems := make([]*Problem, 16)
+	for i := range problems {
+		problems[i] = randomLP(rng, nVars, nCuts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := problems[i%len(problems)].Solve(1e-9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+func BenchmarkSolve3Vars16Cuts(b *testing.B)  { benchSolve(b, 3, 16) }
+func BenchmarkSolve6Vars64Cuts(b *testing.B)  { benchSolve(b, 6, 64) }
+func BenchmarkSolve3Vars256Cuts(b *testing.B) { benchSolve(b, 3, 256) }
+
+func BenchmarkChebyshevCenter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var a [][]float64
+	var rhs []float64
+	for c := 0; c < 60; c++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		a = append(a, row)
+		rhs = append(rhs, 5+rng.Float64()*10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ChebyshevCenter(a, rhs, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvexWeights(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	verts := make([][]float64, 24)
+	for i := range verts {
+		verts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	q := []float64{5, 5, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Feasibility either way is fine; we measure solver throughput.
+		_, _ = ConvexWeights(verts, q, 1e-9)
+	}
+}

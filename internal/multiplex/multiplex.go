@@ -1,0 +1,210 @@
+// Package multiplex runs a batch of independent consensus instances over a
+// single network, the way a deployed system would amortise its connections
+// across many agreement tasks. Each process hosts one sub-process per
+// instance; message kinds are namespaced per instance so the protocols
+// cannot interfere, and the batch completes when every live sub-process of
+// every instance has decided.
+package multiplex
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/wire"
+)
+
+// kindSep separates the instance prefix from the inner message kind.
+const kindSep = "|"
+
+// Instance describes one consensus instance of a batch. All instances share
+// n (they run on the same processes) but may differ in every other
+// parameter and in their inputs.
+type Instance struct {
+	Params core.Params
+	Inputs []geom.Point
+}
+
+// BatchConfig describes a batch execution.
+type BatchConfig struct {
+	N         int
+	Instances []Instance
+	// Faulty / Crashes apply to the shared processes (a crash kills every
+	// instance hosted by that process, as it would in a real deployment).
+	Faulty  []dist.ProcID
+	Crashes []dist.CrashPlan
+	Seed    int64
+	// Scheduler defaults to random delivery.
+	Scheduler dist.Scheduler
+}
+
+// BatchResult maps instance index -> process -> output polytope.
+type BatchResult struct {
+	Outputs []map[dist.ProcID]*polytope.Polytope
+	Stats   *dist.Stats
+}
+
+// node hosts one sub-process per instance and demultiplexes traffic.
+type node struct {
+	subs []*core.Process
+}
+
+var _ dist.Process = (*node)(nil)
+
+func (nd *node) Init(ctx dist.Context) {
+	for k, sub := range nd.subs {
+		sub.Init(&taggedContext{inner: ctx, prefix: prefix(k)})
+	}
+}
+
+func (nd *node) Deliver(ctx dist.Context, msg dist.Message) {
+	idx, innerKind, ok := splitKind(msg.Kind)
+	if !ok || idx < 0 || idx >= len(nd.subs) {
+		return
+	}
+	inner := msg
+	inner.Kind = innerKind
+	nd.subs[idx].Deliver(&taggedContext{inner: ctx, prefix: prefix(idx)}, inner)
+}
+
+func (nd *node) Done() bool {
+	for _, sub := range nd.subs {
+		if !sub.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// taggedContext rewrites outgoing kinds with the instance prefix.
+type taggedContext struct {
+	inner  dist.Context
+	prefix string
+}
+
+var _ dist.Context = (*taggedContext)(nil)
+
+func (tc *taggedContext) ID() dist.ProcID { return tc.inner.ID() }
+func (tc *taggedContext) N() int          { return tc.inner.N() }
+
+func (tc *taggedContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	tc.inner.Send(to, tc.prefix+kind, round, payload)
+}
+
+func (tc *taggedContext) Broadcast(kind string, round int, payload any) {
+	tc.inner.Broadcast(tc.prefix+kind, round, payload)
+}
+
+func prefix(idx int) string { return "i" + strconv.Itoa(idx) + kindSep }
+
+func splitKind(kind string) (idx int, inner string, ok bool) {
+	if !strings.HasPrefix(kind, "i") {
+		return 0, "", false
+	}
+	sep := strings.Index(kind, kindSep)
+	if sep < 2 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(kind[1:sep])
+	if err != nil {
+		return 0, "", false
+	}
+	return n, kind[sep+1:], true
+}
+
+// Collector retrieves per-instance outputs from a batch's nodes after a
+// run completes (used when the nodes are driven by an external runtime
+// instead of RunBatch's built-in simulator).
+type Collector struct {
+	instances int
+	nodes     []*node
+}
+
+// Outputs returns instance index -> process -> output polytope for every
+// sub-process that decided.
+func (c *Collector) Outputs() []map[dist.ProcID]*polytope.Polytope {
+	out := make([]map[dist.ProcID]*polytope.Polytope, c.instances)
+	for k := 0; k < c.instances; k++ {
+		out[k] = make(map[dist.ProcID]*polytope.Polytope)
+		for i, nd := range c.nodes {
+			o, err := nd.subs[k].Output()
+			if err != nil {
+				continue
+			}
+			out[k][dist.ProcID(i)] = o
+		}
+	}
+	return out
+}
+
+// NewNodes validates the batch and builds one demultiplexing process per
+// node, for use with any dist.Process driver (the deterministic simulator
+// or the goroutine/TCP runtime).
+func NewNodes(cfg BatchConfig) ([]dist.Process, *Collector, error) {
+	if cfg.N <= 0 {
+		return nil, nil, errors.New("multiplex: need positive N")
+	}
+	if len(cfg.Instances) == 0 {
+		return nil, nil, errors.New("multiplex: empty batch")
+	}
+	for k, inst := range cfg.Instances {
+		params := inst.Params.WithDefaults()
+		if params.N != cfg.N {
+			return nil, nil, fmt.Errorf("multiplex: instance %d has n=%d, batch runs on n=%d", k, params.N, cfg.N)
+		}
+		if err := params.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("multiplex: instance %d: %w", k, err)
+		}
+		if len(inst.Inputs) != cfg.N {
+			return nil, nil, fmt.Errorf("multiplex: instance %d has %d inputs for n=%d", k, len(inst.Inputs), cfg.N)
+		}
+	}
+	procs := make([]dist.Process, cfg.N)
+	nodes := make([]*node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nd := &node{subs: make([]*core.Process, len(cfg.Instances))}
+		for k, inst := range cfg.Instances {
+			sub, err := core.NewProcess(inst.Params, dist.ProcID(i), inst.Inputs[i])
+			if err != nil {
+				return nil, nil, fmt.Errorf("multiplex: instance %d process %d: %w", k, i, err)
+			}
+			nd.subs[k] = sub
+		}
+		nodes[i] = nd
+		procs[i] = nd
+	}
+	return procs, &Collector{instances: len(cfg.Instances), nodes: nodes}, nil
+}
+
+// RunBatch executes every instance of the batch concurrently over one
+// simulated network.
+func RunBatch(cfg BatchConfig) (*BatchResult, error) {
+	procs, collector, err := NewNodes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := dist.NewSim(dist.Config{
+		N:         cfg.N,
+		Seed:      cfg.Seed,
+		Scheduler: cfg.Scheduler,
+		Crashes:   cfg.Crashes,
+		Sizer:     wire.MessageSize,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := sim.Run()
+	result := &BatchResult{
+		Outputs: collector.Outputs(),
+		Stats:   stats,
+	}
+	if runErr != nil {
+		return result, fmt.Errorf("multiplex: %w", runErr)
+	}
+	return result, nil
+}

@@ -1,0 +1,214 @@
+package multiplex
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/runtime"
+)
+
+func params(n, f, d int, eps float64) core.Params {
+	return core.Params{
+		N: n, F: f, D: d,
+		Epsilon:    eps,
+		InputLower: 0, InputUpper: 10,
+	}
+}
+
+func randInputs(n, d int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestBatchThreeInstances(t *testing.T) {
+	const n = 5
+	cfg := BatchConfig{
+		N: n,
+		Instances: []Instance{
+			{Params: params(n, 1, 2, 0.1), Inputs: randInputs(n, 2, 1)},
+			{Params: params(n, 1, 1, 0.05), Inputs: randInputs(n, 1, 2)},
+			{Params: params(n, 1, 2, 0.2), Inputs: randInputs(n, 2, 3)},
+		},
+		Seed: 1,
+	}
+	result, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, outs := range result.Outputs {
+		if len(outs) != n {
+			t.Fatalf("instance %d: %d outputs, want %d", k, len(outs), n)
+		}
+		var polys []*polytope.Polytope
+		for _, p := range outs {
+			polys = append(polys, p)
+		}
+		d, err := polytope.MaxPairwiseHausdorff(polys, geom.DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > cfg.Instances[k].Params.Epsilon {
+			t.Errorf("instance %d: agreement %v > ε %v", k, d, cfg.Instances[k].Params.Epsilon)
+		}
+	}
+}
+
+func TestBatchIsolation(t *testing.T) {
+	// Two instances with disjoint input ranges: instance outputs must stay
+	// in their own ranges — no cross-instance leakage through the shared
+	// network.
+	const n = 5
+	low := make([]geom.Point, n)
+	high := make([]geom.Point, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		low[i] = geom.NewPoint(rng.Float64(), rng.Float64())      // in [0,1]^2
+		high[i] = geom.NewPoint(9+rng.Float64(), 9+rng.Float64()) // in [9,10]^2
+	}
+	cfg := BatchConfig{
+		N: n,
+		Instances: []Instance{
+			{Params: params(n, 1, 2, 0.1), Inputs: low},
+			{Params: params(n, 1, 2, 0.1), Inputs: high},
+		},
+		Seed: 4,
+	}
+	result, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range result.Outputs[0] {
+		_, hi, err := p.BoundingBox()
+		if err != nil || hi[0] > 1.01 || hi[1] > 1.01 {
+			t.Errorf("instance 0 output escaped its input range: %v", p)
+		}
+	}
+	for _, p := range result.Outputs[1] {
+		lo, _, err := p.BoundingBox()
+		if err != nil || lo[0] < 8.99 || lo[1] < 8.99 {
+			t.Errorf("instance 1 output escaped its input range: %v", p)
+		}
+	}
+}
+
+func TestBatchWithCrash(t *testing.T) {
+	const n = 5
+	cfg := BatchConfig{
+		N: n,
+		Instances: []Instance{
+			{Params: params(n, 1, 2, 0.1), Inputs: randInputs(n, 2, 5)},
+			{Params: params(n, 1, 2, 0.1), Inputs: randInputs(n, 2, 6)},
+		},
+		Faulty:  []dist.ProcID{2},
+		Crashes: []dist.CrashPlan{{Proc: 2, AfterSends: 25}},
+		Seed:    5,
+	}
+	result, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fault-free process decides in every instance.
+	for k, outs := range result.Outputs {
+		for i := 0; i < n; i++ {
+			if i == 2 {
+				continue
+			}
+			if _, ok := outs[dist.ProcID(i)]; !ok {
+				t.Errorf("instance %d: process %d did not decide", k, i)
+			}
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	good := BatchConfig{
+		N:         5,
+		Instances: []Instance{{Params: params(5, 1, 2, 0.1), Inputs: randInputs(5, 2, 1)}},
+	}
+	bad := good
+	bad.N = 0
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("N=0 should error")
+	}
+	bad = good
+	bad.Instances = nil
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("empty batch should error")
+	}
+	bad = good
+	bad.Instances = []Instance{{Params: params(4, 1, 2, 0.1), Inputs: randInputs(4, 2, 1)}}
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("instance n mismatch should error")
+	}
+	bad = good
+	bad.Instances = []Instance{{Params: params(5, 1, 2, 0.1), Inputs: randInputs(3, 2, 1)}}
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("input count mismatch should error")
+	}
+}
+
+func TestSplitKind(t *testing.T) {
+	idx, inner, ok := splitKind("i7|cc.state")
+	if !ok || idx != 7 || inner != "cc.state" {
+		t.Errorf("splitKind = %d %q %v", idx, inner, ok)
+	}
+	for _, bad := range []string{"cc.state", "i|x", "ix|y", "7|x", "i"} {
+		if _, _, ok := splitKind(bad); ok {
+			t.Errorf("splitKind(%q) should fail", bad)
+		}
+	}
+}
+
+// TestBatchOverConcurrentRuntime drives the same demux nodes with real
+// goroutines (package runtime) instead of the simulator.
+func TestBatchOverConcurrentRuntime(t *testing.T) {
+	const n = 5
+	cfg := BatchConfig{
+		N: n,
+		Instances: []Instance{
+			{Params: params(n, 1, 2, 0.3), Inputs: randInputs(n, 2, 7)},
+			{Params: params(n, 1, 1, 0.3), Inputs: randInputs(n, 1, 8)},
+		},
+	}
+	procs, collector, err := NewNodes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := runtime.NewChannelCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	outputs := collector.Outputs()
+	for k, outs := range outputs {
+		if len(outs) != n {
+			t.Fatalf("instance %d: %d outputs, want %d", k, len(outs), n)
+		}
+		var polys []*polytope.Polytope
+		for _, p := range outs {
+			polys = append(polys, p)
+		}
+		d, err := polytope.MaxPairwiseHausdorff(polys, geom.DefaultEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > cfg.Instances[k].Params.Epsilon {
+			t.Errorf("instance %d: agreement %v > ε", k, d)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package optimize
+
+import (
+	"fmt"
+
+	"chc/internal/byzantine"
+	"chc/internal/dist"
+)
+
+// ByzantineRunResult aggregates the 2-step algorithm over a Byzantine
+// execution: Step 1 runs the compiled (reliable-broadcast) convex hull
+// consensus, Step 2 minimises locally at each correct process.
+type ByzantineRunResult struct {
+	Consensus *byzantine.RunResult
+	Decisions map[dist.ProcID]FuncValue
+	Beta      float64
+}
+
+// MaxValueSpread returns max |c(y_i) - c(y_j)| over correct processes.
+func (r *ByzantineRunResult) MaxValueSpread() float64 {
+	var lo, hi float64
+	first := true
+	for _, id := range r.Consensus.Correct() {
+		fv, ok := r.Decisions[id]
+		if !ok {
+			continue
+		}
+		if first {
+			lo, hi = fv.Value, fv.Value
+			first = false
+			continue
+		}
+		if fv.Value < lo {
+			lo = fv.Value
+		}
+		if fv.Value > hi {
+			hi = fv.Value
+		}
+	}
+	return hi - lo
+}
+
+// RunByzantine executes the Section-7 2-step algorithm on top of the
+// Byzantine-compiled consensus: weak β-optimality then holds at the correct
+// processes even under fully Byzantine faults (with n >= 3f+1).
+func RunByzantine(cfg byzantine.RunConfig, cost CostFunc, beta float64) (*ByzantineRunResult, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("optimize: beta must be positive, got %v", beta)
+	}
+	b := cost.Lipschitz()
+	if b <= 0 {
+		return nil, fmt.Errorf("optimize: cost must have a positive Lipschitz constant, got %v", b)
+	}
+	cfg.Params.Epsilon = beta / b
+	consensus, err := byzantine.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	result := &ByzantineRunResult{
+		Consensus: consensus,
+		Decisions: make(map[dist.ProcID]FuncValue, len(consensus.Outputs)),
+		Beta:      beta,
+	}
+	for id, h := range consensus.Outputs {
+		fv, err := Minimize(cost, h, MinimizeOptions{Seed: int64(id) + 1})
+		if err != nil {
+			return nil, fmt.Errorf("optimize: byzantine step 2 at process %d: %w", id, err)
+		}
+		result.Decisions[id] = fv
+	}
+	return result, nil
+}

@@ -1,0 +1,67 @@
+package optimize
+
+import (
+	"testing"
+
+	"chc/internal/byzantine"
+	"chc/internal/core"
+	"chc/internal/geom"
+)
+
+func TestByzantineTwoStep(t *testing.T) {
+	inputs := []geom.Point{
+		pt(3, 3), pt(5, 2.5), pt(4.5, 5), pt(2.5, 4.5), pt(9, 9),
+	}
+	cfg := byzantine.RunConfig{
+		Params: core.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    1, // overwritten by RunByzantine
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: inputs,
+		Faults: []byzantine.Fault{{
+			Proc:     4,
+			Behavior: byzantine.Equivocator,
+		}},
+		Seed: 9,
+	}
+	cost := QuadraticCost{Target: pt(0, 0), Scale: 1, Radius: 15}
+	const beta = 0.6
+	res, err := RunByzantine(cfg, cost, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("%d decisions, want 4 (correct processes)", len(res.Decisions))
+	}
+	if spread := res.MaxValueSpread(); spread > beta {
+		t.Errorf("value spread %v exceeds beta %v", spread, beta)
+	}
+	// Validity: decisions in the correct-input hull.
+	hull, err := byzantine.CorrectInputHull(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, fv := range res.Decisions {
+		d, err := hull.Distance(fv.X, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-4 {
+			t.Errorf("process %d decision %v at distance %v from correct hull", id, fv.X, d)
+		}
+	}
+}
+
+func TestByzantineTwoStepValidation(t *testing.T) {
+	cfg := byzantine.RunConfig{
+		Params: core.Params{N: 5, F: 1, D: 2, Epsilon: 1, InputLower: 0, InputUpper: 10},
+		Inputs: []geom.Point{pt(1, 1), pt(1, 1), pt(1, 1), pt(1, 1), pt(1, 1)},
+	}
+	if _, err := RunByzantine(cfg, QuadraticCost{Target: pt(0, 0), Scale: 1, Radius: 1}, 0); err == nil {
+		t.Error("zero beta should error")
+	}
+	if _, err := RunByzantine(cfg, LinearCost{A: pt(0, 0)}, 0.5); err == nil {
+		t.Error("zero Lipschitz should error")
+	}
+}

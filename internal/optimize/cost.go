@@ -1,0 +1,112 @@
+// Package optimize implements convex hull function optimisation (Section 7
+// of the paper): minimising a cost function over the convex hull of the
+// inputs at fault-free processes, via the paper's 2-step algorithm —
+// (1) solve convex hull consensus with ε = β/b, (2) locally minimise the
+// cost over the decided polytope. The b-Lipschitz continuity of the cost
+// then yields weak β-optimality: |c(y_i) - c(y_j)| < β at any two fault-free
+// processes. ε-agreement on the minimisers themselves is NOT guaranteed —
+// Theorem 4 proves no algorithm can provide it for arbitrary costs — and
+// the package ships the paper's counterexample cost to demonstrate that.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"chc/internal/geom"
+)
+
+// CostFunc is a cost function c : R^d -> R with a known Lipschitz constant
+// over the input domain.
+type CostFunc interface {
+	// Eval returns c(x).
+	Eval(x geom.Point) float64
+	// Lipschitz returns a constant b with |c(x)-c(y)| <= b·d_E(x,y) over
+	// the relevant domain.
+	Lipschitz() float64
+}
+
+// GradCostFunc is a cost function with a gradient, enabling projected
+// gradient descent.
+type GradCostFunc interface {
+	CostFunc
+	// Grad returns ∇c(x).
+	Grad(x geom.Point) geom.Point
+}
+
+// LinearCost is c(x) = A·x + B. Its minimum over a polytope is attained at
+// a vertex, so minimisation is exact.
+type LinearCost struct {
+	A geom.Point
+	B float64
+}
+
+var _ CostFunc = LinearCost{}
+
+// Eval implements CostFunc.
+func (c LinearCost) Eval(x geom.Point) float64 { return c.A.Dot(x) + c.B }
+
+// Lipschitz implements CostFunc.
+func (c LinearCost) Lipschitz() float64 { return c.A.Norm() }
+
+// QuadraticCost is c(x) = Scale · ||x - Target||². It is convex and smooth;
+// its Lipschitz constant is taken over a ball of radius Radius around
+// Target (callers should set Radius to cover the input domain).
+type QuadraticCost struct {
+	Target geom.Point
+	Scale  float64
+	Radius float64
+}
+
+var _ GradCostFunc = QuadraticCost{}
+
+// Eval implements CostFunc.
+func (c QuadraticCost) Eval(x geom.Point) float64 {
+	d := geom.Dist(x, c.Target)
+	return c.Scale * d * d
+}
+
+// Grad implements GradCostFunc.
+func (c QuadraticCost) Grad(x geom.Point) geom.Point {
+	return x.Sub(c.Target).Scale(2 * c.Scale)
+}
+
+// Lipschitz implements CostFunc.
+func (c QuadraticCost) Lipschitz() float64 {
+	return 2 * math.Abs(c.Scale) * c.Radius
+}
+
+// Theorem4Cost is the cost function from the proof of Theorem 4:
+//
+//	c(x) = 4 - (2x - 1)²  for x in [0, 1],   c(x) = 3 otherwise  (d = 1).
+//
+// Over [0,1] it attains its minimum value 3 at BOTH endpoints, which is what
+// makes ε-agreement on the arg-min impossible: processes that agree on the
+// polytope [0,1] up to ε may still legitimately pick opposite endpoints.
+type Theorem4Cost struct{}
+
+var _ CostFunc = Theorem4Cost{}
+
+// Eval implements CostFunc.
+func (Theorem4Cost) Eval(x geom.Point) float64 {
+	v := x[0]
+	if v < 0 || v > 1 {
+		return 3
+	}
+	u := 2*v - 1
+	return 4 - u*u
+}
+
+// Lipschitz implements CostFunc: |c'(x)| = |4(2x-1)| <= 4 on [0,1].
+func (Theorem4Cost) Lipschitz() float64 { return 4 }
+
+// FuncValue pairs a point with its cost.
+type FuncValue struct {
+	X     geom.Point
+	Value float64
+}
+
+// String renders the pair.
+func (fv FuncValue) String() string {
+	return fmt.Sprintf("c(%v) = %.6g", fv.X, fv.Value)
+}

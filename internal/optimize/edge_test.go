@@ -1,0 +1,80 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// Edge cases of the minimisers.
+
+func TestGradientStartsAtOptimum(t *testing.T) {
+	// Target inside the polytope and equal to the centroid start: zero
+	// gradient at the very first step.
+	sq := mustPoly(t, pt(0, 0), pt(4, 0), pt(4, 4), pt(0, 4))
+	c := QuadraticCost{Target: pt(2, 2), Scale: 1, Radius: 10}
+	fv, err := Minimize(c, sq, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Value > 1e-9 {
+		t.Errorf("value = %v, want 0", fv.Value)
+	}
+}
+
+func TestMinimizeOnSegment(t *testing.T) {
+	// Degenerate feasible set: a segment in 2-D (Wolfe projection on a
+	// lower-dimensional hull).
+	seg := mustPoly(t, pt(0, 0), pt(4, 4))
+	c := QuadraticCost{Target: pt(4, 0), Scale: 1, Radius: 10}
+	fv, err := Minimize(c, seg, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection of (4,0) onto the line y=x is (2,2); cost = 8.
+	if math.Abs(fv.Value-8) > 1e-4 || !geom.Equal(fv.X, pt(2, 2), 1e-2) {
+		t.Errorf("segment min = %v, want c(2,2)=8", fv)
+	}
+}
+
+func TestMinimizeOnSegment3D(t *testing.T) {
+	seg := mustPoly(t, pt(0, 0, 0), pt(2, 2, 2))
+	c := QuadraticCost{Target: pt(2, 2, 0), Scale: 1, Radius: 10}
+	fv, err := Minimize(c, seg, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection of (2,2,0) onto span{(1,1,1)} within [0,2]^3 diag:
+	// t = (2+2+0)/3 = 4/3 -> point (4/3,4/3,4/3), cost = 2*(2/3)^2+(4/3)^2.
+	want := 2*math.Pow(2.0/3, 2) + math.Pow(4.0/3, 2)
+	if math.Abs(fv.Value-want) > 1e-4 {
+		t.Errorf("3-D segment min = %v, want %v", fv.Value, want)
+	}
+}
+
+func TestBlackBoxOnPoint(t *testing.T) {
+	p := polytope.FromPoint(pt(0.3))
+	fv, err := Minimize(Theorem4Cost{}, p, MinimizeOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.Equal(fv.X, pt(0.3), 1e-12) {
+		t.Errorf("point polytope must return the point, got %v", fv.X)
+	}
+}
+
+func TestTieTolOption(t *testing.T) {
+	// With a huge TieTol everything ties, so the first-considered candidate
+	// wins regardless of value; with zero (default) the better endpoint wins.
+	iv := mustPoly(t, pt(0), pt(1))
+	lin := struct{ CostFunc }{LinearCost{A: pt(1)}} // wrap to force black-box path
+	fv, err := Minimize(lin, iv, MinimizeOptions{Seed: 3, TieTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fv.Value) > 1e-9 {
+		t.Errorf("tight TieTol should find the true min 0, got %v", fv.Value)
+	}
+}

@@ -1,0 +1,196 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// MinimizeOptions tunes the polytope minimiser.
+type MinimizeOptions struct {
+	// Seed drives the sampling phase; when two processes break a tie
+	// between near-equal minima, different seeds model the "break ties
+	// arbitrarily" of Step 2.
+	Seed int64
+	// Samples is the number of Dirichlet starting samples (default 256).
+	Samples int
+	// Iters bounds the local-refinement iterations (default 200).
+	Iters int
+	// TieTol is the value tolerance below which two candidate minimisers
+	// are considered tied and the tie is broken by (seed-shuffled)
+	// consideration order (default 1e-9). This matters for costs with
+	// multiple exact global minima — the situation Theorem 4 exploits.
+	TieTol float64
+}
+
+func (o MinimizeOptions) withDefaults() MinimizeOptions {
+	if o.Samples == 0 {
+		o.Samples = 256
+	}
+	if o.Iters == 0 {
+		o.Iters = 200
+	}
+	if o.TieTol == 0 {
+		o.TieTol = 1e-9
+	}
+	return o
+}
+
+// Minimize returns an (approximate) minimiser of the cost over the
+// polytope. Strategy by cost class:
+//
+//   - LinearCost: exact — the minimum of a linear function over a polytope
+//     is attained at a vertex.
+//   - GradCostFunc: projected gradient descent with backtracking line
+//     search from several starts (exact up to tolerance for convex costs).
+//   - anything else: multi-start Dirichlet sampling over the vertex simplex
+//     followed by projected pattern search (a b·diam(h)-bounded heuristic,
+//     which is all a black-box Lipschitz cost admits).
+func Minimize(cost CostFunc, p *polytope.Polytope, opts MinimizeOptions) (FuncValue, error) {
+	opts = opts.withDefaults()
+	if p.NumVertices() == 0 {
+		return FuncValue{}, errors.New("optimize: empty polytope")
+	}
+	switch c := cost.(type) {
+	case LinearCost:
+		return minimizeLinear(c, p)
+	case GradCostFunc:
+		return minimizeGradient(c, p, opts)
+	default:
+		return minimizeBlackBox(cost, p, opts)
+	}
+}
+
+func minimizeLinear(c LinearCost, p *polytope.Polytope) (FuncValue, error) {
+	// Minimising A·x is maximising (-A)·x.
+	v, _, err := p.Support(c.A.Scale(-1))
+	if err != nil {
+		return FuncValue{}, err
+	}
+	return FuncValue{X: v, Value: c.Eval(v)}, nil
+}
+
+func minimizeGradient(c GradCostFunc, p *polytope.Polytope, opts MinimizeOptions) (FuncValue, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	starts := make([]geom.Point, 0, 4)
+	centroid, err := p.Centroid()
+	if err != nil {
+		return FuncValue{}, err
+	}
+	starts = append(starts, centroid)
+	for k := 0; k < 3; k++ {
+		s, err := p.Sample(rng)
+		if err != nil {
+			return FuncValue{}, err
+		}
+		starts = append(starts, s)
+	}
+	best := FuncValue{Value: math.Inf(1)}
+	for _, x0 := range starts {
+		fv, err := projectedGradientDescent(c, p, x0, opts.Iters)
+		if err != nil {
+			return FuncValue{}, err
+		}
+		if fv.Value < best.Value {
+			best = fv
+		}
+	}
+	return best, nil
+}
+
+func projectedGradientDescent(c GradCostFunc, p *polytope.Polytope, x0 geom.Point, iters int) (FuncValue, error) {
+	x := x0.Clone()
+	fx := c.Eval(x)
+	step := initialStep(p)
+	for k := 0; k < iters; k++ {
+		g := c.Grad(x)
+		gn := g.Norm()
+		if gn < 1e-12 {
+			break
+		}
+		improved := false
+		// Backtracking line search on the projected step.
+		for eta := step; eta > 1e-12*step; eta /= 2 {
+			cand, err := p.Nearest(x.AddScaled(-eta/gn, g), geom.DefaultEps)
+			if err != nil {
+				return FuncValue{}, fmt.Errorf("optimize: projection: %w", err)
+			}
+			if fc := c.Eval(cand); fc < fx-1e-15 {
+				x, fx = cand, fc
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break // projected stationary point
+		}
+	}
+	return FuncValue{X: x, Value: fx}, nil
+}
+
+func minimizeBlackBox(cost CostFunc, p *polytope.Polytope, opts MinimizeOptions) (FuncValue, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := FuncValue{Value: math.Inf(1)}
+	consider := func(x geom.Point) {
+		// Strictly-better-by-TieTol: near-equal minima keep the incumbent,
+		// so ties break by consideration order (which is seed-shuffled).
+		if v := cost.Eval(x); v < best.Value-opts.TieTol {
+			best = FuncValue{X: x, Value: v}
+		}
+	}
+	// Vertices and centroid are always candidates. The vertices are
+	// considered in a seed-shuffled order so that exact ties between
+	// distinct minimisers (e.g. the two endpoints of the Theorem 4 cost)
+	// break differently for different seeds — the "break ties arbitrarily"
+	// of the paper's Step 2.
+	verts := p.Vertices()
+	rng.Shuffle(len(verts), func(i, j int) { verts[i], verts[j] = verts[j], verts[i] })
+	for _, v := range verts {
+		consider(v)
+	}
+	if c, err := p.Centroid(); err == nil {
+		consider(c)
+	}
+	for k := 0; k < opts.Samples; k++ {
+		s, err := p.Sample(rng)
+		if err != nil {
+			return FuncValue{}, err
+		}
+		consider(s)
+	}
+	// Projected pattern search around the incumbent.
+	d := p.Dim()
+	step := initialStep(p)
+	for it := 0; it < opts.Iters && step > 1e-10; it++ {
+		moved := false
+		for axis := 0; axis < d; axis++ {
+			for _, sign := range []float64{1, -1} {
+				dir := geom.Zero(d)
+				dir[axis] = sign * step
+				cand, err := p.Nearest(best.X.Add(dir), geom.DefaultEps)
+				if err != nil {
+					return FuncValue{}, err
+				}
+				if v := cost.Eval(cand); v < best.Value-opts.TieTol {
+					best = FuncValue{X: cand, Value: v}
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			step /= 2
+		}
+	}
+	return best, nil
+}
+
+func initialStep(p *polytope.Polytope) float64 {
+	if d := p.Diameter(); d > 0 {
+		return d
+	}
+	return 1
+}

@@ -1,0 +1,229 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+const eps = 1e-9
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func mustPoly(t *testing.T, pts ...geom.Point) *polytope.Polytope {
+	t.Helper()
+	p, err := polytope.New(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMinimizeLinearExact(t *testing.T) {
+	tri := mustPoly(t, pt(0, 0), pt(4, 0), pt(0, 4))
+	fv, err := Minimize(LinearCost{A: pt(1, 1)}, tri, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fv.Value) > 1e-9 || !geom.Equal(fv.X, pt(0, 0), 1e-9) {
+		t.Errorf("linear min = %v", fv)
+	}
+	fv, err = Minimize(LinearCost{A: pt(-1, 0), B: 2}, tri, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fv.Value-(-2)) > 1e-9 {
+		t.Errorf("linear min = %v, want -2 at (4,0)", fv)
+	}
+}
+
+func TestMinimizeQuadraticInteriorMin(t *testing.T) {
+	sq := mustPoly(t, pt(0, 0), pt(4, 0), pt(4, 4), pt(0, 4))
+	c := QuadraticCost{Target: pt(1, 2), Scale: 1, Radius: 10}
+	fv, err := Minimize(c, sq, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Value > 1e-6 || !geom.Equal(fv.X, pt(1, 2), 1e-3) {
+		t.Errorf("interior quadratic min = %v", fv)
+	}
+}
+
+func TestMinimizeQuadraticExteriorMin(t *testing.T) {
+	sq := mustPoly(t, pt(0, 0), pt(4, 0), pt(4, 4), pt(0, 4))
+	c := QuadraticCost{Target: pt(6, 2), Scale: 1, Radius: 10}
+	fv, err := Minimize(c, sq, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection of (6,2) onto the square is (4,2), value 4.
+	if math.Abs(fv.Value-4) > 1e-4 || !geom.Equal(fv.X, pt(4, 2), 1e-2) {
+		t.Errorf("exterior quadratic min = %v, want c(4,2)=4", fv)
+	}
+}
+
+func TestMinimizeBlackBoxConcave(t *testing.T) {
+	iv := mustPoly(t, pt(0), pt(1))
+	fv, err := Minimize(Theorem4Cost{}, iv, MinimizeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fv.Value-3) > 1e-6 {
+		t.Errorf("theorem-4 min value = %v, want 3", fv.Value)
+	}
+	// Minimiser must be an endpoint.
+	if math.Abs(fv.X[0]) > 1e-4 && math.Abs(fv.X[0]-1) > 1e-4 {
+		t.Errorf("minimiser %v is not an endpoint", fv.X)
+	}
+}
+
+func TestMinimizePointPolytope(t *testing.T) {
+	p := polytope.FromPoint(pt(2, 3))
+	fv, err := Minimize(QuadraticCost{Target: pt(0, 0), Scale: 1, Radius: 5}, p, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fv.Value-13) > 1e-9 {
+		t.Errorf("point polytope min = %v, want 13", fv.Value)
+	}
+}
+
+func TestTheorem4CostShape(t *testing.T) {
+	c := Theorem4Cost{}
+	if got := c.Eval(pt(0.5)); math.Abs(got-4) > 1e-12 {
+		t.Errorf("c(0.5) = %v, want 4 (maximum)", got)
+	}
+	if got := c.Eval(pt(0)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("c(0) = %v, want 3", got)
+	}
+	if got := c.Eval(pt(1)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("c(1) = %v, want 3", got)
+	}
+	if got := c.Eval(pt(-5)); got != 3 {
+		t.Errorf("c(-5) = %v, want 3", got)
+	}
+	if c.Lipschitz() != 4 {
+		t.Errorf("Lipschitz = %v", c.Lipschitz())
+	}
+}
+
+func params(n, f, d int) core.Params {
+	return core.Params{
+		N: n, F: f, D: d,
+		Epsilon:    0.05,
+		InputLower: 0, InputUpper: 10,
+	}
+}
+
+func TestTwoStepWeakOptimality(t *testing.T) {
+	// Quadratic cost; weak β-optimality part (i): value spread <= β.
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]geom.Point, 5)
+	for i := range inputs {
+		inputs[i] = pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	cfg := core.RunConfig{
+		Params: params(5, 1, 2),
+		Inputs: inputs,
+		Faulty: []dist.ProcID{0},
+		Seed:   1,
+	}
+	cost := QuadraticCost{Target: pt(5, 5), Scale: 1, Radius: 15}
+	beta := 0.5
+	res, err := Run(cfg, cost, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread := res.MaxValueSpread(); spread > beta {
+		t.Errorf("value spread %v exceeds beta %v", spread, beta)
+	}
+	// Validity: every y_i in the correct-input hull.
+	hull, err := core.CorrectInputHull(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, fv := range res.Decisions {
+		d, err := hull.Distance(fv.X, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-4 {
+			t.Errorf("process %d decision %v at distance %v from correct hull", id, fv.X, d)
+		}
+	}
+}
+
+func TestTwoStepIdenticalInputsPartII(t *testing.T) {
+	// Weak β-optimality part (ii): with 2f+1 identical inputs x*, every
+	// fault-free decision has c(y_i) <= c(x*).
+	xStar := pt(2, 2)
+	inputs := []geom.Point{xStar, xStar, xStar, pt(9, 1), pt(1, 9)}
+	cfg := core.RunConfig{
+		Params: params(5, 1, 2),
+		Inputs: inputs,
+		Seed:   2,
+	}
+	cost := QuadraticCost{Target: pt(0, 0), Scale: 1, Radius: 15}
+	res, err := Run(cfg, cost, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := cost.Eval(xStar)
+	for id, fv := range res.Decisions {
+		if fv.Value > cx+1e-6 {
+			t.Errorf("process %d: c(y)=%v > c(x*)=%v", id, fv.Value, cx)
+		}
+	}
+}
+
+func TestTwoStepTheorem4Disagreement(t *testing.T) {
+	// The impossibility scenario: binary inputs, paper cost. All processes
+	// achieve value 3 (weak optimality) but the arg-min spread can be ~1:
+	// ε-agreement on y_i fails, exactly as Theorem 4 predicts.
+	inputs := []geom.Point{pt(0), pt(1), pt(0), pt(1), pt(0), pt(1), pt(0), pt(1), pt(0)}
+	cfg := core.RunConfig{
+		Params: core.Params{N: 9, F: 2, D: 1, Epsilon: 1, InputLower: 0, InputUpper: 1},
+		Inputs: inputs,
+		Seed:   3,
+	}
+	res, err := Run(cfg, Theorem4Cost{}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread := res.MaxValueSpread(); spread > 0.4+1e-9 {
+		t.Errorf("value spread %v exceeds beta", spread)
+	}
+	// With h_i ~= [0,1] and per-process tie-breaking, arg spreads near 1
+	// occur; at minimum the demo must show values pinned at ~3.
+	for id, fv := range res.Decisions {
+		if math.Abs(fv.Value-3) > 0.45 {
+			t.Errorf("process %d: value %v not near the double minimum 3", id, fv.Value)
+		}
+	}
+	t.Logf("arg-min spread = %v (Theorem 4: cannot be bounded)", res.MaxArgSpread())
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := core.RunConfig{Params: params(5, 1, 2), Inputs: make([]geom.Point, 5)}
+	for i := range cfg.Inputs {
+		cfg.Inputs[i] = pt(1, 1)
+	}
+	if _, err := Run(cfg, QuadraticCost{Target: pt(0, 0), Scale: 1, Radius: 1}, 0); err == nil {
+		t.Error("zero beta should error")
+	}
+	if _, err := Run(cfg, LinearCost{A: pt(0, 0)}, 0.1); err == nil {
+		t.Error("zero Lipschitz should error")
+	}
+}
+
+func TestFuncValueString(t *testing.T) {
+	fv := FuncValue{X: pt(1, 2), Value: 3.5}
+	if fv.String() == "" {
+		t.Error("empty String")
+	}
+}

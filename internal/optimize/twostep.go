@@ -1,0 +1,108 @@
+package optimize
+
+import (
+	"fmt"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+)
+
+// RunResult aggregates the outputs of the 2-step algorithm.
+type RunResult struct {
+	// Consensus is the underlying convex hull consensus result of Step 1.
+	Consensus *core.RunResult
+	// Decisions maps each decided process to its (y_i, c(y_i)) of Step 2.
+	Decisions map[dist.ProcID]FuncValue
+	// Beta is the achieved weak-optimality budget (β = ε·b).
+	Beta float64
+}
+
+// MaxValueSpread returns max |c(y_i) - c(y_j)| over fault-free processes —
+// the quantity that weak β-optimality bounds by β.
+func (r *RunResult) MaxValueSpread() float64 {
+	var lo, hi float64
+	first := true
+	for _, id := range faultFree(r.Consensus) {
+		fv, ok := r.Decisions[id]
+		if !ok {
+			continue
+		}
+		if first {
+			lo, hi = fv.Value, fv.Value
+			first = false
+			continue
+		}
+		if fv.Value < lo {
+			lo = fv.Value
+		}
+		if fv.Value > hi {
+			hi = fv.Value
+		}
+	}
+	return hi - lo
+}
+
+// MaxArgSpread returns max d_E(y_i, y_j) over fault-free processes — the
+// quantity Theorem 4 proves CANNOT be bounded for arbitrary costs.
+func (r *RunResult) MaxArgSpread() float64 {
+	ids := faultFree(r.Consensus)
+	var worst float64
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			a, oka := r.Decisions[ids[i]]
+			b, okb := r.Decisions[ids[j]]
+			if !oka || !okb {
+				continue
+			}
+			d := a.X.Sub(b.X).Norm()
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func faultFree(r *core.RunResult) []dist.ProcID {
+	if r == nil {
+		return nil
+	}
+	return r.FaultFree()
+}
+
+// Run executes the 2-step convex hull function optimisation algorithm:
+//
+//	Step 1: convex hull consensus with ε = β / b  (b = cost's Lipschitz constant).
+//	Step 2: y_i = arg min over h_i of c, ties broken arbitrarily
+//	        (here: by a per-process sampling seed).
+//
+// The returned decisions satisfy validity, termination and weak
+// β-optimality part (i): |c(y_i) - c(y_j)| <= ε·b = β. They need NOT be
+// within ε of each other — see Theorem4Cost and experiment E8.
+func Run(cfg core.RunConfig, cost CostFunc, beta float64) (*RunResult, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("optimize: beta must be positive, got %v", beta)
+	}
+	b := cost.Lipschitz()
+	if b <= 0 {
+		return nil, fmt.Errorf("optimize: cost must have a positive Lipschitz constant, got %v", b)
+	}
+	cfg.Params.Epsilon = beta / b
+	consensus, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	result := &RunResult{
+		Consensus: consensus,
+		Decisions: make(map[dist.ProcID]FuncValue, len(consensus.Outputs)),
+		Beta:      beta,
+	}
+	for id, h := range consensus.Outputs {
+		fv, err := Minimize(cost, h, MinimizeOptions{Seed: int64(id) + 1})
+		if err != nil {
+			return nil, fmt.Errorf("optimize: step 2 at process %d: %w", id, err)
+		}
+		result.Decisions[id] = fv
+	}
+	return result, nil
+}

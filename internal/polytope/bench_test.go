@@ -1,0 +1,87 @@
+package polytope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chc/internal/geom"
+)
+
+func benchPolys(b *testing.B, d, k int, seed int64) (*Polytope, *Polytope) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(off float64) *Polytope {
+		pts := make([]geom.Point, k)
+		for i := range pts {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = off + rng.Float64()*4
+			}
+			pts[i] = p
+		}
+		poly, err := New(pts, eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return poly
+	}
+	return mk(0), mk(1)
+}
+
+func BenchmarkIntersect3D(b *testing.B) {
+	p, q := benchPolys(b, 3, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Intersect([]*Polytope{p, q}, eps); err != nil && err != ErrEmpty {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAverage3D(b *testing.B) {
+	p, q := benchPolys(b, 3, 8, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Average([]*Polytope{p, q}, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWolfeProjection3D(b *testing.B) {
+	p, _ := benchPolys(b, 3, 12, 3)
+	q := geom.NewPoint(10, 10, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Distance(q, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLimitVertices(b *testing.B) {
+	poly, err := New(regularPolygonBench(64, 3), eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LimitVertices(poly, 8, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func regularPolygonBench(k int, radius float64) []geom.Point {
+	pts := make([]geom.Point, k)
+	for i := 0; i < k; i++ {
+		a := 2 * math.Pi * float64(i) / float64(k)
+		pts[i] = geom.NewPoint(radius*math.Cos(a), radius*math.Sin(a))
+	}
+	return pts
+}

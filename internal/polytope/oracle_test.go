@@ -1,0 +1,190 @@
+package polytope
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chc/internal/geom"
+)
+
+// randomPoly3D builds the hull of k random points in a box.
+func randomPoly3D(rng *rand.Rand, k int, lo, hi float64) (*Polytope, error) {
+	pts := make([]geom.Point, k)
+	for i := range pts {
+		pts[i] = geom.NewPoint(
+			lo+rng.Float64()*(hi-lo),
+			lo+rng.Float64()*(hi-lo),
+			lo+rng.Float64()*(hi-lo),
+		)
+	}
+	return New(pts, eps)
+}
+
+// Property: the 3-D intersection agrees with a membership oracle — a point
+// is in Intersect(a, b) iff it is in a AND in b (up to a boundary band).
+func TestIntersect3DAgainstMembershipOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := randomPoly3D(rng, 6+rng.Intn(5), 0, 4)
+		if err != nil {
+			return false
+		}
+		b, err := randomPoly3D(rng, 6+rng.Intn(5), 1, 5)
+		if err != nil {
+			return false
+		}
+		inter, err := Intersect([]*Polytope{a, b}, eps)
+		if errors.Is(err, ErrEmpty) {
+			// Soundness of emptiness: no sampled point of a may be strictly
+			// interior to b (by a clear margin on every facet) — such a
+			// point would witness a non-empty intersection.
+			for trial := 0; trial < 40; trial++ {
+				q, err := a.Sample(rng)
+				if err != nil {
+					return false
+				}
+				if strictlyInside(b, q, 1e-6) {
+					return false
+				}
+			}
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		const band = 1e-4
+		for trial := 0; trial < 25; trial++ {
+			// Points sampled from the reported intersection must be in both.
+			q, err := inter.Sample(rng)
+			if err != nil {
+				return false
+			}
+			da, err1 := a.Distance(q, eps)
+			db, err2 := b.Distance(q, eps)
+			if err1 != nil || err2 != nil || da > band || db > band {
+				return false
+			}
+			// Random points in both operands must be in the intersection.
+			p, err := a.Sample(rng)
+			if err != nil {
+				return false
+			}
+			inB, err := b.Contains(p, eps)
+			if err != nil {
+				return false
+			}
+			if inB {
+				di, err := inter.Distance(p, eps)
+				if err != nil || di > band {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// strictlyInside reports whether q satisfies every facet of p with margin.
+func strictlyInside(p *Polytope, q geom.Point, margin float64) bool {
+	facets, err := p.Facets(eps)
+	if err != nil {
+		return false
+	}
+	for _, f := range facets {
+		if f.Eval(q) > -margin {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMinkowski3DCubes(t *testing.T) {
+	cube := func(o, s float64) *Polytope {
+		var pts []geom.Point
+		for _, x := range []float64{o, o + s} {
+			for _, y := range []float64{o, o + s} {
+				for _, z := range []float64{o, o + s} {
+					pts = append(pts, geom.NewPoint(x, y, z))
+				}
+			}
+		}
+		p, err := New(pts, eps)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	a, b := cube(0, 1), cube(0, 2)
+	sum, err := Average([]*Polytope{a, b}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average of cubes with sides 1 and 2 is a cube with side 1.5.
+	vol, err := sum.Volume(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(1.5, 3); math.Abs(vol-want) > 1e-6 {
+		t.Errorf("average volume = %v, want %v", vol, want)
+	}
+	if sum.NumVertices() != 8 {
+		t.Errorf("average of cubes has %d vertices, want 8", sum.NumVertices())
+	}
+}
+
+func TestMinkowski3DCubePlusPoint(t *testing.T) {
+	var pts []geom.Point
+	for _, x := range []float64{0, 1} {
+		for _, y := range []float64{0, 1} {
+			for _, z := range []float64{0, 1} {
+				pts = append(pts, geom.NewPoint(x, y, z))
+			}
+		}
+	}
+	cube, err := New(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := FromPoint(geom.NewPoint(5, 5, 5))
+	got, err := LinearCombination([]*Polytope{cube, shift}, []float64{0.5, 0.5}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5*cube + 0.5*{(5,5,5)} = cube of side 0.5 at (2.5, 2.5, 2.5).
+	lo, hi, err := got.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(lo[j]-2.5) > 1e-9 || math.Abs(hi[j]-3) > 1e-9 {
+			t.Errorf("axis %d: [%v, %v], want [2.5, 3]", j, lo[j], hi[j])
+		}
+	}
+}
+
+// Property: volume of the average of a polytope with itself is unchanged
+// (L([h,h];[1/2,1/2]) = h for convex h).
+func TestSelfAverageIdentity3D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := randomPoly3D(rng, 5+rng.Intn(6), 0, 5)
+		if err != nil {
+			return false
+		}
+		avg, err := Average([]*Polytope{p, p}, eps)
+		if err != nil {
+			return false
+		}
+		same, err := Equal(avg, p, 1e-6)
+		return err == nil && same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package rbc
+
+import (
+	"testing"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+func benchBroadcastAll(b *testing.B, n, f int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		procs := make([]dist.Process, n)
+		for p := 0; p < n; p++ {
+			h, err := newHost(dist.ProcID(p), n, f, wire.IntPayload{Value: int64(p)}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			procs[p] = h
+		}
+		sim, err := dist.NewSim(dist.Config{N: n, Seed: int64(i + 1)}, procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReliableBroadcastN4(b *testing.B)  { benchBroadcastAll(b, 4, 1) }
+func BenchmarkReliableBroadcastN7(b *testing.B)  { benchBroadcastAll(b, 7, 2) }
+func BenchmarkReliableBroadcastN10(b *testing.B) { benchBroadcastAll(b, 10, 3) }

@@ -1,0 +1,173 @@
+// Package rbc implements Bracha's asynchronous reliable broadcast, the
+// communication substrate of the crash→Byzantine transformation the paper
+// cites (Coan's compiler [6], also Attiya & Welch [3]). With n >= 3f + 1
+// processes of which at most f are Byzantine, every broadcast instance
+// (origin, seq) satisfies:
+//
+//   - Validity:  if a correct process broadcasts v, every correct process
+//     eventually delivers (origin, seq, v).
+//   - Agreement: no two correct processes deliver different values for the
+//     same (origin, seq) — equivocation is masked.
+//   - Totality:  if any correct process delivers, every correct process
+//     eventually delivers.
+//
+// The protocol is the classical INIT → ECHO → READY cascade: echo on the
+// origin's INIT, ready after (n+f)/2+1 matching echoes or f+1 matching
+// readys (amplification), deliver after 2f+1 matching readys. Payload
+// identity uses the canonical wire encoding (wire.PayloadKey), so malformed
+// payloads from Byzantine processes are rejected at the boundary.
+package rbc
+
+import (
+	"fmt"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+// Message kinds used by the protocol.
+const (
+	KindInit  = "rbc.init"
+	KindEcho  = "rbc.echo"
+	KindReady = "rbc.ready"
+)
+
+// Tag identifies one broadcast instance.
+type Tag struct {
+	Origin dist.ProcID
+	Seq    int32
+}
+
+// Delivery is one delivered broadcast.
+type Delivery struct {
+	Tag     Tag
+	Payload any
+}
+
+// RBC is one process's reliable broadcast engine, multiplexing any number
+// of concurrent instances. It is a passive state machine driven by its host
+// (route KindInit/KindEcho/KindReady messages to Handle); deliveries are
+// returned from Handle as they occur.
+type RBC struct {
+	id dist.ProcID
+	n  int
+	f  int
+
+	inst map[Tag]*instance
+}
+
+// instance tracks one (origin, seq) broadcast.
+type instance struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[string]map[dist.ProcID]bool // payload key -> echoers
+	readies   map[string]map[dist.ProcID]bool // payload key -> ready senders
+	payloads  map[string]any                  // payload key -> payload value
+}
+
+// New builds an engine; requires n >= 3f + 1.
+func New(id dist.ProcID, n, f int) (*RBC, error) {
+	if f < 0 || n < 3*f+1 {
+		return nil, fmt.Errorf("rbc: need n >= 3f+1, got n=%d f=%d", n, f)
+	}
+	return &RBC{id: id, n: n, f: f, inst: make(map[Tag]*instance)}, nil
+}
+
+// Broadcast reliably broadcasts a payload under the given sequence number.
+// The origin's own delivery happens through the normal echo/ready flow
+// (Handle), so the returned deliveries — if any — come from instances that
+// completed synchronously (single-process corner cases).
+func (r *RBC) Broadcast(ctx dist.Context, seq int32, payload any) ([]Delivery, error) {
+	if _, err := wire.PayloadKey(payload); err != nil {
+		return nil, fmt.Errorf("rbc: unencodable payload: %w", err)
+	}
+	rp := wire.RBCPayload{Origin: r.id, Seq: seq, Inner: payload}
+	ctx.Broadcast(KindInit, int(seq), rp)
+	// Process our own INIT locally (the network does not loop back).
+	return r.Handle(ctx, dist.Message{From: r.id, To: r.id, Kind: KindInit, Round: int(seq), Payload: rp}), nil
+}
+
+// Handle processes one protocol message and returns any deliveries it
+// triggered. Malformed or Byzantine-inconsistent messages are dropped.
+func (r *RBC) Handle(ctx dist.Context, msg dist.Message) []Delivery {
+	rp, ok := msg.Payload.(wire.RBCPayload)
+	if !ok {
+		return nil
+	}
+	key, err := wire.PayloadKey(rp.Inner)
+	if err != nil {
+		return nil // garbage payload
+	}
+	tag := Tag{Origin: rp.Origin, Seq: rp.Seq}
+	in := r.inst[tag]
+	if in == nil {
+		in = &instance{
+			echoes:   make(map[string]map[dist.ProcID]bool),
+			readies:  make(map[string]map[dist.ProcID]bool),
+			payloads: make(map[string]any),
+		}
+		r.inst[tag] = in
+	}
+	in.payloads[key] = rp.Inner
+
+	switch msg.Kind {
+	case KindInit:
+		// Only the origin's own INIT counts; anyone else claiming to INIT
+		// for another origin is Byzantine noise.
+		if msg.From != tag.Origin {
+			return nil
+		}
+		if !in.sentEcho {
+			in.sentEcho = true
+			ctx.Broadcast(KindEcho, msg.Round, rp)
+			return r.record(ctx, in, tag, key, rp, in.echoes, r.id, msg.Round)
+		}
+	case KindEcho:
+		return r.record(ctx, in, tag, key, rp, in.echoes, msg.From, msg.Round)
+	case KindReady:
+		return r.record(ctx, in, tag, key, rp, in.readies, msg.From, msg.Round)
+	}
+	return nil
+}
+
+// record registers a vote and fires the threshold transitions.
+func (r *RBC) record(ctx dist.Context, in *instance, tag Tag, key string, rp wire.RBCPayload, votes map[string]map[dist.ProcID]bool, from dist.ProcID, round int) []Delivery {
+	set := votes[key]
+	if set == nil {
+		set = make(map[dist.ProcID]bool)
+		votes[key] = set
+	}
+	if set[from] {
+		return nil // duplicate vote
+	}
+	set[from] = true
+
+	var out []Delivery
+	echoThreshold := (r.n+r.f)/2 + 1
+	// ECHO threshold -> send READY.
+	if len(in.echoes[key]) >= echoThreshold && !in.sentReady {
+		in.sentReady = true
+		ctx.Broadcast(KindReady, round, rp)
+		out = append(out, r.record(ctx, in, tag, key, rp, in.readies, r.id, round)...)
+	}
+	// READY amplification: f+1 readys -> send READY even without echoes.
+	if len(in.readies[key]) >= r.f+1 && !in.sentReady {
+		in.sentReady = true
+		ctx.Broadcast(KindReady, round, rp)
+		out = append(out, r.record(ctx, in, tag, key, rp, in.readies, r.id, round)...)
+	}
+	// Delivery: 2f+1 readys.
+	if len(in.readies[key]) >= 2*r.f+1 && !in.delivered {
+		in.delivered = true
+		out = append(out, Delivery{Tag: tag, Payload: in.payloads[key]})
+	}
+	return out
+}
+
+// Delivered reports whether the given instance has delivered at this
+// process.
+func (r *RBC) Delivered(tag Tag) bool {
+	in := r.inst[tag]
+	return in != nil && in.delivered
+}

@@ -1,0 +1,305 @@
+package rbc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/wire"
+)
+
+// host runs an RBC engine and broadcasts one value at Init.
+type host struct {
+	rbc       *RBC
+	value     any
+	expect    int // finish after this many deliveries
+	delivered map[Tag]any
+}
+
+func newHost(id dist.ProcID, n, f int, value any, expect int) (*host, error) {
+	engine, err := New(id, n, f)
+	if err != nil {
+		return nil, err
+	}
+	return &host{rbc: engine, value: value, expect: expect, delivered: make(map[Tag]any)}, nil
+}
+
+func (h *host) Init(ctx dist.Context) {
+	if h.value == nil {
+		return
+	}
+	ds, err := h.rbc.Broadcast(ctx, 0, h.value)
+	if err != nil {
+		panic(err) // test-only host; construction validated the payload
+	}
+	h.absorb(ds)
+}
+
+func (h *host) Deliver(ctx dist.Context, msg dist.Message) {
+	h.absorb(h.rbc.Handle(ctx, msg))
+}
+
+func (h *host) absorb(ds []Delivery) {
+	for _, d := range ds {
+		h.delivered[d.Tag] = d.Payload
+	}
+}
+
+func (h *host) Done() bool { return len(h.delivered) >= h.expect }
+
+// equivocator sends different INIT values to different processes.
+type equivocator struct{ id dist.ProcID }
+
+func (e *equivocator) Init(ctx dist.Context) {
+	for to := dist.ProcID(0); int(to) < ctx.N(); to++ {
+		if to == e.id {
+			continue
+		}
+		v := wire.PointPayload{Value: geom.NewPoint(float64(to))} // per-target value
+		ctx.Send(to, KindInit, 0, wire.RBCPayload{Origin: e.id, Seq: 0, Inner: v})
+	}
+}
+func (e *equivocator) Deliver(dist.Context, dist.Message) {}
+func (e *equivocator) Done() bool                         { return true }
+
+// garbler floods malformed protocol messages.
+type garbler struct{ id dist.ProcID }
+
+func (g *garbler) Init(ctx dist.Context) {
+	ctx.Broadcast(KindInit, 0, "not an RBC payload")
+	ctx.Broadcast(KindEcho, 0, wire.RBCPayload{Origin: 99, Seq: 0, Inner: wire.IntPayload{Value: 1}})
+	ctx.Broadcast(KindReady, 0, wire.RBCPayload{Origin: g.id, Seq: 0, Inner: struct{ X chan int }{}})
+}
+func (g *garbler) Deliver(dist.Context, dist.Message) {}
+func (g *garbler) Done() bool                         { return true }
+
+func TestAllCorrectDeliverAll(t *testing.T) {
+	const n, f = 4, 1
+	hosts := make([]*host, n)
+	procs := make([]dist.Process, n)
+	for i := 0; i < n; i++ {
+		h, err := newHost(dist.ProcID(i), n, f, wire.IntPayload{Value: int64(i * 10)}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		procs[i] = h
+	}
+	sim, err := dist.NewSim(dist.Config{N: n, Seed: 1}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hosts {
+		for origin := 0; origin < n; origin++ {
+			got, ok := h.delivered[Tag{Origin: dist.ProcID(origin), Seq: 0}]
+			if !ok {
+				t.Fatalf("process %d missed broadcast from %d", i, origin)
+			}
+			want := wire.IntPayload{Value: int64(origin * 10)}
+			if got != want {
+				t.Errorf("process %d delivered %v from %d, want %v", i, got, origin, want)
+			}
+		}
+	}
+}
+
+func TestEquivocationNeverSplits(t *testing.T) {
+	// n=4, f=1: process 3 equivocates. Correct processes may or may not
+	// deliver its broadcast, but any that do must deliver the SAME value.
+	for seed := int64(1); seed <= 20; seed++ {
+		const n, f = 4, 1
+		hosts := make([]*host, 3)
+		procs := make([]dist.Process, n)
+		for i := 0; i < 3; i++ {
+			// expect 3: own + two other correct broadcasts (the equivocator
+			// may never deliver).
+			h, err := newHost(dist.ProcID(i), n, f, wire.IntPayload{Value: int64(i)}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts[i] = h
+			procs[i] = h
+		}
+		procs[3] = &equivocator{id: 3}
+		sim, err := dist.NewSim(dist.Config{N: n, Seed: seed}, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tag := Tag{Origin: 3, Seq: 0}
+		var first any
+		for i, h := range hosts {
+			v, ok := h.delivered[tag]
+			if !ok {
+				continue
+			}
+			if first == nil {
+				first = v
+				continue
+			}
+			if v != first {
+				t.Fatalf("seed %d: processes delivered different values from the equivocator: %v vs %v (process %d)", seed, first, v, i)
+			}
+		}
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	const n, f = 4, 1
+	hosts := make([]*host, 3)
+	procs := make([]dist.Process, n)
+	for i := 0; i < 3; i++ {
+		h, err := newHost(dist.ProcID(i), n, f, wire.IntPayload{Value: int64(i)}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		procs[i] = h
+	}
+	procs[3] = &garbler{id: 3}
+	sim, err := dist.NewSim(dist.Config{N: n, Seed: 5}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hosts {
+		if len(h.delivered) < 3 {
+			t.Errorf("process %d delivered %d broadcasts, want 3", i, len(h.delivered))
+		}
+		// Nothing from the garbler must be delivered.
+		if _, ok := h.delivered[Tag{Origin: 3, Seq: 0}]; ok {
+			t.Errorf("process %d delivered the garbler's malformed broadcast", i)
+		}
+	}
+}
+
+func TestSilentByzantineTotality(t *testing.T) {
+	// Process 3 never sends; the other three complete their broadcasts.
+	const n, f = 4, 1
+	hosts := make([]*host, 3)
+	procs := make([]dist.Process, n)
+	for i := 0; i < 3; i++ {
+		h, err := newHost(dist.ProcID(i), n, f, wire.IntPayload{Value: int64(i)}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		procs[i] = h
+	}
+	silent, err := newHost(3, n, f, nil, 0) // broadcasts nothing
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs[3] = silent
+	sim, err := dist.NewSim(dist.Config{N: n, Seed: 6}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hosts {
+		if len(h.delivered) != 3 {
+			t.Errorf("process %d delivered %d, want 3", i, len(h.delivered))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, 1); err == nil {
+		t.Error("n < 3f+1 should error")
+	}
+	if _, err := New(0, 4, -1); err == nil {
+		t.Error("negative f should error")
+	}
+}
+
+func TestBroadcastUnencodable(t *testing.T) {
+	r, err := New(0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Broadcast(nopCtx{}, 0, struct{ C chan int }{}); err == nil {
+		t.Error("unencodable payload should error")
+	}
+}
+
+type nopCtx struct{}
+
+func (nopCtx) ID() dist.ProcID                    { return 0 }
+func (nopCtx) N() int                             { return 4 }
+func (nopCtx) Send(dist.ProcID, string, int, any) {}
+func (nopCtx) Broadcast(string, int, any)         {}
+
+// Property: agreement and totality hold across random schedules, a random
+// Byzantine behaviour and a crash plan.
+func TestPropertiesRandom(t *testing.T) {
+	fn := func(seed int64, byzRaw, kindRaw uint8) bool {
+		const n, f = 4, 1
+		byz := dist.ProcID(byzRaw % n)
+		hosts := make(map[dist.ProcID]*host)
+		procs := make([]dist.Process, n)
+		for i := dist.ProcID(0); int(i) < n; i++ {
+			if i == byz {
+				switch kindRaw % 3 {
+				case 0:
+					procs[i] = &equivocator{id: i}
+				case 1:
+					procs[i] = &garbler{id: i}
+				default:
+					s, err := newHost(i, n, f, nil, 0)
+					if err != nil {
+						return false
+					}
+					procs[i] = s
+				}
+				continue
+			}
+			h, err := newHost(i, n, f, wire.IntPayload{Value: int64(i)}, 3)
+			if err != nil {
+				return false
+			}
+			hosts[i] = h
+			procs[i] = h
+		}
+		sim, err := dist.NewSim(dist.Config{N: n, Seed: seed}, procs)
+		if err != nil {
+			return false
+		}
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		// Agreement on every tag delivered by more than one correct process.
+		values := make(map[Tag]any)
+		for _, h := range hosts {
+			for tag, v := range h.delivered {
+				if prev, ok := values[tag]; ok && prev != v {
+					return false
+				}
+				values[tag] = v
+			}
+		}
+		// Validity: every correct broadcast delivered everywhere.
+		for id := range hosts {
+			tag := Tag{Origin: id, Seq: 0}
+			for _, h := range hosts {
+				if _, ok := h.delivered[tag]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}

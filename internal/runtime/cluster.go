@@ -1,0 +1,265 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+)
+
+// ErrTimeout is returned by Run when the protocol does not complete within
+// the deadline.
+var ErrTimeout = errors.New("runtime: protocol did not complete before the deadline")
+
+// transport moves messages between nodes. Implementations must preserve
+// per-sender FIFO order and deliver each message at most once.
+type transport interface {
+	// Send hands a message to the network; it must not block indefinitely.
+	Send(msg dist.Message) error
+	// Close releases network resources.
+	Close() error
+}
+
+// Cluster runs n protocol state machines concurrently, one goroutine per
+// process, over an in-process or TCP transport.
+type Cluster struct {
+	procs  []dist.Process
+	inbox  []*mailbox
+	trans  []transport
+	budget []int64 // remaining sends before simulated crash; -1 = unlimited
+
+	sends atomic.Int64
+	bytes atomic.Int64
+	sizer func(dist.Message) int
+}
+
+// Option configures a Cluster.
+type Option interface {
+	apply(*Cluster)
+}
+
+type crashOption struct{ plans []dist.CrashPlan }
+
+func (o crashOption) apply(c *Cluster) {
+	for _, p := range o.plans {
+		if p.Proc >= 0 && int(p.Proc) < len(c.budget) {
+			c.budget[p.Proc] = int64(p.AfterSends)
+		}
+	}
+}
+
+// WithCrashes injects crash faults: each process stops after its AfterSends
+// budget, mid-broadcast if the budget lands there.
+func WithCrashes(plans ...dist.CrashPlan) Option {
+	return crashOption{plans: plans}
+}
+
+type sizerOption struct{ fn func(dist.Message) int }
+
+func (o sizerOption) apply(c *Cluster) { c.sizer = o.fn }
+
+// WithSizer installs a payload size estimator for byte accounting.
+func WithSizer(fn func(dist.Message) int) Option {
+	return sizerOption{fn: fn}
+}
+
+// NewChannelCluster builds a cluster connected by in-process mailboxes.
+func NewChannelCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
+	c, err := newCluster(procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range procs {
+		c.trans[i] = &channelTransport{cluster: c, from: dist.ProcID(i)}
+	}
+	return c, nil
+}
+
+func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
+	if len(procs) == 0 {
+		return nil, errors.New("runtime: no processes")
+	}
+	c := &Cluster{
+		procs:  procs,
+		inbox:  make([]*mailbox, len(procs)),
+		trans:  make([]transport, len(procs)),
+		budget: make([]int64, len(procs)),
+	}
+	for i := range procs {
+		c.inbox[i] = newMailbox()
+		c.budget[i] = -1
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c, nil
+}
+
+// Stats reports aggregate message counts after (or during) a run.
+func (c *Cluster) Stats() (sends, bytes int64) {
+	return c.sends.Load(), c.bytes.Load()
+}
+
+// Run initialises every process and pumps messages until all live processes
+// report Done, then shuts the transports down. It returns ErrTimeout if the
+// protocol fails to converge in time.
+func (c *Cluster) Run(timeout time.Duration) error {
+	n := len(c.procs)
+	done := make([]atomic.Bool, n)
+	crashed := make([]atomic.Bool, n)
+
+	var wg sync.WaitGroup
+	for i := range c.procs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := dist.ProcID(i)
+			ctx := &nodeContext{cluster: c, id: id, n: n, crashed: &crashed[i]}
+			if c.budget[i] == 0 {
+				crashed[i].Store(true)
+				return
+			}
+			c.procs[i].Init(ctx)
+			if c.procs[i].Done() {
+				done[i].Store(true)
+			}
+			for {
+				msg, err := c.inbox[i].Pop()
+				if err != nil {
+					return
+				}
+				if crashed[i].Load() {
+					continue
+				}
+				c.procs[i].Deliver(ctx, msg)
+				if c.procs[i].Done() {
+					done[i].Store(true)
+				}
+			}
+		}()
+	}
+
+	// Monitor: finish when every live process is done, or time out.
+	deadline := time.Now().Add(timeout)
+	finished := false
+	for time.Now().Before(deadline) {
+		all := true
+		for i := 0; i < n; i++ {
+			if !crashed[i].Load() && !done[i].Load() {
+				all = false
+				break
+			}
+		}
+		if all {
+			finished = true
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	for i := range c.inbox {
+		c.inbox[i].Close()
+	}
+	for _, tr := range c.trans {
+		if tr != nil {
+			_ = tr.Close()
+		}
+	}
+	wg.Wait()
+	if !finished {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// deliverLocal routes a message into the target's mailbox (channel transport
+// and TCP receive path both end up here).
+func (c *Cluster) deliverLocal(msg dist.Message) {
+	if msg.To < 0 || int(msg.To) >= len(c.inbox) {
+		return
+	}
+	c.inbox[msg.To].Push(msg)
+}
+
+// consumeSendBudget enforces crash plans; it returns false when the sender
+// has crashed and the message must be dropped.
+func (c *Cluster) consumeSendBudget(from dist.ProcID, crashed *atomic.Bool) bool {
+	if crashed.Load() {
+		return false
+	}
+	for {
+		cur := atomic.LoadInt64(&c.budget[from])
+		if cur < 0 {
+			return true // unlimited
+		}
+		if cur == 0 {
+			crashed.Store(true)
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&c.budget[from], cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// nodeContext implements dist.Context for one node.
+type nodeContext struct {
+	cluster *Cluster
+	id      dist.ProcID
+	n       int
+	crashed *atomic.Bool
+}
+
+var _ dist.Context = (*nodeContext)(nil)
+
+func (nc *nodeContext) ID() dist.ProcID { return nc.id }
+func (nc *nodeContext) N() int          { return nc.n }
+
+func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	if !nc.cluster.consumeSendBudget(nc.id, nc.crashed) {
+		return
+	}
+	msg := dist.Message{From: nc.id, To: to, Kind: kind, Round: round, Payload: payload}
+	nc.cluster.sends.Add(1)
+	if nc.cluster.sizer != nil {
+		nc.cluster.bytes.Add(int64(nc.cluster.sizer(msg)))
+	}
+	if err := nc.cluster.trans[nc.id].Send(msg); err != nil {
+		// Transport failure after shutdown; the message is lost, which the
+		// crash-fault model already accounts for.
+		return
+	}
+}
+
+func (nc *nodeContext) Broadcast(kind string, round int, payload any) {
+	for to := dist.ProcID(0); int(to) < nc.n; to++ {
+		if to == nc.id {
+			continue
+		}
+		nc.Send(to, kind, round, payload)
+	}
+}
+
+// channelTransport delivers directly into the peer mailboxes.
+type channelTransport struct {
+	cluster *Cluster
+	from    dist.ProcID
+}
+
+var _ transport = (*channelTransport)(nil)
+
+func (t *channelTransport) Send(msg dist.Message) error {
+	t.cluster.deliverLocal(msg)
+	return nil
+}
+
+func (t *channelTransport) Close() error { return nil }
+
+// String implements fmt.Stringer for diagnostics.
+func (c *Cluster) String() string {
+	s, b := c.Stats()
+	return fmt.Sprintf("Cluster(n=%d, sends=%d, bytes=%d)", len(c.procs), s, b)
+}

@@ -1,0 +1,71 @@
+// Package runtime executes the protocol state machines of package dist
+// under real concurrency: one goroutine per process, connected either by
+// in-process mailboxes or by TCP sockets framed with the package wire codec.
+// Protocol logic is therefore written once (as dist.Process implementations)
+// and exercised both deterministically (package dist) and under true
+// parallel, networked execution (this package).
+package runtime
+
+import (
+	"errors"
+	"sync"
+
+	"chc/internal/dist"
+)
+
+// ErrClosed is returned by Pop after Close once the mailbox has drained.
+var ErrClosed = errors.New("runtime: mailbox closed")
+
+// mailbox is an unbounded FIFO queue of messages with blocking Pop. An
+// unbounded queue mirrors the paper's reliable-channel model and makes the
+// send path non-blocking, which rules out the circular-wait deadlocks a
+// bounded inbox could introduce between mutually flooding processes.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []dist.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push enqueues a message. Pushing to a closed mailbox is a no-op (the
+// receiver has shut down; the message is dropped like a message to a
+// crashed process).
+func (m *mailbox) Push(msg dist.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// Pop blocks until a message is available or the mailbox is closed and
+// drained.
+func (m *mailbox) Pop() (dist.Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return dist.Message{}, ErrClosed
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, nil
+}
+
+// Close wakes all blocked Pops; queued messages can still be drained.
+func (m *mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}

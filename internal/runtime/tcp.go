@@ -1,0 +1,188 @@
+package runtime
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+// NewTCPCluster builds a cluster whose processes communicate over real TCP
+// connections on the loopback interface, framed with the package wire codec.
+// A full mesh of n·(n-1) simplex connections is established up front, so
+// per-sender FIFO order is inherited from TCP byte-stream ordering.
+func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
+	c, err := newCluster(procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	n := len(procs)
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	cleanup := func() {
+		for _, ln := range listeners {
+			if ln != nil {
+				_ = ln.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("runtime: listen for node %d: %w", i, err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	transports := make([]*tcpTransport, n)
+	for i := 0; i < n; i++ {
+		transports[i] = &tcpTransport{
+			cluster: c,
+			from:    dist.ProcID(i),
+			ln:      listeners[i],
+			conns:   make([]net.Conn, n),
+			writers: make([]*bufio.Writer, n),
+		}
+		transports[i].startAccepting()
+	}
+	// Dial the full mesh.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				for _, tr := range transports {
+					_ = tr.Close()
+				}
+				return nil, fmt.Errorf("runtime: dial %d -> %d: %w", i, j, err)
+			}
+			transports[i].conns[j] = conn
+			transports[i].writers[j] = bufio.NewWriter(conn)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.trans[i] = transports[i]
+	}
+	return c, nil
+}
+
+// tcpTransport is one node's view of the TCP mesh: a listener for incoming
+// frames and an outgoing connection per peer.
+type tcpTransport struct {
+	cluster *Cluster
+	from    dist.ProcID
+	ln      net.Listener
+
+	mu       sync.Mutex // guards writers and accepted conns
+	conns    []net.Conn
+	writers  []*bufio.Writer
+	accepted []net.Conn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+var _ transport = (*tcpTransport)(nil)
+
+// startAccepting launches the accept loop; each accepted connection gets a
+// reader goroutine that decodes frames into the local mailboxes.
+func (t *tcpTransport) startAccepting() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.mu.Lock()
+			if t.closed.Load() {
+				t.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			t.accepted = append(t.accepted, conn)
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				defer func() { _ = conn.Close() }()
+				r := bufio.NewReader(conn)
+				for {
+					msg, err := wire.ReadMessage(r)
+					if err != nil {
+						if !errors.Is(err, io.EOF) && !t.closed.Load() {
+							// Peer write half closed mid-frame during
+							// shutdown; nothing to recover.
+							return
+						}
+						return
+					}
+					t.cluster.deliverLocal(msg)
+				}
+			}()
+		}
+	}()
+}
+
+// Send frames and writes the message on the connection to its target.
+// Messages to self short-circuit into the local mailbox (a node has no TCP
+// connection to itself).
+func (t *tcpTransport) Send(msg dist.Message) error {
+	if t.closed.Load() {
+		return net.ErrClosed
+	}
+	if msg.To == t.from {
+		t.cluster.deliverLocal(msg)
+		return nil
+	}
+	if msg.To < 0 || int(msg.To) >= len(t.writers) {
+		return fmt.Errorf("runtime: send to unknown node %d", msg.To)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.writers[msg.To]
+	if w == nil {
+		return net.ErrClosed
+	}
+	if err := wire.WriteMessage(w, msg); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Close shuts the listener and all connections down and waits for the
+// reader goroutines to exit.
+func (t *tcpTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	_ = t.ln.Close()
+	t.mu.Lock()
+	for i, conn := range t.conns {
+		if conn != nil {
+			_ = conn.Close()
+			t.conns[i] = nil
+			t.writers[i] = nil
+		}
+	}
+	// Close accepted connections too: their reader goroutines would
+	// otherwise block until the remote side shuts down, deadlocking the
+	// wg.Wait below.
+	for _, conn := range t.accepted {
+		_ = conn.Close()
+	}
+	t.accepted = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

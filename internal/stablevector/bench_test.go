@@ -1,0 +1,34 @@
+package stablevector
+
+import (
+	"testing"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+)
+
+func benchStableVector(b *testing.B, n, f int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		procs := make([]dist.Process, n)
+		for p := 0; p < n; p++ {
+			sv, err := New(dist.ProcID(p), n, f, geom.NewPoint(float64(p), float64(-p)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			procs[p] = &host{sv: sv}
+		}
+		sim, err := dist.NewSim(dist.Config{N: n, Seed: int64(i + 1)}, procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStableVectorN5(b *testing.B)  { benchStableVector(b, 5, 1) }
+func BenchmarkStableVectorN10(b *testing.B) { benchStableVector(b, 10, 3) }
+func BenchmarkStableVectorN20(b *testing.B) { benchStableVector(b, 20, 6) }

@@ -1,0 +1,283 @@
+// Package trace reconstructs the matrix representation of Algorithm CC from
+// execution records and verifies the paper's analytical machinery on real
+// runs:
+//
+//   - the transition matrices M[t] built by Rules 1 and 2 of Section 5,
+//   - their products P[t] = M[t]·M[t-1]···M[1] (backward convention, eq. 4),
+//   - Lemma 3: P[t] is row stochastic and fault-free rows differ by at most
+//     (1 - 1/n)^t per column,
+//   - Theorem 1: the matrix-form state P_i[t]·v[0] (a linear combination of
+//     the round-0 polytopes under the function L) equals the state h_i[t]
+//     the process actually computed.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// ErrNoRounds is returned when the execution had no averaging rounds.
+var ErrNoRounds = errors.New("trace: execution has no averaging rounds")
+
+// Analysis holds the reconstructed matrices of one execution.
+type Analysis struct {
+	N     int
+	TEnd  int            // number of averaging rounds analysed
+	M     []*geom.Matrix // M[i] is the transition matrix of round i+1
+	P     []*geom.Matrix // P[i] = M[i]·...·M[0] (backward product)
+	fault map[dist.ProcID]bool
+}
+
+// Build reconstructs M[t] and P[t] from the run's traces. Processes without
+// a record for round t (crashed, or not yet there) receive Rule 2 rows
+// (uniform 1/n), matching the paper's construction for F[t+1].
+func Build(result *core.RunResult) (*Analysis, error) {
+	n := result.Params.N
+	tEnd := 0
+	for _, id := range result.FaultFree() {
+		tr, ok := result.Traces[id]
+		if !ok {
+			return nil, fmt.Errorf("trace: fault-free process %d has no trace", id)
+		}
+		if len(tr.Rounds) > tEnd {
+			tEnd = len(tr.Rounds)
+		}
+	}
+	if tEnd == 0 {
+		return nil, ErrNoRounds
+	}
+	a := &Analysis{N: n, TEnd: tEnd, fault: result.Faulty}
+	var prev *geom.Matrix
+	for t := 1; t <= tEnd; t++ {
+		m := geom.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rec, ok := roundRecord(result, dist.ProcID(i), t)
+			if !ok {
+				// Rule 2: the process sent no round-(t+1) message; its row
+				// is irrelevant and set to uniform.
+				for k := 0; k < n; k++ {
+					m.Set(i, k, 1/float64(n))
+				}
+				continue
+			}
+			w := 1 / float64(len(rec.Senders))
+			for _, k := range rec.Senders {
+				m.Set(i, int(k), w)
+			}
+		}
+		a.M = append(a.M, m)
+		if prev == nil {
+			prev = m.Clone()
+		} else {
+			prev = matMul(m, prev) // backward product: M[t]·P[t-1]
+		}
+		a.P = append(a.P, prev.Clone())
+	}
+	return a, nil
+}
+
+// roundRecord fetches process id's record for round t, if it exists.
+func roundRecord(result *core.RunResult, id dist.ProcID, t int) (core.RoundRecord, bool) {
+	tr, ok := result.Traces[id]
+	if !ok {
+		return core.RoundRecord{}, false
+	}
+	for _, rec := range tr.Rounds {
+		if rec.Round == t {
+			return rec, true
+		}
+	}
+	return core.RoundRecord{}, false
+}
+
+// matMul returns a·b for dense square matrices.
+func matMul(a, b *geom.Matrix) *geom.Matrix {
+	n := a.Rows
+	out := geom.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		ra := a.Row(i)
+		ro := out.Row(i)
+		for k := 0; k < n; k++ {
+			f := ra[k]
+			if f == 0 {
+				continue
+			}
+			rb := b.Row(k)
+			for j := 0; j < n; j++ {
+				ro[j] += f * rb[j]
+			}
+		}
+	}
+	return out
+}
+
+// CheckRowStochastic verifies that every reconstructed M[t] and P[t] is row
+// stochastic (Lemma 3, first part).
+func (a *Analysis) CheckRowStochastic(tol float64) error {
+	for t, m := range a.M {
+		if err := rowStochastic(m, tol); err != nil {
+			return fmt.Errorf("trace: M[%d]: %w", t+1, err)
+		}
+	}
+	for t, p := range a.P {
+		if err := rowStochastic(p, tol); err != nil {
+			return fmt.Errorf("trace: P[%d]: %w", t+1, err)
+		}
+	}
+	return nil
+}
+
+func rowStochastic(m *geom.Matrix, tol float64) error {
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < -tol {
+				return fmt.Errorf("negative entry %v in row %d", v, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	return nil
+}
+
+// Delta returns max over fault-free i, j and all k of |P_ik[t] - P_jk[t]| —
+// the ergodicity coefficient that Lemma 3 bounds by (1 - 1/n)^t.
+// t is 1-based.
+func (a *Analysis) Delta(t int) (float64, error) {
+	if t < 1 || t > len(a.P) {
+		return 0, fmt.Errorf("trace: round %d out of range [1, %d]", t, len(a.P))
+	}
+	p := a.P[t-1]
+	var ids []int
+	for i := 0; i < a.N; i++ {
+		if !a.fault[dist.ProcID(i)] {
+			ids = append(ids, i)
+		}
+	}
+	var worst float64
+	for x := range ids {
+		for y := x + 1; y < len(ids); y++ {
+			ri, rj := p.Row(ids[x]), p.Row(ids[y])
+			for k := 0; k < a.N; k++ {
+				if d := math.Abs(ri[k] - rj[k]); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Lemma3Bound returns (1 - 1/n)^t.
+func (a *Analysis) Lemma3Bound(t int) float64 {
+	return math.Pow(1-1/float64(a.N), float64(t))
+}
+
+// CheckLemma3 verifies Delta(t) <= (1 - 1/n)^t for every analysed round.
+func (a *Analysis) CheckLemma3(tol float64) error {
+	for t := 1; t <= a.TEnd; t++ {
+		d, err := a.Delta(t)
+		if err != nil {
+			return err
+		}
+		if bound := a.Lemma3Bound(t); d > bound+tol {
+			return fmt.Errorf("trace: Lemma 3 violated at round %d: delta %v > bound %v", t, d, bound)
+		}
+	}
+	return nil
+}
+
+// VerifyTheorem1 checks, for every fault-free process and each of the given
+// rounds (1-based), that the matrix-form state L(v[0]; P_i[t]) equals the
+// recorded operational state h_i[t] up to Hausdorff distance tol.
+// The initial vector v[0] follows initialisation steps I1/I2: crashed-in-
+// round-0 processes inherit an arbitrary fault-free h_m[0].
+func (a *Analysis) VerifyTheorem1(result *core.RunResult, rounds []int, tol float64) error {
+	eps := result.Params.GeomEps
+	if eps == 0 {
+		eps = geom.DefaultEps
+	}
+	v0, err := initialVector(result, eps)
+	if err != nil {
+		return err
+	}
+	for _, id := range result.FaultFree() {
+		for _, t := range rounds {
+			if t < 1 || t > len(a.P) {
+				return fmt.Errorf("trace: round %d out of range", t)
+			}
+			rec, ok := roundRecord(result, id, t)
+			if !ok {
+				return fmt.Errorf("trace: fault-free process %d missing round %d", id, t)
+			}
+			row := a.P[t-1].Row(int(id))
+			var polys []*polytope.Polytope
+			var weights []float64
+			for k := 0; k < a.N; k++ {
+				if row[k] > 0 {
+					polys = append(polys, v0[k])
+					weights = append(weights, row[k])
+				}
+			}
+			matrixState, err := polytope.LinearCombination(polys, weights, eps)
+			if err != nil {
+				return fmt.Errorf("trace: matrix state of process %d round %d: %w", id, t, err)
+			}
+			operational, err := polytope.New(rec.State, eps)
+			if err != nil {
+				return err
+			}
+			d, err := polytope.Hausdorff(matrixState, operational, eps)
+			if err != nil {
+				return err
+			}
+			if d > tol {
+				return fmt.Errorf("trace: Theorem 1 violated at process %d round %d: d_H = %v", id, t, d)
+			}
+		}
+	}
+	return nil
+}
+
+// initialVector builds v[0] per I1/I2.
+func initialVector(result *core.RunResult, eps float64) ([]*polytope.Polytope, error) {
+	n := result.Params.N
+	v0 := make([]*polytope.Polytope, n)
+	var fallback *polytope.Polytope
+	for _, id := range result.FaultFree() {
+		tr := result.Traces[id]
+		if len(tr.H0) > 0 {
+			p, err := polytope.New(tr.H0, eps)
+			if err != nil {
+				return nil, err
+			}
+			fallback = p
+			break
+		}
+	}
+	if fallback == nil {
+		return nil, errors.New("trace: no fault-free round-0 state available")
+	}
+	for i := 0; i < n; i++ {
+		tr, ok := result.Traces[dist.ProcID(i)]
+		if ok && len(tr.H0) > 0 {
+			p, err := polytope.New(tr.H0, eps)
+			if err != nil {
+				return nil, err
+			}
+			v0[i] = p
+			continue
+		}
+		v0[i] = fallback // I2: arbitrary fault-free state
+	}
+	return v0, nil
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func run(t *testing.T, seed int64, faulty []dist.ProcID, crashes []dist.CrashPlan) *core.RunResult {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]geom.Point, 5)
+	for i := range inputs {
+		inputs[i] = pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	cfg := core.RunConfig{
+		Params: core.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.2,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs:  inputs,
+		Faulty:  faulty,
+		Crashes: crashes,
+		Seed:    seed,
+	}
+	result, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+func TestBuildAndRowStochastic(t *testing.T) {
+	result := run(t, 1, nil, nil)
+	a, err := Build(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TEnd == 0 || len(a.M) != a.TEnd || len(a.P) != a.TEnd {
+		t.Fatalf("analysis shape: tEnd=%d |M|=%d |P|=%d", a.TEnd, len(a.M), len(a.P))
+	}
+	if err := a.CheckRowStochastic(1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma3Holds(t *testing.T) {
+	result := run(t, 2, []dist.ProcID{3}, []dist.CrashPlan{{Proc: 3, AfterSends: 11}})
+	a, err := Build(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckLemma3(1e-9); err != nil {
+		t.Error(err)
+	}
+	// Delta must be monotonically bounded and shrink to below epsilon scale.
+	dFirst, err := a.Delta(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLast, err := a.Delta(a.TEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dLast > dFirst+1e-12 {
+		t.Errorf("delta grew: %v -> %v", dFirst, dLast)
+	}
+	if dLast > a.Lemma3Bound(a.TEnd) {
+		t.Errorf("final delta %v above bound %v", dLast, a.Lemma3Bound(a.TEnd))
+	}
+}
+
+func TestTheorem1MatrixFormMatchesOperational(t *testing.T) {
+	result := run(t, 3, []dist.ProcID{2}, []dist.CrashPlan{{Proc: 2, AfterSends: 15}})
+	a, err := Build(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := []int{1, 2}
+	if a.TEnd >= 3 {
+		rounds = append(rounds, 3)
+	}
+	if err := a.VerifyTheorem1(result, rounds, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaOutOfRange(t *testing.T) {
+	result := run(t, 4, nil, nil)
+	a, err := Build(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Delta(0); err == nil {
+		t.Error("Delta(0) should error")
+	}
+	if _, err := a.Delta(a.TEnd + 1); err == nil {
+		t.Error("Delta beyond tEnd should error")
+	}
+	if err := a.VerifyTheorem1(result, []int{0}, 1e-6); err == nil {
+		t.Error("VerifyTheorem1 with bad round should error")
+	}
+}
+
+func TestBuildNoRounds(t *testing.T) {
+	// Epsilon so large that t_end = 0: no averaging rounds to analyse.
+	cfg := core.RunConfig{
+		Params: core.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    1e9,
+			InputLower: 0, InputUpper: 1,
+		},
+		Inputs: []geom.Point{pt(0, 0), pt(1, 0), pt(0, 1), pt(1, 1), pt(0.5, 0.5)},
+		Seed:   5,
+	}
+	result, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(result); !errors.Is(err, ErrNoRounds) {
+		t.Errorf("err = %v, want ErrNoRounds", err)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := geom.NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := geom.NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := matMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+// The matrix-form state must also converge: the Hausdorff distance between
+// matrix states of two fault-free processes shrinks like the delta bound.
+func TestMatrixConvergenceMirrorsOperational(t *testing.T) {
+	result := run(t, 6, nil, nil)
+	a, err := Build(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operational convergence: final states of all processes within eps.
+	var outs []*polytope.Polytope
+	for _, id := range result.FaultFree() {
+		outs = append(outs, result.Outputs[id])
+	}
+	dOp, err := polytope.MaxPairwiseHausdorff(outs, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dOp > result.Params.Epsilon {
+		t.Fatalf("operational agreement %v > epsilon", dOp)
+	}
+	dFinal, err := a.Delta(a.TEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFinal > a.Lemma3Bound(a.TEnd) {
+		t.Errorf("matrix delta %v above Lemma 3 bound %v", dFinal, a.Lemma3Bound(a.TEnd))
+	}
+}

@@ -1,0 +1,232 @@
+// Package tverberg computes Radon and Tverberg partitions — the
+// combinatorial-geometry engine behind Lemma 2 of the paper (Appendix B):
+// any multiset of at least (d+1)f + 1 points in d-dimensional space can be
+// partitioned into f+1 non-empty parts whose convex hulls share a common
+// point, which is why the round-0 intersection of Algorithm CC is never
+// empty when n >= (d+2)f + 1.
+//
+// For f = 1 the partition is computed exactly via Radon's theorem: any
+// d+2 points admit an affine dependence Σλᵢpᵢ = 0, Σλᵢ = 0 with λ ≠ 0,
+// and splitting by the sign of λ yields two parts whose hulls intersect in
+// the explicitly computable Radon point. For f >= 2 the package searches
+// partitions of the (small) point sets that arise in this library,
+// certifying the common intersection with the polytope kernel.
+package tverberg
+
+import (
+	"errors"
+	"fmt"
+
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// ErrNotEnoughPoints is returned when fewer than (d+1)f + 1 points are
+// supplied (Tverberg's bound is tight: below it partitions may not exist).
+var ErrNotEnoughPoints = errors.New("tverberg: not enough points")
+
+// ErrNotFound is returned when the bounded search fails (possible only for
+// degenerate inputs at the search size limit).
+var ErrNotFound = errors.New("tverberg: no partition found")
+
+// Partition is a Tverberg partition: parts whose convex hulls all contain
+// Witness.
+type Partition struct {
+	Parts   [][]geom.Point
+	Witness geom.Point
+}
+
+// Radon computes a Radon partition of d+2 (or more — extras are ignored)
+// points in d dimensions: two parts whose convex hulls share the returned
+// witness point.
+func Radon(pts []geom.Point, eps float64) (*Partition, error) {
+	if len(pts) == 0 {
+		return nil, ErrNotEnoughPoints
+	}
+	d := pts[0].Dim()
+	if len(pts) < d+2 {
+		return nil, fmt.Errorf("%w: need %d points in %d-D, got %d", ErrNotEnoughPoints, d+2, d, len(pts))
+	}
+	use := pts[:d+2]
+	lambda, err := affineDependence(use, eps)
+	if err != nil {
+		return nil, err
+	}
+	var pos, neg []geom.Point
+	var posSum float64
+	witness := geom.Zero(d)
+	for i, l := range lambda {
+		switch {
+		case l > eps:
+			pos = append(pos, use[i])
+			witness = witness.AddScaled(l, use[i])
+			posSum += l
+		case l < -eps:
+			neg = append(neg, use[i])
+		default:
+			// Zero coefficient: the point is redundant; assign to the
+			// negative part to keep both parts non-empty when possible.
+			neg = append(neg, use[i])
+		}
+	}
+	if posSum <= eps || len(pos) == 0 || len(neg) == 0 {
+		return nil, ErrNotFound
+	}
+	witness = witness.Scale(1 / posSum)
+	return &Partition{Parts: [][]geom.Point{pos, neg}, Witness: witness}, nil
+}
+
+// affineDependence finds λ ≠ 0 with Σλᵢpᵢ = 0 and Σλᵢ = 0 for d+2 points
+// in d dimensions, by solving the homogeneous system for the null vector.
+func affineDependence(pts []geom.Point, eps float64) ([]float64, error) {
+	d := pts[0].Dim()
+	k := len(pts) // d+2
+	// Build the (d+1) x k system: rows are coordinates plus the all-ones
+	// row; we fix λ_{k-1} = 1 ... -1 alternation may fail, so solve by
+	// fixing the last coefficient and moving it to the RHS; if singular,
+	// try fixing each index in turn.
+	for fixed := k - 1; fixed >= 0; fixed-- {
+		a := geom.NewMatrix(d+1, k-1)
+		rhs := make([]float64, d+1)
+		col := 0
+		for j := 0; j < k; j++ {
+			if j == fixed {
+				continue
+			}
+			for r := 0; r < d; r++ {
+				a.Set(r, col, pts[j][r])
+			}
+			a.Set(d, col, 1)
+			col++
+		}
+		for r := 0; r < d; r++ {
+			rhs[r] = -pts[fixed][r]
+		}
+		rhs[d] = -1
+		// The system is (d+1) x (d+1) exactly when k = d+2.
+		if a.Rows != a.Cols {
+			return nil, fmt.Errorf("tverberg: malformed system %dx%d", a.Rows, a.Cols)
+		}
+		sol, err := geom.Solve(a, rhs, eps)
+		if err != nil {
+			continue // singular with this normalisation; try another
+		}
+		lambda := make([]float64, k)
+		col = 0
+		for j := 0; j < k; j++ {
+			if j == fixed {
+				lambda[j] = 1
+				continue
+			}
+			lambda[j] = sol[col]
+			col++
+		}
+		return lambda, nil
+	}
+	return nil, ErrNotFound
+}
+
+// Find computes a Tverberg partition of the points into f+1 parts with a
+// common witness. f = 1 uses the exact Radon construction; larger f uses a
+// bounded exhaustive search over partitions (the point sets in this library
+// are small). At least (d+1)f + 1 points are required.
+func Find(pts []geom.Point, f int, eps float64) (*Partition, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("tverberg: need f >= 1, got %d", f)
+	}
+	if len(pts) == 0 {
+		return nil, ErrNotEnoughPoints
+	}
+	d := pts[0].Dim()
+	need := (d+1)*f + 1
+	if len(pts) < need {
+		return nil, fmt.Errorf("%w: need %d points for d=%d f=%d, got %d", ErrNotEnoughPoints, need, d, f, len(pts))
+	}
+	if f == 1 {
+		return Radon(pts, eps)
+	}
+	const maxPoints = 12 // search bound: C(12 items into 3+ parts) stays tractable
+	use := pts
+	if len(use) > maxPoints {
+		use = use[:maxPoints]
+	}
+	parts := make([][]geom.Point, f+1)
+	best, err := searchPartitions(use, parts, 0, f+1, eps)
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// searchPartitions assigns points to parts depth-first, certifying hull
+// intersection at the leaves.
+func searchPartitions(pts []geom.Point, parts [][]geom.Point, idx, k int, eps float64) (*Partition, error) {
+	if idx == len(pts) {
+		polys := make([]*polytope.Polytope, 0, k)
+		for _, part := range parts {
+			if len(part) == 0 {
+				return nil, ErrNotFound
+			}
+			p, err := polytope.New(part, eps)
+			if err != nil {
+				return nil, ErrNotFound
+			}
+			polys = append(polys, p)
+		}
+		inter, err := polytope.Intersect(polys, eps)
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		witness, err := inter.Centroid()
+		if err != nil {
+			return nil, ErrNotFound
+		}
+		out := make([][]geom.Point, k)
+		for i := range parts {
+			out[i] = append([]geom.Point(nil), parts[i]...)
+		}
+		return &Partition{Parts: out, Witness: witness}, nil
+	}
+	// Prune symmetric assignments: point idx may only open the next empty
+	// part, not an arbitrary one.
+	opened := 0
+	for part := 0; part < k; part++ {
+		if len(parts[part]) == 0 {
+			if opened > 0 {
+				break
+			}
+			opened++
+		}
+		parts[part] = append(parts[part], pts[idx])
+		if res, err := searchPartitions(pts, parts, idx+1, k, eps); err == nil {
+			return res, nil
+		}
+		parts[part] = parts[part][:len(parts[part])-1]
+	}
+	return nil, ErrNotFound
+}
+
+// Verify checks that a partition is a genuine Tverberg partition: parts are
+// non-empty and the witness lies in every part's convex hull (within tol).
+func Verify(p *Partition, tol float64) error {
+	if p == nil || len(p.Parts) < 2 {
+		return errors.New("tverberg: malformed partition")
+	}
+	for i, part := range p.Parts {
+		if len(part) == 0 {
+			return fmt.Errorf("tverberg: part %d is empty", i)
+		}
+		poly, err := polytope.New(part, geom.DefaultEps)
+		if err != nil {
+			return err
+		}
+		d, err := poly.Distance(p.Witness, geom.DefaultEps)
+		if err != nil {
+			return err
+		}
+		if d > tol {
+			return fmt.Errorf("tverberg: witness at distance %v from part %d", d, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package tverberg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chc/internal/core"
+	"chc/internal/geom"
+)
+
+const eps = 1e-9
+
+func pt(coords ...float64) geom.Point { return geom.NewPoint(coords...) }
+
+func TestRadonSquare(t *testing.T) {
+	// Four points in the plane: the two diagonals cross at (0.5, 0.5).
+	pts := []geom.Point{pt(0, 0), pt(1, 1), pt(1, 0), pt(0, 1)}
+	p, err := Radon(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if !geom.Equal(p.Witness, pt(0.5, 0.5), 1e-6) {
+		t.Errorf("witness = %v, want (0.5, 0.5)", p.Witness)
+	}
+}
+
+func TestRadonTriangleWithInterior(t *testing.T) {
+	// Triangle plus an interior point: partition = {interior} vs triangle.
+	pts := []geom.Point{pt(0, 0), pt(4, 0), pt(0, 4), pt(1, 1)}
+	p, err := Radon(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The witness must be the interior point itself.
+	if !geom.Equal(p.Witness, pt(1, 1), 1e-6) {
+		t.Errorf("witness = %v, want (1, 1)", p.Witness)
+	}
+}
+
+func TestRadon1D(t *testing.T) {
+	pts := []geom.Point{pt(0), pt(10), pt(4)}
+	p, err := Radon(pts, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadonTooFew(t *testing.T) {
+	if _, err := Radon([]geom.Point{pt(0, 0), pt(1, 1)}, eps); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("err = %v, want ErrNotEnoughPoints", err)
+	}
+	if _, err := Radon(nil, eps); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("err = %v, want ErrNotEnoughPoints", err)
+	}
+}
+
+func TestFindF2D1(t *testing.T) {
+	// d=1, f=2: (d+1)f+1 = 5 points into 3 parts with a common point.
+	pts := []geom.Point{pt(0), pt(1), pt(2), pt(3), pt(4)}
+	p, err := Find(pts, 2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Parts) != 3 {
+		t.Fatalf("%d parts, want 3", len(p.Parts))
+	}
+	if err := Verify(p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindF2D2(t *testing.T) {
+	// d=2, f=2: 7 points into 3 parts.
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 7)
+	for i := range pts {
+		pts[i] = pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	p, err := Find(pts, 2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Parts) != 3 {
+		t.Fatalf("%d parts, want 3", len(p.Parts))
+	}
+	if err := Verify(p, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindValidation(t *testing.T) {
+	if _, err := Find([]geom.Point{pt(0)}, 0, eps); err == nil {
+		t.Error("f=0 should error")
+	}
+	if _, err := Find(nil, 1, eps); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Find([]geom.Point{pt(0, 0), pt(1, 0)}, 1, eps); !errors.Is(err, ErrNotEnoughPoints) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsBogus(t *testing.T) {
+	bogus := &Partition{
+		Parts:   [][]geom.Point{{pt(0, 0)}, {pt(5, 5)}},
+		Witness: pt(0, 0),
+	}
+	if err := Verify(bogus, 1e-6); err == nil {
+		t.Error("witness outside a part should be rejected")
+	}
+	if err := Verify(nil, 1e-6); err == nil {
+		t.Error("nil partition should be rejected")
+	}
+	if err := Verify(&Partition{Parts: [][]geom.Point{{}, {pt(1)}}, Witness: pt(1)}, 1e-6); err == nil {
+		t.Error("empty part should be rejected")
+	}
+}
+
+// Property (Radon's theorem): every generic set of d+2 points in dimension
+// d in {1,2,3} admits a verified Radon partition.
+func TestRadonProperty(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%3
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Point, d+2)
+		for i := range pts {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64()*10 - 5
+			}
+			pts[i] = p
+		}
+		part, err := Radon(pts, eps)
+		if err != nil {
+			return false
+		}
+		return Verify(part, 1e-5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (the use in Lemma 2): for random X with |X| = (d+1)f+1, the
+// Tverberg witness lies in the round-0 intersection h_i[0] computed by the
+// consensus core — the constructive proof of non-emptiness.
+func TestWitnessInsideRound0Intersection(t *testing.T) {
+	f := func(seed int64) bool {
+		const d, fv = 2, 1
+		rng := rand.New(rand.NewSource(seed))
+		k := (d+1)*fv + 1 // 4 points
+		pts := make([]geom.Point, k)
+		for i := range pts {
+			pts[i] = pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		part, err := Find(pts, fv, eps)
+		if err != nil {
+			return false
+		}
+		if Verify(part, 1e-5) != nil {
+			return false
+		}
+		params := core.Params{
+			N: (d+2)*fv + 1, F: fv, D: d,
+			Epsilon: 0.1, InputLower: -100, InputUpper: 100,
+		}
+		h0, err := core.InitialPolytope(params, pts)
+		if err != nil {
+			return false
+		}
+		dist, err := h0.Distance(part.Witness, eps)
+		if err != nil {
+			return false
+		}
+		return dist <= 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

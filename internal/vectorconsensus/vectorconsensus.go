@@ -1,0 +1,301 @@
+// Package vectorconsensus implements asynchronous approximate vector
+// (multidimensional) consensus under crash faults with incorrect inputs —
+// the problem of Mendes–Herlihy and Vaidya–Garg that convex hull consensus
+// generalises, adapted to the crash model of the paper.
+//
+// Each process decides a single point in the convex hull of the correct
+// inputs, with pairwise decisions within ε. The algorithm mirrors Algorithm
+// CC with point-valued state: round 0 computes the same safe intersection
+// polytope and takes its centroid (a "safe point" that any f incorrect
+// inputs cannot displace outside the correct hull); rounds >= 1 average the
+// n - f received points. It serves as the comparison baseline in the
+// experiment suite: same resilience and round structure, but the output
+// carries a single point of information instead of the full optimal region.
+package vectorconsensus
+
+import (
+	"fmt"
+	"sort"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/stablevector"
+	"chc/internal/wire"
+)
+
+// KindState is the message kind carrying a round-t point state.
+const KindState = "vc.state"
+
+// Process is one participant in the vector consensus protocol.
+type Process struct {
+	params core.Params
+	id     dist.ProcID
+	tEnd   int
+
+	sv      *stablevector.SV
+	round   int
+	state   geom.Point
+	pending map[int]map[dist.ProcID]geom.Point
+
+	decided bool
+	failure error
+	rounds  int
+}
+
+var _ dist.Process = (*Process)(nil)
+
+// NewProcess builds a vector consensus participant.
+func NewProcess(params core.Params, id dist.ProcID, input geom.Point) (*Process, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sv, err := stablevector.New(id, params.N, params.F, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{
+		params:  params,
+		id:      id,
+		tEnd:    params.TEnd(),
+		sv:      sv,
+		pending: make(map[int]map[dist.ProcID]geom.Point),
+	}, nil
+}
+
+// Init starts round 0.
+func (p *Process) Init(ctx dist.Context) {
+	p.sv.Start(ctx)
+	p.tryFinishRound0(ctx)
+}
+
+// Deliver handles one message.
+func (p *Process) Deliver(ctx dist.Context, msg dist.Message) {
+	if p.failure != nil {
+		return
+	}
+	switch msg.Kind {
+	case stablevector.KindReport:
+		p.sv.Handle(ctx, msg)
+		p.tryFinishRound0(ctx)
+	case KindState:
+		payload, ok := msg.Payload.(wire.PointPayload)
+		if !ok || msg.Round < 1 {
+			return
+		}
+		perRound := p.pending[msg.Round]
+		if perRound == nil {
+			perRound = make(map[dist.ProcID]geom.Point)
+			p.pending[msg.Round] = perRound
+		}
+		if _, dup := perRound[msg.From]; dup {
+			return
+		}
+		perRound[msg.From] = payload.Value
+		p.advance(ctx)
+	}
+}
+
+// Done reports whether the process has decided or failed.
+func (p *Process) Done() bool { return p.decided || p.failure != nil }
+
+// Output returns the decision point.
+func (p *Process) Output() (geom.Point, error) {
+	if p.failure != nil {
+		return nil, p.failure
+	}
+	if !p.decided {
+		return nil, fmt.Errorf("vectorconsensus: process %d has not decided", p.id)
+	}
+	return p.state.Clone(), nil
+}
+
+// Rounds returns the number of averaging rounds executed.
+func (p *Process) Rounds() int { return p.rounds }
+
+func (p *Process) tryFinishRound0(ctx dist.Context) {
+	if p.round != 0 || p.failure != nil {
+		return
+	}
+	entries, ok := p.sv.Result()
+	if !ok {
+		return
+	}
+	xi := make([]geom.Point, len(entries))
+	for k, e := range entries {
+		xi[k] = e.Value
+	}
+	safe, err := SafePoint(p.params, xi)
+	if err != nil {
+		p.failure = fmt.Errorf("vectorconsensus: process %d round 0: %w", p.id, err)
+		return
+	}
+	p.state = safe
+	p.enterRound(ctx, 1)
+	p.advance(ctx)
+}
+
+func (p *Process) enterRound(ctx dist.Context, t int) {
+	if t > p.tEnd {
+		p.decided = true
+		return
+	}
+	p.round = t
+	perRound := p.pending[t]
+	if perRound == nil {
+		perRound = make(map[dist.ProcID]geom.Point)
+		p.pending[t] = perRound
+	}
+	perRound[p.id] = p.state
+	ctx.Broadcast(KindState, t, wire.PointPayload{Value: p.state})
+}
+
+func (p *Process) advance(ctx dist.Context) {
+	for !p.decided && p.failure == nil && p.round >= 1 {
+		perRound := p.pending[p.round]
+		if len(perRound) < p.params.N-p.params.F {
+			return
+		}
+		senders := make([]dist.ProcID, 0, len(perRound))
+		for id := range perRound {
+			senders = append(senders, id)
+		}
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+		avg := geom.Zero(p.params.D)
+		for _, id := range senders {
+			avg = avg.AddScaled(1/float64(len(senders)), perRound[id])
+		}
+		p.state = avg
+		p.rounds++
+		delete(p.pending, p.round)
+		p.enterRound(ctx, p.round+1)
+	}
+}
+
+// SafePoint computes the round-0 point state: the vertex centroid of the
+// intersection polytope of line 5 — guaranteed to lie in the convex hull of
+// the correct inputs whichever f of the received inputs are incorrect.
+func SafePoint(params core.Params, xi []geom.Point) (geom.Point, error) {
+	h0, err := core.InitialPolytope(params, xi)
+	if err != nil {
+		return nil, err
+	}
+	return h0.Centroid()
+}
+
+// RunResult aggregates a simulated execution of the baseline.
+type RunResult struct {
+	Params  core.Params
+	Outputs map[dist.ProcID]geom.Point
+	Faulty  map[dist.ProcID]bool
+	Rounds  int // max averaging rounds over decided processes
+	Stats   *dist.Stats
+}
+
+// FaultFree returns the IDs outside the fault set.
+func (r *RunResult) FaultFree() []dist.ProcID {
+	var out []dist.ProcID
+	for i := 0; i < r.Params.N; i++ {
+		if !r.Faulty[dist.ProcID(i)] {
+			out = append(out, dist.ProcID(i))
+		}
+	}
+	return out
+}
+
+// MaxPairwiseDistance returns the largest distance between two fault-free
+// decisions (the quantity bounded by ε-agreement).
+func (r *RunResult) MaxPairwiseDistance() float64 {
+	ids := r.FaultFree()
+	var worst float64
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			a, oka := r.Outputs[ids[i]]
+			b, okb := r.Outputs[ids[j]]
+			if !oka || !okb {
+				continue
+			}
+			if d := geom.Dist(a, b); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Run executes one vector consensus instance under the simulator, reusing
+// the execution description of package core.
+func Run(cfg core.RunConfig) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	procs := make([]dist.Process, params.N)
+	impls := make([]*Process, params.N)
+	for i := 0; i < params.N; i++ {
+		proc, err := NewProcess(params, dist.ProcID(i), cfg.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		impls[i] = proc
+		procs[i] = proc
+	}
+	sim, err := dist.NewSim(dist.Config{
+		N:             params.N,
+		Seed:          cfg.Seed,
+		Scheduler:     cfg.Scheduler,
+		Crashes:       cfg.Crashes,
+		MaxDeliveries: cfg.MaxDeliveries,
+		Sizer:         wire.MessageSize,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sim.Run()
+	result := &RunResult{
+		Params:  params,
+		Outputs: make(map[dist.ProcID]geom.Point),
+		Faulty:  make(map[dist.ProcID]bool),
+		Stats:   stats,
+	}
+	for _, id := range cfg.Faulty {
+		result.Faulty[id] = true
+	}
+	for i, proc := range impls {
+		if proc.decided {
+			out, oerr := proc.Output()
+			if oerr != nil {
+				return nil, oerr
+			}
+			result.Outputs[dist.ProcID(i)] = out
+			if proc.Rounds() > result.Rounds {
+				result.Rounds = proc.Rounds()
+			}
+		} else if proc.failure != nil && err == nil {
+			err = proc.failure
+		}
+	}
+	if err != nil {
+		return result, fmt.Errorf("vectorconsensus: run: %w", err)
+	}
+	return result, nil
+}
+
+// CheckValidity verifies that every decision lies in the convex hull of the
+// correct inputs.
+func CheckValidity(result *RunResult, cfg *core.RunConfig) error {
+	ref, err := core.CorrectInputHull(cfg)
+	if err != nil {
+		return err
+	}
+	for id, out := range result.Outputs {
+		d, err := ref.Distance(out, geom.DefaultEps)
+		if err != nil {
+			return err
+		}
+		if d > 1e-6 {
+			return fmt.Errorf("vectorconsensus: validity violated at process %d: decision %v at distance %v from correct hull", id, out, d)
+		}
+	}
+	return nil
+}

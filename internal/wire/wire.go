@@ -1,0 +1,434 @@
+// Package wire defines the message vocabulary of the consensus protocols —
+// the payload types carried by round-0 inputs, stable-vector reports, and
+// the polytope exchanges of rounds >= 1 — together with a compact binary
+// codec for them. The deterministic simulator uses the codec for byte
+// accounting; the TCP runtime uses it as its actual wire format.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+)
+
+// Payload type tags on the wire.
+const (
+	tagNil      = 0
+	tagPoint    = 1
+	tagEntries  = 2
+	tagPolytope = 3
+	tagInt      = 4
+	tagSenders  = 5
+	tagRBC      = 6
+)
+
+// maxWireLen caps a single message frame (defensive bound for the reader).
+const maxWireLen = 64 << 20
+
+// ErrTooLarge is returned when a frame exceeds maxWireLen.
+var ErrTooLarge = errors.New("wire: frame too large")
+
+// ErrCorrupt is returned for structurally invalid frames.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// PointPayload carries a single d-dimensional point (e.g. a round-0 input
+// or a vector-consensus state).
+type PointPayload struct {
+	Value geom.Point
+}
+
+// Entry is one (process, input) pair inside a stable-vector report.
+type Entry struct {
+	Proc  dist.ProcID
+	Value geom.Point
+}
+
+// EntriesPayload carries a stable-vector report: the sender's current set
+// of known (process, input) pairs.
+type EntriesPayload struct {
+	Entries []Entry
+}
+
+// PolytopePayload carries a polytope as its vertex set (the state h_i[t-1]
+// broadcast at the start of round t >= 1 of Algorithm CC).
+type PolytopePayload struct {
+	Verts []geom.Point
+}
+
+// IntPayload carries a small integer (control messages).
+type IntPayload struct {
+	Value int64
+}
+
+// SendersPayload carries a process's round-t sender choice in the
+// Byzantine-compiled protocol: "my state h[Round] is the combination of the
+// states of exactly these processes". Receivers recompute the state
+// themselves, which is what reduces Byzantine behaviour to crash faults
+// with incorrect inputs.
+type SendersPayload struct {
+	Round   int32
+	Senders []dist.ProcID
+}
+
+// RBCPayload wraps an inner payload with reliable-broadcast identity: the
+// originating process and its broadcast sequence number. The transport-level
+// sender of an echo/ready differs from the origin, hence the explicit field.
+type RBCPayload struct {
+	Origin dist.ProcID
+	Seq    int32
+	Inner  any
+}
+
+// EncodeMessage serialises a message (envelope + payload) to bytes.
+// The frame layout is:
+//
+//	u32 frameLen (bytes after this field)
+//	i32 from | i32 to | i32 round | u8 kindLen | kind | u8 tag | payload
+func EncodeMessage(m dist.Message) ([]byte, error) {
+	if len(m.Kind) > 255 {
+		return nil, fmt.Errorf("wire: kind %q too long", m.Kind)
+	}
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.From)))
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.To)))
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.Round)))
+	body = append(body, byte(len(m.Kind)))
+	body = append(body, m.Kind...)
+	var err error
+	body, err = appendPayload(body, m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 4+len(body))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	return append(out, body...), nil
+}
+
+func appendPayload(b []byte, payload any) ([]byte, error) {
+	switch p := payload.(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case PointPayload:
+		b = append(b, tagPoint)
+		return appendPoint(b, p.Value), nil
+	case EntriesPayload:
+		b = append(b, tagEntries)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p.Entries)))
+		for _, e := range p.Entries {
+			b = binary.BigEndian.AppendUint32(b, uint32(int32(e.Proc)))
+			b = appendPoint(b, e.Value)
+		}
+		return b, nil
+	case PolytopePayload:
+		b = append(b, tagPolytope)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p.Verts)))
+		for _, v := range p.Verts {
+			b = appendPoint(b, v)
+		}
+		return b, nil
+	case IntPayload:
+		b = append(b, tagInt)
+		return binary.BigEndian.AppendUint64(b, uint64(p.Value)), nil
+	case SendersPayload:
+		b = append(b, tagSenders)
+		b = binary.BigEndian.AppendUint32(b, uint32(p.Round))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p.Senders)))
+		for _, s := range p.Senders {
+			b = binary.BigEndian.AppendUint32(b, uint32(int32(s)))
+		}
+		return b, nil
+	case RBCPayload:
+		if _, nested := p.Inner.(RBCPayload); nested {
+			return nil, errors.New("wire: nested RBC payloads are not allowed")
+		}
+		b = append(b, tagRBC)
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(p.Origin)))
+		b = binary.BigEndian.AppendUint32(b, uint32(p.Seq))
+		return appendPayload(b, p.Inner)
+	default:
+		return nil, fmt.Errorf("wire: unsupported payload type %T", payload)
+	}
+}
+
+// PayloadKey returns a canonical byte-level identity for a payload, used by
+// reliable broadcast to detect equivocation. Unencodable payloads yield an
+// error (and are treated as Byzantine garbage by callers).
+func PayloadKey(payload any) (string, error) {
+	b, err := appendPayload(nil, payload)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func appendPoint(b []byte, p geom.Point) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p)))
+	for _, v := range p {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeMessage parses a frame produced by EncodeMessage.
+func DecodeMessage(frame []byte) (dist.Message, error) {
+	var m dist.Message
+	r := &reader{buf: frame}
+	flen, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	if int(flen) != len(frame)-4 {
+		return m, fmt.Errorf("%w: frame length %d but %d bytes follow", ErrCorrupt, flen, len(frame)-4)
+	}
+	from, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	to, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	round, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	kind, err := r.str8()
+	if err != nil {
+		return m, err
+	}
+	payload, err := r.payload()
+	if err != nil {
+		return m, err
+	}
+	if r.pos != len(r.buf) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.pos)
+	}
+	m.From = dist.ProcID(int32(from))
+	m.To = dist.ProcID(int32(to))
+	m.Round = int(int32(round))
+	m.Kind = kind
+	m.Payload = payload
+	return m, nil
+}
+
+// MessageSize returns the encoded size of m in bytes (0 if unencodable).
+func MessageSize(m dist.Message) int {
+	b, err := EncodeMessage(m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// WriteMessage writes one frame to w.
+func WriteMessage(w io.Writer, m dist.Message) error {
+	b, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadMessage reads one frame from r.
+func ReadMessage(r *bufio.Reader) (dist.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return dist.Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxWireLen {
+		return dist.Message{}, ErrTooLarge
+	}
+	frame := make([]byte, 4+n)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[4:]); err != nil {
+		return dist.Message{}, err
+	}
+	return DecodeMessage(frame)
+}
+
+// reader is a bounds-checked cursor over a frame.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.buf) {
+		return fmt.Errorf("%w: truncated at byte %d", ErrCorrupt, r.pos)
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *reader) str8() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) point() (geom.Point, error) {
+	d, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	p := make(geom.Point, d)
+	for i := range p {
+		bits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		p[i] = math.Float64frombits(bits)
+	}
+	return p, nil
+}
+
+func (r *reader) payload() (any, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagPoint:
+		p, err := r.point()
+		if err != nil {
+			return nil, err
+		}
+		return PointPayload{Value: p}, nil
+	case tagEntries:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > len(r.buf) { // each entry needs >= 1 byte
+			return nil, ErrCorrupt
+		}
+		entries := make([]Entry, n)
+		for i := range entries {
+			id, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			p, err := r.point()
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = Entry{Proc: dist.ProcID(int32(id)), Value: p}
+		}
+		return EntriesPayload{Entries: entries}, nil
+	case tagPolytope:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > len(r.buf) {
+			return nil, ErrCorrupt
+		}
+		verts := make([]geom.Point, n)
+		for i := range verts {
+			p, err := r.point()
+			if err != nil {
+				return nil, err
+			}
+			verts[i] = p
+		}
+		return PolytopePayload{Verts: verts}, nil
+	case tagInt:
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		return IntPayload{Value: int64(v)}, nil
+	case tagSenders:
+		round, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > len(r.buf) {
+			return nil, ErrCorrupt
+		}
+		senders := make([]dist.ProcID, n)
+		for i := range senders {
+			id, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			senders[i] = dist.ProcID(int32(id))
+		}
+		return SendersPayload{Round: int32(round), Senders: senders}, nil
+	case tagRBC:
+		origin, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := r.payload()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(RBCPayload); nested {
+			return nil, fmt.Errorf("%w: nested RBC payloads are not allowed", ErrCorrupt)
+		}
+		return RBCPayload{Origin: dist.ProcID(int32(origin)), Seq: int32(seq), Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown payload tag %d", ErrCorrupt, tag)
+	}
+}

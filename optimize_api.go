@@ -1,0 +1,52 @@
+package chc
+
+import (
+	"chc/internal/optimize"
+)
+
+// Function-optimisation surface (Section 7 of the paper).
+type (
+	// CostFunc is a cost function with a known Lipschitz constant.
+	CostFunc = optimize.CostFunc
+
+	// GradCostFunc additionally provides gradients (enables projected
+	// gradient descent in the minimisation step).
+	GradCostFunc = optimize.GradCostFunc
+
+	// LinearCost is c(x) = A·x + B (minimised exactly over a polytope).
+	LinearCost = optimize.LinearCost
+
+	// QuadraticCost is c(x) = Scale·‖x - Target‖².
+	QuadraticCost = optimize.QuadraticCost
+
+	// Theorem4Cost is the paper's impossibility counterexample cost:
+	// c(x) = 4 - (2x-1)² on [0,1], 3 elsewhere (d = 1). Its two global
+	// minima make ε-agreement on the arg-min unattainable.
+	Theorem4Cost = optimize.Theorem4Cost
+
+	// FuncValue pairs a point with its cost.
+	FuncValue = optimize.FuncValue
+
+	// MinimizeOptions tunes the polytope minimiser.
+	MinimizeOptions = optimize.MinimizeOptions
+
+	// OptimizeResult is the outcome of the 2-step algorithm.
+	OptimizeResult = optimize.RunResult
+)
+
+// Minimize returns an (approximate) minimiser of cost over the polytope:
+// exact for LinearCost, projected gradient descent for GradCostFunc, and a
+// multi-start sampling + pattern-search heuristic for black-box costs.
+func Minimize(cost CostFunc, p *Polytope, opts MinimizeOptions) (FuncValue, error) {
+	return optimize.Minimize(cost, p, opts)
+}
+
+// Optimize runs the 2-step convex hull function optimisation algorithm of
+// Section 7: convex hull consensus with ε = β/b followed by local
+// minimisation over the decided polytope. It guarantees validity,
+// termination and weak β-optimality (value spread at most β across
+// fault-free processes); ε-agreement on the minimisers themselves is
+// impossible in general (Theorem 4).
+func Optimize(cfg RunConfig, cost CostFunc, beta float64) (*OptimizeResult, error) {
+	return optimize.Run(cfg, cost, beta)
+}

@@ -1,0 +1,53 @@
+package chc
+
+import (
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// DefaultEps is the default geometric tolerance used by the library.
+const DefaultEps = geom.DefaultEps
+
+// NewPolytope builds the convex hull of the given points as a Polytope.
+// Duplicates and interior points are removed; for d = 2 the vertices are
+// kept in counter-clockwise order.
+func NewPolytope(pts []Point, eps float64) (*Polytope, error) {
+	return polytope.New(pts, eps)
+}
+
+// PointPolytope returns the degenerate polytope {p}.
+func PointPolytope(p Point) *Polytope { return polytope.FromPoint(p) }
+
+// Intersect returns the intersection of the given polytopes, or
+// ErrEmptyPolytope when it is empty. This is the operation of line 5 of
+// Algorithm CC.
+func Intersect(polys []*Polytope, eps float64) (*Polytope, error) {
+	return polytope.Intersect(polys, eps)
+}
+
+// ErrEmptyPolytope is returned by operations whose result is empty.
+var ErrEmptyPolytope = polytope.ErrEmpty
+
+// LinearCombination computes the function L of Definition 2: the weighted
+// Minkowski combination { Σ cᵢ pᵢ : pᵢ ∈ hᵢ } for convex weights c.
+func LinearCombination(polys []*Polytope, weights []float64, eps float64) (*Polytope, error) {
+	return polytope.LinearCombination(polys, weights, eps)
+}
+
+// AveragePolytopes computes the equal-weight linear combination used on
+// line 14 of Algorithm CC.
+func AveragePolytopes(polys []*Polytope, eps float64) (*Polytope, error) {
+	return polytope.Average(polys, eps)
+}
+
+// Hausdorff returns the Hausdorff distance d_H of equation (1) between two
+// polytopes — the metric of the ε-agreement property.
+func Hausdorff(a, b *Polytope, eps float64) (float64, error) {
+	return polytope.Hausdorff(a, b, eps)
+}
+
+// MaxPairwiseHausdorff returns the largest Hausdorff distance among all
+// pairs — the quantity ε-agreement bounds.
+func MaxPairwiseHausdorff(polys []*Polytope, eps float64) (float64, error) {
+	return polytope.MaxPairwiseHausdorff(polys, eps)
+}

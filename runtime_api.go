@@ -1,0 +1,96 @@
+package chc
+
+import (
+	"fmt"
+	"time"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/runtime"
+	"chc/internal/wire"
+)
+
+// TransportKind selects how RunNetworked connects the processes.
+type TransportKind int
+
+// Available transports.
+const (
+	// InProcess connects processes with in-memory mailboxes, one goroutine
+	// per process (real concurrency, no sockets).
+	InProcess TransportKind = iota + 1
+	// TCP connects processes over loopback TCP sockets using the library's
+	// binary wire format.
+	TCP
+)
+
+// RunNetworked executes a convex hull consensus instance under real
+// concurrency — one goroutine per process — over the selected transport.
+// Unlike Run, delivery order comes from actual goroutine and network
+// scheduling, so executions are not reproducible; cfg.Seed and
+// cfg.Scheduler are ignored.
+//
+// The returned result carries outputs and traces; Crashed marks processes
+// whose scheduled crash prevented a decision.
+func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	procs := make([]dist.Process, params.N)
+	impls := make([]*core.Process, params.N)
+	for i := 0; i < params.N; i++ {
+		proc, err := core.NewProcess(params, ProcID(i), cfg.Inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		impls[i] = proc
+		procs[i] = proc
+	}
+	opts := []runtime.Option{runtime.WithSizer(wire.MessageSize)}
+	if len(cfg.Crashes) > 0 {
+		opts = append(opts, runtime.WithCrashes(cfg.Crashes...))
+	}
+	var (
+		cluster *runtime.Cluster
+		err     error
+	)
+	switch transport {
+	case InProcess:
+		cluster, err = runtime.NewChannelCluster(procs, opts...)
+	case TCP:
+		cluster, err = runtime.NewTCPCluster(procs, opts...)
+	default:
+		return nil, fmt.Errorf("chc: unknown transport %d", transport)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.Run(timeout); err != nil {
+		return nil, err
+	}
+	sends, bytes := cluster.Stats()
+	result := &RunResult{
+		Params:  params,
+		Outputs: make(map[ProcID]*Polytope),
+		Crashed: make(map[ProcID]bool),
+		Faulty:  make(map[ProcID]bool),
+		Traces:  make(map[ProcID]Trace),
+		Stats:   &Stats{Sends: int(sends), Bytes: int(bytes), KindCounts: map[string]int{}},
+	}
+	for _, id := range cfg.Faulty {
+		result.Faulty[id] = true
+	}
+	for i, proc := range impls {
+		id := ProcID(i)
+		result.Traces[id] = proc.TraceData()
+		out, oerr := proc.Output()
+		if oerr != nil {
+			// Undecided: either it crashed per plan or the run timed out
+			// for it; with a successful cluster run, only crashes remain.
+			result.Crashed[id] = true
+			continue
+		}
+		result.Outputs[id] = out
+	}
+	return result, nil
+}
