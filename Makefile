@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test check race soak bench experiments
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the tier-1 gate plus static analysis and the race detector over
+# the concurrency-heavy packages (networked runtime, reliable links, chaos
+# injection, simulator, wire codec).
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/runtime/... ./internal/rlink/... ./internal/chaos/... ./internal/dist/... ./internal/wire/...
+
+race:
+	$(GO) test -race ./...
+
+# soak runs the long chaos matrix (many seeds x heavy profile x crash
+# plans) under the race detector. Opt-in: it is too slow for tier-1.
+soak:
+	CHC_CHAOS_SOAK=1 $(GO) test -race -v -run TestChaosSoak -timeout 20m ./internal/runtime/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+experiments:
+	$(GO) run ./cmd/chcbench -quick

@@ -237,6 +237,39 @@ func TestRunNetworkedTCP(t *testing.T) {
 	}
 }
 
+func TestRunNetworkedChaos(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.5,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: inputs2D(5, 6),
+	}
+	result, err := chc.RunNetworked(cfg, chc.InProcess, 60*time.Second,
+		chc.WithNetworkChaos(chc.LightChaos(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chc.CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement under chaos: %+v, %v", rep, err)
+	}
+	if err := chc.CheckValidity(result, &cfg); err != nil {
+		t.Error(err)
+	}
+	if result.Stats == nil || result.Stats.Net == nil {
+		t.Fatal("chaos run must surface network stats")
+	}
+	net := result.Stats.Net
+	if net.FramesSent == 0 || net.AcksSent == 0 {
+		t.Errorf("reliable layer inactive: %+v", net)
+	}
+	if net.InjectedDrops+net.InjectedDups+net.InjectedDelays == 0 {
+		t.Errorf("light chaos injected nothing: %+v", net)
+	}
+}
+
 func TestPublicBatch(t *testing.T) {
 	cfg := chc.BatchConfig{
 		N: 5,

@@ -8,6 +8,8 @@
 //	chcrun -n 5 -f 1 -d 2 -faulty 3 -crash 3:9 -sched delay
 //	chcrun -n 3 -f 1 -d 2 -model correct
 //	chcrun -n 5 -f 1 -d 2 -transport tcp     # real sockets instead of simulation
+//	chcrun -n 5 -f 1 -transport inproc -chaos heavy -chaos-seed 3
+//	chcrun -n 5 -f 1 -transport tcp -chaos 'drop=0.2,dup=0.1,delay=100us-2ms'
 package main
 
 import (
@@ -45,9 +47,19 @@ func run(args []string, w io.Writer) error {
 		transport = fs.String("transport", "sim", "execution: sim|inproc|tcp")
 		byz       = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
 		traceFile = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
+		chaosSpec = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	chaosProfile, err := chc.ParseChaosProfile(*chaosSpec)
+	if err != nil {
+		return fmt.Errorf("-chaos: %w", err)
+	}
+	if chaosProfile.Enabled() && *transport == "sim" {
+		return fmt.Errorf("-chaos requires a networked transport (-transport inproc or tcp); the simulator has no link layer")
 	}
 
 	params := chc.Params{
@@ -109,18 +121,19 @@ func run(args []string, w io.Writer) error {
 		return runByzantine(w, params, inputs, cfg.Faulty, *byz, *seed)
 	}
 
-	var (
-		result *chc.RunResult
-		err    error
-	)
+	var netOpts []chc.NetworkOption
+	if chaosProfile.Enabled() {
+		netOpts = append(netOpts, chc.WithNetworkChaos(chaosProfile, *chaosSeed))
+	}
+	var result *chc.RunResult
 	start := time.Now()
 	switch *transport {
 	case "sim":
 		result, err = chc.Run(cfg)
 	case "inproc":
-		result, err = chc.RunNetworked(cfg, chc.InProcess, 5*time.Minute)
+		result, err = chc.RunNetworked(cfg, chc.InProcess, 5*time.Minute, netOpts...)
 	case "tcp":
-		result, err = chc.RunNetworked(cfg, chc.TCP, 5*time.Minute)
+		result, err = chc.RunNetworked(cfg, chc.TCP, 5*time.Minute, netOpts...)
 	default:
 		return fmt.Errorf("unknown transport %q", *transport)
 	}
@@ -170,6 +183,14 @@ func run(args []string, w io.Writer) error {
 	}
 	if result.Stats != nil {
 		fmt.Fprintf(w, "messages    : %d sends, %d bytes\n", result.Stats.Sends, result.Stats.Bytes)
+		if net := result.Stats.Net; net != nil && (chaosProfile.Enabled() || net.FramesSent > 0) {
+			fmt.Fprintf(w, "network     : %d frames, %d retransmits, %d dup-suppressed, %d reconnects\n",
+				net.FramesSent, net.Retransmits, net.DupSuppressed, net.Reconnects)
+			if chaosProfile.Enabled() {
+				fmt.Fprintf(w, "chaos       : %s seed=%d: %d drops, %d dups, %d delays, %d partition drops injected\n",
+					chaosProfile.String(), *chaosSeed, net.InjectedDrops, net.InjectedDups, net.InjectedDelays, net.PartitionDrops)
+			}
+		}
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

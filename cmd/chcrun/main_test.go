@@ -102,11 +102,30 @@ func TestRunByzantineMode(t *testing.T) {
 	}
 }
 
+func TestRunChaosInProc(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1",
+		"-transport", "inproc", "-chaos", "drop=0.2,dup=0.1", "-chaos-seed", "7",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"network     :", "chaos       :", "retransmits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-model", "weird"},
 		{"-sched", "weird"},
 		{"-transport", "weird"},
+		{"-chaos", "weird"},
+		{"-chaos", "heavy"}, // chaos on the simulator transport is an error
 		{"-faulty", "zero,one"},
 		{"-crash", "nonsense"},
 		{"-crash", "1"},

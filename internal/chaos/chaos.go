@@ -1,0 +1,349 @@
+// Package chaos injects seeded, deterministic network faults between the
+// reliable-link layer and the real transport: per-frame drops, duplication,
+// bounded random delays, and timed link partitions. It is the adversary the
+// chaos-matrix experiment runs Algorithm CC against — the protocol is proven
+// correct assuming reliable FIFO channels, package rlink implements those
+// channels over a fair-lossy link, and this package makes the link lossy in
+// a reproducible way.
+//
+// Determinism: every fault decision for the k-th frame offered on a directed
+// link is a pure function of (Seed, from, to, k). Two injectors built with
+// the same profile and seed make identical drop/duplicate/delay decisions
+// for identical per-link frame sequences, so a failing chaos run can be
+// replayed from its seed. (Under real concurrency the interleaving of
+// *different* links still varies; the fault plan does not.)
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+// Sender matches rlink.Sender: the unreliable frame hop below the injector.
+type Sender interface {
+	SendFrame(to dist.ProcID, f wire.Frame) error
+}
+
+// Partition cuts every link between the processes in Isolated and the rest
+// of the cluster (both directions) during [Start, End), measured from the
+// injector's construction. Retransmission heals the cut once the window
+// closes, so a transient partition must only delay — never forfeit —
+// termination.
+type Partition struct {
+	Start, End time.Duration
+	Isolated   []dist.ProcID
+}
+
+// Profile describes the fault mix injected on every link.
+type Profile struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability a (non-dropped) frame is sent twice.
+	Dup float64
+	// DelayMin/DelayMax bound a uniform random delay added to every frame;
+	// DelayMax = 0 disables delays. Delays reorder frames, exercising the
+	// receive-side reorder buffer.
+	DelayMin, DelayMax time.Duration
+	// Partitions schedules transient link cuts.
+	Partitions []Partition
+}
+
+// Enabled reports whether the profile injects any fault at all.
+func (p Profile) Enabled() bool {
+	return p.Drop > 0 || p.Dup > 0 || p.DelayMax > 0 || len(p.Partitions) > 0
+}
+
+// Light is a mild profile: occasional drops and duplicates, sub-millisecond
+// delays, no partitions.
+func Light() Profile {
+	return Profile{Drop: 0.05, Dup: 0.02, DelayMax: 500 * time.Microsecond}
+}
+
+// Heavy combines >= 20% loss, duplication, delay jitter and a transient
+// partition isolating process 0 — the acceptance profile of the chaos
+// matrix.
+func Heavy() Profile {
+	return Profile{
+		Drop:     0.20,
+		Dup:      0.10,
+		DelayMin: 50 * time.Microsecond,
+		DelayMax: 2 * time.Millisecond,
+		Partitions: []Partition{
+			{Start: 2 * time.Millisecond, End: 20 * time.Millisecond, Isolated: []dist.ProcID{0}},
+		},
+	}
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Drops          int64 // frames discarded by the drop dice
+	Dups           int64 // extra copies sent by the duplication dice
+	Delays         int64 // frames deferred by the delay dice
+	PartitionDrops int64 // frames discarded inside a partition window
+}
+
+// Injector wraps a Sender for one node and applies the profile to every
+// outgoing frame. It is safe for concurrent use.
+type Injector struct {
+	self    dist.ProcID
+	profile Profile
+	next    Sender
+	start   time.Time
+
+	links []*linkDice
+
+	drops          atomic.Int64
+	dups           atomic.Int64
+	delays         atomic.Int64
+	partitionDrops atomic.Int64
+
+	closed atomic.Bool
+}
+
+// linkDice is the seeded random stream of one directed link. Guarding each
+// stream with its own mutex keeps the decision sequence deterministic per
+// link no matter how goroutines interleave across links.
+type linkDice struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds an injector for frames sent by node self in a cluster of n
+// nodes. The partition clock starts now.
+func New(self dist.ProcID, n int, profile Profile, seed int64, next Sender) *Injector {
+	inj := &Injector{
+		self:    self,
+		profile: profile,
+		next:    next,
+		start:   time.Now(),
+		links:   make([]*linkDice, n),
+	}
+	for to := range inj.links {
+		// Decorrelate links with a splitmix-style seed derivation.
+		s := uint64(seed)
+		s = s*0x9e3779b97f4a7c15 + uint64(self) + 1
+		s = s*0x9e3779b97f4a7c15 + uint64(to) + 1
+		inj.links[to] = &linkDice{rng: rand.New(rand.NewSource(int64(s)))}
+	}
+	return inj
+}
+
+// SendFrame applies the fault dice to one frame and forwards the surviving
+// copies to the underlying transport.
+func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
+	if inj.closed.Load() {
+		return inj.next.SendFrame(to, f)
+	}
+	if inj.partitioned(to, time.Since(inj.start)) {
+		inj.partitionDrops.Add(1)
+		return nil
+	}
+	if to < 0 || int(to) >= len(inj.links) {
+		return inj.next.SendFrame(to, f)
+	}
+	// Always burn exactly three dice per frame so the decision stream stays
+	// aligned with the frame index regardless of which faults are enabled.
+	l := inj.links[to]
+	l.mu.Lock()
+	dropRoll := l.rng.Float64()
+	dupRoll := l.rng.Float64()
+	delayRoll := l.rng.Float64()
+	l.mu.Unlock()
+
+	if dropRoll < inj.profile.Drop {
+		inj.drops.Add(1)
+		return nil
+	}
+	copies := 1
+	if dupRoll < inj.profile.Dup {
+		inj.dups.Add(1)
+		copies = 2
+	}
+	var delay time.Duration
+	if inj.profile.DelayMax > 0 {
+		span := inj.profile.DelayMax - inj.profile.DelayMin
+		delay = inj.profile.DelayMin + time.Duration(delayRoll*float64(span))
+	}
+	if delay > 0 {
+		inj.delays.Add(1)
+		for c := 0; c < copies; c++ {
+			time.AfterFunc(delay, func() {
+				if inj.closed.Load() {
+					return
+				}
+				_ = inj.next.SendFrame(to, f)
+			})
+		}
+		return nil
+	}
+	err := inj.next.SendFrame(to, f)
+	for c := 1; c < copies; c++ {
+		_ = inj.next.SendFrame(to, f)
+	}
+	return err
+}
+
+// partitioned reports whether the self->to link is cut at elapsed time.
+func (inj *Injector) partitioned(to dist.ProcID, elapsed time.Duration) bool {
+	for _, p := range inj.profile.Partitions {
+		if elapsed < p.Start || elapsed >= p.End {
+			continue
+		}
+		selfIn, toIn := false, false
+		for _, id := range p.Isolated {
+			if id == inj.self {
+				selfIn = true
+			}
+			if id == to {
+				toIn = true
+			}
+		}
+		if selfIn != toIn {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Drops:          inj.drops.Load(),
+		Dups:           inj.dups.Load(),
+		Delays:         inj.delays.Load(),
+		PartitionDrops: inj.partitionDrops.Load(),
+	}
+}
+
+// Close disarms the injector: pending delayed frames are discarded and
+// future frames pass through unmodified (shutdown traffic should not be
+// chaos-dropped, or closing acks would retransmit forever).
+func (inj *Injector) Close() error {
+	inj.closed.Store(true)
+	return nil
+}
+
+// ParseProfile builds a profile from a compact CLI spec. Accepted forms:
+//
+//	off                      — zero profile
+//	light | heavy            — the presets above
+//	key=value[,key=value...] — custom profile with keys:
+//	    drop=0.2             frame drop probability
+//	    dup=0.1              duplication probability
+//	    delay=100us-2ms      uniform delay bounds (single value = max)
+//	    part=5ms-25ms:0+1    partition window and isolated IDs ('+'-separated)
+func ParseProfile(spec string) (Profile, error) {
+	var p Profile
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "off", "none":
+		return Profile{}, nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return p, fmt.Errorf("chaos: bad profile element %q (want key=value)", part)
+		}
+		key, val := strings.ToLower(kv[0]), kv[1]
+		switch key {
+		case "drop", "dup":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil || x < 0 || x >= 1 {
+				return p, fmt.Errorf("chaos: bad %s probability %q", key, val)
+			}
+			if key == "drop" {
+				p.Drop = x
+			} else {
+				p.Dup = x
+			}
+		case "delay":
+			lo, hi, err := parseDurationRange(val)
+			if err != nil {
+				return p, fmt.Errorf("chaos: bad delay %q: %w", val, err)
+			}
+			p.DelayMin, p.DelayMax = lo, hi
+		case "part", "partition":
+			bits := strings.SplitN(val, ":", 2)
+			if len(bits) != 2 {
+				return p, fmt.Errorf("chaos: bad partition %q (want start-end:ids)", val)
+			}
+			lo, hi, err := parseDurationRange(bits[0])
+			if err != nil {
+				return p, fmt.Errorf("chaos: bad partition window %q: %w", bits[0], err)
+			}
+			var ids []dist.ProcID
+			for _, s := range strings.Split(bits[1], "+") {
+				id, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return p, fmt.Errorf("chaos: bad partition process %q", s)
+				}
+				ids = append(ids, dist.ProcID(id))
+			}
+			p.Partitions = append(p.Partitions, Partition{Start: lo, End: hi, Isolated: ids})
+		default:
+			return p, fmt.Errorf("chaos: unknown profile key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// parseDurationRange parses "lo-hi" or a single "hi" duration.
+func parseDurationRange(s string) (lo, hi time.Duration, err error) {
+	// time.Duration strings never contain '-' except as a (disallowed here)
+	// sign, so splitting on the first '-' is unambiguous.
+	if i := strings.Index(s, "-"); i >= 0 {
+		lo, err = time.ParseDuration(strings.TrimSpace(s[:i]))
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err = time.ParseDuration(strings.TrimSpace(s[i+1:]))
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		hi, err = time.ParseDuration(strings.TrimSpace(s))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if lo < 0 || hi < lo {
+		return 0, 0, fmt.Errorf("invalid range %q", s)
+	}
+	return lo, hi, nil
+}
+
+// String renders the profile compactly for logs and tables.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", p.Dup))
+	}
+	if p.DelayMax > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%v-%v", p.DelayMin, p.DelayMax))
+	}
+	for _, part := range p.Partitions {
+		ids := make([]string, len(part.Isolated))
+		for i, id := range part.Isolated {
+			ids[i] = strconv.Itoa(int(id))
+		}
+		parts = append(parts, fmt.Sprintf("part=%v-%v:%s", part.Start, part.End, strings.Join(ids, "+")))
+	}
+	return strings.Join(parts, ",")
+}

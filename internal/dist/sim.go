@@ -79,6 +79,27 @@ type Stats struct {
 	DroppedCrash int            // messages addressed to crashed processes
 	Bytes        int            // total payload bytes (needs Config.Sizer)
 	KindCounts   map[string]int // sends per message kind
+	Net          *NetStats      // link-layer counters (networked runs only)
+}
+
+// NetStats counts link-layer work below the protocol: the reliability
+// machinery (retransmits, dedup, reordering), injected chaos faults, and
+// TCP link repair. The deterministic simulator models perfect channels and
+// leaves it nil; the networked runtime fills it in.
+type NetStats struct {
+	FramesSent    int64 // first transmissions of data frames
+	Retransmits   int64 // retransmitted data frames
+	DupSuppressed int64 // duplicate data frames discarded at the receiver
+	OutOfOrder    int64 // data frames buffered ahead of a sequence gap
+	AcksSent      int64 // acknowledgement frames
+
+	InjectedDrops  int64 // frames dropped by chaos injection
+	InjectedDups   int64 // frames duplicated by chaos injection
+	InjectedDelays int64 // frames delayed by chaos injection
+	PartitionDrops int64 // frames dropped inside a chaos partition window
+
+	Reconnects int64 // TCP links re-established after a failure
+	LinkFaults int64 // TCP link errors (mid-frame truncation, write failures)
 }
 
 // ErrDeadlock is returned when live undecided processes remain but no
@@ -260,15 +281,19 @@ func (s *Sim) send(from, to ProcID, kind string, round int, payload any) {
 	if s.crashed[from] {
 		return
 	}
+	// Validate the target before touching the crash budget: a send to a
+	// nonexistent process is a local no-op, not a network event, so it must
+	// neither burn budget nor count in Stats. runtime.Cluster applies the
+	// same rule, keeping send accounting aligned across both executors.
+	if to < 0 || int(to) >= s.cfg.N {
+		return
+	}
 	if s.sendBudget[from] == 0 {
 		s.crashed[from] = true
 		return
 	}
 	if s.sendBudget[from] > 0 {
 		s.sendBudget[from]--
-	}
-	if to < 0 || int(to) >= s.cfg.N {
-		return
 	}
 	msg := Message{From: from, To: to, Kind: kind, Round: round, Payload: payload}
 	key := chanKey{from: from, to: to}

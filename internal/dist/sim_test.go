@@ -399,3 +399,55 @@ func TestReplaySchedulerFallback(t *testing.T) {
 		}
 	}
 }
+
+// wildSender sends one message to a bogus target, then broadcasts. Used to
+// pin down the budget/validation ordering in Sim.send.
+type wildSender struct{ done bool }
+
+func (p *wildSender) Init(ctx Context) {
+	ctx.Send(99, "bogus", 0, nil) // invalid target: must be a free no-op
+	ctx.Broadcast("real", 0, nil)
+	p.done = true
+}
+func (p *wildSender) Deliver(_ Context, _ Message) {}
+func (p *wildSender) Done() bool                   { return p.done }
+
+type sink struct{}
+
+func (sink) Init(Context)                 {}
+func (sink) Deliver(_ Context, _ Message) {}
+func (sink) Done() bool                   { return true }
+
+// TestInvalidTargetConsumesNoBudget: a send to a nonexistent process must
+// neither burn the sender's crash budget nor count in Stats.Sends, so a
+// crash plan of AfterSends=2 still permits two real sends.
+func TestInvalidTargetConsumesNoBudget(t *testing.T) {
+	procs := []Process{&wildSender{}, sink{}, sink{}, sink{}}
+	cfg := Config{
+		N:       4,
+		Seed:    1,
+		Crashes: []CrashPlan{{Proc: 0, AfterSends: 2}},
+	}
+	sim, err := NewSim(cfg, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 2: the invalid send is free, the first two broadcast legs
+	// consume the budget, the third leg trips the crash.
+	if stats.Sends != 2 {
+		t.Errorf("Sends = %d, want 2 (invalid target must not count or consume budget)", stats.Sends)
+	}
+	if !sim.Crashed(0) {
+		t.Error("process 0 should have crashed on its third real send")
+	}
+	if got := stats.KindCounts["bogus"]; got != 0 {
+		t.Errorf("bogus sends counted: %d", got)
+	}
+	if got := stats.KindCounts["real"]; got != 2 {
+		t.Errorf("real sends = %d, want 2", got)
+	}
+}

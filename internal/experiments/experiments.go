@@ -21,6 +21,7 @@
 //	E13 ablation: stable vector vs naive round-0 collection
 //	E14 the crash→Byzantine transformation (Coan compiler, n >= 3f+1)
 //	E15 the open conjecture on strongly convex arg-min agreement (Sec. 7)
+//	E16 the chaos matrix: consensus over unreliable links via rlink
 package experiments
 
 import (
@@ -141,6 +142,7 @@ func All() []Experiment {
 		{"E13", "Ablation: stable vector vs naive round 0", E13StableVectorAblation},
 		{"E14", "Byzantine transformation (Coan compiler, n >= 3f+1)", E14Byzantine},
 		{"E15", "Open conjecture: strongly convex arg-min agreement", E15StrongConvexity},
+		{"E16", "Chaos matrix: consensus over unreliable links (rlink)", E16ChaosMatrix},
 	}
 }
 

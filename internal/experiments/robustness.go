@@ -2,10 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
+	"chc/internal/chaos"
 	"chc/internal/core"
 	"chc/internal/dist"
 	"chc/internal/geom"
+	"chc/internal/polytope"
+	"chc/internal/runtime"
+	"chc/internal/wire"
 )
 
 // E3Validity stress-tests Theorem 2 (validity + ε-agreement + termination)
@@ -241,4 +246,139 @@ func E5OutputVolume(opt Options) (*Table, error) {
 		"Compass instance: the round-0 intersection is exactly the single centre point; measured output diameter %v.",
 		fmtF(out.Diameter())))
 	return t, nil
+}
+
+// E16ChaosMatrix exercises the reliable-channel reduction: Algorithm CC
+// assumes exactly-once FIFO channels, and the rlink layer must recover that
+// contract over lossy, duplicating, delaying and transiently partitioned
+// transports — composed with up to f crash faults. Each cell runs full
+// consensus instances over the networked runtime with a seeded chaos
+// profile and asserts termination of every fault-free process plus validity
+// of every output.
+func E16ChaosMatrix(opt Options) (*Table, error) {
+	seeds := opt.trials(2, 6)
+	type profCase struct {
+		name    string
+		profile chaos.Profile
+	}
+	profiles := []profCase{
+		{"drop 25%", chaos.Profile{Drop: 0.25}},
+		{"drop+dup+jitter", chaos.Profile{
+			Drop: 0.20, Dup: 0.10,
+			DelayMin: 50 * time.Microsecond, DelayMax: time.Millisecond,
+		}},
+		{"heavy (+partition)", chaos.Heavy()},
+	}
+	crashSets := []struct {
+		name    string
+		crashes []dist.CrashPlan
+	}{
+		{"none", nil},
+		{"f mid-bcast", []dist.CrashPlan{{Proc: 4, AfterSends: 15}}},
+	}
+	t := &Table{
+		ID:     "E16",
+		Title:  "Chaos matrix: Algorithm CC over unreliable links via the rlink layer (n=5, f=1, d=2)",
+		Header: []string{"profile", "crashes", "runs", "terminated", "validity", "retransmits", "dup-suppressed", "part-drops"},
+		Notes: []string{
+			"Each run injects the seeded fault plan below the reliable-link layer; termination counts runs where every fault-free process decided, validity counts runs where every output lies in the hull of non-faulty inputs (Theorem 2 over recovered channels).",
+		},
+	}
+	for _, pc := range profiles {
+		for _, cs := range crashSets {
+			runs, term, valid := 0, 0, 0
+			var retrans, dupSupp, partDrops int64
+			for s := 0; s < seeds; s++ {
+				seed := int64(s*37 + 5)
+				st, result, cfg, err := runChaosCell(pc.profile, cs.crashes, seed)
+				if err != nil {
+					return nil, fmt.Errorf("E16 %s/%s seed %d: %w", pc.name, cs.name, seed, err)
+				}
+				runs++
+				allDecided := true
+				for _, id := range result.FaultFree() {
+					if _, ok := result.Outputs[id]; !ok {
+						allDecided = false
+					}
+				}
+				if allDecided {
+					term++
+				}
+				if core.CheckValidity(result, cfg) == nil {
+					valid++
+				}
+				retrans += st.Net.Retransmits
+				dupSupp += st.Net.DupSuppressed
+				partDrops += st.Net.PartitionDrops
+			}
+			t.Rows = append(t.Rows, []string{
+				pc.name, cs.name, fmtI(runs),
+				fmt.Sprintf("%d/%d", term, runs),
+				fmt.Sprintf("%d/%d", valid, runs),
+				fmt.Sprintf("%d", retrans),
+				fmt.Sprintf("%d", dupSupp),
+				fmt.Sprintf("%d", partDrops),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runChaosCell runs one consensus instance over runtime.NewChannelCluster
+// with the given chaos profile and crash plans, returning the cluster's
+// network stats and a RunResult suitable for the core checkers.
+func runChaosCell(profile chaos.Profile, crashes []dist.CrashPlan, seed int64) (runtime.ClusterStats, *core.RunResult, *core.RunConfig, error) {
+	const n, f = 5, 1
+	params := baseParams(n, f, 2, 0.05).WithDefaults()
+	inputs := randInputs(n, 2, 0, 10, seed)
+	cfg := &core.RunConfig{Params: params, Inputs: inputs, Seed: seed, Crashes: crashes}
+	for _, c := range crashes {
+		cfg.Faulty = append(cfg.Faulty, c.Proc)
+	}
+
+	procs := make([]dist.Process, n)
+	impls := make([]*core.Process, n)
+	for i := 0; i < n; i++ {
+		proc, err := core.NewProcess(params, dist.ProcID(i), inputs[i])
+		if err != nil {
+			return runtime.ClusterStats{}, nil, nil, err
+		}
+		impls[i] = proc
+		procs[i] = proc
+	}
+	opts := []runtime.Option{
+		runtime.WithSizer(wire.MessageSize),
+		runtime.WithChaos(profile, seed),
+	}
+	if len(crashes) > 0 {
+		opts = append(opts, runtime.WithCrashes(crashes...))
+	}
+	c, err := runtime.NewChannelCluster(procs, opts...)
+	if err != nil {
+		return runtime.ClusterStats{}, nil, nil, err
+	}
+	if err := c.Run(60 * time.Second); err != nil {
+		return runtime.ClusterStats{}, nil, nil, err
+	}
+
+	result := &core.RunResult{
+		Params:  params,
+		Outputs: make(map[dist.ProcID]*polytope.Polytope),
+		Crashed: make(map[dist.ProcID]bool),
+		Faulty:  make(map[dist.ProcID]bool),
+		Traces:  make(map[dist.ProcID]core.Trace),
+	}
+	for _, id := range cfg.Faulty {
+		result.Faulty[id] = true
+	}
+	for i, proc := range impls {
+		id := dist.ProcID(i)
+		out, oerr := proc.Output()
+		if oerr != nil {
+			result.Crashed[id] = true
+			continue
+		}
+		result.Outputs[id] = out
+	}
+	return c.Stats(), result, cfg, nil
 }

@@ -1,0 +1,320 @@
+// Package rlink implements the reliable-channel abstraction Algorithm CC is
+// proven against — exactly-once, per-sender-FIFO delivery — on top of an
+// unreliable frame transport that may drop, duplicate, reorder or delay
+// frames (a chaos-injected link, or a TCP link that breaks and reconnects).
+//
+// Each node runs one Endpoint. The sending side stamps every protocol
+// message with a per-link sequence number, keeps it buffered until the
+// receiver's cumulative ack covers it, and retransmits with exponential
+// backoff plus jitter. The receiving side acknowledges every data frame,
+// suppresses duplicates, and holds out-of-order frames in a reorder buffer
+// so messages are handed to the process in exactly the order they were
+// sent. The paper's channel model therefore holds end-to-end as long as
+// each link eventually delivers a retransmission (fair-lossy links).
+package rlink
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("rlink: endpoint closed")
+
+// Sender pushes a frame toward a peer over the unreliable transport below
+// the endpoint. Implementations may fail or silently drop; the endpoint
+// relies only on retransmission for delivery.
+type Sender interface {
+	SendFrame(to dist.ProcID, f wire.Frame) error
+}
+
+// Config tunes the retransmission machinery. Zero values select defaults
+// suited to loopback/in-process links.
+type Config struct {
+	// RetransmitInitial is the delay before the first retransmission of an
+	// unacked frame (default 4ms).
+	RetransmitInitial time.Duration
+	// RetransmitMax caps the exponential backoff (default 250ms).
+	RetransmitMax time.Duration
+	// Tick is the scan period of the retransmission loop (default 1ms).
+	Tick time.Duration
+	// Seed drives retransmission jitter (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetransmitInitial <= 0 {
+		c.RetransmitInitial = 4 * time.Millisecond
+	}
+	if c.RetransmitMax <= 0 {
+		c.RetransmitMax = 250 * time.Millisecond
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats counts the reliability work an endpoint performed.
+type Stats struct {
+	FramesSent    int64 // first transmissions of data frames
+	Retransmits   int64 // additional transmissions of data frames
+	DupSuppressed int64 // received data frames discarded as duplicates
+	OutOfOrder    int64 // received data frames buffered ahead of a gap
+	AcksSent      int64 // ack frames emitted
+}
+
+// Endpoint provides reliable exactly-once FIFO links from one node to all
+// its peers, over any Sender.
+type Endpoint struct {
+	self    dist.ProcID
+	cfg     Config
+	sender  Sender
+	deliver func(dist.Message)
+
+	out []*outLink
+	in  []*inLink
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	framesSent    atomic.Int64
+	retransmits   atomic.Int64
+	dupSuppressed atomic.Int64
+	outOfOrder    atomic.Int64
+	acksSent      atomic.Int64
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// pending is an unacknowledged data frame awaiting (re)transmission.
+type pending struct {
+	frame     wire.Frame
+	attempts  int
+	nextRetry time.Time
+}
+
+// outLink is the sender-side state of one directed link.
+type outLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	queue   []pending // ascending seq; prefix-trimmed by cumulative acks
+}
+
+// inLink is the receiver-side state of one directed link.
+type inLink struct {
+	mu       sync.Mutex
+	next     uint64 // next expected (lowest undelivered) sequence number
+	buffered map[uint64]dist.Message
+}
+
+// New builds an endpoint for node self in a cluster of n nodes. Incoming
+// messages are handed to deliver in per-sender FIFO order, exactly once;
+// deliver must not block indefinitely.
+func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		self:    self,
+		cfg:     cfg,
+		sender:  sender,
+		deliver: deliver,
+		out:     make([]*outLink, n),
+		in:      make([]*inLink, n),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(self)*0x9e3779b9)),
+		stop:    make(chan struct{}),
+	}
+	for i := range e.out {
+		e.out[i] = &outLink{}
+		e.in[i] = &inLink{buffered: make(map[uint64]dist.Message)}
+	}
+	e.wg.Add(1)
+	go e.retransmitLoop()
+	return e
+}
+
+// Send stamps msg with the next sequence number of the link to msg.To,
+// buffers it until acked, and attempts a first transmission. A transport
+// error is not fatal: the frame stays queued and the retransmission loop
+// keeps trying until an ack arrives or the endpoint closes.
+func (e *Endpoint) Send(msg dist.Message) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if msg.To < 0 || int(msg.To) >= len(e.out) {
+		return errors.New("rlink: send to unknown peer")
+	}
+	l := e.out[msg.To]
+	l.mu.Lock()
+	f := wire.Frame{Type: wire.FrameData, From: e.self, Seq: l.nextSeq, Msg: msg}
+	l.nextSeq++
+	l.queue = append(l.queue, pending{
+		frame:     f,
+		attempts:  1,
+		nextRetry: time.Now().Add(e.backoff(1)),
+	})
+	l.mu.Unlock()
+	e.framesSent.Add(1)
+	_ = e.sender.SendFrame(msg.To, f)
+	return nil
+}
+
+// OnFrame is the receive path: the transport calls it for every frame
+// addressed to this node. Data frames are deduplicated, reordered and
+// delivered; ack frames retire pending retransmissions. Handshake frames
+// are transport-internal and ignored here.
+func (e *Endpoint) OnFrame(f wire.Frame) {
+	if e.closed.Load() {
+		return
+	}
+	if f.From < 0 || int(f.From) >= len(e.in) {
+		return
+	}
+	switch f.Type {
+	case wire.FrameAck:
+		l := e.out[f.From]
+		l.mu.Lock()
+		i := 0
+		for i < len(l.queue) && l.queue[i].frame.Seq <= f.Seq {
+			i++
+		}
+		if i > 0 {
+			l.queue = append(l.queue[:0], l.queue[i:]...)
+		}
+		l.mu.Unlock()
+	case wire.FrameData:
+		il := e.in[f.From]
+		il.mu.Lock()
+		var ready []dist.Message
+		switch {
+		case f.Seq < il.next:
+			e.dupSuppressed.Add(1)
+		default:
+			if _, dup := il.buffered[f.Seq]; dup {
+				e.dupSuppressed.Add(1)
+				break
+			}
+			if f.Seq != il.next {
+				e.outOfOrder.Add(1)
+			}
+			il.buffered[f.Seq] = f.Msg
+			for {
+				m, ok := il.buffered[il.next]
+				if !ok {
+					break
+				}
+				delete(il.buffered, il.next)
+				ready = append(ready, m)
+				il.next++
+			}
+		}
+		ackable := il.next > 0
+		ackSeq := il.next - 1
+		il.mu.Unlock()
+		for _, m := range ready {
+			e.deliver(m)
+		}
+		// Ack cumulatively, even for duplicates: the retransmission that
+		// produced the duplicate means a previous ack was lost.
+		if ackable {
+			e.acksSent.Add(1)
+			_ = e.sender.SendFrame(f.From, wire.Frame{Type: wire.FrameAck, From: e.self, Seq: ackSeq})
+		}
+	}
+}
+
+// retransmitLoop periodically rescans all links for overdue frames.
+func (e *Endpoint) retransmitLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case now := <-t.C:
+			for to, l := range e.out {
+				var resend []wire.Frame
+				l.mu.Lock()
+				for i := range l.queue {
+					p := &l.queue[i]
+					if now.After(p.nextRetry) {
+						resend = append(resend, p.frame)
+						p.attempts++
+						p.nextRetry = now.Add(e.backoff(p.attempts))
+					}
+				}
+				l.mu.Unlock()
+				for _, f := range resend {
+					e.retransmits.Add(1)
+					_ = e.sender.SendFrame(dist.ProcID(to), f)
+				}
+			}
+		}
+	}
+}
+
+// backoff computes the delay before attempt+1: exponential in the attempt
+// count, capped, with up to 50% random jitter to avoid retransmission
+// storms marching in lockstep across links.
+func (e *Endpoint) backoff(attempts int) time.Duration {
+	d := e.cfg.RetransmitInitial
+	for i := 1; i < attempts && d < e.cfg.RetransmitMax; i++ {
+		d *= 2
+	}
+	if d > e.cfg.RetransmitMax {
+		d = e.cfg.RetransmitMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	e.rngMu.Lock()
+	j := e.rng.Int63n(half + 1)
+	e.rngMu.Unlock()
+	return d/2 + time.Duration(j) // uniform in [d/2, d]
+}
+
+// Pending returns the number of data frames sent but not yet acknowledged,
+// summed over all links.
+func (e *Endpoint) Pending() int {
+	total := 0
+	for _, l := range e.out {
+		l.mu.Lock()
+		total += len(l.queue)
+		l.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the endpoint's reliability counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		FramesSent:    e.framesSent.Load(),
+		Retransmits:   e.retransmits.Load(),
+		DupSuppressed: e.dupSuppressed.Load(),
+		OutOfOrder:    e.outOfOrder.Load(),
+		AcksSent:      e.acksSent.Load(),
+	}
+}
+
+// Close stops the retransmission loop; pending frames are abandoned (the
+// run is over — undelivered frames are indistinguishable from a crash cut).
+func (e *Endpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.stop)
+	e.wg.Wait()
+	return nil
+}

@@ -7,15 +7,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chc/internal/chaos"
 	"chc/internal/dist"
+	"chc/internal/rlink"
+	"chc/internal/wire"
 )
 
 // ErrTimeout is returned by Run when the protocol does not complete within
 // the deadline.
 var ErrTimeout = errors.New("runtime: protocol did not complete before the deadline")
 
-// transport moves messages between nodes. Implementations must preserve
-// per-sender FIFO order and deliver each message at most once.
+// transport moves protocol messages between nodes. In the plain channel
+// cluster it must itself preserve per-sender FIFO order and exactly-once
+// delivery; in reliable-link mode those guarantees come from the rlink
+// endpoint above an unreliable frame transport.
 type transport interface {
 	// Send hands a message to the network; it must not block indefinitely.
 	Send(msg dist.Message) error
@@ -24,16 +29,39 @@ type transport interface {
 }
 
 // Cluster runs n protocol state machines concurrently, one goroutine per
-// process, over an in-process or TCP transport.
+// process, over an in-process or TCP transport. With WithChaos or
+// WithReliableLinks the message path is layered as
+//
+//	process -> rlink endpoint -> [chaos injector] -> frame transport
+//
+// and the receive path feeds frames back through the peer's endpoint, which
+// restores the exactly-once FIFO contract the protocol is proven against.
 type Cluster struct {
 	procs  []dist.Process
 	inbox  []*mailbox
 	trans  []transport
 	budget []int64 // remaining sends before simulated crash; -1 = unlimited
 
+	rel []*rlink.Endpoint // reliable-link endpoints (nil entries when disabled)
+	inj []*chaos.Injector // chaos injectors (nil entries when disabled)
+	tcp []*tcpTransport   // TCP transports (nil entries for channel clusters)
+
+	chaosProfile *chaos.Profile
+	chaosSeed    int64
+	reliable     bool
+	rlinkCfg     rlink.Config
+
 	sends atomic.Int64
 	bytes atomic.Int64
 	sizer func(dist.Message) int
+}
+
+// ClusterStats aggregates protocol-level message counts with the link-layer
+// counters of the reliability and chaos machinery.
+type ClusterStats struct {
+	Sends int64 // protocol messages handed to the network
+	Bytes int64 // estimated payload bytes (needs WithSizer)
+	Net   dist.NetStats
 }
 
 // Option configures a Cluster.
@@ -66,11 +94,56 @@ func WithSizer(fn func(dist.Message) int) Option {
 	return sizerOption{fn: fn}
 }
 
+type chaosOption struct {
+	profile chaos.Profile
+	seed    int64
+}
+
+func (o chaosOption) apply(c *Cluster) {
+	p := o.profile
+	c.chaosProfile = &p
+	c.chaosSeed = o.seed
+	c.reliable = true // an unreliable link needs the reliability layer
+}
+
+// WithChaos injects seeded network faults (drops, duplication, delays,
+// transient partitions) below the reliable-link layer, which is enabled
+// automatically. Composable with WithCrashes: chaos attacks the links,
+// crash plans attack the processes.
+func WithChaos(profile chaos.Profile, seed int64) Option {
+	return chaosOption{profile: profile, seed: seed}
+}
+
+type reliableOption struct{ cfg rlink.Config }
+
+func (o reliableOption) apply(c *Cluster) {
+	c.reliable = true
+	c.rlinkCfg = o.cfg
+}
+
+// WithReliableLinks forces the sequence/ack/retransmit layer even on
+// transports that are already reliable (useful for exercising the layer
+// itself). TCP clusters always run it; see NewTCPCluster.
+func WithReliableLinks(cfg rlink.Config) Option {
+	return reliableOption{cfg: cfg}
+}
+
 // NewChannelCluster builds a cluster connected by in-process mailboxes.
+// Without chaos the mailboxes are already reliable FIFO channels and
+// messages take the direct path; WithChaos (or WithReliableLinks) inserts
+// the rlink/chaos stack between the processes and the mailboxes.
 func NewChannelCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	c, err := newCluster(procs, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if c.reliable {
+		for i := range procs {
+			var s rlink.Sender = &chanFrameSender{cluster: c}
+			s = c.maybeInjectChaos(i, s)
+			c.installEndpoint(i, s)
+		}
+		return c, nil
 	}
 	for i := range procs {
 		c.trans[i] = &channelTransport{cluster: c, from: dist.ProcID(i)}
@@ -87,6 +160,9 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		inbox:  make([]*mailbox, len(procs)),
 		trans:  make([]transport, len(procs)),
 		budget: make([]int64, len(procs)),
+		rel:    make([]*rlink.Endpoint, len(procs)),
+		inj:    make([]*chaos.Injector, len(procs)),
+		tcp:    make([]*tcpTransport, len(procs)),
 	}
 	for i := range procs {
 		c.inbox[i] = newMailbox()
@@ -98,18 +174,86 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	return c, nil
 }
 
-// Stats reports aggregate message counts after (or during) a run.
-func (c *Cluster) Stats() (sends, bytes int64) {
-	return c.sends.Load(), c.bytes.Load()
+// maybeInjectChaos wraps a frame sender with the configured chaos injector.
+func (c *Cluster) maybeInjectChaos(i int, s rlink.Sender) rlink.Sender {
+	if c.chaosProfile == nil || !c.chaosProfile.Enabled() {
+		return s
+	}
+	inj := chaos.New(dist.ProcID(i), len(c.procs), *c.chaosProfile, c.chaosSeed, s)
+	c.inj[i] = inj
+	return inj
+}
+
+// installEndpoint places a reliable-link endpoint over the frame sender and
+// routes its deliveries into the local mailboxes.
+func (c *Cluster) installEndpoint(i int, s rlink.Sender) {
+	ep := rlink.New(dist.ProcID(i), len(c.procs), s, c.deliverLocal, c.rlinkCfg)
+	c.rel[i] = ep
+	c.trans[i] = &endpointTransport{ep: ep}
+}
+
+// routeFrame delivers a frame to the target node's reliable-link endpoint
+// (the in-process analogue of the TCP receive path).
+func (c *Cluster) routeFrame(to dist.ProcID, f wire.Frame) error {
+	if to < 0 || int(to) >= len(c.rel) {
+		return fmt.Errorf("runtime: frame to unknown node %d", to)
+	}
+	ep := c.rel[to]
+	if ep == nil {
+		return errors.New("runtime: target has no reliable-link endpoint")
+	}
+	ep.OnFrame(f)
+	return nil
+}
+
+// Stats reports aggregate protocol and link-layer counters after (or
+// during) a run.
+func (c *Cluster) Stats() ClusterStats {
+	st := ClusterStats{Sends: c.sends.Load(), Bytes: c.bytes.Load()}
+	for _, ep := range c.rel {
+		if ep == nil {
+			continue
+		}
+		s := ep.Stats()
+		st.Net.FramesSent += s.FramesSent
+		st.Net.Retransmits += s.Retransmits
+		st.Net.DupSuppressed += s.DupSuppressed
+		st.Net.OutOfOrder += s.OutOfOrder
+		st.Net.AcksSent += s.AcksSent
+	}
+	for _, inj := range c.inj {
+		if inj == nil {
+			continue
+		}
+		s := inj.Stats()
+		st.Net.InjectedDrops += s.Drops
+		st.Net.InjectedDups += s.Dups
+		st.Net.InjectedDelays += s.Delays
+		st.Net.PartitionDrops += s.PartitionDrops
+	}
+	for _, t := range c.tcp {
+		if t == nil {
+			continue
+		}
+		st.Net.Reconnects += t.reconnects.Load()
+		st.Net.LinkFaults += t.linkFaults.Load()
+	}
+	return st
 }
 
 // Run initialises every process and pumps messages until all live processes
-// report Done, then shuts the transports down. It returns ErrTimeout if the
-// protocol fails to converge in time.
+// report Done, then shuts the transports down. Completion is signalled by
+// the process goroutines themselves (no polling): each settles exactly once
+// — on deciding or on crashing — and the last one to settle wakes the
+// monitor. It returns ErrTimeout if the protocol fails to converge in time.
 func (c *Cluster) Run(timeout time.Duration) error {
 	n := len(c.procs)
 	done := make([]atomic.Bool, n)
 	crashed := make([]atomic.Bool, n)
+
+	var unsettled atomic.Int64
+	unsettled.Store(int64(n))
+	allSettled := make(chan struct{})
 
 	var wg sync.WaitGroup
 	for i := range c.procs {
@@ -117,15 +261,30 @@ func (c *Cluster) Run(timeout time.Duration) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			settled := false
+			settle := func() {
+				if settled {
+					return
+				}
+				settled = true
+				if unsettled.Add(-1) == 0 {
+					close(allSettled)
+				}
+			}
 			id := dist.ProcID(i)
 			ctx := &nodeContext{cluster: c, id: id, n: n, crashed: &crashed[i]}
 			if c.budget[i] == 0 {
 				crashed[i].Store(true)
+				settle()
 				return
 			}
 			c.procs[i].Init(ctx)
 			if c.procs[i].Done() {
 				done[i].Store(true)
+				settle()
+			}
+			if crashed[i].Load() {
+				settle() // budget exhausted mid-Init-broadcast
 			}
 			for {
 				msg, err := c.inbox[i].Pop()
@@ -138,45 +297,55 @@ func (c *Cluster) Run(timeout time.Duration) error {
 				c.procs[i].Deliver(ctx, msg)
 				if c.procs[i].Done() {
 					done[i].Store(true)
+					settle()
+				}
+				if crashed[i].Load() {
+					settle() // budget exhausted during this delivery's sends
 				}
 			}
 		}()
 	}
 
-	// Monitor: finish when every live process is done, or time out.
-	deadline := time.Now().Add(timeout)
-	finished := false
-	for time.Now().Before(deadline) {
-		all := true
-		for i := 0; i < n; i++ {
-			if !crashed[i].Load() && !done[i].Load() {
-				all = false
-				break
-			}
-		}
-		if all {
-			finished = true
-			break
-		}
-		time.Sleep(200 * time.Microsecond)
+	var runErr error
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-allSettled:
+	case <-timer.C:
+		runErr = ErrTimeout
 	}
+
+	// Shutdown order: wake the process goroutines, stop retransmissions,
+	// disarm chaos, then tear the transports down.
 	for i := range c.inbox {
 		c.inbox[i].Close()
+	}
+	for _, ep := range c.rel {
+		if ep != nil {
+			_ = ep.Close()
+		}
+	}
+	for _, inj := range c.inj {
+		if inj != nil {
+			_ = inj.Close()
+		}
 	}
 	for _, tr := range c.trans {
 		if tr != nil {
 			_ = tr.Close()
 		}
 	}
-	wg.Wait()
-	if !finished {
-		return ErrTimeout
+	for _, t := range c.tcp {
+		if t != nil {
+			_ = t.Close()
+		}
 	}
-	return nil
+	wg.Wait()
+	return runErr
 }
 
 // deliverLocal routes a message into the target's mailbox (channel transport
-// and TCP receive path both end up here).
+// and reliable-link receive path both end up here).
 func (c *Cluster) deliverLocal(msg dist.Message) {
 	if msg.To < 0 || int(msg.To) >= len(c.inbox) {
 		return
@@ -219,6 +388,11 @@ func (nc *nodeContext) ID() dist.ProcID { return nc.id }
 func (nc *nodeContext) N() int          { return nc.n }
 
 func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	// Invalid targets are local no-ops: they consume no crash budget and do
+	// not count as sends, mirroring dist.Sim.send.
+	if to < 0 || int(to) >= nc.n {
+		return
+	}
 	if !nc.cluster.consumeSendBudget(nc.id, nc.crashed) {
 		return
 	}
@@ -227,9 +401,15 @@ func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any)
 	if nc.cluster.sizer != nil {
 		nc.cluster.bytes.Add(int64(nc.cluster.sizer(msg)))
 	}
+	if to == nc.id {
+		// No node has a network link to itself on any transport.
+		nc.cluster.deliverLocal(msg)
+		return
+	}
 	if err := nc.cluster.trans[nc.id].Send(msg); err != nil {
 		// Transport failure after shutdown; the message is lost, which the
-		// crash-fault model already accounts for.
+		// crash-fault model already accounts for. The send still counted:
+		// it was handed to the network.
 		return
 	}
 }
@@ -258,8 +438,31 @@ func (t *channelTransport) Send(msg dist.Message) error {
 
 func (t *channelTransport) Close() error { return nil }
 
+// chanFrameSender carries frames between in-process nodes (the unreliable
+// hop under the rlink/chaos stack of a channel cluster).
+type chanFrameSender struct {
+	cluster *Cluster
+}
+
+var _ rlink.Sender = (*chanFrameSender)(nil)
+
+func (s *chanFrameSender) SendFrame(to dist.ProcID, f wire.Frame) error {
+	return s.cluster.routeFrame(to, f)
+}
+
+// endpointTransport adapts a reliable-link endpoint to the transport
+// interface. Closing is handled by the cluster shutdown sequence.
+type endpointTransport struct {
+	ep *rlink.Endpoint
+}
+
+var _ transport = (*endpointTransport)(nil)
+
+func (t *endpointTransport) Send(msg dist.Message) error { return t.ep.Send(msg) }
+func (t *endpointTransport) Close() error                { return nil }
+
 // String implements fmt.Stringer for diagnostics.
 func (c *Cluster) String() string {
-	s, b := c.Stats()
-	return fmt.Sprintf("Cluster(n=%d, sends=%d, bytes=%d)", len(c.procs), s, b)
+	st := c.Stats()
+	return fmt.Sprintf("Cluster(n=%d, sends=%d, bytes=%d)", len(c.procs), st.Sends, st.Bytes)
 }

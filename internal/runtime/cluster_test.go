@@ -71,8 +71,7 @@ func TestChannelClusterGather(t *testing.T) {
 			t.Errorf("process %d heard %d, want %d", i, got, n)
 		}
 	}
-	sends, _ := c.Stats()
-	if sends != n*(n-1) {
+	if sends := c.Stats().Sends; sends != n*(n-1) {
 		t.Errorf("sends = %d, want %d", sends, n*(n-1))
 	}
 }
@@ -130,8 +129,8 @@ func TestWithSizer(t *testing.T) {
 	if err := c.Run(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, bytes := c.Stats(); bytes <= 0 {
-		t.Errorf("bytes = %d, want > 0", bytes)
+	if st := c.Stats(); st.Bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0", st.Bytes)
 	}
 	if c.String() == "" {
 		t.Error("String should be non-empty")

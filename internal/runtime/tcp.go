@@ -8,15 +8,33 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chc/internal/dist"
+	"chc/internal/rlink"
 	"chc/internal/wire"
+)
+
+// errLinkDown is returned by SendFrame while a peer link is being redialed;
+// the reliable-link layer keeps the frame queued and retries.
+var errLinkDown = errors.New("runtime: tcp link down, reconnecting")
+
+// Redial backoff bounds for broken links.
+const (
+	redialInitial = 2 * time.Millisecond
+	redialMax     = 100 * time.Millisecond
 )
 
 // NewTCPCluster builds a cluster whose processes communicate over real TCP
 // connections on the loopback interface, framed with the package wire codec.
-// A full mesh of n·(n-1) simplex connections is established up front, so
-// per-sender FIFO order is inherited from TCP byte-stream ordering.
+// A full mesh of n·(n-1) simplex connections is established up front; every
+// connection starts with a handshake frame naming the dialing node, so the
+// accepting side can bind the byte stream to a peer and replace it after a
+// reconnect. The reliable-link layer always runs on top: TCP gives FIFO
+// bytes on a healthy connection, but a broken and redialed connection can
+// lose frames in flight, so sequence numbers, acks and retransmission are
+// what actually uphold the exactly-once FIFO contract (and they absorb any
+// chaos faults injected with WithChaos).
 func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	c, err := newCluster(procs, opts...)
 	if err != nil {
@@ -43,58 +61,174 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	}
 	transports := make([]*tcpTransport, n)
 	for i := 0; i < n; i++ {
-		transports[i] = &tcpTransport{
+		t := &tcpTransport{
 			cluster: c,
-			from:    dist.ProcID(i),
+			self:    dist.ProcID(i),
 			ln:      listeners[i],
-			conns:   make([]net.Conn, n),
-			writers: make([]*bufio.Writer, n),
+			addrs:   addrs,
+			peers:   make([]*tcpPeer, n),
 		}
-		transports[i].startAccepting()
+		for j := range t.peers {
+			t.peers[j] = &tcpPeer{}
+		}
+		transports[i] = t
+		t.startAccepting()
 	}
-	// Dial the full mesh.
+	// Dial the full mesh up front; later failures are repaired by redial.
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			conn, err := net.Dial("tcp", addrs[j])
-			if err != nil {
+			if err := transports[i].dial(dist.ProcID(j)); err != nil {
 				for _, tr := range transports {
 					_ = tr.Close()
 				}
 				return nil, fmt.Errorf("runtime: dial %d -> %d: %w", i, j, err)
 			}
-			transports[i].conns[j] = conn
-			transports[i].writers[j] = bufio.NewWriter(conn)
 		}
 	}
 	for i := 0; i < n; i++ {
-		c.trans[i] = transports[i]
+		c.tcp[i] = transports[i]
+		var s rlink.Sender = transports[i]
+		s = c.maybeInjectChaos(i, s)
+		c.installEndpoint(i, s)
+		transports[i].onFrame = c.rel[i].OnFrame
 	}
 	return c, nil
 }
 
 // tcpTransport is one node's view of the TCP mesh: a listener for incoming
-// frames and an outgoing connection per peer.
+// frames and an outgoing connection per peer, each repaired with capped
+// backoff when it breaks.
 type tcpTransport struct {
 	cluster *Cluster
-	from    dist.ProcID
+	self    dist.ProcID
 	ln      net.Listener
+	addrs   []string
+	onFrame func(wire.Frame) // receive path (the node's rlink endpoint)
 
-	mu       sync.Mutex // guards writers and accepted conns
-	conns    []net.Conn
-	writers  []*bufio.Writer
+	peers []*tcpPeer
+
+	mu       sync.Mutex // guards accepted
 	accepted []net.Conn
+
+	reconnects atomic.Int64
+	linkFaults atomic.Int64
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
 
-var _ transport = (*tcpTransport)(nil)
+// tcpPeer is the outgoing half of one link.
+type tcpPeer struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	dialing bool
+}
 
-// startAccepting launches the accept loop; each accepted connection gets a
-// reader goroutine that decodes frames into the local mailboxes.
+var _ rlink.Sender = (*tcpTransport)(nil)
+
+// dial (re)establishes the outgoing connection to peer to and sends the
+// identifying handshake frame.
+func (t *tcpTransport) dial(to dist.ProcID) error {
+	conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(conn)
+	hs := wire.Frame{Type: wire.FrameHandshake, From: t.self}
+	if err := wire.WriteFrame(w, hs); err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.conn != nil {
+		_ = p.conn.Close()
+	}
+	p.conn = conn
+	p.w = w
+	p.mu.Unlock()
+	return nil
+}
+
+// SendFrame writes one frame on the link to its target. A write failure
+// marks the link down, kicks off an asynchronous redial with capped
+// backoff, and reports the error — the caller's retransmission queue owns
+// recovery, so no frame is silently dropped.
+func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
+	if t.closed.Load() {
+		return net.ErrClosed
+	}
+	if to < 0 || int(to) >= len(t.peers) {
+		return fmt.Errorf("runtime: send to unknown node %d", to)
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.conn == nil {
+		p.mu.Unlock()
+		t.ensureRedial(to)
+		return errLinkDown
+	}
+	err := wire.WriteFrame(p.w, f)
+	if err == nil {
+		err = p.w.Flush()
+	}
+	if err != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+		p.w = nil
+		p.mu.Unlock()
+		if !t.closed.Load() {
+			t.linkFaults.Add(1)
+			t.ensureRedial(to)
+		}
+		return err
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// ensureRedial starts (at most one) background redial loop for the link.
+func (t *tcpTransport) ensureRedial(to dist.ProcID) {
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.dialing || t.closed.Load() {
+		p.mu.Unlock()
+		return
+	}
+	p.dialing = true
+	p.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		defer func() {
+			p.mu.Lock()
+			p.dialing = false
+			p.mu.Unlock()
+		}()
+		backoff := redialInitial
+		for !t.closed.Load() {
+			if err := t.dial(to); err == nil {
+				t.reconnects.Add(1)
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > redialMax {
+				backoff = redialMax
+			}
+		}
+	}()
+}
+
+// startAccepting launches the accept loop; each accepted connection must
+// open with a handshake frame, after which a reader goroutine decodes
+// frames into the node's reliable-link endpoint.
 func (t *tcpTransport) startAccepting() {
 	t.wg.Add(1)
 	go func() {
@@ -113,76 +247,95 @@ func (t *tcpTransport) startAccepting() {
 			t.accepted = append(t.accepted, conn)
 			t.mu.Unlock()
 			t.wg.Add(1)
-			go func() {
-				defer t.wg.Done()
-				defer func() { _ = conn.Close() }()
-				r := bufio.NewReader(conn)
-				for {
-					msg, err := wire.ReadMessage(r)
-					if err != nil {
-						if !errors.Is(err, io.EOF) && !t.closed.Load() {
-							// Peer write half closed mid-frame during
-							// shutdown; nothing to recover.
-							return
-						}
-						return
-					}
-					t.cluster.deliverLocal(msg)
-				}
-			}()
+			go t.readLoop(conn)
 		}
 	}()
 }
 
-// Send frames and writes the message on the connection to its target.
-// Messages to self short-circuit into the local mailbox (a node has no TCP
-// connection to itself).
-func (t *tcpTransport) Send(msg dist.Message) error {
-	if t.closed.Load() {
-		return net.ErrClosed
+// readLoop consumes one accepted connection: handshake first, then data and
+// ack frames until the stream ends. A clean EOF at a frame boundary is an
+// orderly close (peer shutdown or replaced connection); anything else —
+// mid-frame truncation, corrupt framing — is counted as a link fault.
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+	r := bufio.NewReader(conn)
+	hs, err := wire.ReadFrame(r)
+	if err != nil || hs.Type != wire.FrameHandshake {
+		if !t.closed.Load() {
+			t.linkFaults.Add(1) // garbage before identification
+		}
+		return
 	}
-	if msg.To == t.from {
-		t.cluster.deliverLocal(msg)
-		return nil
+	for {
+		f, err := wire.ReadFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || t.closed.Load() {
+				return // orderly close (or our own shutdown races the read)
+			}
+			// Mid-frame truncation or corruption: the peer's dialer will
+			// redial and the reliable-link layer retransmits whatever was
+			// cut off.
+			t.linkFaults.Add(1)
+			return
+		}
+		if t.onFrame != nil {
+			t.onFrame(f)
+		} else if f.Type == wire.FrameData {
+			t.cluster.deliverLocal(f.Msg)
+		}
 	}
-	if msg.To < 0 || int(msg.To) >= len(t.writers) {
-		return fmt.Errorf("runtime: send to unknown node %d", msg.To)
+}
+
+// breakLinks forcibly closes every live connection of this node — outgoing
+// and accepted — without shutting the transport down. Used by tests to
+// simulate a network element failure; subsequent traffic must trigger
+// redials and retransmissions.
+func (t *tcpTransport) breakLinks() {
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			_ = p.conn.Close()
+			p.conn = nil
+			p.w = nil
+		}
+		p.mu.Unlock()
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := t.writers[msg.To]
-	if w == nil {
-		return net.ErrClosed
+	accepted := t.accepted
+	t.accepted = nil
+	t.mu.Unlock()
+	for _, conn := range accepted {
+		_ = conn.Close()
 	}
-	if err := wire.WriteMessage(w, msg); err != nil {
-		return err
-	}
-	return w.Flush()
 }
 
 // Close shuts the listener and all connections down and waits for the
-// reader goroutines to exit.
+// reader and redial goroutines to exit.
 func (t *tcpTransport) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
 	_ = t.ln.Close()
-	t.mu.Lock()
-	for i, conn := range t.conns {
-		if conn != nil {
-			_ = conn.Close()
-			t.conns[i] = nil
-			t.writers[i] = nil
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			_ = p.conn.Close()
+			p.conn = nil
+			p.w = nil
 		}
+		p.mu.Unlock()
 	}
 	// Close accepted connections too: their reader goroutines would
 	// otherwise block until the remote side shuts down, deadlocking the
 	// wg.Wait below.
-	for _, conn := range t.accepted {
-		_ = conn.Close()
-	}
+	t.mu.Lock()
+	accepted := t.accepted
 	t.accepted = nil
 	t.mu.Unlock()
+	for _, conn := range accepted {
+		_ = conn.Close()
+	}
 	t.wg.Wait()
 	return nil
 }

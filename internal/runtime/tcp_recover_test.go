@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"chc/internal/chaos"
+	"chc/internal/dist"
+)
+
+// roundProc advances through R lockstep rounds: it broadcasts round r+1
+// once it has heard round r from every peer. The sustained multi-round
+// traffic gives a mid-run link failure something to disrupt.
+type roundProc struct {
+	mu     sync.Mutex
+	n      int
+	rounds int
+	heard  map[int]map[dist.ProcID]bool
+	round  int // highest round this process has completed
+	done   bool
+}
+
+func newRoundProc(n, rounds int) *roundProc {
+	return &roundProc{n: n, rounds: rounds, heard: make(map[int]map[dist.ProcID]bool)}
+}
+
+func (p *roundProc) Init(ctx dist.Context) {
+	ctx.Broadcast("round", 0, nil)
+}
+
+func (p *roundProc) Deliver(ctx dist.Context, msg dist.Message) {
+	p.mu.Lock()
+	if p.heard[msg.Round] == nil {
+		p.heard[msg.Round] = make(map[dist.ProcID]bool)
+	}
+	p.heard[msg.Round][msg.From] = true
+	var advance []int
+	for !p.done && len(p.heard[p.round]) == p.n-1 {
+		p.round++
+		if p.round >= p.rounds {
+			p.done = true
+			break
+		}
+		advance = append(advance, p.round)
+	}
+	p.mu.Unlock()
+	for _, r := range advance {
+		ctx.Broadcast("round", r, nil)
+	}
+}
+
+func (p *roundProc) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+func (p *roundProc) currentRound() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.round
+}
+
+// TestTCPClusterRecoversFromKilledConnections kills every connection of one
+// node mid-run and requires the cluster to finish anyway: the hardened
+// transport must redial (observable as Reconnects > 0) and the reliable
+// links must retransmit whatever the cut lost.
+func TestTCPClusterRecoversFromKilledConnections(t *testing.T) {
+	const n, rounds = 3, 60
+	procs := make([]dist.Process, n)
+	impl := make([]*roundProc, n)
+	for i := range procs {
+		impl[i] = newRoundProc(n, rounds)
+		procs[i] = impl[i]
+	}
+	c, err := NewTCPCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- c.Run(60 * time.Second) }()
+
+	// Wait for the protocol to get going, then cut node 1 off completely.
+	deadline := time.Now().Add(30 * time.Second)
+	for impl[0].currentRound() < 5 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	if impl[0].currentRound() < 5 {
+		t.Fatal("protocol made no progress before the link kill")
+	}
+	c.tcp[1].breakLinks()
+
+	if err := <-runDone; err != nil {
+		t.Fatalf("cluster did not recover from killed connections: %v", err)
+	}
+	for i, p := range impl {
+		if got := p.currentRound(); got < rounds {
+			t.Errorf("process %d stopped at round %d, want %d", i, got, rounds)
+		}
+	}
+	st := c.Stats()
+	if st.Net.Reconnects == 0 {
+		t.Errorf("no reconnects recorded after killing node 1's links; net stats: %+v", st.Net)
+	}
+	if st.Net.Retransmits == 0 {
+		t.Errorf("no retransmits recorded after the cut; net stats: %+v", st.Net)
+	}
+}
+
+// TestTCPClusterChaos runs the gather protocol over real sockets with
+// chaos injected above them — drops and duplicates on top of TCP must be
+// absorbed by the reliable-link layer.
+func TestTCPClusterChaos(t *testing.T) {
+	const n = 4
+	procs := make([]dist.Process, n)
+	impl := make([]*gatherProc, n)
+	for i := range procs {
+		impl[i] = newGatherProc(n, nil)
+		procs[i] = impl[i]
+	}
+	c, err := NewTCPCluster(procs, WithChaos(chaos.Profile{Drop: 0.25, Dup: 0.1}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range impl {
+		if got := p.heardCount(); got < n {
+			t.Errorf("process %d heard %d, want %d", i, got, n)
+		}
+	}
+	if st := c.Stats(); st.Net.InjectedDrops == 0 {
+		t.Error("chaos injected nothing over TCP")
+	}
+}

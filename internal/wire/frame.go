@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"chc/internal/dist"
+)
+
+// Link-layer frame types exchanged by the networked runtime. A Frame is one
+// hop-level unit on an (unreliable) link; the reliable-link layer (package
+// rlink) speaks frames, while the protocol state machines above it keep
+// speaking dist.Message.
+const (
+	// FrameData carries one protocol message tagged with the sender's
+	// per-link sequence number.
+	FrameData byte = 1
+	// FrameAck acknowledges every data frame on the reverse link with
+	// sequence number <= Seq (cumulative ack).
+	FrameAck byte = 2
+	// FrameHandshake identifies the dialing node on a fresh TCP connection;
+	// Seq is unused. It is the first frame on every connection, so the
+	// accepting side can associate the byte stream with a peer and replace
+	// stale connections after a reconnect.
+	FrameHandshake byte = 3
+)
+
+// Frame is the unit of transmission between runtime nodes once the
+// reliable-link layer is active.
+type Frame struct {
+	Type byte
+	From dist.ProcID // link-level sender (not necessarily Msg.From for acks)
+	Seq  uint64      // data: link sequence number; ack: cumulative ack
+	Msg  dist.Message // payload; meaningful for FrameData only
+}
+
+// EncodeFrame serialises a frame. The layout is:
+//
+//	u32 frameLen (bytes after this field)
+//	u8 type | i32 from | u64 seq | [encoded message, FrameData only]
+func EncodeFrame(f Frame) ([]byte, error) {
+	body := make([]byte, 0, 32)
+	body = append(body, f.Type)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(f.From)))
+	body = binary.BigEndian.AppendUint64(body, f.Seq)
+	if f.Type == FrameData {
+		enc, err := EncodeMessage(f.Msg)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, enc...)
+	}
+	out := make([]byte, 0, 4+len(body))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	return append(out, body...), nil
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame.
+func DecodeFrame(frame []byte) (Frame, error) {
+	var f Frame
+	if len(frame) < 4 {
+		return f, fmt.Errorf("%w: frame shorter than its length prefix", ErrCorrupt)
+	}
+	flen := binary.BigEndian.Uint32(frame)
+	if int(flen) != len(frame)-4 {
+		return f, fmt.Errorf("%w: frame length %d but %d bytes follow", ErrCorrupt, flen, len(frame)-4)
+	}
+	body := frame[4:]
+	if len(body) < 13 { // type + from + seq
+		return f, fmt.Errorf("%w: frame header truncated", ErrCorrupt)
+	}
+	f.Type = body[0]
+	f.From = dist.ProcID(int32(binary.BigEndian.Uint32(body[1:])))
+	f.Seq = binary.BigEndian.Uint64(body[5:])
+	rest := body[13:]
+	switch f.Type {
+	case FrameData:
+		msg, err := DecodeMessage(rest)
+		if err != nil {
+			return f, err
+		}
+		f.Msg = msg
+	case FrameAck, FrameHandshake:
+		if len(rest) != 0 {
+			return f, fmt.Errorf("%w: %d trailing bytes after control frame", ErrCorrupt, len(rest))
+		}
+	default:
+		return f, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, f.Type)
+	}
+	return f, nil
+}
+
+// FrameSize returns the encoded size of f in bytes (0 if unencodable).
+func FrameSize(f Frame) int {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one frame from r. A clean io.EOF before the first header
+// byte is returned verbatim so callers can distinguish an orderly connection
+// close from mid-frame truncation (reported as io.ErrUnexpectedEOF or a
+// corruption error).
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxWireLen {
+		return Frame{}, ErrTooLarge
+	}
+	frame := make([]byte, 4+n)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[4:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return DecodeFrame(frame)
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameData, From: 2, Seq: 7, Msg: dist.Message{
+			From: 2, To: 1, Kind: "val", Round: 3,
+			Payload: PointPayload{Value: geom.NewPoint(1.5, -2.25)},
+		}},
+		{Type: FrameData, From: 0, Seq: 0, Msg: dist.Message{From: 0, To: 3, Kind: "ctl"}},
+		{Type: FrameAck, From: 1, Seq: 41},
+		{Type: FrameHandshake, From: 4},
+	}
+	for _, f := range frames {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if got.Type != f.Type || got.From != f.From || got.Seq != f.Seq {
+			t.Errorf("header mismatch: got %+v want %+v", got, f)
+		}
+		if f.Type == FrameData {
+			if got.Msg.Kind != f.Msg.Kind || got.Msg.From != f.Msg.From || got.Msg.To != f.Msg.To {
+				t.Errorf("message mismatch: got %+v want %+v", got.Msg, f.Msg)
+			}
+		}
+		if FrameSize(f) != len(b) {
+			t.Errorf("FrameSize = %d, want %d", FrameSize(f), len(b))
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Frame{
+		{Type: FrameHandshake, From: 1},
+		{Type: FrameData, From: 1, Seq: 0, Msg: dist.Message{From: 1, To: 0, Kind: "a"}},
+		{Type: FrameAck, From: 0, Seq: 0},
+	}
+	for _, f := range want {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, w := range want {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != w.Type || got.From != w.From || got.Seq != w.Seq {
+			t.Errorf("frame %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Errorf("want clean EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameTruncationIsNotEOF(t *testing.T) {
+	b, err := EncodeFrame(Frame{Type: FrameAck, From: 0, Seq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the frame mid-body: the reader must distinguish this from a clean
+	// close so the transport can count it as a link fault.
+	r := bufio.NewReader(bytes.NewReader(b[:len(b)-2]))
+	if _, err := ReadFrame(r); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("want ErrUnexpectedEOF for mid-frame cut, got %v", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	cases := [][]byte{
+		{0, 0, 0, 1, 99},             // unknown type, truncated header
+		{0, 0, 0, 13, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown frame type
+	}
+	for i, b := range cases {
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("case %d: corrupt frame decoded without error", i)
+		}
+	}
+	// Trailing garbage after a control frame.
+	b, _ := EncodeFrame(Frame{Type: FrameAck, From: 0, Seq: 1})
+	b = append(b, 0xff)
+	b[3] += 1 // fix the length prefix (len < 256 here)
+	if _, err := DecodeFrame(b); err == nil {
+		t.Error("ack frame with trailing bytes decoded without error")
+	}
+}

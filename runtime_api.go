@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"chc/internal/chaos"
 	"chc/internal/core"
 	"chc/internal/dist"
 	"chc/internal/runtime"
@@ -19,21 +20,73 @@ const (
 	// per process (real concurrency, no sockets).
 	InProcess TransportKind = iota + 1
 	// TCP connects processes over loopback TCP sockets using the library's
-	// binary wire format.
+	// binary wire format, with the reliable-link layer (sequence numbers,
+	// acks, retransmission, reconnect) always active.
 	TCP
 )
+
+// ChaosProfile describes injected network faults for RunNetworked: per-frame
+// drop and duplication probabilities, bounded random delays, and transient
+// link partitions. See LightChaos, HeavyChaos and ParseChaosProfile.
+type ChaosProfile = chaos.Profile
+
+// ChaosPartition is a timed link cut inside a ChaosProfile.
+type ChaosPartition = chaos.Partition
+
+// NetStats carries the link-layer counters of a networked run: reliability
+// work (retransmits, duplicate suppression, reordering), injected chaos
+// faults, and TCP link repair.
+type NetStats = dist.NetStats
+
+// LightChaos returns a mild fault profile (occasional drops and duplicates,
+// sub-millisecond delays).
+func LightChaos() ChaosProfile { return chaos.Light() }
+
+// HeavyChaos returns the acceptance profile of the chaos matrix: >= 20%
+// drops, duplication, delay jitter and a transient partition of process 0.
+func HeavyChaos() ChaosProfile { return chaos.Heavy() }
+
+// ParseChaosProfile parses "off", "light", "heavy", or a custom
+// "drop=0.2,dup=0.1,delay=100us-2ms,part=5ms-25ms:0+1" specification.
+func ParseChaosProfile(spec string) (ChaosProfile, error) { return chaos.ParseProfile(spec) }
+
+// NetworkOption tunes RunNetworked beyond the RunConfig.
+type NetworkOption func(*networkOptions)
+
+type networkOptions struct {
+	chaos     *ChaosProfile
+	chaosSeed int64
+}
+
+// WithNetworkChaos injects seeded network faults below the reliable-link
+// layer (which is enabled automatically). The fault plan of every link is a
+// deterministic function of the seed, so a failing run can be replayed.
+func WithNetworkChaos(profile ChaosProfile, seed int64) NetworkOption {
+	return func(o *networkOptions) {
+		p := profile
+		o.chaos = &p
+		o.chaosSeed = seed
+	}
+}
 
 // RunNetworked executes a convex hull consensus instance under real
 // concurrency — one goroutine per process — over the selected transport.
 // Unlike Run, delivery order comes from actual goroutine and network
 // scheduling, so executions are not reproducible; cfg.Seed and
-// cfg.Scheduler are ignored.
+// cfg.Scheduler are ignored (chaos fault plans, by contrast, are seeded and
+// reproducible per link).
 //
 // The returned result carries outputs and traces; Crashed marks processes
-// whose scheduled crash prevented a decision.
-func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration) (*RunResult, error) {
+// whose scheduled crash prevented a decision. Stats.Net exposes the
+// link-layer counters (retransmits, duplicate suppressions, injected
+// faults, reconnects) when the reliable-link layer was active.
+func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration, opts ...NetworkOption) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	var netOpts networkOptions
+	for _, o := range opts {
+		o(&netOpts)
 	}
 	params := cfg.Params
 	procs := make([]dist.Process, params.N)
@@ -46,9 +99,12 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration)
 		impls[i] = proc
 		procs[i] = proc
 	}
-	opts := []runtime.Option{runtime.WithSizer(wire.MessageSize)}
+	runOpts := []runtime.Option{runtime.WithSizer(wire.MessageSize)}
 	if len(cfg.Crashes) > 0 {
-		opts = append(opts, runtime.WithCrashes(cfg.Crashes...))
+		runOpts = append(runOpts, runtime.WithCrashes(cfg.Crashes...))
+	}
+	if netOpts.chaos != nil {
+		runOpts = append(runOpts, runtime.WithChaos(*netOpts.chaos, netOpts.chaosSeed))
 	}
 	var (
 		cluster *runtime.Cluster
@@ -56,9 +112,9 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration)
 	)
 	switch transport {
 	case InProcess:
-		cluster, err = runtime.NewChannelCluster(procs, opts...)
+		cluster, err = runtime.NewChannelCluster(procs, runOpts...)
 	case TCP:
-		cluster, err = runtime.NewTCPCluster(procs, opts...)
+		cluster, err = runtime.NewTCPCluster(procs, runOpts...)
 	default:
 		return nil, fmt.Errorf("chc: unknown transport %d", transport)
 	}
@@ -68,14 +124,19 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration)
 	if err := cluster.Run(timeout); err != nil {
 		return nil, err
 	}
-	sends, bytes := cluster.Stats()
+	st := cluster.Stats()
+	net := st.Net
 	result := &RunResult{
 		Params:  params,
 		Outputs: make(map[ProcID]*Polytope),
 		Crashed: make(map[ProcID]bool),
 		Faulty:  make(map[ProcID]bool),
 		Traces:  make(map[ProcID]Trace),
-		Stats:   &Stats{Sends: int(sends), Bytes: int(bytes), KindCounts: map[string]int{}},
+		Stats: &Stats{
+			Sends: int(st.Sends), Bytes: int(st.Bytes),
+			KindCounts: map[string]int{},
+			Net:        &net,
+		},
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true
