@@ -6,12 +6,17 @@
 // channels over a fair-lossy link, and this package makes the link lossy in
 // a reproducible way.
 //
-// Determinism: every fault decision for the k-th frame offered on a directed
-// link is a pure function of (Seed, from, to, k). Two injectors built with
-// the same profile and seed make identical drop/duplicate/delay decisions
-// for identical per-link frame sequences, so a failing chaos run can be
-// replayed from its seed. (Under real concurrency the interleaving of
-// *different* links still varies; the fault plan does not.)
+// Determinism: the drop/duplicate/delay decision for the k-th frame offered
+// on a directed link is a pure function of (Seed, from, to, k). Two
+// injectors built with the same profile and seed make identical dice
+// decisions for identical per-link frame sequences, so the dice-driven
+// fault plan replays exactly from the seed. Partitions are the exception:
+// a partition window is measured in wall-clock time from the injector's
+// construction and consumes no dice, so *which* frame indices fall inside
+// it depends on real-time scheduling — with partitions configured a run is
+// reproducible in distribution, not frame-for-frame. (Under real
+// concurrency the interleaving of *different* links always varies; the
+// per-link dice streams do not.)
 package chaos
 
 import (

@@ -120,8 +120,10 @@ type inLink struct {
 }
 
 // New builds an endpoint for node self in a cluster of n nodes. Incoming
-// messages are handed to deliver in per-sender FIFO order, exactly once;
-// deliver must not block indefinitely.
+// messages are handed to deliver in per-sender FIFO order, exactly once.
+// deliver is invoked with an internal per-link lock held (that is what
+// serializes concurrent receives into FIFO order), so it must not block
+// and must not call back into the endpoint.
 func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
@@ -218,12 +220,19 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 				il.next++
 			}
 		}
-		ackable := il.next > 0
-		ackSeq := il.next - 1
-		il.mu.Unlock()
+		// Deliver while still holding il.mu: concurrent OnFrame calls for
+		// the same sender are possible (chaos-delayed copies fire from
+		// separate timer goroutines, retransmits race direct sends, and
+		// old and new connection readers overlap across a TCP reconnect),
+		// and two drained batches handed off outside the lock could
+		// interleave out of sequence order. deliver is non-blocking (an
+		// unbounded mailbox push), so holding the link lock is safe.
 		for _, m := range ready {
 			e.deliver(m)
 		}
+		ackable := il.next > 0
+		ackSeq := il.next - 1
+		il.mu.Unlock()
 		// Ack cumulatively, even for duplicates: the retransmission that
 		// produced the duplicate means a previous ack was lost.
 		if ackable {

@@ -62,17 +62,28 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	transports := make([]*tcpTransport, n)
 	for i := 0; i < n; i++ {
 		t := &tcpTransport{
-			cluster: c,
-			self:    dist.ProcID(i),
-			ln:      listeners[i],
-			addrs:   addrs,
-			peers:   make([]*tcpPeer, n),
+			self:  dist.ProcID(i),
+			ln:    listeners[i],
+			addrs: addrs,
+			peers: make([]*tcpPeer, n),
 		}
 		for j := range t.peers {
 			t.peers[j] = &tcpPeer{}
 		}
 		transports[i] = t
-		t.startAccepting()
+	}
+	// Install the rlink/chaos stack before any reader goroutine exists:
+	// readLoop reads t.onFrame without synchronization, which is safe only
+	// because the write happens before the accept loops start below.
+	for i := 0; i < n; i++ {
+		c.tcp[i] = transports[i]
+		var s rlink.Sender = transports[i]
+		s = c.maybeInjectChaos(i, s)
+		c.installEndpoint(i, s)
+		transports[i].onFrame = c.rel[i].OnFrame
+	}
+	for i := 0; i < n; i++ {
+		transports[i].startAccepting()
 	}
 	// Dial the full mesh up front; later failures are repaired by redial.
 	for i := 0; i < n; i++ {
@@ -81,19 +92,17 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 				continue
 			}
 			if err := transports[i].dial(dist.ProcID(j)); err != nil {
+				for _, ep := range c.rel {
+					if ep != nil {
+						_ = ep.Close()
+					}
+				}
 				for _, tr := range transports {
 					_ = tr.Close()
 				}
 				return nil, fmt.Errorf("runtime: dial %d -> %d: %w", i, j, err)
 			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		c.tcp[i] = transports[i]
-		var s rlink.Sender = transports[i]
-		s = c.maybeInjectChaos(i, s)
-		c.installEndpoint(i, s)
-		transports[i].onFrame = c.rel[i].OnFrame
 	}
 	return c, nil
 }
@@ -102,11 +111,13 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 // frames and an outgoing connection per peer, each repaired with capped
 // backoff when it breaks.
 type tcpTransport struct {
-	cluster *Cluster
-	self    dist.ProcID
-	ln      net.Listener
-	addrs   []string
-	onFrame func(wire.Frame) // receive path (the node's rlink endpoint)
+	self  dist.ProcID
+	ln    net.Listener
+	addrs []string
+	// onFrame is the receive path (the node's rlink endpoint). It is
+	// written exactly once, in NewTCPCluster, before startAccepting or any
+	// dial launches a reader goroutine, so readLoop may read it unlocked.
+	onFrame func(wire.Frame)
 
 	peers []*tcpPeer
 
@@ -116,8 +127,12 @@ type tcpTransport struct {
 	reconnects atomic.Int64
 	linkFaults atomic.Int64
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	// closeMu serializes Close's closed-flag swap against ensureRedial's
+	// closed-check + wg.Add, so no goroutine is added to wg after Close has
+	// entered wg.Wait with a possibly-zero counter.
+	closeMu sync.Mutex
+	closed  atomic.Bool
+	wg      sync.WaitGroup
 }
 
 // tcpPeer is the outgoing half of one link.
@@ -198,13 +213,25 @@ func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
 func (t *tcpTransport) ensureRedial(to dist.ProcID) {
 	p := t.peers[to]
 	p.mu.Lock()
-	if p.dialing || t.closed.Load() {
+	if p.dialing {
 		p.mu.Unlock()
 		return
 	}
 	p.dialing = true
 	p.mu.Unlock()
+	// Register with the WaitGroup under closeMu: once Close has swapped the
+	// closed flag (also under closeMu) it may already be in wg.Wait, and
+	// Add-ing then would race the Wait.
+	t.closeMu.Lock()
+	if t.closed.Load() {
+		t.closeMu.Unlock()
+		p.mu.Lock()
+		p.dialing = false
+		p.mu.Unlock()
+		return
+	}
 	t.wg.Add(1)
+	t.closeMu.Unlock()
 	go func() {
 		defer t.wg.Done()
 		defer func() {
@@ -279,11 +306,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			t.linkFaults.Add(1)
 			return
 		}
-		if t.onFrame != nil {
-			t.onFrame(f)
-		} else if f.Type == wire.FrameData {
-			t.cluster.deliverLocal(f.Msg)
-		}
+		t.onFrame(f)
 	}
 }
 
@@ -313,7 +336,10 @@ func (t *tcpTransport) breakLinks() {
 // Close shuts the listener and all connections down and waits for the
 // reader and redial goroutines to exit.
 func (t *tcpTransport) Close() error {
-	if t.closed.Swap(true) {
+	t.closeMu.Lock()
+	already := t.closed.Swap(true)
+	t.closeMu.Unlock()
+	if already {
 		return nil
 	}
 	_ = t.ln.Close()
