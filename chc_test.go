@@ -335,6 +335,63 @@ func TestPublicByzantine(t *testing.T) {
 	}
 }
 
+// TestRunNetworkedCrashRecovery exercises the public crash-recovery path:
+// with WithWAL + WithCrashRecovery, a planned crash becomes a
+// kill-and-restart fault, and the killed process recovers from its
+// write-ahead log and decides like every other correct process.
+func TestRunNetworkedCrashRecovery(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.5,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs:  inputs2D(5, 6),
+		Crashes: []chc.CrashPlan{{Proc: 2, AfterSends: 7}},
+	}
+	result, err := chc.RunNetworked(cfg, chc.InProcess, 120*time.Second,
+		chc.WithWAL(t.TempDir()),
+		chc.WithCrashRecovery(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The killed process recovered: it must have decided, not crashed.
+	if result.Crashed[chc.ProcID(2)] {
+		t.Fatal("process 2 reported as crashed despite recovery")
+	}
+	if len(result.Outputs) != 5 {
+		t.Fatalf("%d outputs, want 5 (restarted node must decide)", len(result.Outputs))
+	}
+	rep, err := chc.CheckAgreement(result)
+	if err != nil || !rep.Holds {
+		t.Fatalf("agreement across restart: %+v, %v", rep, err)
+	}
+	// No process is faulty here, so validity is against all five inputs.
+	if err := chc.CheckValidity(result, &cfg); err != nil {
+		t.Error(err)
+	}
+	if net := result.Stats.Net; net == nil || net.WALAppends == 0 || net.Resumes == 0 {
+		t.Errorf("recovery counters missing: %+v", net)
+	}
+}
+
+// TestRunNetworkedRecoveryValidation pins the option contract: crash
+// recovery without a WAL directory is a configuration error.
+func TestRunNetworkedRecoveryValidation(t *testing.T) {
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 5, F: 1, D: 2,
+			Epsilon:    0.5,
+			InputLower: 0, InputUpper: 10,
+		},
+		Inputs: inputs2D(5, 6),
+	}
+	if _, err := chc.RunNetworked(cfg, chc.InProcess, time.Second,
+		chc.WithCrashRecovery(time.Millisecond)); err == nil {
+		t.Fatal("WithCrashRecovery without WithWAL should error")
+	}
+}
+
 func TestRunNetworkedBadTransport(t *testing.T) {
 	cfg := chc.RunConfig{Params: params(), Inputs: inputs2D(5, 7)}
 	if _, err := chc.RunNetworked(cfg, chc.TransportKind(99), time.Second); err == nil {

@@ -10,6 +10,7 @@
 //	chcrun -n 5 -f 1 -d 2 -transport tcp     # real sockets instead of simulation
 //	chcrun -n 5 -f 1 -transport inproc -chaos heavy -chaos-seed 3
 //	chcrun -n 5 -f 1 -transport tcp -chaos 'drop=0.2,dup=0.1,delay=100us-2ms'
+//	chcrun -n 5 -f 1 -transport inproc -wal-dir /tmp/chc-wal -crash 2:9 -recover
 package main
 
 import (
@@ -49,6 +50,9 @@ func run(args []string, w io.Writer) error {
 		traceFile = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
 		chaosSpec = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
+		walDir    = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory (inproc/tcp only)")
+		recoverWAL = fs.Bool("recover", false, "treat -crash plans as kill-and-restart faults: relaunch killed processes from their WALs (requires -wal-dir)")
+		downtime  = fs.Duration("recover-downtime", 10*time.Millisecond, "how long a killed process stays down before its WAL relaunch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +64,17 @@ func run(args []string, w io.Writer) error {
 	}
 	if chaosProfile.Enabled() && *transport == "sim" {
 		return fmt.Errorf("-chaos requires a networked transport (-transport inproc or tcp); the simulator has no link layer")
+	}
+	if *walDir != "" && *transport == "sim" {
+		return fmt.Errorf("-wal-dir requires a networked transport (-transport inproc or tcp); the simulator has no crash-recovery runtime")
+	}
+	if *recoverWAL {
+		if *walDir == "" {
+			return fmt.Errorf("-recover requires -wal-dir")
+		}
+		if *crash == "" {
+			return fmt.Errorf("-recover needs -crash plans to convert into kill-and-restart faults")
+		}
 	}
 
 	params := chc.Params{
@@ -125,6 +140,15 @@ func run(args []string, w io.Writer) error {
 	if chaosProfile.Enabled() {
 		netOpts = append(netOpts, chc.WithNetworkChaos(chaosProfile, *chaosSeed))
 	}
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return fmt.Errorf("-wal-dir: %w", err)
+		}
+		netOpts = append(netOpts, chc.WithWAL(*walDir))
+	}
+	if *recoverWAL {
+		netOpts = append(netOpts, chc.WithCrashRecovery(*downtime))
+	}
 	var result *chc.RunResult
 	start := time.Now()
 	switch *transport {
@@ -189,6 +213,10 @@ func run(args []string, w io.Writer) error {
 			if chaosProfile.Enabled() {
 				fmt.Fprintf(w, "chaos       : %s seed=%d: %d drops, %d dups, %d delays, %d partition drops injected\n",
 					chaosProfile.String(), *chaosSeed, net.InjectedDrops, net.InjectedDups, net.InjectedDelays, net.PartitionDrops)
+			}
+			if *walDir != "" {
+				fmt.Fprintf(w, "recovery    : %d wal appends in %d fsync batches, %d link resumes\n",
+					net.WALAppends, net.WALSyncs, net.Resumes)
 			}
 		}
 	}

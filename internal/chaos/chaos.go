@@ -6,17 +6,17 @@
 // channels over a fair-lossy link, and this package makes the link lossy in
 // a reproducible way.
 //
-// Determinism: the drop/duplicate/delay decision for the k-th frame offered
-// on a directed link is a pure function of (Seed, from, to, k). Two
-// injectors built with the same profile and seed make identical dice
-// decisions for identical per-link frame sequences, so the dice-driven
-// fault plan replays exactly from the seed. Partitions are the exception:
-// a partition window is measured in wall-clock time from the injector's
-// construction and consumes no dice, so *which* frame indices fall inside
-// it depends on real-time scheduling — with partitions configured a run is
-// reproducible in distribution, not frame-for-frame. (Under real
-// concurrency the interleaving of *different* links always varies; the
-// per-link dice streams do not.)
+// Determinism: the fate of the k-th frame offered on a directed link is a
+// pure function of (Seed, from, to, k). Two injectors built with the same
+// profile and seed make identical dice decisions for identical per-link
+// frame sequences, so the fault plan replays exactly from the seed.
+// Partition windows are expressed in per-link frame counts (StartFrame,
+// EndFrame), which keeps them inside the same pure function; the legacy
+// wall-clock form (Start, End) is still accepted for CLI use, measured on an
+// injectable clock — with a real clock, *which* frame indices fall inside
+// the window depends on scheduling, so such a run is reproducible only in
+// distribution. (Under real concurrency the interleaving of *different*
+// links always varies; the per-link decision streams do not.)
 package chaos
 
 import (
@@ -38,13 +38,19 @@ type Sender interface {
 }
 
 // Partition cuts every link between the processes in Isolated and the rest
-// of the cluster (both directions) during [Start, End), measured from the
-// injector's construction. Retransmission heals the cut once the window
-// closes, so a transient partition must only delay — never forfeit —
-// termination.
+// of the cluster (both directions) for the duration of a window.
+// Retransmission heals the cut once the window closes, so a transient
+// partition must only delay — never forfeit — termination.
+//
+// The window has two forms. The deterministic form counts frames: the cut
+// covers the k-th through (EndFrame-1)-th frame offered on each affected
+// link (active when EndFrame > 0), making the whole fault plan a pure
+// function of the seed. The legacy form is a wall-clock interval
+// [Start, End) measured from the injector's construction on its clock.
 type Partition struct {
-	Start, End time.Duration
-	Isolated   []dist.ProcID
+	Start, End           time.Duration
+	StartFrame, EndFrame int64
+	Isolated             []dist.ProcID
 }
 
 // Profile describes the fault mix injected on every link.
@@ -74,7 +80,8 @@ func Light() Profile {
 
 // Heavy combines >= 20% loss, duplication, delay jitter and a transient
 // partition isolating process 0 — the acceptance profile of the chaos
-// matrix.
+// matrix. The partition is frame-counted so the whole profile is a pure
+// function of the seed.
 func Heavy() Profile {
 	return Profile{
 		Drop:     0.20,
@@ -82,7 +89,7 @@ func Heavy() Profile {
 		DelayMin: 50 * time.Microsecond,
 		DelayMax: 2 * time.Millisecond,
 		Partitions: []Partition{
-			{Start: 2 * time.Millisecond, End: 20 * time.Millisecond, Isolated: []dist.ProcID{0}},
+			{StartFrame: 5, EndFrame: 60, Isolated: []dist.ProcID{0}},
 		},
 	}
 }
@@ -101,7 +108,7 @@ type Injector struct {
 	self    dist.ProcID
 	profile Profile
 	next    Sender
-	start   time.Time
+	clock   func() time.Duration // elapsed time, for wall-clock partitions
 
 	links []*linkDice
 
@@ -113,22 +120,33 @@ type Injector struct {
 	closed atomic.Bool
 }
 
-// linkDice is the seeded random stream of one directed link. Guarding each
-// stream with its own mutex keeps the decision sequence deterministic per
-// link no matter how goroutines interleave across links.
+// linkDice is the seeded random stream and frame counter of one directed
+// link. Guarding each stream with its own mutex keeps the decision sequence
+// deterministic per link no matter how goroutines interleave across links.
 type linkDice struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	count int64 // frames offered on this link so far
 }
 
 // New builds an injector for frames sent by node self in a cluster of n
-// nodes. The partition clock starts now.
+// nodes. Wall-clock partition windows, if any, start now.
 func New(self dist.ProcID, n int, profile Profile, seed int64, next Sender) *Injector {
+	start := time.Now()
+	return NewWithClock(self, n, profile, seed, next, func() time.Duration {
+		return time.Since(start)
+	})
+}
+
+// NewWithClock is New with an injectable elapsed-time source for wall-clock
+// partition windows, so tests (and deterministic harnesses) control time.
+// Frame-counted faults never consult the clock.
+func NewWithClock(self dist.ProcID, n int, profile Profile, seed int64, next Sender, clock func() time.Duration) *Injector {
 	inj := &Injector{
 		self:    self,
 		profile: profile,
 		next:    next,
-		start:   time.Now(),
+		clock:   clock,
 		links:   make([]*linkDice, n),
 	}
 	for to := range inj.links {
@@ -147,17 +165,22 @@ func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
 	if inj.closed.Load() {
 		return inj.next.SendFrame(to, f)
 	}
-	if inj.partitioned(to, time.Since(inj.start)) {
-		inj.partitionDrops.Add(1)
-		return nil
-	}
 	if to < 0 || int(to) >= len(inj.links) {
 		return inj.next.SendFrame(to, f)
 	}
-	// Always burn exactly three dice per frame so the decision stream stays
-	// aligned with the frame index regardless of which faults are enabled.
 	l := inj.links[to]
 	l.mu.Lock()
+	k := l.count
+	l.count++
+	// Partitioned frames consume the frame index but no dice, so the dice
+	// stream stays aligned with the surviving-frame sequence either way.
+	if inj.partitioned(to, k) {
+		l.mu.Unlock()
+		inj.partitionDrops.Add(1)
+		return nil
+	}
+	// Always burn exactly three dice per frame so the decision stream stays
+	// aligned with the frame index regardless of which faults are enabled.
 	dropRoll := l.rng.Float64()
 	dupRoll := l.rng.Float64()
 	delayRoll := l.rng.Float64()
@@ -196,11 +219,25 @@ func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
 	return err
 }
 
-// partitioned reports whether the self->to link is cut at elapsed time.
-func (inj *Injector) partitioned(to dist.ProcID, elapsed time.Duration) bool {
+// partitioned reports whether the self->to link is cut for the k-th frame
+// offered on it. Frame-counted windows compare k directly; wall-clock
+// windows consult the injector's clock.
+func (inj *Injector) partitioned(to dist.ProcID, k int64) bool {
+	var elapsed time.Duration
+	var clocked bool
 	for _, p := range inj.profile.Partitions {
-		if elapsed < p.Start || elapsed >= p.End {
-			continue
+		if p.EndFrame > 0 {
+			if k < p.StartFrame || k >= p.EndFrame {
+				continue
+			}
+		} else {
+			if !clocked {
+				elapsed = inj.clock()
+				clocked = true
+			}
+			if elapsed < p.Start || elapsed >= p.End {
+				continue
+			}
 		}
 		selfIn, toIn := false, false
 		for _, id := range p.Isolated {
@@ -244,7 +281,10 @@ func (inj *Injector) Close() error {
 //	    drop=0.2             frame drop probability
 //	    dup=0.1              duplication probability
 //	    delay=100us-2ms      uniform delay bounds (single value = max)
-//	    part=5ms-25ms:0+1    partition window and isolated IDs ('+'-separated)
+//	    part=5ms-25ms:0+1    wall-clock partition window and isolated IDs
+//	                         ('+'-separated)
+//	    part=5f-60f:0+1      frame-counted partition window (deterministic
+//	                         per seed): frames 5..59 of each affected link
 func ParseProfile(spec string) (Profile, error) {
 	var p Profile
 	switch strings.ToLower(strings.TrimSpace(spec)) {
@@ -283,24 +323,63 @@ func ParseProfile(spec string) (Profile, error) {
 			if len(bits) != 2 {
 				return p, fmt.Errorf("chaos: bad partition %q (want start-end:ids)", val)
 			}
-			lo, hi, err := parseDurationRange(bits[0])
-			if err != nil {
-				return p, fmt.Errorf("chaos: bad partition window %q: %w", bits[0], err)
+			win := Partition{}
+			if flo, fhi, ok, err := parseFrameRange(bits[0]); ok {
+				if err != nil {
+					return p, fmt.Errorf("chaos: bad partition window %q: %w", bits[0], err)
+				}
+				win.StartFrame, win.EndFrame = flo, fhi
+			} else {
+				lo, hi, err := parseDurationRange(bits[0])
+				if err != nil {
+					return p, fmt.Errorf("chaos: bad partition window %q: %w", bits[0], err)
+				}
+				win.Start, win.End = lo, hi
 			}
-			var ids []dist.ProcID
 			for _, s := range strings.Split(bits[1], "+") {
 				id, err := strconv.Atoi(strings.TrimSpace(s))
 				if err != nil {
 					return p, fmt.Errorf("chaos: bad partition process %q", s)
 				}
-				ids = append(ids, dist.ProcID(id))
+				win.Isolated = append(win.Isolated, dist.ProcID(id))
 			}
-			p.Partitions = append(p.Partitions, Partition{Start: lo, End: hi, Isolated: ids})
+			p.Partitions = append(p.Partitions, win)
 		default:
 			return p, fmt.Errorf("chaos: unknown profile key %q", key)
 		}
 	}
 	return p, nil
+}
+
+// parseFrameRange parses the frame-counted window forms "5f-60f" or "60f"
+// (start 0). ok reports whether s uses the frame form at all; a malformed
+// frame range returns ok with an error.
+func parseFrameRange(s string) (lo, hi int64, ok bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, "f") {
+		return 0, 0, false, nil
+	}
+	parse := func(part string) (int64, error) {
+		part = strings.TrimSpace(part)
+		if !strings.HasSuffix(part, "f") {
+			return 0, fmt.Errorf("mixed frame/duration range %q", s)
+		}
+		return strconv.ParseInt(strings.TrimSuffix(part, "f"), 10, 64)
+	}
+	if i := strings.Index(s, "-"); i >= 0 {
+		if lo, err = parse(s[:i]); err != nil {
+			return 0, 0, true, err
+		}
+		if hi, err = parse(s[i+1:]); err != nil {
+			return 0, 0, true, err
+		}
+	} else if hi, err = parse(s); err != nil {
+		return 0, 0, true, err
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, true, fmt.Errorf("invalid frame range %q", s)
+	}
+	return lo, hi, true, nil
 }
 
 // parseDurationRange parses "lo-hi" or a single "hi" duration.
@@ -348,7 +427,11 @@ func (p Profile) String() string {
 		for i, id := range part.Isolated {
 			ids[i] = strconv.Itoa(int(id))
 		}
-		parts = append(parts, fmt.Sprintf("part=%v-%v:%s", part.Start, part.End, strings.Join(ids, "+")))
+		if part.EndFrame > 0 {
+			parts = append(parts, fmt.Sprintf("part=%df-%df:%s", part.StartFrame, part.EndFrame, strings.Join(ids, "+")))
+		} else {
+			parts = append(parts, fmt.Sprintf("part=%v-%v:%s", part.Start, part.End, strings.Join(ids, "+")))
+		}
 	}
 	return strings.Join(parts, ",")
 }

@@ -159,6 +159,87 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// TestFramePartition verifies frame-counted windows: the cut covers exactly
+// frames [StartFrame, EndFrame) of each affected link, independent of time.
+func TestFramePartition(t *testing.T) {
+	profile := Profile{Partitions: []Partition{
+		{StartFrame: 2, EndFrame: 5, Isolated: []dist.ProcID{0}},
+	}}
+	rec := &recorder{}
+	inj := New(0, 3, profile, 1, rec)
+	for s := uint64(0); s < 8; s++ {
+		_ = inj.SendFrame(1, wire.Frame{Type: wire.FrameData, Seq: s})
+	}
+	got := rec.snapshot()
+	want := []uint64{0, 1, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("forwarded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forwarded %v, want %v", got, want)
+		}
+	}
+	if st := inj.Stats(); st.PartitionDrops != 3 {
+		t.Errorf("PartitionDrops = %d, want 3", st.PartitionDrops)
+	}
+	// The window is per-link: a different link has its own frame counter and
+	// its frames 0..1 pass even though link 0->1 is past frame 5.
+	rec2 := &recorder{}
+	inj2 := New(0, 3, profile, 1, rec2)
+	_ = inj2.SendFrame(1, wire.Frame{Type: wire.FrameData})
+	_ = inj2.SendFrame(2, wire.Frame{Type: wire.FrameData})
+	if len(rec2.snapshot()) != 2 {
+		t.Error("pre-window frames dropped")
+	}
+}
+
+// TestFramePartitionDeterminism: with a frame-counted partition in the
+// profile, the *entire* fault plan — partitions included — replays exactly
+// from the seed. This is the property the wall-clock form cannot give.
+func TestFramePartitionDeterminism(t *testing.T) {
+	profile := Profile{Drop: 0.2, Dup: 0.1, Partitions: []Partition{
+		{StartFrame: 10, EndFrame: 40, Isolated: []dist.ProcID{0}},
+	}}
+	run := func() []uint64 {
+		rec := &recorder{}
+		inj := New(0, 3, profile, 99, rec)
+		for s := uint64(0); s < 150; s++ {
+			_ = inj.SendFrame(1, wire.Frame{Type: wire.FrameData, Seq: s})
+		}
+		return rec.snapshot()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at frame %d", i)
+		}
+	}
+}
+
+// TestInjectableClock drives a wall-clock partition window from a fake
+// clock, with no sleeping.
+func TestInjectableClock(t *testing.T) {
+	profile := Profile{Partitions: []Partition{
+		{Start: 10 * time.Millisecond, End: 20 * time.Millisecond, Isolated: []dist.ProcID{0}},
+	}}
+	now := time.Duration(0)
+	rec := &recorder{}
+	inj := NewWithClock(0, 2, profile, 1, rec, func() time.Duration { return now })
+	_ = inj.SendFrame(1, wire.Frame{Type: wire.FrameData, Seq: 0})
+	now = 15 * time.Millisecond
+	_ = inj.SendFrame(1, wire.Frame{Type: wire.FrameData, Seq: 1})
+	now = 25 * time.Millisecond
+	_ = inj.SendFrame(1, wire.Frame{Type: wire.FrameData, Seq: 2})
+	got := rec.snapshot()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("forwarded %v, want [0 2]", got)
+	}
+}
+
 // TestClosedInjectorPassesThrough: after Close, chaos is disarmed so
 // shutdown traffic flows unharmed.
 func TestClosedInjectorPassesThrough(t *testing.T) {
@@ -188,6 +269,11 @@ func TestParseProfile(t *testing.T) {
 		{"delay=100us-2ms", true},
 		{"delay=2ms", true},
 		{"part=5ms-25ms:0+1", true},
+		{"part=5f-60f:0+1", true},
+		{"part=60f:2", true}, // single frame count = window [0, 60)
+		{"part=5f-2f:0", false},
+		{"part=5f-2ms:0", false}, // mixed frame/duration bounds
+		{"part=xf-9f:0", false},
 		{"drop=0.2,dup=0.05,delay=0.1ms-1ms,part=1ms-9ms:2", true},
 		{"drop=1.5", false},
 		{"drop=x", false},
@@ -214,6 +300,16 @@ func TestParseProfile(t *testing.T) {
 	}
 	if len(p.Partitions) != 1 || len(p.Partitions[0].Isolated) != 2 {
 		t.Errorf("parsed partitions mismatch: %+v", p.Partitions)
+	}
+	fp, err := ParseProfile("part=5f-60f:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Partitions) != 1 || fp.Partitions[0].StartFrame != 5 || fp.Partitions[0].EndFrame != 60 {
+		t.Errorf("parsed frame partition mismatch: %+v", fp.Partitions)
+	}
+	if s := fp.String(); s != "part=5f-60f:0" {
+		t.Errorf("String() = %q, want part=5f-60f:0", s)
 	}
 	// Round-trip through String for the enabled fields.
 	if s := p.String(); s == "" || s == "off" {

@@ -100,6 +100,10 @@ type NetStats struct {
 
 	Reconnects int64 // TCP links re-established after a failure
 	LinkFaults int64 // TCP link errors (mid-frame truncation, write failures)
+
+	Resumes    int64 // epoch-increase handshakes processed (peer restarts seen)
+	WALAppends int64 // records appended to write-ahead logs
+	WALSyncs   int64 // fsync batches issued by write-ahead logs
 }
 
 // ErrDeadlock is returned when live undecided processes remain but no

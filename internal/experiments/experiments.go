@@ -22,6 +22,7 @@
 //	E14 the crash→Byzantine transformation (Coan compiler, n >= 3f+1)
 //	E15 the open conjecture on strongly convex arg-min agreement (Sec. 7)
 //	E16 the chaos matrix: consensus over unreliable links via rlink
+//	E17 the crash-recovery matrix: WAL replay + epoch link resumption
 package experiments
 
 import (
@@ -143,6 +144,7 @@ func All() []Experiment {
 		{"E14", "Byzantine transformation (Coan compiler, n >= 3f+1)", E14Byzantine},
 		{"E15", "Open conjecture: strongly convex arg-min agreement", E15StrongConvexity},
 		{"E16", "Chaos matrix: consensus over unreliable links (rlink)", E16ChaosMatrix},
+		{"E17", "Crash-recovery matrix: kill-and-restart faults over the WAL runtime", E17CrashRecovery},
 	}
 }
 

@@ -65,6 +65,34 @@ func TestE3AllPass(t *testing.T) {
 	}
 }
 
+// TestE17AllPass parses the E17 table and requires 100% pass rates on every
+// seed×schedule cell: termination, validity, ε-agreement and optimality must
+// all survive kill-and-restart faults (the acceptance criterion of the
+// crash-recovery runtime).
+func TestE17AllPass(t *testing.T) {
+	table, err := E17CrashRecovery(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, row := range table.Rows {
+		for col := 2; col <= 5; col++ {
+			parts := strings.Split(row[col], "/")
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Errorf("schedule %s column %d: %s is not a full pass", row[0], col, row[col])
+			}
+		}
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("schedule %s: bad run count %q", row[0], row[1])
+		}
+		cells += n
+	}
+	if cells < 20 {
+		t.Errorf("only %d seed×schedule cells, acceptance requires >= 20", cells)
+	}
+}
+
 // TestE10Boundary requires: all trials non-empty at the bound, and at least
 // one empty below it.
 func TestE10Boundary(t *testing.T) {

@@ -1,0 +1,234 @@
+package rlink
+
+import (
+	"testing"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+func mkMsgs(from, to dist.ProcID, n int) []dist.Message {
+	msgs := make([]dist.Message, n)
+	for i := range msgs {
+		msgs[i] = dist.Message{From: from, To: to, Kind: "seq", Round: i}
+	}
+	return msgs
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+// TestResumeAfterCleanDelivery restarts a sender whose pre-crash stream was
+// fully delivered. The regenerated queue is a superset of the old stream;
+// the handshake's re-ack must trim the delivered prefix so the receiver
+// sees only the new suffix — exactly once, in order.
+func TestResumeAfterCleanDelivery(t *testing.T) {
+	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}, dropNth: 3}
+	var got collector
+	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
+	net.mu.Lock()
+	net.eps[0], net.eps[1] = a, b
+	net.mu.Unlock()
+	defer func() { _ = b.Close() }()
+
+	old := mkMsgs(0, 1, 10)
+	for _, m := range old {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(got.snapshot()) == len(old) && a.Pending() == 0 })
+
+	// Crash the sender; the receiver's link state survives.
+	net.mu.Lock()
+	delete(net.eps, 0)
+	net.mu.Unlock()
+	_ = a.Close()
+
+	// Replay regenerates the old stream exactly, plus messages the process
+	// produces while catching up past the crash point.
+	regen := mkMsgs(0, 1, 15)
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+		Epoch:    1,
+		RecvNext: []uint64{0, 0},
+		Out:      [][]dist.Message{nil, regen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a2.Close() }()
+	if a2.Epoch() != 1 {
+		t.Errorf("Epoch() = %d, want 1", a2.Epoch())
+	}
+	if hf := a2.HelloFrame(1); hf.Type != wire.FrameHandshake || hf.Epoch != 1 || hf.Seq != 15 || hf.Ack != 0 {
+		t.Errorf("HelloFrame = %+v, want handshake epoch=1 seq=15 ack=0", hf)
+	}
+	net.mu.Lock()
+	net.eps[0] = a2
+	// Go lossless for the resume phase: the handshake is fire-and-forget, so
+	// asserting on Resumes below requires it to actually arrive.
+	net.dropNth = 0
+	net.mu.Unlock()
+	a2.Announce()
+
+	waitFor(t, func() bool { return len(got.snapshot()) == len(regen) && a2.Pending() == 0 })
+	msgs := got.snapshot()
+	for i, m := range msgs {
+		if m.Round != i {
+			t.Fatalf("position %d got round %d: duplicate or loss across restart", i, m.Round)
+		}
+	}
+	if st := b.Stats(); st.Resumes != 1 {
+		t.Errorf("receiver Resumes = %d, want 1", st.Resumes)
+	}
+}
+
+// TestResumeMidStream crashes the sender while frames are still in flight
+// over a lossy link, then restarts it. Retransmission from the regenerated
+// queue must close the gap with no duplicate and no lost delivery.
+func TestResumeMidStream(t *testing.T) {
+	// dropNth must not be 2: each data frame provokes exactly one ack, so an
+	// every-second-frame drop phase-locks onto the acks and never converges.
+	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}, dropNth: 3}
+	var got collector
+	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
+	net.mu.Lock()
+	net.eps[0], net.eps[1] = a, b
+	net.mu.Unlock()
+	defer func() { _ = b.Close() }()
+
+	stream := mkMsgs(0, 1, 20)
+	for _, m := range stream {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash immediately: half the frames were dropped by the net and most
+	// acks have not come back.
+	net.mu.Lock()
+	delete(net.eps, 0)
+	net.mu.Unlock()
+	_ = a.Close()
+
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+		Epoch:    1,
+		RecvNext: []uint64{0, 0},
+		Out:      [][]dist.Message{nil, stream},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a2.Close() }()
+	net.mu.Lock()
+	net.eps[0] = a2
+	net.mu.Unlock()
+	a2.Announce()
+
+	waitFor(t, func() bool { return len(got.snapshot()) == len(stream) && a2.Pending() == 0 })
+	for i, m := range got.snapshot() {
+		if m.Round != i {
+			t.Fatalf("position %d got round %d", i, m.Round)
+		}
+	}
+}
+
+// TestResumeWithoutHandshake drops the restart announcement entirely: plain
+// retransmission, duplicate suppression and cumulative re-acks must still
+// converge (the handshake is an accelerator, not a correctness requirement).
+func TestResumeWithoutHandshake(t *testing.T) {
+	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}}
+	var got collector
+	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
+	net.mu.Lock()
+	net.eps[0], net.eps[1] = a, b
+	net.mu.Unlock()
+	defer func() { _ = b.Close() }()
+
+	old := mkMsgs(0, 1, 8)
+	for _, m := range old {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(got.snapshot()) == len(old) })
+	net.mu.Lock()
+	delete(net.eps, 0)
+	net.mu.Unlock()
+	_ = a.Close()
+
+	regen := mkMsgs(0, 1, 12)
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+		Epoch:    1,
+		RecvNext: []uint64{0, 0},
+		Out:      [][]dist.Message{nil, regen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a2.Close() }()
+	net.mu.Lock()
+	net.eps[0] = a2
+	net.mu.Unlock()
+	// No Announce: the reseeded queue retransmits from seq 0; the receiver
+	// suppresses the delivered prefix and its re-acks trim the queue.
+	waitFor(t, func() bool { return len(got.snapshot()) == len(regen) && a2.Pending() == 0 })
+	for i, m := range got.snapshot() {
+		if m.Round != i {
+			t.Fatalf("position %d got round %d", i, m.Round)
+		}
+	}
+	if st := b.Stats(); st.DupSuppressed == 0 {
+		t.Error("expected the delivered prefix to be retransmitted and suppressed")
+	}
+}
+
+// TestResumeReceiveCursor restarts a *receiver*: its journaled delivery
+// count must become the receive cursor, so peer retransmissions of already-
+// journaled messages are suppressed, not re-delivered.
+func TestResumeReceiveCursor(t *testing.T) {
+	var got collector
+	a2, err := NewResumed(1, 2, senderFunc(func(dist.ProcID, wire.Frame) error { return nil }),
+		got.deliver, fastConfig(), ResumeState{
+			Epoch:    1,
+			RecvNext: []uint64{5, 0},
+			Out:      [][]dist.Message{nil, nil},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a2.Close() }()
+
+	for seq := uint64(0); seq < 7; seq++ {
+		a2.OnFrame(wire.Frame{Type: wire.FrameData, From: 0, Seq: seq,
+			Msg: dist.Message{From: 0, To: 1, Kind: "seq", Round: int(seq)}})
+	}
+	msgs := got.snapshot()
+	if len(msgs) != 2 || msgs[0].Round != 5 || msgs[1].Round != 6 {
+		t.Fatalf("delivered %+v, want exactly rounds 5 and 6", msgs)
+	}
+	if st := a2.Stats(); st.DupSuppressed != 5 {
+		t.Errorf("DupSuppressed = %d, want 5", st.DupSuppressed)
+	}
+}
+
+// TestResumeStateValidation rejects mis-sized resume state.
+func TestResumeStateValidation(t *testing.T) {
+	_, err := NewResumed(0, 3, senderFunc(func(dist.ProcID, wire.Frame) error { return nil }),
+		func(dist.Message) {}, Config{}, ResumeState{RecvNext: []uint64{0}, Out: [][]dist.Message{nil}})
+	if err == nil {
+		t.Error("mis-sized resume state accepted")
+	}
+}

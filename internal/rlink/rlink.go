@@ -71,6 +71,7 @@ type Stats struct {
 	DupSuppressed int64 // received data frames discarded as duplicates
 	OutOfOrder    int64 // received data frames buffered ahead of a gap
 	AcksSent      int64 // ack frames emitted
+	Resumes       int64 // epoch-increase handshakes processed (peer restarts seen)
 }
 
 // Endpoint provides reliable exactly-once FIFO links from one node to all
@@ -80,6 +81,7 @@ type Endpoint struct {
 	cfg     Config
 	sender  Sender
 	deliver func(dist.Message)
+	epoch   uint64 // incarnation number, fixed at construction
 
 	out []*outLink
 	in  []*inLink
@@ -92,6 +94,7 @@ type Endpoint struct {
 	dupSuppressed atomic.Int64
 	outOfOrder    atomic.Int64
 	acksSent      atomic.Int64
+	resumes       atomic.Int64
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -107,9 +110,10 @@ type pending struct {
 
 // outLink is the sender-side state of one directed link.
 type outLink struct {
-	mu      sync.Mutex
-	nextSeq uint64
-	queue   []pending // ascending seq; prefix-trimmed by cumulative acks
+	mu        sync.Mutex
+	nextSeq   uint64
+	queue     []pending // ascending seq; prefix-trimmed by cumulative acks
+	peerEpoch uint64    // highest incarnation announced by the peer
 }
 
 // inLink is the receiver-side state of one directed link.
@@ -125,6 +129,14 @@ type inLink struct {
 // serializes concurrent receives into FIFO order), so it must not block
 // and must not call back into the endpoint.
 func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
+	e := newEndpoint(self, n, sender, deliver, cfg)
+	e.start()
+	return e
+}
+
+// newEndpoint builds the endpoint without starting the retransmission loop,
+// so NewResumed can seed link state before any concurrent access exists.
+func newEndpoint(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
 		self:    self,
@@ -140,9 +152,13 @@ func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg
 		e.out[i] = &outLink{}
 		e.in[i] = &inLink{buffered: make(map[uint64]dist.Message)}
 	}
+	return e
+}
+
+// start launches the retransmission loop.
+func (e *Endpoint) start() {
 	e.wg.Add(1)
 	go e.retransmitLoop()
-	return e
 }
 
 // Send stamps msg with the next sequence number of the link to msg.To,
@@ -173,8 +189,8 @@ func (e *Endpoint) Send(msg dist.Message) error {
 
 // OnFrame is the receive path: the transport calls it for every frame
 // addressed to this node. Data frames are deduplicated, reordered and
-// delivered; ack frames retire pending retransmissions. Handshake frames
-// are transport-internal and ignored here.
+// delivered; ack frames retire pending retransmissions; epoch handshakes
+// resynchronize link state across a peer's restart.
 func (e *Endpoint) OnFrame(f wire.Frame) {
 	if e.closed.Load() {
 		return
@@ -183,6 +199,8 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 		return
 	}
 	switch f.Type {
+	case wire.FrameHandshake:
+		e.onHandshake(f)
 	case wire.FrameAck:
 		l := e.out[f.From]
 		l.mu.Lock()
@@ -255,17 +273,22 @@ func (e *Endpoint) retransmitLoop() {
 			for to, l := range e.out {
 				var resend []wire.Frame
 				l.mu.Lock()
+				var firsts int64
 				for i := range l.queue {
 					p := &l.queue[i]
 					if now.After(p.nextRetry) {
 						resend = append(resend, p.frame)
+						if p.attempts == 0 {
+							firsts++ // reseeded after a restart, never yet sent
+						}
 						p.attempts++
 						p.nextRetry = now.Add(e.backoff(p.attempts))
 					}
 				}
 				l.mu.Unlock()
+				e.framesSent.Add(firsts)
+				e.retransmits.Add(int64(len(resend)) - firsts)
 				for _, f := range resend {
-					e.retransmits.Add(1)
 					_ = e.sender.SendFrame(dist.ProcID(to), f)
 				}
 			}
@@ -314,6 +337,7 @@ func (e *Endpoint) Stats() Stats {
 		DupSuppressed: e.dupSuppressed.Load(),
 		OutOfOrder:    e.outOfOrder.Load(),
 		AcksSent:      e.acksSent.Load(),
+		Resumes:       e.resumes.Load(),
 	}
 }
 

@@ -106,7 +106,10 @@ func TestLossyLinkExactlyOnceFIFO(t *testing.T) {
 	if st.Retransmits == 0 {
 		t.Error("no retransmits despite a lossy link")
 	}
-	if net.dropped == 0 {
+	net.mu.Lock()
+	dropped := net.dropped
+	net.mu.Unlock()
+	if dropped == 0 {
 		t.Error("the lossy net dropped nothing; test is vacuous")
 	}
 	if bs := b.Stats(); bs.DupSuppressed == 0 {

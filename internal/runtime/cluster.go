@@ -10,6 +10,7 @@ import (
 	"chc/internal/chaos"
 	"chc/internal/dist"
 	"chc/internal/rlink"
+	"chc/internal/wal"
 	"chc/internal/wire"
 )
 
@@ -37,19 +38,35 @@ type transport interface {
 // and the receive path feeds frames back through the peer's endpoint, which
 // restores the exactly-once FIFO contract the protocol is proven against.
 type Cluster struct {
+	// stateMu guards the per-node slices that the restart supervisor swaps
+	// when it relaunches an incarnation (procs, inbox, trans, rel, wal,
+	// deliver) plus the stopping flag. Steady-state paths take the read lock;
+	// only kill/relaunch/shutdown take the write lock.
+	stateMu  sync.RWMutex
+	stopping bool
+
 	procs  []dist.Process
 	inbox  []*mailbox
 	trans  []transport
 	budget []int64 // remaining sends before simulated crash; -1 = unlimited
 
-	rel []*rlink.Endpoint // reliable-link endpoints (nil entries when disabled)
-	inj []*chaos.Injector // chaos injectors (nil entries when disabled)
-	tcp []*tcpTransport   // TCP transports (nil entries for channel clusters)
+	rel     []*rlink.Endpoint     // reliable-link endpoints (nil entries when disabled)
+	inj     []*chaos.Injector     // chaos injectors (nil entries when disabled)
+	tcp     []*tcpTransport       // TCP transports (nil entries for channel clusters)
+	wal     []*wal.WAL            // write-ahead logs (recovery mode only)
+	deliver []func(dist.Message)  // per-incarnation mailbox delivery (recovery mode only)
+	sender  []rlink.Sender        // frame sender under each endpoint (incl. chaos), for rebuilds
 
 	chaosProfile *chaos.Profile
 	chaosSeed    int64
 	reliable     bool
 	rlinkCfg     rlink.Config
+
+	recovery *RecoveryConfig
+	restarts []RestartPlan
+
+	retiredMu sync.Mutex
+	retired   dist.NetStats // counters from endpoints/logs of killed incarnations
 
 	sends atomic.Int64
 	bytes atomic.Int64
@@ -141,7 +158,15 @@ func NewChannelCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		for i := range procs {
 			var s rlink.Sender = &chanFrameSender{cluster: c}
 			s = c.maybeInjectChaos(i, s)
-			c.installEndpoint(i, s)
+			if err := c.installEndpoint(i, s); err != nil {
+				for _, ep := range c.rel {
+					if ep != nil {
+						_ = ep.Close()
+					}
+				}
+				c.closeWALs()
+				return nil, err
+			}
 		}
 		return c, nil
 	}
@@ -156,13 +181,16 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		return nil, errors.New("runtime: no processes")
 	}
 	c := &Cluster{
-		procs:  procs,
-		inbox:  make([]*mailbox, len(procs)),
-		trans:  make([]transport, len(procs)),
-		budget: make([]int64, len(procs)),
-		rel:    make([]*rlink.Endpoint, len(procs)),
-		inj:    make([]*chaos.Injector, len(procs)),
-		tcp:    make([]*tcpTransport, len(procs)),
+		procs:   procs,
+		inbox:   make([]*mailbox, len(procs)),
+		trans:   make([]transport, len(procs)),
+		budget:  make([]int64, len(procs)),
+		rel:     make([]*rlink.Endpoint, len(procs)),
+		inj:     make([]*chaos.Injector, len(procs)),
+		tcp:     make([]*tcpTransport, len(procs)),
+		wal:     make([]*wal.WAL, len(procs)),
+		deliver: make([]func(dist.Message), len(procs)),
+		sender:  make([]rlink.Sender, len(procs)),
 	}
 	for i := range procs {
 		c.inbox[i] = newMailbox()
@@ -170,6 +198,9 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	}
 	for _, o := range opts {
 		o.apply(c)
+	}
+	if err := c.validateRecovery(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -185,20 +216,79 @@ func (c *Cluster) maybeInjectChaos(i int, s rlink.Sender) rlink.Sender {
 }
 
 // installEndpoint places a reliable-link endpoint over the frame sender and
-// routes its deliveries into the local mailboxes.
-func (c *Cluster) installEndpoint(i int, s rlink.Sender) {
-	ep := rlink.New(dist.ProcID(i), len(c.procs), s, c.deliverLocal, c.rlinkCfg)
+// routes its deliveries into the local mailboxes. In recovery mode it also
+// creates the node's write-ahead log and threads deliveries through it.
+func (c *Cluster) installEndpoint(i int, s rlink.Sender) error {
+	c.sender[i] = s
+	deliver := c.deliverLocal
+	if c.recovery != nil {
+		w, err := wal.Create(WALPath(c.recovery.Dir, dist.ProcID(i)))
+		if err != nil {
+			return fmt.Errorf("runtime: create WAL for node %d: %w", i, err)
+		}
+		if c.recovery.Inputs != nil {
+			if err := w.AppendInput(dist.ProcID(i), c.recovery.Inputs[i]); err == nil {
+				err = w.Sync()
+			}
+			if err != nil {
+				_ = w.Close()
+				return fmt.Errorf("runtime: journal input for node %d: %w", i, err)
+			}
+		}
+		c.wal[i] = w
+		deliver = journalingDeliver(w, c.inbox[i])
+		c.deliver[i] = deliver
+	}
+	ep := rlink.New(dist.ProcID(i), len(c.procs), s, deliver, c.rlinkCfg)
 	c.rel[i] = ep
 	c.trans[i] = &endpointTransport{ep: ep}
+	return nil
+}
+
+// closeWALs closes every open write-ahead log (constructor error paths).
+func (c *Cluster) closeWALs() {
+	for _, w := range c.wal {
+		if w != nil {
+			_ = w.Close()
+		}
+	}
+}
+
+// journalingDeliver wraps a mailbox hand-off with the WAL durability
+// contract: the delivery record is appended and fsynced before the message
+// becomes visible to the process — and, because rlink invokes deliver before
+// emitting the cumulative ack, before the sender is told to stop
+// retransmitting. A journaling failure drops the message instead: the peer
+// keeps retransmitting, which is the correct fate for a delivery that was
+// never made durable. The closure captures its own incarnation's log and
+// mailbox, so swapping in a new incarnation is atomic by construction.
+func journalingDeliver(w *wal.WAL, mbox *mailbox) func(dist.Message) {
+	return func(m dist.Message) {
+		if err := w.AppendDelivered(m); err != nil {
+			return
+		}
+		if err := w.Sync(); err != nil {
+			return
+		}
+		mbox.Push(m)
+	}
 }
 
 // routeFrame delivers a frame to the target node's reliable-link endpoint
-// (the in-process analogue of the TCP receive path).
+// (the in-process analogue of the TCP receive path). A node that is down
+// between kill and relaunch has no endpoint, and its frames are dropped —
+// exactly what a dead TCP listener would do.
 func (c *Cluster) routeFrame(to dist.ProcID, f wire.Frame) error {
 	if to < 0 || int(to) >= len(c.rel) {
 		return fmt.Errorf("runtime: frame to unknown node %d", to)
 	}
+	// Snapshot under the read lock but call outside it: OnFrame's ack reply
+	// re-enters routeFrame, and a recursive RLock can deadlock against a
+	// waiting writer (the restart supervisor). A just-killed endpoint is
+	// safe to call — Close makes OnFrame a no-op.
+	c.stateMu.RLock()
 	ep := c.rel[to]
+	c.stateMu.RUnlock()
 	if ep == nil {
 		return errors.New("runtime: target has no reliable-link endpoint")
 	}
@@ -210,7 +300,11 @@ func (c *Cluster) routeFrame(to dist.ProcID, f wire.Frame) error {
 // during) a run.
 func (c *Cluster) Stats() ClusterStats {
 	st := ClusterStats{Sends: c.sends.Load(), Bytes: c.bytes.Load()}
-	for _, ep := range c.rel {
+	c.stateMu.RLock()
+	rel := append([]*rlink.Endpoint(nil), c.rel...)
+	wals := append([]*wal.WAL(nil), c.wal...)
+	c.stateMu.RUnlock()
+	for _, ep := range rel {
 		if ep == nil {
 			continue
 		}
@@ -220,6 +314,15 @@ func (c *Cluster) Stats() ClusterStats {
 		st.Net.DupSuppressed += s.DupSuppressed
 		st.Net.OutOfOrder += s.OutOfOrder
 		st.Net.AcksSent += s.AcksSent
+		st.Net.Resumes += s.Resumes
+	}
+	for _, w := range wals {
+		if w == nil {
+			continue
+		}
+		s := w.Stats()
+		st.Net.WALAppends += s.Appends
+		st.Net.WALSyncs += s.Syncs
 	}
 	for _, inj := range c.inj {
 		if inj == nil {
@@ -238,89 +341,82 @@ func (c *Cluster) Stats() ClusterStats {
 		st.Net.Reconnects += t.reconnects.Load()
 		st.Net.LinkFaults += t.linkFaults.Load()
 	}
+	c.retiredMu.Lock()
+	r := c.retired
+	c.retiredMu.Unlock()
+	st.Net.FramesSent += r.FramesSent
+	st.Net.Retransmits += r.Retransmits
+	st.Net.DupSuppressed += r.DupSuppressed
+	st.Net.OutOfOrder += r.OutOfOrder
+	st.Net.AcksSent += r.AcksSent
+	st.Net.Resumes += r.Resumes
+	st.Net.WALAppends += r.WALAppends
+	st.Net.WALSyncs += r.WALSyncs
 	return st
+}
+
+// Processes returns the cluster's current state machines — after a run with
+// restarts these are the relaunched incarnations, so decision inspection
+// sees the recovered state.
+func (c *Cluster) Processes() []dist.Process {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return append([]dist.Process(nil), c.procs...)
 }
 
 // Run initialises every process and pumps messages until all live processes
 // report Done, then shuts the transports down. Completion is signalled by
-// the process goroutines themselves (no polling): each settles exactly once
-// — on deciding or on crashing — and the last one to settle wakes the
-// monitor. It returns ErrTimeout if the protocol fails to converge in time.
+// the process goroutines themselves (no polling): each incarnation settles
+// exactly once — on deciding or on crashing — and the last one to settle
+// wakes the monitor. With WithRestarts, a crashed node's settle hands the
+// slot to the restart supervisor, which relaunches the node from its WAL;
+// the relaunched incarnation settles a slot of its own. It returns
+// ErrTimeout if the protocol fails to converge in time; Stats() still
+// reports the partial counters accumulated up to the timeout. A failed
+// relaunch surfaces as an error wrapping ErrRecovery.
 func (c *Cluster) Run(timeout time.Duration) error {
 	n := len(c.procs)
-	done := make([]atomic.Bool, n)
-	crashed := make([]atomic.Bool, n)
-
-	var unsettled atomic.Int64
-	unsettled.Store(int64(n))
-	allSettled := make(chan struct{})
-
-	var wg sync.WaitGroup
-	for i := range c.procs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			settled := false
-			settle := func() {
-				if settled {
-					return
-				}
-				settled = true
-				if unsettled.Add(-1) == 0 {
-					close(allSettled)
-				}
-			}
-			id := dist.ProcID(i)
-			ctx := &nodeContext{cluster: c, id: id, n: n, crashed: &crashed[i]}
-			if c.budget[i] == 0 {
-				crashed[i].Store(true)
-				settle()
-				return
-			}
-			c.procs[i].Init(ctx)
-			if c.procs[i].Done() {
-				done[i].Store(true)
-				settle()
-			}
-			if crashed[i].Load() {
-				settle() // budget exhausted mid-Init-broadcast
-			}
-			for {
-				msg, err := c.inbox[i].Pop()
-				if err != nil {
-					return
-				}
-				if crashed[i].Load() {
-					continue
-				}
-				c.procs[i].Deliver(ctx, msg)
-				if c.procs[i].Done() {
-					done[i].Store(true)
-					settle()
-				}
-				if crashed[i].Load() {
-					settle() // budget exhausted during this delivery's sends
-				}
-			}
-		}()
+	rs := &runState{
+		c:          c,
+		n:          n,
+		done:       make([]atomic.Bool, n),
+		allSettled: make(chan struct{}),
+		queues:     make([][]RestartPlan, n),
 	}
+	// One settle slot per initial incarnation plus one per planned restart.
+	rs.unsettled.Store(int64(n + len(c.restarts)))
+	for _, rp := range c.restarts {
+		rs.queues[rp.Proc] = append(rs.queues[rp.Proc], rp)
+	}
+
+	c.stateMu.RLock()
+	for i := range c.procs {
+		rs.launch(i, c.procs[i], c.inbox[i], false)
+	}
+	c.stateMu.RUnlock()
 
 	var runErr error
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case <-allSettled:
+	case <-rs.allSettled:
 	case <-timer.C:
 		runErr = ErrTimeout
 	}
 
-	// Shutdown order: wake the process goroutines, stop retransmissions,
-	// disarm chaos, then tear the transports down.
-	for i := range c.inbox {
-		c.inbox[i].Close()
+	// Shutdown order: block further relaunches, wake the process goroutines,
+	// stop retransmissions, disarm chaos, then tear the transports down.
+	c.stateMu.Lock()
+	c.stopping = true
+	inboxes := append([]*mailbox(nil), c.inbox...)
+	rel := append([]*rlink.Endpoint(nil), c.rel...)
+	wals := append([]*wal.WAL(nil), c.wal...)
+	trans := append([]transport(nil), c.trans...)
+	c.stateMu.Unlock()
+	for _, mbox := range inboxes {
+		mbox.Close()
 	}
-	for _, ep := range c.rel {
+	for _, ep := range rel {
 		if ep != nil {
 			_ = ep.Close()
 		}
@@ -330,7 +426,7 @@ func (c *Cluster) Run(timeout time.Duration) error {
 			_ = inj.Close()
 		}
 	}
-	for _, tr := range c.trans {
+	for _, tr := range trans {
 		if tr != nil {
 			_ = tr.Close()
 		}
@@ -340,7 +436,15 @@ func (c *Cluster) Run(timeout time.Duration) error {
 			_ = t.Close()
 		}
 	}
-	wg.Wait()
+	for _, w := range wals {
+		if w != nil {
+			_ = w.Close()
+		}
+	}
+	rs.wg.Wait()
+	if recErr := rs.recoveryErr(); recErr != nil {
+		return recErr
+	}
 	return runErr
 }
 
@@ -350,7 +454,24 @@ func (c *Cluster) deliverLocal(msg dist.Message) {
 	if msg.To < 0 || int(msg.To) >= len(c.inbox) {
 		return
 	}
-	c.inbox[msg.To].Push(msg)
+	c.stateMu.RLock()
+	mbox := c.inbox[msg.To]
+	c.stateMu.RUnlock()
+	mbox.Push(msg)
+}
+
+// deliverToSelf hands a self-addressed message to the node's own mailbox. In
+// recovery mode it goes through the incarnation's journaling path first —
+// self-sends are deliveries like any other and must be replayable.
+func (c *Cluster) deliverToSelf(id dist.ProcID, msg dist.Message) {
+	c.stateMu.RLock()
+	d := c.deliver[id]
+	c.stateMu.RUnlock()
+	if d != nil {
+		d(msg)
+		return
+	}
+	c.deliverLocal(msg)
 }
 
 // consumeSendBudget enforces crash plans; it returns false when the sender
@@ -402,11 +523,15 @@ func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any)
 		nc.cluster.bytes.Add(int64(nc.cluster.sizer(msg)))
 	}
 	if to == nc.id {
-		// No node has a network link to itself on any transport.
-		nc.cluster.deliverLocal(msg)
+		// No node has a network link to itself on any transport; in recovery
+		// mode the self-delivery is journaled like any other.
+		nc.cluster.deliverToSelf(nc.id, msg)
 		return
 	}
-	if err := nc.cluster.trans[nc.id].Send(msg); err != nil {
+	nc.cluster.stateMu.RLock()
+	tr := nc.cluster.trans[nc.id]
+	nc.cluster.stateMu.RUnlock()
+	if err := tr.Send(msg); err != nil {
 		// Transport failure after shutdown; the message is lost, which the
 		// crash-fault model already accounts for. The send still counted:
 		// it was handed to the network.

@@ -1,0 +1,459 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/rlink"
+	"chc/internal/wal"
+)
+
+// ErrRecovery marks a failed crash-recovery relaunch: a corrupt or
+// unreadable WAL, a panic while replaying the journaled history through a
+// fresh state machine, or replay nondeterminism. It is distinct from a plain
+// crash so callers can tell "a node died and stayed dead by plan" from "the
+// recovery machinery itself failed".
+var ErrRecovery = errors.New("runtime: crash recovery failed")
+
+// errRunStopped aborts a relaunch that lost the race with cluster shutdown;
+// it is not reported as a recovery failure.
+var errRunStopped = errors.New("runtime: run stopped before relaunch")
+
+// RecoveryConfig enables the crash-recovery runtime: every process journals
+// its protocol history to a write-ahead log, and restart plans relaunch
+// killed nodes from those logs.
+type RecoveryConfig struct {
+	// Dir is the directory holding one WAL per process (see WALPath).
+	Dir string
+	// Factory builds a fresh, deterministic state machine for process i —
+	// identical to the one the cluster was constructed with. Replay drives
+	// the journaled delivery sequence through it to reconstruct pre-crash
+	// state.
+	Factory func(i int) dist.Process
+	// Inputs, when non-nil, are journaled per process for audit; replay
+	// itself relies on Factory embedding the input deterministically.
+	Inputs []geom.Point
+}
+
+// WithRecovery enables WAL journaling and crash-recovery. It forces the
+// reliable-link layer: the durability contract (journal before ack) is
+// enforced inside the link delivery path.
+func WithRecovery(cfg RecoveryConfig) Option {
+	return recoveryOption{cfg: cfg}
+}
+
+type recoveryOption struct{ cfg RecoveryConfig }
+
+func (o recoveryOption) apply(c *Cluster) {
+	cfg := o.cfg
+	c.recovery = &cfg
+	c.reliable = true
+}
+
+// RestartPlan schedules a crash-and-recover fault: the node is killed after
+// KillAfterSends successful sends (mid-broadcast if the budget lands there),
+// stays down for Downtime — during which peers see dropped frames and
+// retransmit — and is then relaunched from its write-ahead log.
+type RestartPlan struct {
+	Proc           dist.ProcID
+	KillAfterSends int
+	Downtime       time.Duration
+}
+
+// WithRestarts schedules crash-restart faults. Requires WithRecovery.
+// Composable with WithChaos: chaos attacks the links while restarts attack
+// the nodes.
+func WithRestarts(plans ...RestartPlan) Option {
+	return restartOption{plans: plans}
+}
+
+type restartOption struct{ plans []RestartPlan }
+
+func (o restartOption) apply(c *Cluster) {
+	c.restarts = append(c.restarts, o.plans...)
+}
+
+// validateRecovery checks the recovery/restart configuration once all
+// options are applied, and arms the kill budget of each node's first
+// restart plan.
+func (c *Cluster) validateRecovery() error {
+	if c.recovery != nil {
+		if c.recovery.Dir == "" || c.recovery.Factory == nil {
+			return errors.New("runtime: recovery needs a WAL directory and a process factory")
+		}
+		if c.recovery.Inputs != nil && len(c.recovery.Inputs) != len(c.procs) {
+			return fmt.Errorf("runtime: %d recovery inputs for %d processes",
+				len(c.recovery.Inputs), len(c.procs))
+		}
+	}
+	if len(c.restarts) == 0 {
+		return nil
+	}
+	if c.recovery == nil {
+		return errors.New("runtime: WithRestarts requires WithRecovery")
+	}
+	armed := make(map[dist.ProcID]bool)
+	for _, rp := range c.restarts {
+		if rp.Proc < 0 || int(rp.Proc) >= len(c.procs) {
+			return fmt.Errorf("runtime: restart plan for unknown process %d", rp.Proc)
+		}
+		if rp.KillAfterSends < 0 {
+			return fmt.Errorf("runtime: negative kill budget for process %d", rp.Proc)
+		}
+		if !armed[rp.Proc] {
+			armed[rp.Proc] = true
+			c.budget[rp.Proc] = int64(rp.KillAfterSends)
+		}
+	}
+	return nil
+}
+
+// WALPath is the write-ahead log location of one process under a recovery
+// directory.
+func WALPath(dir string, id dist.ProcID) string {
+	return filepath.Join(dir, fmt.Sprintf("node-%03d.wal", id))
+}
+
+// runState is the bookkeeping of one Run call: settle slots, per-node
+// restart queues, and the WaitGroup covering every incarnation and
+// supervisor goroutine.
+type runState struct {
+	c          *Cluster
+	n          int
+	done       []atomic.Bool
+	unsettled  atomic.Int64
+	allSettled chan struct{}
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	queues [][]RestartPlan
+	recErr []error
+}
+
+// settleSlot consumes one settle slot; the last slot wakes the monitor.
+func (rs *runState) settleSlot() {
+	if rs.unsettled.Add(-1) == 0 {
+		close(rs.allSettled)
+	}
+}
+
+// recordRecoveryError stores a relaunch failure for Run to report.
+func (rs *runState) recordRecoveryError(err error) {
+	rs.mu.Lock()
+	rs.recErr = append(rs.recErr, err)
+	rs.mu.Unlock()
+}
+
+// recoveryErr returns the joined relaunch failures, wrapped in ErrRecovery.
+func (rs *runState) recoveryErr() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.recErr) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrRecovery, errors.Join(rs.recErr...))
+}
+
+// onSettled reacts to an incarnation of node i settling. A crash settle with
+// a queued restart plan hands the node to the supervisor; a decide settle
+// consumes the slots of restart plans that will now never fire (the node
+// finished before its kill budget ran out).
+func (rs *runState) onSettled(i int, byCrash bool) {
+	rs.mu.Lock()
+	if byCrash {
+		if len(rs.queues[i]) > 0 {
+			plan := rs.queues[i][0]
+			rs.queues[i] = rs.queues[i][1:]
+			rs.mu.Unlock()
+			rs.wg.Add(1)
+			go rs.supervise(i, plan)
+			return
+		}
+		rs.mu.Unlock()
+		return
+	}
+	unfired := len(rs.queues[i])
+	rs.queues[i] = nil
+	rs.mu.Unlock()
+	for ; unfired > 0; unfired-- {
+		rs.settleSlot()
+	}
+}
+
+// launch starts the goroutine driving one incarnation of node i.
+func (rs *runState) launch(i int, proc dist.Process, mbox *mailbox, alreadyInit bool) {
+	rs.wg.Add(1)
+	crashed := &atomic.Bool{}
+	go rs.runProc(i, proc, mbox, crashed, alreadyInit)
+}
+
+// runProc drives one incarnation: Init (unless resumed), then the delivery
+// loop, settling exactly once — on decide or on crash.
+func (rs *runState) runProc(i int, proc dist.Process, mbox *mailbox, crashed *atomic.Bool, alreadyInit bool) {
+	defer rs.wg.Done()
+	c := rs.c
+	settled := false
+	settle := func(byCrash bool) {
+		if settled {
+			return
+		}
+		settled = true
+		rs.settleSlot()
+		rs.onSettled(i, byCrash)
+	}
+	id := dist.ProcID(i)
+	ctx := &nodeContext{cluster: c, id: id, n: rs.n, crashed: crashed}
+	if !alreadyInit {
+		if atomic.LoadInt64(&c.budget[i]) == 0 {
+			crashed.Store(true)
+			settle(true)
+			return
+		}
+		proc.Init(ctx)
+	}
+	if proc.Done() {
+		rs.done[i].Store(true)
+		settle(false)
+	}
+	if crashed.Load() {
+		settle(true) // budget exhausted mid-Init-broadcast
+	}
+	for {
+		msg, err := mbox.Pop()
+		if err != nil {
+			return
+		}
+		if crashed.Load() {
+			continue
+		}
+		proc.Deliver(ctx, msg)
+		if proc.Done() {
+			rs.done[i].Store(true)
+			settle(false)
+		}
+		if crashed.Load() {
+			settle(true) // budget exhausted during this delivery's sends
+		}
+	}
+}
+
+// supervise handles one crash-restart cycle of node i: tear the dead
+// incarnation down, wait out the downtime, then relaunch from the WAL.
+func (rs *runState) supervise(i int, plan RestartPlan) {
+	defer rs.wg.Done()
+	rs.c.killNode(i)
+	if plan.Downtime > 0 {
+		time.Sleep(plan.Downtime)
+	}
+	if err := rs.c.relaunch(rs, i); err != nil {
+		if !errors.Is(err, errRunStopped) {
+			rs.recordRecoveryError(fmt.Errorf("node %d: %w", i, err))
+		}
+		// The relaunched incarnation will never settle its slot; do it here
+		// so Run can return.
+		rs.settleSlot()
+	}
+}
+
+// killNode makes a crashed node actually dead: its endpoint is removed (so
+// frames addressed to it are dropped and no acks are emitted), its mailbox
+// is closed (terminating the incarnation goroutine), and its WAL is closed.
+// Counters from the dead incarnation are folded into the retired
+// accumulator so Stats() keeps seeing them. The chaos injector is shared by
+// all incarnations and stays armed.
+func (c *Cluster) killNode(i int) {
+	c.stateMu.Lock()
+	ep := c.rel[i]
+	c.rel[i] = nil
+	w := c.wal[i]
+	c.wal[i] = nil
+	c.deliver[i] = nil
+	mbox := c.inbox[i]
+	c.stateMu.Unlock()
+
+	if ep != nil {
+		_ = ep.Close()
+	}
+	mbox.Close()
+	var r dist.NetStats
+	if ep != nil {
+		s := ep.Stats()
+		r.FramesSent = s.FramesSent
+		r.Retransmits = s.Retransmits
+		r.DupSuppressed = s.DupSuppressed
+		r.OutOfOrder = s.OutOfOrder
+		r.AcksSent = s.AcksSent
+		r.Resumes = s.Resumes
+	}
+	if w != nil {
+		s := w.Stats()
+		r.WALAppends = s.Appends
+		r.WALSyncs = s.Syncs
+		_ = w.Close()
+	}
+	c.retiredMu.Lock()
+	c.retired.FramesSent += r.FramesSent
+	c.retired.Retransmits += r.Retransmits
+	c.retired.DupSuppressed += r.DupSuppressed
+	c.retired.OutOfOrder += r.OutOfOrder
+	c.retired.AcksSent += r.AcksSent
+	c.retired.Resumes += r.Resumes
+	c.retired.WALAppends += r.WALAppends
+	c.retired.WALSyncs += r.WALSyncs
+	c.retiredMu.Unlock()
+	if t := c.tcp[i]; t != nil {
+		// Sever the dead node's live connections: peers must observe the
+		// outage and bridge it with redials and retransmission.
+		t.breakLinks()
+	}
+}
+
+// captureContext records the sends a state machine performs while its
+// journaled history is replayed. Nothing reaches the network: peer-bound
+// messages become the regenerated retransmission queues, and self-bound
+// messages are matched against the journal to find the ones still pending.
+type captureContext struct {
+	id    dist.ProcID
+	n     int
+	sends [][]dist.Message
+	self  []dist.Message
+}
+
+var _ dist.Context = (*captureContext)(nil)
+
+func (cc *captureContext) ID() dist.ProcID { return cc.id }
+func (cc *captureContext) N() int          { return cc.n }
+
+func (cc *captureContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	if to < 0 || int(to) >= cc.n {
+		return
+	}
+	msg := dist.Message{From: cc.id, To: to, Kind: kind, Round: round, Payload: payload}
+	if to == cc.id {
+		cc.self = append(cc.self, msg)
+		return
+	}
+	cc.sends[to] = append(cc.sends[to], msg)
+}
+
+func (cc *captureContext) Broadcast(kind string, round int, payload any) {
+	for to := dist.ProcID(0); int(to) < cc.n; to++ {
+		if to == cc.id {
+			continue
+		}
+		cc.Send(to, kind, round, payload)
+	}
+}
+
+// replayNode reconstructs node i's state machine from its WAL: a fresh
+// factory-built process re-consumes the journaled delivery sequence under a
+// capture context. Panics inside Init/Deliver (e.g. a history corrupted
+// into an impossible state) are converted to errors.
+func (c *Cluster) replayNode(i int) (proc dist.Process, cc *captureContext, rep *wal.Replayed, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			proc, cc, rep = nil, nil, nil
+			err = fmt.Errorf("panic during replay: %v", p)
+		}
+	}()
+	rep, err = wal.Replay(WALPath(c.recovery.Dir, dist.ProcID(i)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	proc = c.recovery.Factory(i)
+	cc = &captureContext{id: dist.ProcID(i), n: len(c.procs), sends: make([][]dist.Message, len(c.procs))}
+	proc.Init(cc)
+	for _, m := range rep.Delivered {
+		proc.Deliver(cc, m)
+	}
+	return proc, cc, rep, nil
+}
+
+// relaunch builds node i's next incarnation from its WAL and swaps it into
+// the cluster: replayed process, new epoch in the log, resumed reliable-link
+// endpoint, fresh mailbox, and the pending self-sends the crash cut off.
+func (c *Cluster) relaunch(rs *runState, i int) error {
+	proc, cc, rep, err := c.replayNode(i)
+	if err != nil {
+		return err
+	}
+	id := dist.ProcID(i)
+	n := len(c.procs)
+	// Self-sends are journaled when pushed, in generation order, so the
+	// journaled ones are a prefix of the regenerated ones; anything beyond
+	// the prefix was generated but never pushed durably and must be pushed
+	// now. A longer journal than the regeneration means Factory is not
+	// deterministic — fail loudly rather than resume divergent state.
+	loggedSelf := rep.DeliveredFrom(id)
+	if int(loggedSelf) > len(cc.self) {
+		return fmt.Errorf("nondeterministic replay: journal has %d self-deliveries, replay regenerated %d",
+			loggedSelf, len(cc.self))
+	}
+	pendingSelf := cc.self[loggedSelf:]
+
+	w, err := wal.Open(WALPath(c.recovery.Dir, id))
+	if err != nil {
+		return err
+	}
+	if err := w.AppendEpoch(); err != nil {
+		_ = w.Close()
+		return err
+	}
+	mbox := newMailbox()
+	deliver := journalingDeliver(w, mbox)
+	for _, m := range pendingSelf {
+		deliver(m)
+	}
+	recvNext := make([]uint64, n)
+	for j := range recvNext {
+		recvNext[j] = rep.DeliveredFrom(dist.ProcID(j))
+	}
+	ep, err := rlink.NewResumed(id, n, c.sender[i], deliver, c.rlinkCfg, rlink.ResumeState{
+		Epoch:    rep.Epoch + 1,
+		RecvNext: recvNext,
+		Out:      cc.sends,
+	})
+	if err != nil {
+		_ = w.Close()
+		return err
+	}
+
+	c.stateMu.Lock()
+	if c.stopping {
+		c.stateMu.Unlock()
+		_ = ep.Close()
+		_ = w.Close()
+		return errRunStopped
+	}
+	c.procs[i] = proc
+	c.inbox[i] = mbox
+	c.rel[i] = ep
+	c.wal[i] = w
+	c.deliver[i] = deliver
+	c.trans[i] = &endpointTransport{ep: ep}
+	c.stateMu.Unlock()
+	if t := c.tcp[i]; t != nil {
+		t.ep.Store(ep)
+	}
+
+	// Arm the next restart plan's kill budget, or lift the limit.
+	next := int64(-1)
+	rs.mu.Lock()
+	if len(rs.queues[i]) > 0 {
+		next = int64(rs.queues[i][0].KillAfterSends)
+	}
+	rs.mu.Unlock()
+	atomic.StoreInt64(&c.budget[i], next)
+
+	// Tell every peer the new epoch and watermarks so they trim and rewind;
+	// then resume the protocol.
+	ep.Announce()
+	rs.launch(i, proc, mbox, true)
+	return nil
+}

@@ -72,15 +72,24 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		}
 		transports[i] = t
 	}
-	// Install the rlink/chaos stack before any reader goroutine exists:
-	// readLoop reads t.onFrame without synchronization, which is safe only
-	// because the write happens before the accept loops start below.
+	// Install the rlink/chaos stack before any reader goroutine exists. The
+	// endpoint pointer is atomic because the restart supervisor swaps in a
+	// resumed endpoint while reader goroutines are live.
 	for i := 0; i < n; i++ {
 		c.tcp[i] = transports[i]
 		var s rlink.Sender = transports[i]
 		s = c.maybeInjectChaos(i, s)
-		c.installEndpoint(i, s)
-		transports[i].onFrame = c.rel[i].OnFrame
+		if err := c.installEndpoint(i, s); err != nil {
+			cleanup()
+			for _, ep := range c.rel {
+				if ep != nil {
+					_ = ep.Close()
+				}
+			}
+			c.closeWALs()
+			return nil, err
+		}
+		transports[i].ep.Store(c.rel[i])
 	}
 	for i := 0; i < n; i++ {
 		transports[i].startAccepting()
@@ -114,10 +123,12 @@ type tcpTransport struct {
 	self  dist.ProcID
 	ln    net.Listener
 	addrs []string
-	// onFrame is the receive path (the node's rlink endpoint). It is
-	// written exactly once, in NewTCPCluster, before startAccepting or any
-	// dial launches a reader goroutine, so readLoop may read it unlocked.
-	onFrame func(wire.Frame)
+	// ep is the receive path (the node's rlink endpoint). It is written in
+	// NewTCPCluster before any reader goroutine starts, and swapped by the
+	// restart supervisor when the node is relaunched with a resumed
+	// endpoint; reader goroutines load it per frame. A nil load (mid-kill)
+	// drops the frame — the peer's retransmission queue re-offers it.
+	ep atomic.Pointer[rlink.Endpoint]
 
 	peers []*tcpPeer
 
@@ -146,7 +157,9 @@ type tcpPeer struct {
 var _ rlink.Sender = (*tcpTransport)(nil)
 
 // dial (re)establishes the outgoing connection to peer to and sends the
-// identifying handshake frame.
+// identifying handshake frame. When the node's endpoint is installed, the
+// handshake carries its incarnation epoch and link watermarks, so a redial
+// after a crash-restart doubles as the resumption announcement.
 func (t *tcpTransport) dial(to dist.ProcID) error {
 	conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
 	if err != nil {
@@ -154,6 +167,9 @@ func (t *tcpTransport) dial(to dist.ProcID) error {
 	}
 	w := bufio.NewWriter(conn)
 	hs := wire.Frame{Type: wire.FrameHandshake, From: t.self}
+	if ep := t.ep.Load(); ep != nil {
+		hs = ep.HelloFrame(to)
+	}
 	if err := wire.WriteFrame(w, hs); err == nil {
 		err = w.Flush()
 	}
@@ -294,6 +310,12 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		}
 		return
 	}
+	// The handshake is forwarded to the endpoint too: it carries the peer's
+	// incarnation epoch and ack watermark, which drive queue trimming and
+	// retransmission rewind after the peer restarts.
+	if ep := t.ep.Load(); ep != nil {
+		ep.OnFrame(hs)
+	}
 	for {
 		f, err := wire.ReadFrame(r)
 		if err != nil {
@@ -306,7 +328,9 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			t.linkFaults.Add(1)
 			return
 		}
-		t.onFrame(f)
+		if ep := t.ep.Load(); ep != nil {
+			ep.OnFrame(f)
+		}
 	}
 }
 

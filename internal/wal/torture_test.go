@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chc/internal/dist"
+)
+
+// Torture tests: the failure shapes a crash (or a hostile disk) actually
+// produces — truncated tails, flipped bits, and repeated replays — must
+// degrade to a clean, detectable prefix, never to silently wrong state.
+
+func TestTortureTruncatedTail(t *testing.T) {
+	path := writeSampleLog(t, false)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the final record, as a crash between the
+	// buffered write and its completion would.
+	for cut := 1; cut < 12; cut++ {
+		trunc := full[:len(full)-cut]
+		p := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(p, trunc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(p)
+		if err != nil {
+			t.Fatalf("cut %d: torn tail must not fail replay: %v", cut, err)
+		}
+		if !rep.TornTail {
+			t.Errorf("cut %d: torn tail not reported", cut)
+		}
+		// The prefix (input + first deliveries) must survive intact.
+		if !rep.HasInput {
+			t.Errorf("cut %d: input lost from intact prefix", cut)
+		}
+		if len(rep.Delivered) != len(sampleMessages())-1 {
+			t.Errorf("cut %d: replayed %d deliveries, want %d",
+				cut, len(rep.Delivered), len(sampleMessages())-1)
+		}
+	}
+}
+
+func TestTortureOpenTruncatesTornTail(t *testing.T) {
+	path := writeSampleLog(t, false)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening for a new incarnation must cut the damage before appending,
+	// or the new epoch would be buried behind the corrupt record.
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTail {
+		t.Error("torn tail still visible after Open truncated it")
+	}
+	if rep.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", rep.Epoch)
+	}
+	if len(rep.Delivered) != len(sampleMessages())-1 {
+		t.Errorf("replayed %d deliveries, want %d",
+			len(rep.Delivered), len(sampleMessages())-1)
+	}
+}
+
+func TestTortureBitFlip(t *testing.T) {
+	path := writeSampleLog(t, true)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every byte position in turn: replay must either still
+	// succeed with a reported damage point, or reject the file outright —
+	// never panic, never return a longer history than the clean log.
+	clean, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(full); pos++ {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x10
+		p := filepath.Join(t.TempDir(), "flip.wal")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(p)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("pos %d: unexpected error class %v", pos, err)
+			}
+			continue
+		}
+		if len(rep.Delivered) > len(clean.Delivered) {
+			t.Errorf("pos %d: corruption yielded extra deliveries", pos)
+		}
+		if !rep.TornTail && rep.Records < clean.Records {
+			t.Errorf("pos %d: records dropped (%d < %d) with no damage reported",
+				pos, rep.Records, clean.Records)
+		}
+	}
+}
+
+func TestTortureDuplicateReplay(t *testing.T) {
+	path := writeSampleLog(t, true)
+	a, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay is a pure read: running it twice (as a supervisor retrying a
+	// relaunch would) must produce identical histories.
+	if a.Records != b.Records || a.Epoch != b.Epoch ||
+		a.Decided != b.Decided || a.DecidedRound != b.DecidedRound ||
+		len(a.Delivered) != len(b.Delivered) {
+		t.Fatalf("replays disagree: %+v vs %+v", a, b)
+	}
+	for i := range a.Delivered {
+		if a.Delivered[i].From != b.Delivered[i].From ||
+			a.Delivered[i].Kind != b.Delivered[i].Kind ||
+			a.Delivered[i].Round != b.Delivered[i].Round {
+			t.Errorf("delivery %d differs across replays", i)
+		}
+	}
+	for id := dist.ProcID(0); id < 6; id++ {
+		if a.DeliveredFrom(id) != b.DeliveredFrom(id) {
+			t.Errorf("watermark for %d differs across replays", id)
+		}
+	}
+	// And replaying after an append-free Open/Close is still the same log.
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != a.Records {
+		t.Errorf("Open/Close changed the log: %d records, want %d", c.Records, a.Records)
+	}
+}

@@ -1,0 +1,285 @@
+// Package wal implements the durable write-ahead log of the crash-recovery
+// runtime. Each process journals its protocol-relevant history — input,
+// incarnation epochs, every delivered message, and the decision — as
+// CRC-framed records; on restart, package runtime replays the log through a
+// fresh state machine and reconstructs byte-identical protocol state
+// (Algorithm CC is a deterministic function of its input and delivered
+// message sequence, so the log of deliveries IS the state).
+//
+// Durability contract (mirroring the paper's stable-vector persistence
+// argument): a delivery record must be fsynced before any protocol send it
+// causes reaches the network, and before the link-layer ack for it is
+// emitted. Otherwise a restarted process could regenerate a *different*
+// message for an already-transmitted (link, seq) pair — equivocation across
+// the restart boundary — or a peer could trim a frame the restarted process
+// never durably received. The runtime enforces this by journaling inside the
+// reliable-link delivery callback, ahead of both the mailbox hand-off and
+// the cumulative ack.
+//
+// Record framing is defensive: u32 length, u32 CRC-32C of the body, then the
+// body (u8 record type + payload). Appends are buffered and flushed in
+// batches; Sync flushes the buffer and fsyncs once, so consecutive appends
+// between syncs share a single write+fsync (group commit). Replay tolerates
+// a torn tail — a crash mid-append leaves a truncated or CRC-corrupt final
+// record, which is reported, not fatal; corruption is never silently skipped
+// past, so a bad record ends the replayed prefix.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/wire"
+)
+
+// Record types on disk.
+const (
+	// recEpoch marks the start of one incarnation; the current epoch of a
+	// log is the number of epoch records minus one.
+	recEpoch byte = 1
+	// recInput journals the process identity and protocol input.
+	recInput byte = 2
+	// recDelivered journals one message handed to the process, in delivery
+	// order (the replay sequence).
+	recDelivered byte = 3
+	// recDecided marks the decision (termination of the state machine).
+	recDecided byte = 4
+)
+
+// maxRecordLen bounds a single record body (defensive reader limit).
+const maxRecordLen = 64 << 20
+
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt marks a structurally invalid record during replay.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// WAL is an append-only, CRC-framed log bound to one process. It is safe
+// for concurrent use; appends are buffered until Sync (or an explicit
+// flush on Close).
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	dirty  bool // appended since the last fsync
+	closed bool
+
+	appends int64
+	syncs   int64
+}
+
+// Stats reports the I/O work a log performed.
+type Stats struct {
+	Appends int64 // records appended
+	Syncs   int64 // fsync batches issued (Sync calls with dirty data)
+}
+
+// Create truncates (or creates) the log at path and starts epoch 0.
+func Create(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f, w: bufio.NewWriter(f)}
+	if err := w.AppendEpoch(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Open opens an existing log for appending a new incarnation. The caller is
+// expected to Replay first and then AppendEpoch to fence the restart.
+func Open(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// A torn tail from the previous incarnation is dead weight: replay stops
+	// at it, and appending after it would hide the new records behind the
+	// corruption. Truncate to the last valid record boundary.
+	valid, err := validPrefixLen(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append frames and buffers one record.
+func (w *WAL) append(body []byte) error {
+	if len(body) > maxRecordLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(body))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.dirty = true
+	w.appends++
+	return nil
+}
+
+// AppendEpoch journals the start of a new incarnation and makes it durable
+// immediately (the epoch fence must not be lost behind a batched sync).
+func (w *WAL) AppendEpoch() error {
+	if err := w.append([]byte{recEpoch}); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// AppendInput journals the process identity and its protocol input.
+func (w *WAL) AppendInput(id dist.ProcID, input geom.Point) error {
+	body := make([]byte, 0, 16+8*len(input))
+	body = append(body, recInput)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(id)))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(input)))
+	for _, v := range input {
+		body = binary.BigEndian.AppendUint64(body, math.Float64bits(v))
+	}
+	return w.append(body)
+}
+
+// AppendDelivered journals one delivered message. The caller must Sync
+// before acknowledging or acting on the delivery (see the package comment).
+func (w *WAL) AppendDelivered(msg dist.Message) error {
+	enc, err := wire.EncodeMessage(msg)
+	if err != nil {
+		return fmt.Errorf("wal: encode delivered message: %w", err)
+	}
+	body := make([]byte, 0, 1+len(enc))
+	body = append(body, recDelivered)
+	body = append(body, enc...)
+	return w.append(body)
+}
+
+// AppendDecided journals termination at the given round.
+func (w *WAL) AppendDecided(round int) error {
+	var body [9]byte
+	body[0] = recDecided
+	binary.BigEndian.PutUint64(body[1:], uint64(int64(round)))
+	return w.append(body[:])
+}
+
+// Sync flushes buffered records and fsyncs them to stable storage. Appends
+// since the previous Sync share this one write+fsync (group commit); a Sync
+// with nothing buffered is a no-op.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if !w.dirty {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// Stats returns a snapshot of the log's I/O counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{Appends: w.appends, Syncs: w.syncs}
+}
+
+// Close flushes, fsyncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.w.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// validPrefixLen scans f from the start and returns the byte length of the
+// longest prefix of intact records.
+func validPrefixLen(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		body, n, err := readRecord(r)
+		if err != nil {
+			return off, nil // torn or corrupt tail: keep the prefix
+		}
+		_ = body
+		off += n
+	}
+}
+
+// readRecord reads one framed record, returning its body and total on-disk
+// length. io.EOF at a record boundary is returned as-is; any truncation or
+// checksum mismatch is ErrCorrupt.
+func readRecord(r *bufio.Reader) ([]byte, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxRecordLen {
+		return nil, 0, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return body, int64(8 + n), nil
+}

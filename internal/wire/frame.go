@@ -20,10 +20,13 @@ const (
 	// FrameAck acknowledges every data frame on the reverse link with
 	// sequence number <= Seq (cumulative ack).
 	FrameAck byte = 2
-	// FrameHandshake identifies the dialing node on a fresh TCP connection;
-	// Seq is unused. It is the first frame on every connection, so the
-	// accepting side can associate the byte stream with a peer and replace
-	// stale connections after a reconnect.
+	// FrameHandshake identifies the dialing node on a fresh connection and
+	// carries its crash-recovery link state: the sender's incarnation epoch
+	// plus the seq/ack watermarks of the directed link. It is the first
+	// frame on every connection, so the accepting side can associate the
+	// byte stream with a peer, replace stale connections after a reconnect,
+	// and resume the link without duplicate or lost delivery after the
+	// peer restarts from its write-ahead log.
 	FrameHandshake byte = 3
 )
 
@@ -32,20 +35,36 @@ const (
 type Frame struct {
 	Type byte
 	From dist.ProcID // link-level sender (not necessarily Msg.From for acks)
-	Seq  uint64      // data: link sequence number; ack: cumulative ack
-	Msg  dist.Message // payload; meaningful for FrameData only
+	// Seq is the data frame's link sequence number, an ack's cumulative
+	// acknowledgement, or — on a handshake — the sender's next outbound
+	// sequence number on this link (its send watermark).
+	Seq uint64
+	// Epoch is the sender's incarnation number, carried by handshakes only.
+	// 0 is the first incarnation; each crash-recovery restart increments it.
+	Epoch uint64
+	// Ack is the sender's receive watermark on a handshake: the next
+	// sequence number it expects from the peer (everything below it has
+	// been durably delivered and acknowledged).
+	Ack uint64
+	Msg dist.Message // payload; meaningful for FrameData only
 }
 
 // EncodeFrame serialises a frame. The layout is:
 //
 //	u32 frameLen (bytes after this field)
-//	u8 type | i32 from | u64 seq | [encoded message, FrameData only]
+//	u8 type | i32 from | u64 seq
+//	  | [u64 epoch | u64 ack, FrameHandshake only]
+//	  | [encoded message, FrameData only]
 func EncodeFrame(f Frame) ([]byte, error) {
 	body := make([]byte, 0, 32)
 	body = append(body, f.Type)
 	body = binary.BigEndian.AppendUint32(body, uint32(int32(f.From)))
 	body = binary.BigEndian.AppendUint64(body, f.Seq)
-	if f.Type == FrameData {
+	switch f.Type {
+	case FrameHandshake:
+		body = binary.BigEndian.AppendUint64(body, f.Epoch)
+		body = binary.BigEndian.AppendUint64(body, f.Ack)
+	case FrameData:
 		enc, err := EncodeMessage(f.Msg)
 		if err != nil {
 			return nil, err
@@ -82,7 +101,13 @@ func DecodeFrame(frame []byte) (Frame, error) {
 			return f, err
 		}
 		f.Msg = msg
-	case FrameAck, FrameHandshake:
+	case FrameHandshake:
+		if len(rest) != 16 {
+			return f, fmt.Errorf("%w: handshake body is %d bytes, want 16", ErrCorrupt, len(rest))
+		}
+		f.Epoch = binary.BigEndian.Uint64(rest)
+		f.Ack = binary.BigEndian.Uint64(rest[8:])
+	case FrameAck:
 		if len(rest) != 0 {
 			return f, fmt.Errorf("%w: %d trailing bytes after control frame", ErrCorrupt, len(rest))
 		}

@@ -20,6 +20,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: FrameData, From: 0, Seq: 0, Msg: dist.Message{From: 0, To: 3, Kind: "ctl"}},
 		{Type: FrameAck, From: 1, Seq: 41},
 		{Type: FrameHandshake, From: 4},
+		{Type: FrameHandshake, From: 3, Seq: 17, Epoch: 2, Ack: 9},
 	}
 	for _, f := range frames {
 		b, err := EncodeFrame(f)
@@ -32,6 +33,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		if got.Type != f.Type || got.From != f.From || got.Seq != f.Seq {
 			t.Errorf("header mismatch: got %+v want %+v", got, f)
+		}
+		if got.Epoch != f.Epoch || got.Ack != f.Ack {
+			t.Errorf("handshake state mismatch: got %+v want %+v", got, f)
 		}
 		if f.Type == FrameData {
 			if got.Msg.Kind != f.Msg.Kind || got.Msg.From != f.Msg.From || got.Msg.To != f.Msg.To {
@@ -100,5 +104,12 @@ func TestFrameCorruption(t *testing.T) {
 	b[3] += 1 // fix the length prefix (len < 256 here)
 	if _, err := DecodeFrame(b); err == nil {
 		t.Error("ack frame with trailing bytes decoded without error")
+	}
+	// A handshake cut short of its epoch/watermark state.
+	b, _ = EncodeFrame(Frame{Type: FrameHandshake, From: 2, Seq: 5, Epoch: 1, Ack: 3})
+	b = b[:len(b)-8]
+	b[3] -= 8
+	if _, err := DecodeFrame(b); err == nil {
+		t.Error("truncated handshake decoded without error")
 	}
 }

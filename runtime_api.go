@@ -54,8 +54,11 @@ func ParseChaosProfile(spec string) (ChaosProfile, error) { return chaos.ParsePr
 type NetworkOption func(*networkOptions)
 
 type networkOptions struct {
-	chaos     *ChaosProfile
-	chaosSeed int64
+	chaos       *ChaosProfile
+	chaosSeed   int64
+	walDir      string
+	recover     bool
+	recoverWait time.Duration
 }
 
 // WithNetworkChaos injects seeded network faults below the reliable-link
@@ -66,6 +69,29 @@ func WithNetworkChaos(profile ChaosProfile, seed int64) NetworkOption {
 		p := profile
 		o.chaos = &p
 		o.chaosSeed = seed
+	}
+}
+
+// WithWAL journals every process's protocol-relevant state — input,
+// delivered messages, incarnation epochs, decision — to per-process
+// write-ahead logs in dir (one node-NNN.wal file each). Journaling forces
+// the reliable-link layer: a delivery is fsynced before it is acknowledged,
+// so a node killed at any instant can be reconstructed from its log.
+func WithWAL(dir string) NetworkOption {
+	return func(o *networkOptions) { o.walDir = dir }
+}
+
+// WithCrashRecovery converts the RunConfig's crash plans from crash-stop
+// faults into crash-recovery faults: each planned crash kills the node
+// mid-protocol (possibly mid-broadcast), keeps it down for the given
+// downtime, then relaunches it from its write-ahead log with a new
+// incarnation epoch. Requires WithWAL. Recovered processes are correct
+// processes — they decide, and every paper guarantee must hold for their
+// outputs.
+func WithCrashRecovery(downtime time.Duration) NetworkOption {
+	return func(o *networkOptions) {
+		o.recover = true
+		o.recoverWait = downtime
 	}
 }
 
@@ -81,26 +107,62 @@ func WithNetworkChaos(profile ChaosProfile, seed int64) NetworkOption {
 // link-layer counters (retransmits, duplicate suppressions, injected
 // faults, reconnects) when the reliable-link layer was active.
 func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration, opts ...NetworkOption) (*RunResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	var netOpts networkOptions
 	for _, o := range opts {
 		o(&netOpts)
 	}
+	if netOpts.recover && netOpts.walDir == "" {
+		return nil, fmt.Errorf("chc: WithCrashRecovery requires WithWAL")
+	}
+	var restartCrashes []CrashPlan
+	if netOpts.recover {
+		// Crash-recovery kills are not crash-stop faults: the node comes
+		// back and must behave as a correct process, so its crash plan is
+		// detached before validation (which would otherwise require the
+		// process to be declared faulty) and turned into restart plans.
+		restartCrashes = cfg.Crashes
+		cfg.Crashes = nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	params := cfg.Params
 	procs := make([]dist.Process, params.N)
-	impls := make([]*core.Process, params.N)
 	for i := 0; i < params.N; i++ {
 		proc, err := core.NewProcess(params, ProcID(i), cfg.Inputs[i])
 		if err != nil {
 			return nil, err
 		}
-		impls[i] = proc
 		procs[i] = proc
 	}
 	runOpts := []runtime.Option{runtime.WithSizer(wire.MessageSize)}
-	if len(cfg.Crashes) > 0 {
+	if netOpts.walDir != "" {
+		runOpts = append(runOpts, runtime.WithRecovery(runtime.RecoveryConfig{
+			Dir: netOpts.walDir,
+			// The factory rebuilds the deterministic state machine the WAL
+			// replay drives; params and inputs were validated above, so a
+			// constructor failure here is a programming error.
+			Factory: func(i int) dist.Process {
+				p, err := core.NewProcess(params, ProcID(i), cfg.Inputs[i])
+				if err != nil {
+					panic(err)
+				}
+				return p
+			},
+			Inputs: cfg.Inputs,
+		}))
+	}
+	if netOpts.recover {
+		plans := make([]runtime.RestartPlan, 0, len(restartCrashes))
+		for _, cp := range restartCrashes {
+			plans = append(plans, runtime.RestartPlan{
+				Proc:           cp.Proc,
+				KillAfterSends: cp.AfterSends,
+				Downtime:       netOpts.recoverWait,
+			})
+		}
+		runOpts = append(runOpts, runtime.WithRestarts(plans...))
+	} else if len(cfg.Crashes) > 0 {
 		runOpts = append(runOpts, runtime.WithCrashes(cfg.Crashes...))
 	}
 	if netOpts.chaos != nil {
@@ -141,10 +203,17 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true
 	}
-	for i, proc := range impls {
+	// Read the post-run incarnations from the cluster: with crash recovery a
+	// relaunched process replaces the one constructed above, and its
+	// recovered state is the one to inspect.
+	for i, proc := range cluster.Processes() {
 		id := ProcID(i)
-		result.Traces[id] = proc.TraceData()
-		out, oerr := proc.Output()
+		impl, ok := proc.(*core.Process)
+		if !ok {
+			return nil, fmt.Errorf("chc: node %d: unexpected process type %T", i, proc)
+		}
+		result.Traces[id] = impl.TraceData()
+		out, oerr := impl.Output()
 		if oerr != nil {
 			// Undecided: either it crashed per plan or the run timed out
 			// for it; with a successful cluster run, only crashes remain.
