@@ -180,6 +180,16 @@ func (p *Process) Output() (*polytope.Polytope, error) {
 // TraceData returns the execution record (valid once decided).
 func (p *Process) TraceData() Trace { return p.trace }
 
+// DecidedRound returns the terminal averaging round t_end once the process
+// has decided, and 0 before that (or after a failure). The crash-recovery
+// runtime journals it alongside the decision record.
+func (p *Process) DecidedRound() int {
+	if !p.decided {
+		return 0
+	}
+	return p.tEnd
+}
+
 // tryFinishRound0 completes round 0 once the stable vector returns
 // (lines 3-6): compute X_i, h_i[0], and enter round 1.
 func (p *Process) tryFinishRound0(ctx dist.Context) {

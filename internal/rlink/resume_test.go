@@ -35,7 +35,7 @@ func waitFor(t *testing.T, cond func() bool) {
 func TestResumeAfterCleanDelivery(t *testing.T) {
 	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}, dropNth: 3}
 	var got collector
-	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	a := New(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig())
 	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
 	net.mu.Lock()
 	net.eps[0], net.eps[1] = a, b
@@ -59,7 +59,7 @@ func TestResumeAfterCleanDelivery(t *testing.T) {
 	// Replay regenerates the old stream exactly, plus messages the process
 	// produces while catching up past the crash point.
 	regen := mkMsgs(0, 1, 15)
-	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig(), ResumeState{
 		Epoch:    1,
 		RecvNext: []uint64{0, 0},
 		Out:      [][]dist.Message{nil, regen},
@@ -102,7 +102,7 @@ func TestResumeMidStream(t *testing.T) {
 	// every-second-frame drop phase-locks onto the acks and never converges.
 	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}, dropNth: 3}
 	var got collector
-	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	a := New(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig())
 	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
 	net.mu.Lock()
 	net.eps[0], net.eps[1] = a, b
@@ -122,7 +122,7 @@ func TestResumeMidStream(t *testing.T) {
 	net.mu.Unlock()
 	_ = a.Close()
 
-	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig(), ResumeState{
 		Epoch:    1,
 		RecvNext: []uint64{0, 0},
 		Out:      [][]dist.Message{nil, stream},
@@ -150,7 +150,7 @@ func TestResumeMidStream(t *testing.T) {
 func TestResumeWithoutHandshake(t *testing.T) {
 	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}}
 	var got collector
-	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	a := New(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig())
 	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
 	net.mu.Lock()
 	net.eps[0], net.eps[1] = a, b
@@ -170,7 +170,7 @@ func TestResumeWithoutHandshake(t *testing.T) {
 	_ = a.Close()
 
 	regen := mkMsgs(0, 1, 12)
-	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig(), ResumeState{
+	a2, err := NewResumed(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig(), ResumeState{
 		Epoch:    1,
 		RecvNext: []uint64{0, 0},
 		Out:      [][]dist.Message{nil, regen},
@@ -227,7 +227,7 @@ func TestResumeReceiveCursor(t *testing.T) {
 // TestResumeStateValidation rejects mis-sized resume state.
 func TestResumeStateValidation(t *testing.T) {
 	_, err := NewResumed(0, 3, senderFunc(func(dist.ProcID, wire.Frame) error { return nil }),
-		func(dist.Message) {}, Config{}, ResumeState{RecvNext: []uint64{0}, Out: [][]dist.Message{nil}})
+		func(dist.Message) error { return nil }, Config{}, ResumeState{RecvNext: []uint64{0}, Out: [][]dist.Message{nil}})
 	if err == nil {
 		t.Error("mis-sized resume state accepted")
 	}

@@ -80,7 +80,7 @@ type Endpoint struct {
 	self    dist.ProcID
 	cfg     Config
 	sender  Sender
-	deliver func(dist.Message)
+	deliver func(dist.Message) error
 	epoch   uint64 // incarnation number, fixed at construction
 
 	out []*outLink
@@ -126,9 +126,13 @@ type inLink struct {
 // New builds an endpoint for node self in a cluster of n nodes. Incoming
 // messages are handed to deliver in per-sender FIFO order, exactly once.
 // deliver is invoked with an internal per-link lock held (that is what
-// serializes concurrent receives into FIFO order), so it must not block
-// and must not call back into the endpoint.
-func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
+// serializes concurrent receives into FIFO order), so it must not call back
+// into the endpoint and should do only bounded work. A non-nil error from
+// deliver rejects the message: it stays buffered, the receive cursor — and
+// therefore the cumulative ack — does not advance past it, and the peer's
+// retransmission re-offers it later (the recovery runtime uses this to
+// refuse deliveries it could not journal durably).
+func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message) error, cfg Config) *Endpoint {
 	e := newEndpoint(self, n, sender, deliver, cfg)
 	e.start()
 	return e
@@ -136,7 +140,7 @@ func New(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg
 
 // newEndpoint builds the endpoint without starting the retransmission loop,
 // so NewResumed can seed link state before any concurrent access exists.
-func newEndpoint(self dist.ProcID, n int, sender Sender, deliver func(dist.Message), cfg Config) *Endpoint {
+func newEndpoint(self dist.ProcID, n int, sender Sender, deliver func(dist.Message) error, cfg Config) *Endpoint {
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
 		self:    self,
@@ -215,38 +219,42 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 	case wire.FrameData:
 		il := e.in[f.From]
 		il.mu.Lock()
-		var ready []dist.Message
 		switch {
 		case f.Seq < il.next:
 			e.dupSuppressed.Add(1)
 		default:
 			if _, dup := il.buffered[f.Seq]; dup {
 				e.dupSuppressed.Add(1)
-				break
+			} else {
+				if f.Seq != il.next {
+					e.outOfOrder.Add(1)
+				}
+				il.buffered[f.Seq] = f.Msg
 			}
-			if f.Seq != il.next {
-				e.outOfOrder.Add(1)
-			}
-			il.buffered[f.Seq] = f.Msg
+			// Deliver while still holding il.mu: concurrent OnFrame calls for
+			// the same sender are possible (chaos-delayed copies fire from
+			// separate timer goroutines, retransmits race direct sends, and
+			// old and new connection readers overlap across a TCP reconnect),
+			// and two drained batches handed off outside the lock could
+			// interleave out of sequence order. deliver does bounded work (a
+			// mailbox push, plus a journal write in recovery mode), so holding
+			// the link lock is safe. A rejected delivery (journaling failure)
+			// stays buffered and ends the drain: the cursor — and with it the
+			// cumulative ack below — never covers a message that was not made
+			// durable, and the next retransmission retries the delivery (the
+			// drain runs even for a frame suppressed as an in-buffer
+			// duplicate, which is exactly what that retransmission is).
 			for {
 				m, ok := il.buffered[il.next]
 				if !ok {
 					break
 				}
+				if e.deliver(m) != nil {
+					break
+				}
 				delete(il.buffered, il.next)
-				ready = append(ready, m)
 				il.next++
 			}
-		}
-		// Deliver while still holding il.mu: concurrent OnFrame calls for
-		// the same sender are possible (chaos-delayed copies fire from
-		// separate timer goroutines, retransmits race direct sends, and
-		// old and new connection readers overlap across a TCP reconnect),
-		// and two drained batches handed off outside the lock could
-		// interleave out of sequence order. deliver is non-blocking (an
-		// unbounded mailbox push), so holding the link lock is safe.
-		for _, m := range ready {
-			e.deliver(m)
 		}
 		ackable := il.next > 0
 		ackSeq := il.next - 1

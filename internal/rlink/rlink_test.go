@@ -44,10 +44,11 @@ type collector struct {
 	msgs []dist.Message
 }
 
-func (c *collector) deliver(m dist.Message) {
+func (c *collector) deliver(m dist.Message) error {
 	c.mu.Lock()
 	c.msgs = append(c.msgs, m)
 	c.mu.Unlock()
+	return nil
 }
 
 func (c *collector) snapshot() []dist.Message {
@@ -70,7 +71,7 @@ func fastConfig() Config {
 func TestLossyLinkExactlyOnceFIFO(t *testing.T) {
 	net := &lossyNet{eps: map[dist.ProcID]*Endpoint{}, dropNth: 3}
 	var got collector
-	a := New(0, 2, &lossySender{net}, func(dist.Message) {}, fastConfig())
+	a := New(0, 2, &lossySender{net}, func(dist.Message) error { return nil }, fastConfig())
 	b := New(1, 2, &lossySender{net}, got.deliver, fastConfig())
 	net.mu.Lock()
 	net.eps[0], net.eps[1] = a, b
@@ -173,10 +174,78 @@ type senderFunc func(to dist.ProcID, f wire.Frame) error
 
 func (fn senderFunc) SendFrame(to dist.ProcID, f wire.Frame) error { return fn(to, f) }
 
+// TestDeliverFailureWithholdsAck pins the durability contract of the deliver
+// callback: a rejected delivery (the recovery runtime failing to journal)
+// stays buffered, the receive cursor and cumulative ack do not advance past
+// it, and a later retransmission retries it and drains in order.
+func TestDeliverFailureWithholdsAck(t *testing.T) {
+	var acks collector
+	ackRec := senderFunc(func(to dist.ProcID, f wire.Frame) error {
+		if f.Type == wire.FrameAck {
+			_ = acks.deliver(dist.Message{To: to, Round: int(f.Seq)})
+		}
+		return nil
+	})
+	var got collector
+	reject := true
+	deliver := func(m dist.Message) error {
+		if reject && m.Round == 1 {
+			return fmt.Errorf("journal unavailable")
+		}
+		return got.deliver(m)
+	}
+	b := New(1, 2, ackRec, deliver, fastConfig())
+	defer func() { _ = b.Close() }()
+
+	mk := func(seq uint64) wire.Frame {
+		return wire.Frame{Type: wire.FrameData, From: 0, Seq: seq,
+			Msg: dist.Message{From: 0, To: 1, Kind: "x", Round: int(seq)}}
+	}
+	lastAck := func() int {
+		a := acks.snapshot()
+		if len(a) == 0 {
+			return -1
+		}
+		return a[len(a)-1].Round
+	}
+	b.OnFrame(mk(0))
+	if n := len(got.snapshot()); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if lastAck() != 0 {
+		t.Fatalf("ack after seq 0 = %d, want 0", lastAck())
+	}
+	b.OnFrame(mk(1)) // delivery rejected: must stay unacked and undelivered
+	b.OnFrame(mk(2)) // blocked behind the rejected message
+	if n := len(got.snapshot()); n != 1 {
+		t.Fatalf("delivered %d past a rejected delivery, want 1", n)
+	}
+	if lastAck() != 0 {
+		t.Fatalf("ack advanced to %d past a rejected delivery, want 0", lastAck())
+	}
+	reject = false
+	b.OnFrame(mk(1)) // retransmission retries the delivery and drains the gap
+	msgs := got.snapshot()
+	if len(msgs) != 3 {
+		t.Fatalf("delivered %d after retry, want 3", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Round != i {
+			t.Fatalf("position %d got seq %d: FIFO order violated across retry", i, m.Round)
+		}
+	}
+	if lastAck() != 2 {
+		t.Errorf("ack after retry = %d, want 2", lastAck())
+	}
+	if st := b.Stats(); st.DupSuppressed == 0 {
+		t.Errorf("retransmission of the buffered message should count as suppressed duplicate, stats = %+v", st)
+	}
+}
+
 // TestSendAfterClose verifies the endpoint refuses new work once closed.
 func TestSendAfterClose(t *testing.T) {
 	e := New(0, 2, senderFunc(func(dist.ProcID, wire.Frame) error { return nil }),
-		func(dist.Message) {}, Config{})
+		func(dist.Message) error { return nil }, Config{})
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +262,7 @@ func TestSendAfterClose(t *testing.T) {
 // TestSendUnknownPeer verifies target validation.
 func TestSendUnknownPeer(t *testing.T) {
 	e := New(0, 2, senderFunc(func(dist.ProcID, wire.Frame) error { return nil }),
-		func(dist.Message) {}, Config{})
+		func(dist.Message) error { return nil }, Config{})
 	defer func() { _ = e.Close() }()
 	if err := e.Send(dist.Message{From: 0, To: 7}); err == nil {
 		t.Error("send to unknown peer should fail")

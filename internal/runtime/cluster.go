@@ -50,12 +50,12 @@ type Cluster struct {
 	trans  []transport
 	budget []int64 // remaining sends before simulated crash; -1 = unlimited
 
-	rel     []*rlink.Endpoint     // reliable-link endpoints (nil entries when disabled)
-	inj     []*chaos.Injector     // chaos injectors (nil entries when disabled)
-	tcp     []*tcpTransport       // TCP transports (nil entries for channel clusters)
-	wal     []*wal.WAL            // write-ahead logs (recovery mode only)
-	deliver []func(dist.Message)  // per-incarnation mailbox delivery (recovery mode only)
-	sender  []rlink.Sender        // frame sender under each endpoint (incl. chaos), for rebuilds
+	rel     []*rlink.Endpoint           // reliable-link endpoints (nil entries when disabled)
+	inj     []*chaos.Injector           // chaos injectors (nil entries when disabled)
+	tcp     []*tcpTransport             // TCP transports (nil entries for channel clusters)
+	wal     []*wal.WAL                  // write-ahead logs (recovery mode only)
+	deliver []func(dist.Message) error  // per-incarnation mailbox delivery (recovery mode only)
+	sender  []rlink.Sender              // frame sender under each endpoint (incl. chaos), for rebuilds
 
 	chaosProfile *chaos.Profile
 	chaosSeed    int64
@@ -189,7 +189,7 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		inj:     make([]*chaos.Injector, len(procs)),
 		tcp:     make([]*tcpTransport, len(procs)),
 		wal:     make([]*wal.WAL, len(procs)),
-		deliver: make([]func(dist.Message), len(procs)),
+		deliver: make([]func(dist.Message) error, len(procs)),
 		sender:  make([]rlink.Sender, len(procs)),
 	}
 	for i := range procs {
@@ -256,21 +256,34 @@ func (c *Cluster) closeWALs() {
 
 // journalingDeliver wraps a mailbox hand-off with the WAL durability
 // contract: the delivery record is appended and fsynced before the message
-// becomes visible to the process — and, because rlink invokes deliver before
-// emitting the cumulative ack, before the sender is told to stop
-// retransmitting. A journaling failure drops the message instead: the peer
-// keeps retransmitting, which is the correct fate for a delivery that was
-// never made durable. The closure captures its own incarnation's log and
-// mailbox, so swapping in a new incarnation is atomic by construction.
-func journalingDeliver(w *wal.WAL, mbox *mailbox) func(dist.Message) {
-	return func(m dist.Message) {
+// becomes visible to the process — and, because rlink withholds the
+// cumulative ack when deliver fails, before the sender is told to stop
+// retransmitting. The whole append+fsync+push sequence runs under one
+// mutex, so journal order always equals mailbox (processing) order even
+// though deliveries to one node race each other (per-sender link locks in
+// rlink, plus the node's own goroutine journaling self-sends): replay
+// re-drives the journal in order, and any divergence between the two
+// orders would let a relaunched incarnation attach different payloads to
+// already-transmitted (link, seq) pairs — equivocation across the restart
+// boundary. A journaling failure is reported to the caller: rlink leaves
+// the message buffered un-acked so the peer retransmits and the delivery
+// is retried; a failed self-send journal crashes the node (see
+// nodeContext.Send). The closure captures its own incarnation's log,
+// mailbox and mutex, so swapping in a new incarnation is atomic by
+// construction.
+func journalingDeliver(w *wal.WAL, mbox *mailbox) func(dist.Message) error {
+	var mu sync.Mutex
+	return func(m dist.Message) error {
+		mu.Lock()
+		defer mu.Unlock()
 		if err := w.AppendDelivered(m); err != nil {
-			return
+			return err
 		}
 		if err := w.Sync(); err != nil {
-			return
+			return err
 		}
 		mbox.Push(m)
+		return nil
 	}
 }
 
@@ -449,29 +462,31 @@ func (c *Cluster) Run(timeout time.Duration) error {
 }
 
 // deliverLocal routes a message into the target's mailbox (channel transport
-// and reliable-link receive path both end up here).
-func (c *Cluster) deliverLocal(msg dist.Message) {
+// and reliable-link receive path both end up here). The error return exists
+// only to satisfy the rlink deliver signature; a plain mailbox push cannot
+// fail.
+func (c *Cluster) deliverLocal(msg dist.Message) error {
 	if msg.To < 0 || int(msg.To) >= len(c.inbox) {
-		return
+		return nil
 	}
 	c.stateMu.RLock()
 	mbox := c.inbox[msg.To]
 	c.stateMu.RUnlock()
 	mbox.Push(msg)
+	return nil
 }
 
 // deliverToSelf hands a self-addressed message to the node's own mailbox. In
 // recovery mode it goes through the incarnation's journaling path first —
 // self-sends are deliveries like any other and must be replayable.
-func (c *Cluster) deliverToSelf(id dist.ProcID, msg dist.Message) {
+func (c *Cluster) deliverToSelf(id dist.ProcID, msg dist.Message) error {
 	c.stateMu.RLock()
 	d := c.deliver[id]
 	c.stateMu.RUnlock()
 	if d != nil {
-		d(msg)
-		return
+		return d(msg)
 	}
-	c.deliverLocal(msg)
+	return c.deliverLocal(msg)
 }
 
 // consumeSendBudget enforces crash plans; it returns false when the sender
@@ -524,8 +539,15 @@ func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any)
 	}
 	if to == nc.id {
 		// No node has a network link to itself on any transport; in recovery
-		// mode the self-delivery is journaled like any other.
-		nc.cluster.deliverToSelf(nc.id, msg)
+		// mode the self-delivery is journaled like any other. A journaling
+		// failure here has no retransmitting peer to lean on, and ignoring it
+		// would silently desynchronize the process from its durable history —
+		// so it is treated as a crash of the node: the incarnation settles as
+		// crashed, and a restart plan (if any) relaunches it from the
+		// journaled prefix, whose replay regenerates the failed self-send.
+		if err := nc.cluster.deliverToSelf(nc.id, msg); err != nil {
+			nc.crashed.Store(true)
+		}
 		return
 	}
 	nc.cluster.stateMu.RLock()
@@ -557,8 +579,7 @@ type channelTransport struct {
 var _ transport = (*channelTransport)(nil)
 
 func (t *channelTransport) Send(msg dist.Message) error {
-	t.cluster.deliverLocal(msg)
-	return nil
+	return t.cluster.deliverLocal(msg)
 }
 
 func (t *channelTransport) Close() error { return nil }

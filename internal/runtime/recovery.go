@@ -209,17 +209,30 @@ func (rs *runState) runProc(i int, proc dist.Process, mbox *mailbox, crashed *at
 	}
 	id := dist.ProcID(i)
 	ctx := &nodeContext{cluster: c, id: id, n: rs.n, crashed: crashed}
+	// A zero kill budget means "crash before doing anything" — enforced for
+	// first launches and relaunches alike, so a RestartPlan with
+	// KillAfterSends=0 fires the instant the node comes back up instead of
+	// waiting for a send attempt that may never happen.
+	if atomic.LoadInt64(&c.budget[i]) == 0 {
+		crashed.Store(true)
+		settle(true)
+		return
+	}
 	if !alreadyInit {
-		if atomic.LoadInt64(&c.budget[i]) == 0 {
-			crashed.Store(true)
-			settle(true)
-			return
-		}
 		proc.Init(ctx)
 	}
-	if proc.Done() {
+	decided := false
+	decide := func() {
+		if decided {
+			return
+		}
+		decided = true
+		c.journalDecision(i, proc)
 		rs.done[i].Store(true)
 		settle(false)
+	}
+	if proc.Done() {
+		decide()
 	}
 	if crashed.Load() {
 		settle(true) // budget exhausted mid-Init-broadcast
@@ -234,13 +247,38 @@ func (rs *runState) runProc(i int, proc dist.Process, mbox *mailbox, crashed *at
 		}
 		proc.Deliver(ctx, msg)
 		if proc.Done() {
-			rs.done[i].Store(true)
-			settle(false)
+			decide()
 		}
 		if crashed.Load() {
 			settle(true) // budget exhausted during this delivery's sends
 		}
 	}
+}
+
+// decidedRounder is optionally implemented by state machines that expose the
+// round at which they terminated (core.Process reports t_end).
+type decidedRounder interface{ DecidedRound() int }
+
+// journalDecision makes a decision durable (recovery mode only): the decided
+// record closes the journal's account of the node, so replay and offline
+// audits can tell "decided" from "still running" without re-executing the
+// state machine. A journaling failure is tolerated — the decision itself is
+// already reproducible from the journaled delivery sequence.
+func (c *Cluster) journalDecision(i int, proc dist.Process) {
+	c.stateMu.RLock()
+	w := c.wal[i]
+	c.stateMu.RUnlock()
+	if w == nil {
+		return
+	}
+	round := 0
+	if dr, ok := proc.(decidedRounder); ok {
+		round = dr.DecidedRound()
+	}
+	if err := w.AppendDecided(round); err != nil {
+		return
+	}
+	_ = w.Sync()
 }
 
 // supervise handles one crash-restart cycle of node i: tear the dead
@@ -372,6 +410,11 @@ func (c *Cluster) replayNode(i int) (proc dist.Process, cc *captureContext, rep 
 	for _, m := range rep.Delivered {
 		proc.Deliver(cc, m)
 	}
+	// Deciding is monotone in the delivered prefix, so a journaled decision
+	// the replayed machine fails to re-reach means the factory diverged.
+	if rep.Decided && !proc.Done() {
+		return nil, nil, nil, fmt.Errorf("nondeterministic replay: journal has a decision record but the replayed process did not decide")
+	}
 	return proc, cc, rep, nil
 }
 
@@ -408,7 +451,13 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	mbox := newMailbox()
 	deliver := journalingDeliver(w, mbox)
 	for _, m := range pendingSelf {
-		deliver(m)
+		// The cut-off self-sends must be durable before the incarnation runs:
+		// if the new log cannot be written, relaunching would diverge from the
+		// durable history, so fail the relaunch instead.
+		if err := deliver(m); err != nil {
+			_ = w.Close()
+			return fmt.Errorf("journal pending self-send: %w", err)
+		}
 	}
 	recvNext := make([]uint64, n)
 	for j := range recvNext {
