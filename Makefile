@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak bench experiments
+.PHONY: build test check race soak bench bench-json bench-check experiments
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ soak:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs the curated benchmark suite and writes
+# BENCH_<git-sha>.json (ns/op, allocs/op, B/op per case) so the perf
+# trajectory of the repo is recorded commit by commit.
+bench-json: build
+	$(GO) run ./cmd/chcbench -benchjson BENCH_$$(git rev-parse --short HEAD).json
+
+# bench-check is the regression gate: re-measure the suite and fail when any
+# case is more than 25% slower (ns/op) than the committed seed baseline.
+bench-check: build
+	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-check.json -baseline BENCH_seed.json
 
 experiments:
 	$(GO) run ./cmd/chcbench -quick

@@ -87,6 +87,40 @@ func BenchmarkConsensusN5D2(b *testing.B)  { benchConsensus(b, 5, 1, 2, 0.1) }
 func BenchmarkConsensusN9D2(b *testing.B)  { benchConsensus(b, 9, 2, 2, 0.1) }
 func BenchmarkConsensusN13D2(b *testing.B) { benchConsensus(b, 13, 1, 2, 0.1) }
 func BenchmarkConsensusN6D3(b *testing.B)  { benchConsensus(b, 6, 1, 3, 2.0) }
+
+// BenchmarkConsensusN10F2D3 mirrors the benchsuite acceptance case: n=10,
+// f=2, d=3 under the correct-inputs model (n >= (d+2)f+1 = 11 rules out the
+// incorrect-inputs variant at this size), with two crashing processes.
+func BenchmarkConsensusN10F2D3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]chc.Point, 10)
+	for i := range inputs {
+		p := make([]float64, 3)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		inputs[i] = chc.NewPoint(p...)
+	}
+	cfg := chc.RunConfig{
+		Params: chc.Params{
+			N: 10, F: 2, D: 3,
+			Epsilon:    2.0,
+			InputLower: 0, InputUpper: 10,
+			Model: chc.CorrectInputs,
+		},
+		Inputs:  inputs,
+		Faulty:  []chc.ProcID{0, 1},
+		Crashes: []chc.CrashPlan{{Proc: 0, AfterSends: 9}, {Proc: 1, AfterSends: 40}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := chc.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkConsensusTightEps(b *testing.B) {
 	benchConsensus(b, 5, 1, 2, 0.001)
 }

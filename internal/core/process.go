@@ -6,6 +6,7 @@ import (
 
 	"chc/internal/dist"
 	"chc/internal/geom"
+	"chc/internal/geom/par"
 	"chc/internal/polytope"
 	"chc/internal/stablevector"
 	"chc/internal/wire"
@@ -307,20 +308,26 @@ func InitialPolytope(params Params, xi []geom.Point) (*polytope.Polytope, error)
 	if params.Model == CorrectInputs || params.F == 0 {
 		return polytope.New(xi, params.GeomEps)
 	}
+	// The C(|X|, f) subset hulls are independent, so they run on the shared
+	// worker pool; the intersection consumes them in subset order, keeping
+	// the result identical to the sequential loop.
 	subsets := subsetsExcludingF(len(xi), params.F)
-	polys := make([]*polytope.Polytope, 0, len(subsets))
-	for _, excl := range subsets {
+	polys := make([]*polytope.Polytope, len(subsets))
+	if err := par.ForEach(len(subsets), func(s int) error {
 		sub := make([]geom.Point, 0, len(xi)-params.F)
 		for k, x := range xi {
-			if !excl[k] {
+			if !subsets[s][k] {
 				sub = append(sub, x)
 			}
 		}
 		poly, err := polytope.New(sub, params.GeomEps)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		polys = append(polys, poly)
+		polys[s] = poly
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	inter, err := polytope.Intersect(polys, params.GeomEps)
 	if err != nil {
@@ -330,33 +337,47 @@ func InitialPolytope(params Params, xi []geom.Point) (*polytope.Polytope, error)
 }
 
 // subsetsExcludingF enumerates all ways to exclude exactly f of k indices,
-// returned as membership masks of the excluded set.
-func subsetsExcludingF(k, f int) []map[int]bool {
+// returned as length-k membership masks of the excluded set, all backed by
+// one flat allocation.
+func subsetsExcludingF(k, f int) [][]bool {
 	if f <= 0 {
-		return []map[int]bool{{}}
+		return [][]bool{make([]bool, k)}
 	}
-	var out []map[int]bool
+	count := 1 // C(k, f), exact via incremental products
+	for i := 0; i < f; i++ {
+		count = count * (k - i) / (i + 1)
+	}
+	flat := make([]bool, count*k)
+	out := make([][]bool, count)
 	idx := make([]int, f)
 	for i := range idx {
 		idx[i] = i
 	}
-	for {
-		m := make(map[int]bool, f)
+	for c := 0; c < count; c++ {
+		m := flat[c*k : (c+1)*k : (c+1)*k]
 		for _, i := range idx {
 			m[i] = true
 		}
-		out = append(out, m)
-		// Next combination.
-		i := f - 1
-		for i >= 0 && idx[i] == k-f+i {
-			i--
-		}
-		if i < 0 {
-			return out
-		}
-		idx[i]++
-		for j := i + 1; j < f; j++ {
-			idx[j] = idx[j-1] + 1
-		}
+		out[c] = m
+		nextCombination(idx, k)
 	}
+	return out
+}
+
+// nextCombination advances idx to the next f-subset of {0..k-1} in
+// lexicographic order, reporting false after the last one.
+func nextCombination(idx []int, k int) bool {
+	f := len(idx)
+	i := f - 1
+	for i >= 0 && idx[i] == k-f+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	idx[i]++
+	for j := i + 1; j < f; j++ {
+		idx[j] = idx[j-1] + 1
+	}
+	return true
 }

@@ -49,9 +49,17 @@ type lu struct {
 // luDecompose factorises a copy of m. It never fails; singularity is
 // reflected in the reported rank.
 func luDecompose(m *Matrix, eps float64) *lu {
-	n := m.Rows
 	a := m.Clone()
-	piv := make([]int, n)
+	piv := make([]int, m.Rows)
+	sign, rank := eliminate(a, piv, eps)
+	return &lu{m: a, pivot: piv, sign: sign, rank: rank, eps: eps}
+}
+
+// eliminate runs in-place LU elimination with partial pivoting on a,
+// recording the row permutation in piv. It returns the permutation sign and
+// the numerical rank.
+func eliminate(a *Matrix, piv []int, eps float64) (float64, int) {
+	n := a.Rows
 	for i := range piv {
 		piv[i] = i
 	}
@@ -90,7 +98,43 @@ func luDecompose(m *Matrix, eps float64) *lu {
 			}
 		}
 	}
-	return &lu{m: a, pivot: piv, sign: sign, rank: rank, eps: eps}
+	return sign, rank
+}
+
+// DetScratch computes determinants like Det while reusing one factorisation
+// buffer across calls, so repeated same-size determinants (the cofactor
+// expansions of facet enumeration) allocate nothing in steady state. Not
+// safe for concurrent use; the zero value is ready.
+type DetScratch struct {
+	buf Matrix
+	piv []int
+}
+
+// Det returns the determinant of the square matrix a, bitwise-identical to
+// the package-level Det.
+func (s *DetScratch) Det(a *Matrix, eps float64) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, fmt.Errorf("geom: determinant needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if cap(s.buf.Data) < len(a.Data) {
+		s.buf.Data = make([]float64, len(a.Data))
+	}
+	s.buf.Rows, s.buf.Cols = a.Rows, a.Cols
+	s.buf.Data = s.buf.Data[:len(a.Data)]
+	copy(s.buf.Data, a.Data)
+	if cap(s.piv) < n {
+		s.piv = make([]int, n)
+	}
+	sign, rank := eliminate(&s.buf, s.piv[:n], eps)
+	if rank < n {
+		return 0, nil
+	}
+	det := sign
+	for i := 0; i < n; i++ {
+		det *= s.buf.At(i, i)
+	}
+	return det, nil
 }
 
 // Solve solves the square system A x = b using LU with partial pivoting.

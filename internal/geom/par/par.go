@@ -1,0 +1,142 @@
+// Package par provides the shared bounded worker pool of the geometry
+// engine. Every parallel fan-out in the library (subset-hull enumeration,
+// per-operand facet computation, per-vertex support solves, extreme-point
+// filtering) dispatches through ForEach, so the total geometry parallelism
+// across all concurrently running processes is capped at one pool of
+// GOMAXPROCS workers instead of oversubscribing the machine.
+//
+// # Determinism
+//
+// ForEach guarantees results identical to a sequential loop: work item i is
+// a pure function of i, results are written to caller-owned slots indexed by
+// i, and the returned error is always the one produced by the
+// lowest-indexed failing item. No reduction happens inside the pool, so
+// floating-point results are bitwise-equal to the sequential execution
+// regardless of GOMAXPROCS or scheduling — the property the WAL replay
+// cross-check of the crash-recovery runtime depends on.
+//
+// # Deadlock freedom
+//
+// Worker tokens are acquired with a non-blocking try: when the pool is
+// saturated (including by a parent ForEach further up the stack), the
+// calling goroutine simply runs the items itself. A ForEach therefore never
+// waits for a token, so nested fan-outs cannot deadlock and always make
+// progress on the caller's own goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the shared worker budget. Buffer capacity is the number of
+// helper goroutines that may run concurrently across all ForEach calls in
+// the process; the calling goroutines themselves come on top, which is the
+// right count because callers are usually blocked inside ForEach anyway.
+var tokens = make(chan struct{}, defaultWorkers())
+
+// maxWorkers caps helpers per ForEach call; 0 means "pool capacity".
+// It exists so determinism tests can force the sequential execution path.
+var maxWorkers atomic.Int64
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetMaxWorkers bounds the number of helper goroutines a single ForEach may
+// recruit and returns the previous bound. A bound of 1 forces every item to
+// run on the calling goroutine (the sequential path); 0 restores the
+// default (pool capacity). Intended for tests and benchmarks.
+func SetMaxWorkers(n int) int {
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers reports the pool's helper capacity.
+func Workers() int { return cap(tokens) }
+
+// ForEach runs fn(0), ..., fn(n-1), possibly concurrently, and returns the
+// error of the lowest-indexed item that failed (nil if none). Items are
+// claimed from a shared counter, so each runs exactly once; the calling
+// goroutine always participates, and up to min(n-1, pool) helper goroutines
+// are recruited when tokens are free. A panic in any item is re-raised on
+// the calling goroutine (again preferring the lowest-indexed panicking
+// item, so even failure modes are deterministic).
+func ForEach(n int, fn func(i int) error) error {
+	switch {
+	case n <= 0:
+		return nil
+	case n == 1:
+		return fn(0)
+	}
+
+	helpers := n - 1
+	if m := int(maxWorkers.Load()); m > 0 && helpers > m-1 {
+		helpers = m - 1
+	}
+
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		err    error
+		panIdx = -1
+		pan    any
+	)
+	record := func(i int, e error, p any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p != nil {
+			if panIdx < 0 || i < panIdx {
+				panIdx, pan = i, p
+			}
+			return
+		}
+		if e != nil && (errIdx < 0 || i < errIdx) {
+			errIdx, err = i, e
+		}
+	}
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						record(i, nil, p)
+					}
+				}()
+				record(i, fn(i), nil)
+			}()
+		}
+	}
+	for h := 0; h < helpers; h++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			// Pool saturated: the calling goroutine handles the rest.
+			h = helpers
+		}
+	}
+	work()
+	wg.Wait()
+	if panIdx >= 0 {
+		panic(pan)
+	}
+	return err
+}

@@ -1,0 +1,133 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItemOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: unexpected error %v", n, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: item %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexedError(t *testing.T) {
+	// Items 3, 5 and 9 fail; the reported error must always be item 3's,
+	// regardless of scheduling.
+	for trial := 0; trial < 50; trial++ {
+		err := ForEach(16, func(i int) error {
+			switch i {
+			case 3, 5, 9:
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("trial %d: err = %v, want item 3's", trial, err)
+		}
+	}
+}
+
+func TestForEachErrorDoesNotStopOtherItems(t *testing.T) {
+	// ForEach runs every item even when an earlier one fails (results are
+	// per-slot; callers decide what a partial failure means).
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(8, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d items, want 8", got)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "kaboom 2" {
+			t.Fatalf("recovered %v, want lowest-indexed panic", p)
+		}
+	}()
+	_ = ForEach(8, func(i int) error {
+		if i == 2 || i == 6 {
+			panic(fmt.Sprintf("kaboom %d", i))
+		}
+		return nil
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+func TestForEachNestedDoesNotDeadlock(t *testing.T) {
+	// Saturate the pool with nested fan-outs; the non-blocking token
+	// acquisition means every level still completes on its caller.
+	sums := make([]int64, 8)
+	err := ForEach(8, func(i int) error {
+		var inner atomic.Int64
+		if err := ForEach(32, func(j int) error {
+			inner.Add(int64(j))
+			return nil
+		}); err != nil {
+			return err
+		}
+		sums[i] = inner.Load()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sums {
+		if s != 32*31/2 {
+			t.Fatalf("outer %d: inner sum %d, want %d", i, s, 32*31/2)
+		}
+	}
+}
+
+func TestSetMaxWorkersSequentialPath(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	// With a bound of 1 every item runs on the calling goroutine, in order.
+	var order []int
+	if err := ForEach(16, func(i int) error {
+		order = append(order, i) // safe: single goroutine
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; sequential path must run in index order", i, v)
+		}
+	}
+}
+
+func TestSetMaxWorkersRestores(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	if got := SetMaxWorkers(prev); got != 1 {
+		t.Fatalf("SetMaxWorkers returned %d, want 1", got)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}

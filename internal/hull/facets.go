@@ -3,8 +3,10 @@ package hull
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"chc/internal/geom"
+	"chc/internal/geom/par"
 )
 
 // Facets computes a halfspace representation of the convex hull of verts.
@@ -108,21 +110,48 @@ func fullDimFacets(verts []geom.Point, eps float64) ([]Facet, error) {
 	return bruteForceFacets(verts, eps)
 }
 
+// facetScratch is the per-worker reusable state of facet candidate
+// computation: edge buffers, the normal accumulator, the cofactor minor, and
+// an LU scratch for its determinants.
+type facetScratch struct {
+	edges []geom.Point
+	n     geom.Point
+	minor *geom.Matrix
+	ds    geom.DetScratch
+}
+
+var facetPool = sync.Pool{New: func() any { return new(facetScratch) }}
+
+func (s *facetScratch) prepare(d int) {
+	if len(s.n) == d {
+		return
+	}
+	s.n = geom.Zero(d)
+	s.edges = make([]geom.Point, d-1)
+	for i := range s.edges {
+		s.edges[i] = geom.Zero(d)
+	}
+	s.minor = geom.NewMatrix(d-1, d-1)
+}
+
+// maxMaterializedCombos bounds the memory spent listing d-subsets up front
+// for the parallel path; larger enumerations fall back to the streaming
+// sequential loop.
+const maxMaterializedCombos = 1 << 20
+
 // bruteForceFacets enumerates facets of a full-dimensional hull in d >= 3 by
 // testing the hyperplane through every d-subset of vertices. This is O(C(k,d)
 // * k) — perfectly fine for the tens-of-vertices hulls this library handles,
 // and robust against the coplanarity degeneracies that break incremental
-// algorithms.
+// algorithms. Each subset's candidate facet is a pure function of the vertex
+// set, so candidates are computed on the shared worker pool; deduplication
+// runs sequentially in combination order, making the output identical to the
+// sequential enumeration.
 func bruteForceFacets(verts []geom.Point, eps float64) ([]Facet, error) {
 	d := verts[0].Dim()
 	k := len(verts)
 	if k < d+1 {
 		return nil, fmt.Errorf("hull: %d vertices cannot span a full-dimensional polytope in %d-D", k, d)
-	}
-	var facets []Facet
-	idx := make([]int, d)
-	for i := range idx {
-		idx[i] = i
 	}
 	// The tolerance used to decide "all points on one side" scales with the
 	// data magnitude so large coordinates do not break the predicate.
@@ -134,57 +163,120 @@ func bruteForceFacets(verts []geom.Point, eps float64) ([]Facet, error) {
 	}
 	tol := eps * scale * 10
 
-	for {
-		// Hyperplane through verts[idx[0..d-1]].
-		base := verts[idx[0]]
-		edges := make([]geom.Point, d-1)
-		for i := 1; i < d; i++ {
-			edges[i-1] = verts[idx[i]].Sub(base)
-		}
-		n := generalizedCross(edges, eps)
-		if n != nil {
-			if l := n.Norm(); l > eps {
-				n = n.Scale(1 / l)
-				b := n.Dot(base)
-				// Orientation and support check in one pass.
-				pos, neg := 0, 0
-				for _, v := range verts {
-					switch e := n.Dot(v) - b; {
-					case e > tol:
-						pos++
-					case e < -tol:
-						neg++
-					}
-					if pos > 0 && neg > 0 {
-						break
-					}
-				}
-				if pos == 0 || neg == 0 {
-					if pos > 0 { // flip so all points satisfy n·x <= b
-						n = n.Scale(-1)
-						b = -b
-					}
-					addFacetDedup(&facets, Facet{Normal: n, Offset: b}, tol)
-				}
+	count := 1 // C(k, d), computed exactly by incremental products
+	for i := 0; i < d && count <= maxMaterializedCombos; i++ {
+		count = count * (k - i) / (i + 1)
+	}
+
+	var facets []Facet
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	if count > maxMaterializedCombos {
+		// Streaming fallback: one scratch, combinations visited in place.
+		s := facetPool.Get().(*facetScratch)
+		defer facetPool.Put(s)
+		for ok := true; ok; ok = nextCombination(idx, k) {
+			if f := facetCandidate(verts, idx, s, tol, eps); f.Normal != nil {
+				addFacetDedup(&facets, f, tol)
 			}
 		}
-		// Advance the combination.
-		i := d - 1
-		for i >= 0 && idx[i] == k-d+i {
-			i--
+	} else {
+		combos := make([]int, count*d)
+		for c := 0; c < count; c++ {
+			copy(combos[c*d:(c+1)*d], idx)
+			nextCombination(idx, k)
 		}
-		if i < 0 {
-			break
+		cands := make([]Facet, count)
+		if err := par.ForEach(count, func(c int) error {
+			s := facetPool.Get().(*facetScratch)
+			defer facetPool.Put(s)
+			cands[c] = facetCandidate(verts, combos[c*d:(c+1)*d], s, tol, eps)
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		idx[i]++
-		for j := i + 1; j < d; j++ {
-			idx[j] = idx[j-1] + 1
+		for _, f := range cands {
+			if f.Normal != nil {
+				addFacetDedup(&facets, f, tol)
+			}
 		}
 	}
 	if len(facets) < d+1 {
 		return nil, fmt.Errorf("hull: facet enumeration found only %d facets in %d-D (degenerate input?)", len(facets), d)
 	}
 	return facets, nil
+}
+
+// nextCombination advances idx to the next d-subset of {0..k-1} in
+// lexicographic order, reporting false after the last one.
+func nextCombination(idx []int, k int) bool {
+	d := len(idx)
+	i := d - 1
+	for i >= 0 && idx[i] == k-d+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	idx[i]++
+	for j := i + 1; j < d; j++ {
+		idx[j] = idx[j-1] + 1
+	}
+	return true
+}
+
+// facetCandidate computes the supported facet through verts[idx...], or a
+// zero Facet (nil Normal) when the subset is degenerate or not supporting.
+// All scratch comes from s; the returned Normal (if any) is freshly
+// allocated. The arithmetic mirrors the historical sequential code exactly,
+// so results are bitwise-identical.
+func facetCandidate(verts []geom.Point, idx []int, s *facetScratch, tol, eps float64) Facet {
+	d := verts[0].Dim()
+	s.prepare(d)
+	base := verts[idx[0]]
+	for i := 1; i < d; i++ {
+		vi := verts[idx[i]]
+		e := s.edges[i-1]
+		for c := range e {
+			e[c] = vi[c] - base[c]
+		}
+	}
+	n := s.n
+	if !generalizedCrossInto(n, s.edges, s.minor, &s.ds, eps) {
+		return Facet{}
+	}
+	l := n.Norm()
+	if l <= eps {
+		return Facet{}
+	}
+	inv := 1 / l
+	for c := range n {
+		n[c] *= inv
+	}
+	b := n.Dot(base)
+	// Orientation and support check in one pass.
+	pos, neg := 0, 0
+	for _, v := range verts {
+		switch e := n.Dot(v) - b; {
+		case e > tol:
+			pos++
+		case e < -tol:
+			neg++
+		}
+		if pos > 0 && neg > 0 {
+			return Facet{}
+		}
+	}
+	out := n.Clone()
+	if pos > 0 { // flip so all points satisfy n·x <= b
+		for c := range out {
+			out[c] = -out[c]
+		}
+		b = -b
+	}
+	return Facet{Normal: out, Offset: b}
 }
 
 // addFacetDedup appends f unless an equivalent facet is already present.
@@ -202,7 +294,18 @@ func addFacetDedup(facets *[]Facet, f Facet, tol float64) {
 func generalizedCross(edges []geom.Point, eps float64) geom.Point {
 	d := len(edges) + 1
 	n := geom.Zero(d)
-	minor := geom.NewMatrix(d-1, d-1)
+	var ds geom.DetScratch
+	if !generalizedCrossInto(n, edges, geom.NewMatrix(d-1, d-1), &ds, eps) {
+		return nil
+	}
+	return n
+}
+
+// generalizedCrossInto is generalizedCross writing the normal into n and
+// drawing all scratch (the cofactor minor and its LU buffer) from the
+// caller. It reports false when the edges are linearly dependent.
+func generalizedCrossInto(n geom.Point, edges []geom.Point, minor *geom.Matrix, ds *geom.DetScratch, eps float64) bool {
+	d := len(edges) + 1
 	for j := 0; j < d; j++ {
 		// Minor: edges matrix with column j removed.
 		for r := 0; r < d-1; r++ {
@@ -215,9 +318,9 @@ func generalizedCross(edges []geom.Point, eps float64) geom.Point {
 				cc++
 			}
 		}
-		det, err := geom.Det(minor, eps)
+		det, err := ds.Det(minor, eps)
 		if err != nil {
-			return nil
+			return false
 		}
 		if j%2 == 0 {
 			n[j] = det
@@ -225,10 +328,7 @@ func generalizedCross(edges []geom.Point, eps float64) geom.Point {
 			n[j] = -det
 		}
 	}
-	if n.Norm() <= eps {
-		return nil
-	}
-	return n
+	return n.Norm() > eps
 }
 
 // ContainsHRep reports whether p satisfies every facet within tolerance.

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"chc/internal/geom"
+	"chc/internal/geom/par"
 	"chc/internal/lp"
 )
 
@@ -68,9 +70,20 @@ func ConvexHull(pts []geom.Point, eps float64) ([]geom.Point, error) {
 	}
 }
 
+// extremeScratch is the per-worker reusable state of ExtremeFilter: an LP
+// workspace plus the leave-one-out vertex list.
+type extremeScratch struct {
+	ws     *lp.Workspace
+	others [][]float64
+}
+
+var extremePool = sync.Pool{New: func() any { return &extremeScratch{ws: lp.NewWorkspace()} }}
+
 // ExtremeFilter returns the subset of pts that are vertices of conv(pts):
 // point p is extreme iff p is not a convex combination of the others. This
 // is robust in any dimension (each test is one small LP) at O(k) LP solves.
+// The per-point tests are independent and run on the shared worker pool;
+// the result (including any error) is identical to the sequential loop.
 func ExtremeFilter(pts []geom.Point, eps float64) ([]geom.Point, error) {
 	uniq := geom.Dedup(pts, eps)
 	if len(uniq) <= 2 {
@@ -80,23 +93,35 @@ func ExtremeFilter(pts []geom.Point, eps float64) ([]geom.Point, error) {
 		}
 		return out, nil
 	}
-	verts := make([]geom.Point, 0, len(uniq))
-	others := make([][]float64, 0, len(uniq)-1)
-	for i, p := range uniq {
-		others = others[:0]
+	keep := make([]bool, len(uniq))
+	err := par.ForEach(len(uniq), func(i int) error {
+		s := extremePool.Get().(*extremeScratch)
+		defer extremePool.Put(s)
+		others := s.others[:0]
 		for j, q := range uniq {
 			if j != i {
 				others = append(others, q)
 			}
 		}
-		_, err := lp.ConvexWeights(others, p, eps)
+		s.others = others
+		_, err := lp.ConvexWeightsWith(s.ws, others, uniq[i], eps)
 		switch {
 		case err == nil:
-			// p is inside the hull of the others: not a vertex.
+			// uniq[i] is inside the hull of the others: not a vertex.
 		case errors.Is(err, lp.ErrInfeasible):
-			verts = append(verts, p.Clone())
+			keep[i] = true
 		default:
-			return nil, fmt.Errorf("hull: extreme test for point %d: %w", i, err)
+			return fmt.Errorf("hull: extreme test for point %d: %w", i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	verts := make([]geom.Point, 0, len(uniq))
+	for i, p := range uniq {
+		if keep[i] {
+			verts = append(verts, p.Clone())
 		}
 	}
 	if len(verts) == 0 {

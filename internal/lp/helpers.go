@@ -16,33 +16,49 @@ var ErrUnbounded = errors.New("lp: unbounded")
 // MinimizeOverHalfspaces minimises dir·x subject to a[i]·x <= b[i] with x
 // free. It returns the minimiser and the optimal value.
 func MinimizeOverHalfspaces(dir []float64, a [][]float64, b []float64, eps float64) ([]float64, float64, error) {
-	return optimizeOverHalfspaces(dir, a, b, eps, true)
+	return optimizeOverHalfspaces(nil, dir, a, b, eps, true)
 }
 
 // MaximizeOverHalfspaces maximises dir·x subject to a[i]·x <= b[i] with x
 // free. It returns the maximiser and the optimal value.
 func MaximizeOverHalfspaces(dir []float64, a [][]float64, b []float64, eps float64) ([]float64, float64, error) {
-	return optimizeOverHalfspaces(dir, a, b, eps, false)
+	return optimizeOverHalfspaces(nil, dir, a, b, eps, false)
 }
 
-func optimizeOverHalfspaces(dir []float64, a [][]float64, b []float64, eps float64, minimize bool) ([]float64, float64, error) {
+// MinimizeOverHalfspacesWith is MinimizeOverHalfspaces drawing all scratch
+// from the caller's workspace.
+func MinimizeOverHalfspacesWith(ws *Workspace, dir []float64, a [][]float64, b []float64, eps float64) ([]float64, float64, error) {
+	return optimizeOverHalfspaces(ws, dir, a, b, eps, true)
+}
+
+// MaximizeOverHalfspacesWith is MaximizeOverHalfspaces drawing all scratch
+// from the caller's workspace.
+func MaximizeOverHalfspacesWith(ws *Workspace, dir []float64, a [][]float64, b []float64, eps float64) ([]float64, float64, error) {
+	return optimizeOverHalfspaces(ws, dir, a, b, eps, false)
+}
+
+func optimizeOverHalfspaces(ws *Workspace, dir []float64, a [][]float64, b []float64, eps float64, minimize bool) ([]float64, float64, error) {
 	n := len(dir)
 	if len(a) != len(b) {
 		return nil, 0, fmt.Errorf("%w: %d constraint rows but %d bounds", ErrBadProblem, len(a), len(b))
 	}
-	cons := make([]Constraint, len(a))
+	if ws == nil {
+		ws = getWS()
+		defer putWS(ws)
+	}
+	cons := ws.constraints(len(a))
 	for i := range a {
 		if len(a[i]) != n {
 			return nil, 0, fmt.Errorf("%w: row %d has %d coefficients for %d variables", ErrBadProblem, i, len(a[i]), n)
 		}
 		cons[i] = Constraint{Coeffs: a[i], Op: LE, RHS: b[i]}
 	}
-	free := make([]bool, n)
+	free := ws.arena.Bools(n)
 	for i := range free {
 		free[i] = true
 	}
 	p := &Problem{NumVars: n, Objective: dir, Minimize: minimize, Constraints: cons, Free: free}
-	sol, err := p.Solve(eps)
+	sol, err := p.SolveWith(ws, eps)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -61,13 +77,23 @@ func optimizeOverHalfspaces(dir []float64, a [][]float64, b []float64, eps float
 // degenerate (lower-dimensional) but non-empty polyhedron; ErrInfeasible an
 // empty one; ErrUnbounded a polyhedron with unbounded inscribed balls.
 func ChebyshevCenter(a [][]float64, b []float64, eps float64) (center []float64, radius float64, err error) {
+	return ChebyshevCenterWith(nil, a, b, eps)
+}
+
+// ChebyshevCenterWith is ChebyshevCenter drawing all scratch from the
+// caller's workspace. The returned centre is freshly allocated.
+func ChebyshevCenterWith(ws *Workspace, a [][]float64, b []float64, eps float64) (center []float64, radius float64, err error) {
 	if len(a) == 0 {
 		return nil, 0, fmt.Errorf("%w: no constraints", ErrBadProblem)
 	}
 	n := len(a[0])
+	if ws == nil {
+		ws = getWS()
+		defer putWS(ws)
+	}
 	// Variables: x (free, n of them) and r >= 0.
 	// Maximise r subject to a[i]·x + ||a[i]|| r <= b[i].
-	cons := make([]Constraint, len(a))
+	cons := ws.constraints(len(a))
 	for i := range a {
 		if len(a[i]) != n {
 			return nil, 0, fmt.Errorf("%w: row %d has %d coefficients for %d variables", ErrBadProblem, i, len(a[i]), n)
@@ -77,19 +103,19 @@ func ChebyshevCenter(a [][]float64, b []float64, eps float64) (center []float64,
 			norm += v * v
 		}
 		norm = math.Sqrt(norm)
-		row := make([]float64, n+1)
+		row := ws.arena.Floats(n + 1)
 		copy(row, a[i])
 		row[n] = norm
 		cons[i] = Constraint{Coeffs: row, Op: LE, RHS: b[i]}
 	}
-	obj := make([]float64, n+1)
+	obj := ws.arena.Floats(n + 1)
 	obj[n] = 1
-	free := make([]bool, n+1)
+	free := ws.arena.Bools(n + 1)
 	for i := 0; i < n; i++ {
 		free[i] = true
 	}
 	p := &Problem{NumVars: n + 1, Objective: obj, Minimize: false, Constraints: cons, Free: free}
-	sol, err := p.Solve(eps)
+	sol, err := p.SolveWith(ws, eps)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -107,29 +133,39 @@ func ChebyshevCenter(a [][]float64, b []float64, eps float64) (center []float64,
 // sum_i w[i]*verts[i] = q, i.e. it certifies membership of q in the convex
 // hull of verts. It returns ErrInfeasible when q is outside the hull.
 func ConvexWeights(verts [][]float64, q []float64, eps float64) ([]float64, error) {
+	return ConvexWeightsWith(nil, verts, q, eps)
+}
+
+// ConvexWeightsWith is ConvexWeights drawing all scratch from the caller's
+// workspace. The returned weights are freshly allocated.
+func ConvexWeightsWith(ws *Workspace, verts [][]float64, q []float64, eps float64) ([]float64, error) {
 	if len(verts) == 0 {
 		return nil, fmt.Errorf("%w: no vertices", ErrBadProblem)
 	}
 	d := len(q)
 	k := len(verts)
-	cons := make([]Constraint, 0, d+1)
+	if ws == nil {
+		ws = getWS()
+		defer putWS(ws)
+	}
+	cons := ws.constraints(d + 1)
 	for coord := 0; coord < d; coord++ {
-		row := make([]float64, k)
+		row := ws.arena.Floats(k)
 		for i, v := range verts {
 			if len(v) != d {
 				return nil, fmt.Errorf("%w: vertex %d has dimension %d, want %d", ErrBadProblem, i, len(v), d)
 			}
 			row[i] = v[coord]
 		}
-		cons = append(cons, Constraint{Coeffs: row, Op: EQ, RHS: q[coord]})
+		cons[coord] = Constraint{Coeffs: row, Op: EQ, RHS: q[coord]}
 	}
-	ones := make([]float64, k)
+	ones := ws.arena.Floats(k)
 	for i := range ones {
 		ones[i] = 1
 	}
-	cons = append(cons, Constraint{Coeffs: ones, Op: EQ, RHS: 1})
-	p := &Problem{NumVars: k, Objective: make([]float64, k), Minimize: true, Constraints: cons}
-	sol, err := p.Solve(eps)
+	cons[d] = Constraint{Coeffs: ones, Op: EQ, RHS: 1}
+	p := &Problem{NumVars: k, Objective: ws.arena.Floats(k), Minimize: true, Constraints: cons}
+	sol, err := p.SolveWith(ws, eps)
 	if err != nil {
 		return nil, err
 	}

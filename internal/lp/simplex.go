@@ -6,12 +6,20 @@
 // constraints): Chebyshev centres of halfspace intersections, support
 // functions, convex-combination membership tests, and linear cost
 // minimisation over polytopes.
+//
+// Callers on hot paths should allocate a Workspace once and use SolveWith
+// (or the ...With helper variants): all tableau and scratch memory then
+// comes from a reusable arena and the solver performs no steady-state
+// allocations beyond the returned Solution.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"chc/internal/geom/pool"
 )
 
 // Status reports the outcome of an LP solve.
@@ -80,10 +88,52 @@ var ErrBadProblem = errors.New("lp: malformed problem")
 
 const maxPivots = 200000
 
+// Workspace holds the reusable scratch memory of the solver: the simplex
+// tableau, cost rows, column maps, and the constraint scaffolding the
+// ...With helpers build. A Workspace must not be used from more than one
+// goroutine at a time; zero value is ready to use.
+type Workspace struct {
+	arena pool.Arena
+	cons  []Constraint
+}
+
+// NewWorkspace returns an empty solver workspace.
+func NewWorkspace() *Workspace { return new(Workspace) }
+
+// constraints hands out a reusable zeroed []Constraint of length n.
+func (w *Workspace) constraints(n int) []Constraint {
+	if cap(w.cons) < n {
+		w.cons = make([]Constraint, n)
+	}
+	c := w.cons[:n]
+	for i := range c {
+		c[i] = Constraint{}
+	}
+	return c
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+func getWS() *Workspace { return wsPool.Get().(*Workspace) }
+
+func putWS(w *Workspace) {
+	w.arena.Reset()
+	wsPool.Put(w)
+}
+
 // Solve runs two-phase simplex on the problem with tolerance eps.
 // Infeasible and Unbounded outcomes are reported in Solution.Status, not as
 // errors; errors indicate malformed input or pivot-limit exhaustion.
+// Scratch memory comes from a pooled workspace.
 func (p *Problem) Solve(eps float64) (*Solution, error) {
+	return p.SolveWith(nil, eps)
+}
+
+// SolveWith is Solve using the caller's workspace for all internal scratch
+// (nil borrows one from a shared pool). The workspace's arena is rewound
+// before SolveWith returns, so any memory previously drawn from it is
+// recycled; Solution.X is always freshly allocated and safe to retain.
+func (p *Problem) SolveWith(ws *Workspace, eps float64) (*Solution, error) {
 	if p.NumVars <= 0 {
 		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
 	}
@@ -104,10 +154,17 @@ func (p *Problem) Solve(eps float64) (*Solution, error) {
 		}
 	}
 
+	if ws == nil {
+		ws = getWS()
+		defer putWS(ws)
+	}
+	a := &ws.arena
+	defer a.Reset()
+
 	// Map to internal columns: free variables become (x+ - x-).
 	nCols := 0
-	colOf := make([]int, p.NumVars) // first internal column of variable j
-	split := make([]bool, p.NumVars)
+	colOf := a.Ints(p.NumVars) // first internal column of variable j
+	split := a.Bools(p.NumVars)
 	for j := 0; j < p.NumVars; j++ {
 		colOf[j] = nCols
 		if p.Free != nil && p.Free[j] {
@@ -118,7 +175,7 @@ func (p *Problem) Solve(eps float64) (*Solution, error) {
 		}
 	}
 
-	obj := make([]float64, nCols)
+	obj := a.Floats(nCols)
 	sign := 1.0
 	if !p.Minimize {
 		sign = -1.0 // maximise by minimising the negation
@@ -130,21 +187,18 @@ func (p *Problem) Solve(eps float64) (*Solution, error) {
 		}
 	}
 
-	rows := make([][]float64, len(p.Constraints))
-	rhs := make([]float64, len(p.Constraints))
-	ops := make([]Op, len(p.Constraints))
+	rows := a.Rows(len(p.Constraints), nCols)
 	for i, c := range p.Constraints {
-		row := make([]float64, nCols)
+		row := rows[i]
 		for j, v := range c.Coeffs {
 			row[colOf[j]] = v
 			if split[j] {
 				row[colOf[j]+1] = -v
 			}
 		}
-		rows[i], rhs[i], ops[i] = row, c.RHS, c.Op
 	}
 
-	xInternal, val, status, err := solveStandardized(obj, rows, rhs, ops, eps)
+	xInternal, val, status, err := solveStandardized(a, obj, rows, p.Constraints, eps)
 	if err != nil {
 		return nil, err
 	}
@@ -164,32 +218,35 @@ func (p *Problem) Solve(eps float64) (*Solution, error) {
 	return sol, nil
 }
 
-// solveStandardized minimises obj·x subject to rows[i]·x (ops[i]) rhs[i],
-// x >= 0, using a two-phase dense tableau.
-func solveStandardized(obj []float64, rows [][]float64, rhs []float64, ops []Op, eps float64) ([]float64, float64, Status, error) {
+// solveStandardized minimises obj·x subject to rows[i]·x (cons[i].Op)
+// cons[i].RHS, x >= 0, using a two-phase dense tableau. All scratch
+// (including the returned x) is drawn from the arena; the caller copies out
+// what it needs before rewinding.
+func solveStandardized(a *pool.Arena, obj []float64, rows [][]float64, cons []Constraint, eps float64) ([]float64, float64, Status, error) {
 	m := len(rows)
 	n := len(obj)
 
 	// Count slacks/surplus and artificials.
 	nSlack := 0
-	for _, op := range ops {
-		if op != EQ {
+	for _, c := range cons {
+		if c.Op != EQ {
 			nSlack++
 		}
 	}
 	total := n + nSlack + m // reserve an artificial per row (not all used)
+	width := total + 1      // includes RHS column
 
 	// Build tableau rows; normalise RHS to be non-negative first.
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	tab := a.Rows(m, width)
+	basis := a.Ints(m)
 	nArt := 0
 	slackCol := n
 	artCol := n + nSlack
 	for i := 0; i < m; i++ {
-		row := make([]float64, total)
+		row := tab[i]
 		copy(row, rows[i])
-		b := rhs[i]
-		op := ops[i]
+		b := cons[i].RHS
+		op := cons[i].Op
 		if b < 0 {
 			for j := range row[:n] {
 				row[j] = -row[j]
@@ -220,14 +277,12 @@ func solveStandardized(obj []float64, rows [][]float64, rhs []float64, ops []Op,
 			artCol++
 			nArt++
 		}
-		row = append(row, b) // RHS stored in the last cell
-		tab[i] = row
+		row[width-1] = b // RHS stored in the last cell
 	}
-	width := total + 1 // includes RHS column
 
 	// Phase 1: minimise sum of artificials (only if any were added).
 	if nArt > 0 {
-		cost := make([]float64, width)
+		cost := a.Floats(width)
 		for i := 0; i < m; i++ {
 			if basis[i] >= n+nSlack {
 				// Artificial in basis: subtract its row from the cost row.
@@ -281,7 +336,7 @@ func solveStandardized(obj []float64, rows [][]float64, rhs []float64, ops []Op,
 	}
 
 	// Phase 2: minimise the real objective. Forbid artificial columns.
-	cost := make([]float64, width)
+	cost := a.Floats(width)
 	copy(cost, obj)
 	// Express the cost row in terms of the current basis.
 	for i := 0; i < m; i++ {
@@ -301,7 +356,7 @@ func solveStandardized(obj []float64, rows [][]float64, rhs []float64, ops []Op,
 		return nil, 0, Unbounded, nil
 	}
 
-	x := make([]float64, total)
+	x := a.Floats(total)
 	for i := 0; i < m; i++ {
 		x[basis[i]] = tab[i][width-1]
 	}

@@ -60,14 +60,37 @@ func LinearCombination(polys []*Polytope, weights []float64, eps float64) (*Poly
 		return nil, errors.New("polytope: all weights are zero")
 	}
 
-	switch d {
-	case 1:
-		return combine1D(kept, ws)
-	case 2:
-		return combine2D(kept, ws, eps)
-	default:
-		return combineND(kept, ws, eps)
+	// Every process in a consensus round combines the same broadcast states
+	// with the same weights, so the result is memoized process-wide (see
+	// cache.go; hits are bitwise-identical to recomputation).
+	key := combineCacheKey(kept, ws, eps)
+	if key != "" {
+		if p := combineCacheGet(key); p != nil {
+			return p, nil
+		}
 	}
+	result, err := func() (*Polytope, error) {
+		switch d {
+		case 1:
+			return combine1D(kept, ws)
+		case 2:
+			return combine2D(kept, ws, eps)
+		default:
+			return combineND(kept, ws, eps)
+		}
+	}()
+	if err != nil || key == "" {
+		return result, err
+	}
+	// Clone before publishing: the kernels may return views of operand or
+	// intermediate memory, and a cached polytope must own its vertices.
+	owned := make([]geom.Point, len(result.verts))
+	for i, v := range result.verts {
+		owned[i] = v.Clone()
+	}
+	shared := fromHullVerts(owned)
+	combineCachePut(key, shared)
+	return shared, nil
 }
 
 // Average returns the equal-weight linear combination used on line 14 of

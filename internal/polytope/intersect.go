@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"chc/internal/geom"
+	"chc/internal/geom/par"
 	"chc/internal/hull"
 	"chc/internal/lp"
 )
@@ -19,6 +21,11 @@ const degenerateRadiusFactor = 1e-7
 // 2d axis directions) used by the degenerate-intersection fallback.
 const supportSampleDirs = 64
 
+// DefaultDirSeed seeds the random support directions of the degenerate
+// d >= 3 intersection fallback. Intersect has always used this seed; keep it
+// so recorded traces and WAL replays stay byte-identical across versions.
+const DefaultDirSeed = 42
+
 // Intersect returns the intersection of the given polytopes. It returns
 // ErrEmpty when the intersection is empty. Intersections that touch only in
 // a face are returned as the (lower-dimensional) face.
@@ -26,6 +33,14 @@ const supportSampleDirs = 64
 // This is the operation on line 5 of Algorithm CC, where each operand is the
 // convex hull of an (|X_i| - f)-subset of the received inputs.
 func Intersect(polys []*Polytope, eps float64) (*Polytope, error) {
+	return IntersectSeeded(polys, eps, DefaultDirSeed)
+}
+
+// IntersectSeeded is Intersect with a caller-supplied seed for the random
+// support directions of the degenerate fallback (only reachable for d >= 3).
+// Two calls with the same operands and seed produce bitwise-identical
+// results; Intersect is the dirSeed = DefaultDirSeed special case.
+func IntersectSeeded(polys []*Polytope, eps float64, dirSeed int64) (*Polytope, error) {
 	if len(polys) == 0 {
 		return nil, errors.New("polytope: intersect of zero polytopes")
 	}
@@ -47,7 +62,7 @@ func Intersect(polys []*Polytope, eps float64) (*Polytope, error) {
 	case 2:
 		return intersect2D(polys, eps)
 	default:
-		return intersectND(polys, eps)
+		return intersectND(polys, eps, dirSeed)
 	}
 }
 
@@ -87,6 +102,9 @@ func intersect2D(polys []*Polytope, eps float64) (*Polytope, error) {
 	return fromHullVerts(cur), nil
 }
 
+// lpPool hands out per-worker LP workspaces for the parallel fan-outs below.
+var lpPool = sync.Pool{New: func() any { return lp.NewWorkspace() }}
+
 // intersectND intersects polytopes in d >= 3 via halfspace representations:
 // collect all facets, find a Chebyshev centre, and enumerate the vertices of
 // the intersection by polar duality (facets of the dual hull around the
@@ -94,16 +112,28 @@ func intersect2D(polys []*Polytope, eps float64) (*Polytope, error) {
 // intersections fall back to support-direction enumeration, which returns an
 // inner approximation that is exact for the point/segment cases that arise
 // at the resilience boundary.
-func intersectND(polys []*Polytope, eps float64) (*Polytope, error) {
+//
+// Each operand's facet enumeration is independent, so they run on the shared
+// worker pool; the facet list is then assembled sequentially in operand
+// order, keeping the constraint system (and everything downstream) identical
+// to the sequential construction.
+func intersectND(polys []*Polytope, eps float64, dirSeed int64) (*Polytope, error) {
+	perOp := make([][]hull.Facet, len(polys))
+	if err := par.ForEach(len(polys), func(i int) error {
+		f, err := polys[i].Facets(eps)
+		if err != nil {
+			return err
+		}
+		perOp[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var a [][]float64
 	var b []float64
 	scale := 1.0
-	for _, p := range polys {
-		facets, err := p.Facets(eps)
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range facets {
+	for i, p := range polys {
+		for _, f := range perOp[i] {
 			a = append(a, f.Normal)
 			b = append(b, f.Offset)
 		}
@@ -121,7 +151,7 @@ func intersectND(polys []*Polytope, eps float64) (*Polytope, error) {
 		return nil, fmt.Errorf("polytope: chebyshev centre: %w", err)
 	}
 	if radius <= degenerateRadiusFactor*scale {
-		return supportSample(a, b, center, eps)
+		return supportSample(a, b, center, eps, dirSeed)
 	}
 
 	// Polar duality around the centre: halfspace a·x <= b becomes the dual
@@ -134,7 +164,7 @@ func intersectND(polys []*Polytope, eps float64) (*Polytope, error) {
 		if margin <= eps {
 			// Numerically tight at the centre despite a positive radius;
 			// treat as degenerate to stay safe.
-			return supportSample(a, b, center, eps)
+			return supportSample(a, b, center, eps, dirSeed)
 		}
 		duals = append(duals, geom.Point(a[i]).Scale(1/margin))
 	}
@@ -146,7 +176,7 @@ func intersectND(polys []*Polytope, eps float64) (*Polytope, error) {
 		// The dual hull is lower-dimensional, meaning the primal is
 		// unbounded in some direction — impossible for intersections of
 		// bounded polytopes, so this is numerical degeneracy.
-		return supportSample(a, b, center, eps)
+		return supportSample(a, b, center, eps, dirSeed)
 	}
 	dualFacets, err := hull.Facets(dualVerts, eps)
 	if err != nil {
@@ -160,19 +190,21 @@ func intersectND(polys []*Polytope, eps float64) (*Polytope, error) {
 		verts = append(verts, f.Normal.Scale(1/f.Offset).Add(center))
 	}
 	if len(verts) == 0 {
-		return supportSample(a, b, center, eps)
+		return supportSample(a, b, center, eps, dirSeed)
 	}
 	return New(verts, eps)
 }
 
 // supportSample enumerates extreme points of {x : Ax <= b} by maximising
-// along the +-axis directions and a deterministic set of random directions.
-// For full-dimensional polytopes this is an inner approximation; for the
-// degenerate (point / segment / low-dimensional) intersections it is exact
-// up to LP tolerance.
-func supportSample(a [][]float64, b []float64, center []float64, eps float64) (*Polytope, error) {
+// along the +-axis directions and a deterministic, seed-derived set of
+// random directions. For full-dimensional polytopes this is an inner
+// approximation; for the degenerate (point / segment / low-dimensional)
+// intersections it is exact up to LP tolerance. The per-direction LPs are
+// independent and run on the shared worker pool; results are gathered in
+// direction order.
+func supportSample(a [][]float64, b []float64, center []float64, eps float64, dirSeed int64) (*Polytope, error) {
 	d := len(center)
-	rng := rand.New(rand.NewSource(42)) // deterministic direction set
+	rng := rand.New(rand.NewSource(dirSeed)) // deterministic direction set
 	dirs := make([]geom.Point, 0, 2*d+supportSampleDirs)
 	for i := 0; i < d; i++ {
 		e := geom.Zero(d)
@@ -188,16 +220,22 @@ func supportSample(a [][]float64, b []float64, center []float64, eps float64) (*
 			dirs = append(dirs, v.Scale(1/n))
 		}
 	}
-	var pts []geom.Point
-	for _, dir := range dirs {
-		x, _, err := lp.MaximizeOverHalfspaces(dir, a, b, eps)
-		if errors.Is(err, lp.ErrInfeasible) {
-			return nil, ErrEmpty
-		}
+	pts := make([]geom.Point, len(dirs))
+	err := par.ForEach(len(dirs), func(i int) error {
+		ws := lpPool.Get().(*lp.Workspace)
+		defer lpPool.Put(ws)
+		x, _, err := lp.MaximizeOverHalfspacesWith(ws, dirs[i], a, b, eps)
 		if err != nil {
-			return nil, fmt.Errorf("polytope: support sampling: %w", err)
+			return err
 		}
-		pts = append(pts, geom.Point(x).Clone())
+		pts[i] = geom.Point(x)
+		return nil
+	})
+	if errors.Is(err, lp.ErrInfeasible) {
+		return nil, ErrEmpty
+	}
+	if err != nil {
+		return nil, fmt.Errorf("polytope: support sampling: %w", err)
 	}
 	if len(pts) == 0 {
 		return FromPoint(geom.Point(center).Clone()), nil

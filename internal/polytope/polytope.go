@@ -21,26 +21,73 @@ import (
 
 	"chc/internal/geom"
 	"chc/internal/hull"
+	"chc/internal/lp"
 )
 
 // ErrEmpty is returned by operations whose result would be the empty set
 // (e.g. an empty intersection) or that received an empty polytope.
 var ErrEmpty = errors.New("polytope: empty polytope")
 
+// supportCacheMinVerts gates the keyed support cache: below this vertex
+// count the linear scan is cheaper than the map lookup.
+const supportCacheMinVerts = 16
+
+// supportCacheMaxEntries bounds the per-polytope support cache.
+const supportCacheMaxEntries = 512
+
+// supportEntry records a support query result: the maximising vertex index
+// and the support value.
+type supportEntry struct {
+	idx int
+	val float64
+}
+
 // Polytope is a bounded convex polytope in V-representation. The zero value
 // is not usable; construct with New or FromPoint. Polytopes are immutable
-// after construction and safe for concurrent use.
+// after construction and safe for concurrent use; derived quantities (the
+// facet representation, the Chebyshev centre, support values) are computed
+// lazily and memoized under an internal RWMutex. Because every derived
+// computation is a deterministic function of the immutable vertex set, a
+// memoized result is bitwise-identical to a fresh recomputation — caching
+// never perturbs replayed traces.
 type Polytope struct {
 	verts []geom.Point // canonical vertex set (hull vertices only)
 
-	facetsOnce sync.Once
-	facets     []hull.Facet
-	facetsErr  error
+	mu        sync.RWMutex
+	facets    []hull.Facet
+	facetsErr error
+	facetsSet bool
+	chebC     geom.Point
+	chebR     float64
+	chebErr   error
+	chebSet   bool
+	support   map[string]supportEntry
 }
 
 // New builds the convex hull of pts and returns it as a Polytope. The input
 // may contain duplicates and interior points; only hull vertices are kept.
+// Small inputs are served from a process-wide memoized hull cache (see
+// SetHullCaching): in a consensus round every process hulls the same
+// received states, so identical point sets recur n-fold.
 func New(pts []geom.Point, eps float64) (*Polytope, error) {
+	if key := hullCacheKey(pts, eps); key != "" {
+		if p := hullCacheGet(key); p != nil {
+			return p, nil
+		}
+		verts, err := hull.ConvexHull(pts, eps)
+		if err != nil {
+			return nil, fmt.Errorf("polytope: %w", err)
+		}
+		// Clone before publishing: ConvexHull may return views of the input
+		// points, and a cached polytope must not alias caller memory.
+		owned := make([]geom.Point, len(verts))
+		for i, v := range verts {
+			owned[i] = v.Clone()
+		}
+		p := &Polytope{verts: owned}
+		hullCachePut(key, p)
+		return p, nil
+	}
 	verts, err := hull.ConvexHull(pts, eps)
 	if err != nil {
 		return nil, fmt.Errorf("polytope: %w", err)
@@ -89,12 +136,74 @@ func (p *Polytope) AffineDim(eps float64) (int, error) {
 }
 
 // Facets returns the polytope's halfspace representation, computing and
-// caching it on first use.
+// caching it on first use (the eps of the first call wins, as before).
 func (p *Polytope) Facets(eps float64) ([]hull.Facet, error) {
-	p.facetsOnce.Do(func() {
-		p.facets, p.facetsErr = hull.Facets(p.verts, eps)
-	})
-	return p.facets, p.facetsErr
+	p.mu.RLock()
+	if p.facetsSet {
+		f, err := p.facets, p.facetsErr
+		p.mu.RUnlock()
+		return f, err
+	}
+	p.mu.RUnlock()
+	f, err := hull.Facets(p.verts, eps)
+	p.mu.Lock()
+	if !p.facetsSet {
+		p.facets, p.facetsErr, p.facetsSet = f, err, true
+	}
+	f, err = p.facets, p.facetsErr
+	p.mu.Unlock()
+	return f, err
+}
+
+// ChebyshevCenter returns the centre and radius of the largest inscribed
+// ball of the polytope, derived from its facet representation and memoized
+// (the eps of the first call wins). The returned centre is a fresh copy.
+func (p *Polytope) ChebyshevCenter(eps float64) (geom.Point, float64, error) {
+	if len(p.verts) == 0 {
+		return nil, 0, ErrEmpty
+	}
+	p.mu.RLock()
+	if p.chebSet {
+		c, r, err := p.chebC, p.chebR, p.chebErr
+		p.mu.RUnlock()
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Clone(), r, nil
+	}
+	p.mu.RUnlock()
+
+	c, r, err := p.chebyshevCompute(eps)
+	p.mu.Lock()
+	if !p.chebSet {
+		p.chebC, p.chebR, p.chebErr, p.chebSet = c, r, err, true
+	}
+	c, r, err = p.chebC, p.chebR, p.chebErr
+	p.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.Clone(), r, nil
+}
+
+func (p *Polytope) chebyshevCompute(eps float64) (geom.Point, float64, error) {
+	if len(p.verts) == 1 {
+		return p.verts[0].Clone(), 0, nil
+	}
+	facets, err := p.Facets(eps)
+	if err != nil {
+		return nil, 0, err
+	}
+	a := make([][]float64, len(facets))
+	b := make([]float64, len(facets))
+	for i, f := range facets {
+		a[i], b[i] = f.Normal, f.Offset
+	}
+	c, r, err := lp.ChebyshevCenter(a, b, eps)
+	if err != nil {
+		return nil, 0, fmt.Errorf("polytope: chebyshev centre: %w", err)
+	}
+	return geom.Point(c), r, nil
 }
 
 // Contains reports whether q is in the polytope, within tolerance eps.
@@ -127,18 +236,47 @@ func (p *Polytope) ContainsPolytope(q *Polytope, eps float64) (bool, error) {
 }
 
 // Support returns max over the polytope of dir·x and a maximising vertex.
+// For polytopes with many vertices, results are memoized per direction
+// (keyed on the exact float bits of dir, so a hit is bitwise-identical to a
+// fresh scan).
 func (p *Polytope) Support(dir geom.Point) (geom.Point, float64, error) {
 	if len(p.verts) == 0 {
 		return nil, 0, ErrEmpty
 	}
-	best := p.verts[0]
-	bestVal := dir.Dot(best)
-	for _, v := range p.verts[1:] {
+	if len(p.verts) < supportCacheMinVerts {
+		i, val := p.supportScan(dir)
+		return p.verts[i].Clone(), val, nil
+	}
+	key := pointKey(dir)
+	p.mu.RLock()
+	e, ok := p.support[key]
+	p.mu.RUnlock()
+	if ok {
+		return p.verts[e.idx].Clone(), e.val, nil
+	}
+	i, val := p.supportScan(dir)
+	p.mu.Lock()
+	if p.support == nil {
+		p.support = make(map[string]supportEntry)
+	} else if len(p.support) >= supportCacheMaxEntries {
+		clear(p.support)
+	}
+	p.support[key] = supportEntry{idx: i, val: val}
+	p.mu.Unlock()
+	return p.verts[i].Clone(), val, nil
+}
+
+// supportScan is the uncached support computation: the index and value of
+// the first maximising vertex.
+func (p *Polytope) supportScan(dir geom.Point) (int, float64) {
+	best := 0
+	bestVal := dir.Dot(p.verts[0])
+	for i, v := range p.verts[1:] {
 		if val := dir.Dot(v); val > bestVal {
-			best, bestVal = v, val
+			best, bestVal = i+1, val
 		}
 	}
-	return best.Clone(), bestVal, nil
+	return best, bestVal
 }
 
 // Centroid returns the arithmetic mean of the vertices (a point inside the

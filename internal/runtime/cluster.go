@@ -37,6 +37,14 @@ type transport interface {
 //
 // and the receive path feeds frames back through the peer's endpoint, which
 // restores the exactly-once FIFO contract the protocol is proven against.
+//
+// Processes step concurrently, so their geometry work (subset hulls,
+// intersections, averaging) overlaps; the engine's internal fan-outs all
+// draw from one GOMAXPROCS-sized worker pool (internal/geom/par), which
+// caps total geometry parallelism across all processes instead of letting
+// n state machines oversubscribe the host, and keeps results
+// bitwise-deterministic so WAL replay on a recovering host reproduces the
+// exact payloads of the original run.
 type Cluster struct {
 	// stateMu guards the per-node slices that the restart supervisor swaps
 	// when it relaunches an incarnation (procs, inbox, trans, rel, wal,

@@ -95,23 +95,40 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		transports[i].startAccepting()
 	}
 	// Dial the full mesh up front; later failures are repaired by redial.
+	// The n·(n-1) dials are independent network operations, so each node
+	// dials its peers on its own goroutine; on failure the lowest-numbered
+	// (dialer, target) pair is reported, keeping the error deterministic.
+	dialErrs := make([]error, n)
+	var dialWG sync.WaitGroup
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if err := transports[i].dial(dist.ProcID(j)); err != nil {
+					dialErrs[i] = fmt.Errorf("runtime: dial %d -> %d: %w", i, j, err)
+					return
+				}
 			}
-			if err := transports[i].dial(dist.ProcID(j)); err != nil {
-				for _, ep := range c.rel {
-					if ep != nil {
-						_ = ep.Close()
-					}
-				}
-				for _, tr := range transports {
-					_ = tr.Close()
-				}
-				return nil, fmt.Errorf("runtime: dial %d -> %d: %w", i, j, err)
+		}(i)
+	}
+	dialWG.Wait()
+	for _, err := range dialErrs {
+		if err == nil {
+			continue
+		}
+		for _, ep := range c.rel {
+			if ep != nil {
+				_ = ep.Close()
 			}
 		}
+		for _, tr := range transports {
+			_ = tr.Close()
+		}
+		return nil, err
 	}
 	return c, nil
 }
