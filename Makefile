@@ -14,7 +14,7 @@ test: build
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runtime/... ./internal/rlink/... ./internal/chaos/... ./internal/dist/... ./internal/wire/... ./internal/wal/...
+	$(GO) test -race ./internal/runtime/... ./internal/rlink/... ./internal/chaos/... ./internal/dist/... ./internal/wire/... ./internal/wal/... ./internal/engine/... ./internal/multiplex/...
 
 race:
 	$(GO) test -race ./...

@@ -1,6 +1,8 @@
 package chc
 
 import (
+	"chc/internal/byzantine"
+	"chc/internal/engine"
 	"chc/internal/multiplex"
 )
 
@@ -14,14 +16,50 @@ type (
 	// BatchConfig describes a batch execution.
 	BatchConfig = multiplex.BatchConfig
 
-	// BatchResult maps instance index -> process -> output polytope.
+	// BatchResult aggregates per-instance outputs (instance index ->
+	// process -> decision), decided rounds, and run statistics.
 	BatchResult = multiplex.BatchResult
+
+	// BatchProtocol selects the state machine a batch instance runs.
+	BatchProtocol = multiplex.ProtocolKind
+
+	// BatchTransport selects the executor a batch runs over.
+	BatchTransport = engine.Transport
+
+	// BatchFault assigns a Byzantine behaviour to one process of a
+	// BatchCompiledByzantine instance.
+	BatchFault = byzantine.Fault
+)
+
+// Protocols a batch instance can run.
+const (
+	// BatchCC runs Algorithm CC (the default).
+	BatchCC = multiplex.ProtocolCC
+	// BatchVector runs the approximate vector consensus baseline.
+	BatchVector = multiplex.ProtocolVector
+	// BatchByzantine runs the crash→Byzantine transformation (n >= 3f+1).
+	BatchByzantine = multiplex.ProtocolByzantine
+)
+
+// Transports a batch can run over.
+const (
+	// BatchSim is the deterministic simulator (the default): delivery order
+	// is a reproducible function of BatchConfig.Seed.
+	BatchSim = engine.TransportSim
+	// BatchInProcess runs one goroutine per process over in-memory
+	// mailboxes.
+	BatchInProcess = engine.TransportChannel
+	// BatchTCP runs one goroutine per process over loopback TCP with the
+	// wire codec and the reliable-link layer always active.
+	BatchTCP = engine.TransportTCP
 )
 
 // RunBatch executes every instance of the batch concurrently over one
-// simulated network. Message kinds are namespaced per instance, so the
-// protocols cannot interfere; a crash kills every instance hosted by that
-// process, as it would in a real deployment.
+// network. Messages carry their instance index, so the protocols cannot
+// interfere; a crash kills every instance hosted by that process, as it
+// would in a real deployment. The batch runs over the transport selected by
+// cfg.Transport — simulator by default, or the networked runtimes with
+// chaos injection, write-ahead logging and crash recovery available.
 func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	return multiplex.RunBatch(cfg)
 }

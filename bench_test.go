@@ -125,6 +125,35 @@ func BenchmarkConsensusTightEps(b *testing.B) {
 	benchConsensus(b, 5, 1, 2, 0.001)
 }
 
+// BenchmarkBatch8Instances mirrors the benchsuite batch-throughput case: one
+// op is an eight-instance heterogeneous batch (Algorithm CC and the vector
+// baseline alternating) multiplexed over the deterministic simulator via the
+// unified engine. Reports instances/sec alongside the usual ns/op.
+func BenchmarkBatch8Instances(b *testing.B) {
+	const n, d, k = 5, 2, 8
+	params := chc.Params{
+		N: n, F: 1, D: d,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instances := make([]chc.BatchInstance, k)
+		for j := range instances {
+			inst := chc.BatchInstance{Params: params, Inputs: randPoints(n, d, int64(i*k+j+1))}
+			if j%2 == 1 {
+				inst.Protocol = chc.BatchVector
+			}
+			instances[j] = inst
+		}
+		if _, err := chc.RunBatch(chc.BatchConfig{N: n, Instances: instances, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
+}
+
 // --- substrate micro-benchmarks ---
 
 func randPoints(n, d int, seed int64) []chc.Point {

@@ -11,6 +11,9 @@
 //	chcrun -n 5 -f 1 -transport inproc -chaos heavy -chaos-seed 3
 //	chcrun -n 5 -f 1 -transport tcp -chaos 'drop=0.2,dup=0.1,delay=100us-2ms'
 //	chcrun -n 5 -f 1 -transport inproc -wal-dir /tmp/chc-wal -crash 2:9 -recover
+//	chcrun -n 5 -f 1 -batch 4 -transport tcp          # four CC instances, one network
+//	chcrun -n 5 -f 1 -batch 3 -protocol vector        # vector-consensus batch
+//	chcrun -n 5 -f 1 -protocol byzantine -faulty 4    # Byzantine batch, adversary at p4
 package main
 
 import (
@@ -46,6 +49,8 @@ func run(args []string, w io.Writer) error {
 		sched     = fs.String("sched", "random", "scheduler: random|rr|delay|split")
 		model     = fs.String("model", "incorrect", "fault model: incorrect|correct")
 		transport = fs.String("transport", "sim", "execution: sim|inproc|tcp")
+		batch     = fs.Int("batch", 0, "run this many instances as one batch multiplexed over the shared transport (0 = single-instance mode)")
+		protocol  = fs.String("protocol", "cc", "protocol for batch instances: cc|vector|byzantine (implies batch mode when not cc)")
 		byz       = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
 		traceFile = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
 		chaosSpec = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
@@ -130,6 +135,25 @@ func run(args []string, w io.Writer) error {
 		cfg.Scheduler = chc.NewSplitScheduler(half...)
 	default:
 		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+
+	if *batch > 0 || *protocol != "cc" {
+		if *byz != "" {
+			return fmt.Errorf("-byz cannot be combined with batch mode; use -protocol byzantine")
+		}
+		if *traceFile != "" {
+			return fmt.Errorf("-tracefile is not supported in batch mode")
+		}
+		k := *batch
+		if k <= 0 {
+			k = 1
+		}
+		return runBatchMode(w, batchMode{
+			params: params, protocol: *protocol, k: k, transport: *transport,
+			seed: *seed, rng: rng, faulty: cfg.Faulty, crashes: cfg.Crashes,
+			scheduler: cfg.Scheduler, chaos: chaosProfile, chaosSeed: *chaosSeed,
+			walDir: *walDir, recoverWAL: *recoverWAL, downtime: *downtime,
+		})
 	}
 
 	if *byz != "" {
@@ -234,6 +258,169 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "trace       : written to %s\n", *traceFile)
+	}
+	return nil
+}
+
+// batchMode carries the flag values of a batch run.
+type batchMode struct {
+	params     chc.Params
+	protocol   string
+	k          int
+	transport  string
+	seed       int64
+	rng        *rand.Rand
+	faulty     []chc.ProcID
+	crashes    []chc.CrashPlan
+	scheduler  chc.Scheduler
+	chaos      chc.ChaosProfile
+	chaosSeed  int64
+	walDir     string
+	recoverWAL bool
+	downtime   time.Duration
+}
+
+// runBatchMode executes -batch instances of -protocol as one batch
+// multiplexed over the shared transport, then reports per-instance decisions
+// and agreement.
+func runBatchMode(w io.Writer, m batchMode) error {
+	var proto chc.BatchProtocol
+	switch m.protocol {
+	case "cc":
+		proto = chc.BatchCC
+	case "vector":
+		proto = chc.BatchVector
+	case "byzantine":
+		proto = chc.BatchByzantine
+	default:
+		return fmt.Errorf("unknown protocol %q (want cc, vector or byzantine)", m.protocol)
+	}
+	var bt chc.BatchTransport
+	switch m.transport {
+	case "sim":
+		bt = chc.BatchSim
+	case "inproc":
+		bt = chc.BatchInProcess
+	case "tcp":
+		bt = chc.BatchTCP
+	default:
+		return fmt.Errorf("unknown transport %q", m.transport)
+	}
+
+	instances := make([]chc.BatchInstance, m.k)
+	for i := range instances {
+		inputs := make([]chc.Point, m.params.N)
+		for j := range inputs {
+			p := make([]float64, m.params.D)
+			for c := range p {
+				p[c] = m.rng.Float64() * 10
+			}
+			inputs[j] = chc.NewPoint(p...)
+		}
+		inst := chc.BatchInstance{Params: m.params, Inputs: inputs, Protocol: proto}
+		if proto == chc.BatchByzantine {
+			// -faulty IDs become incorrect-input adversaries of every
+			// Byzantine instance (mirroring -byz incorrect in single mode).
+			for _, id := range m.faulty {
+				inst.Faults = append(inst.Faults, chc.BatchFault{
+					Proc:     id,
+					Behavior: chc.ByzIncorrectInput,
+					Input:    chc.NewPoint(make([]float64, m.params.D)...),
+				})
+			}
+		}
+		instances[i] = inst
+	}
+
+	cfg := chc.BatchConfig{
+		N:         m.params.N,
+		Instances: instances,
+		Crashes:   m.crashes,
+		Seed:      m.seed,
+		Transport: bt,
+		Timeout:   5 * time.Minute,
+		ChaosSeed: m.chaosSeed,
+	}
+	if proto != chc.BatchByzantine {
+		cfg.Faulty = m.faulty
+	}
+	if bt == chc.BatchSim {
+		cfg.Scheduler = m.scheduler
+	}
+	if m.chaos.Enabled() {
+		profile := m.chaos
+		cfg.Chaos = &profile
+	}
+	if m.walDir != "" {
+		if err := os.MkdirAll(m.walDir, 0o755); err != nil {
+			return fmt.Errorf("-wal-dir: %w", err)
+		}
+		cfg.WALDir = m.walDir
+	}
+	if m.recoverWAL {
+		cfg.Recover = true
+		cfg.RecoverDowntime = m.downtime
+	}
+
+	start := time.Now()
+	result, err := chc.RunBatch(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "batch consensus: %d × %s over %s: n=%d f=%d d=%d ε=%g seed=%d (%v)\n",
+		m.k, m.protocol, m.transport, m.params.N, m.params.F, m.params.D, m.params.Epsilon,
+		m.seed, elapsed.Round(time.Millisecond))
+	correct := m.params.N
+	if proto == chc.BatchByzantine {
+		correct -= len(m.faulty)
+	}
+	for k := range instances {
+		var polys []*chc.Polytope
+		if proto == chc.BatchVector {
+			for _, pt := range result.Points[k] {
+				polys = append(polys, chc.PointPolytope(pt))
+			}
+		} else {
+			for _, out := range result.Outputs[k] {
+				polys = append(polys, out)
+			}
+		}
+		maxRound := 0
+		for _, r := range result.Rounds[k] {
+			if r > maxRound {
+				maxRound = r
+			}
+		}
+		line := fmt.Sprintf("  instance %-2d %d/%d decided by round %d", k, len(polys), correct, maxRound)
+		if d, herr := chc.MaxPairwiseHausdorff(polys, chc.DefaultEps); herr == nil {
+			line += fmt.Sprintf(", max d_H = %.3g <= ε: %v", d, d <= m.params.Epsilon+1e-9)
+		}
+		fmt.Fprintln(w, line)
+	}
+	if len(result.Crashed) > 0 {
+		ids := make([]int, 0, len(result.Crashed))
+		for id := range result.Crashed {
+			ids = append(ids, int(id))
+		}
+		fmt.Fprintf(w, "crashed     : %v\n", ids)
+	}
+	if result.Stats != nil {
+		fmt.Fprintf(w, "messages    : %d sends, %d bytes across %d instances\n",
+			result.Stats.Sends, result.Stats.Bytes, m.k)
+		if net := result.Stats.Net; net != nil && net.FramesSent > 0 {
+			fmt.Fprintf(w, "network     : %d frames, %d retransmits, %d dup-suppressed, %d reconnects\n",
+				net.FramesSent, net.Retransmits, net.DupSuppressed, net.Reconnects)
+			if m.chaos.Enabled() {
+				fmt.Fprintf(w, "chaos       : %s seed=%d: %d drops, %d dups, %d delays, %d partition drops injected\n",
+					m.chaos.String(), m.chaosSeed, net.InjectedDrops, net.InjectedDups, net.InjectedDelays, net.PartitionDrops)
+			}
+			if m.walDir != "" {
+				fmt.Fprintf(w, "recovery    : %d wal appends in %d fsync batches, %d link resumes\n",
+					net.WALAppends, net.WALSyncs, net.Resumes)
+			}
+		}
 	}
 	return nil
 }

@@ -119,6 +119,66 @@ func TestRunChaosInProc(t *testing.T) {
 	}
 }
 
+func TestRunBatchMode(t *testing.T) {
+	cases := [][]string{
+		{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1", "-batch", "3"},
+		{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1", "-batch", "2", "-transport", "tcp"},
+		{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1", "-batch", "2", "-protocol", "vector"},
+		{"-n", "5", "-f", "1", "-d", "2", "-eps", "0.2", "-protocol", "byzantine", "-faulty", "4", "-transport", "inproc"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"batch consensus", "decided by round", "<= ε: true", "messages"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%v: output missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+}
+
+func TestRunBatchChaosLine(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1",
+		"-batch", "2", "-transport", "inproc", "-chaos", "light",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<= ε: true", "chaos       :", "injected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBatchRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-n", "5", "-f", "1", "-d", "2", "-eps", "0.1",
+		"-batch", "2", "-transport", "inproc",
+		"-wal-dir", t.TempDir(), "-crash", "0:15", "-recover",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2/5 decided") && !strings.Contains(out, "5/5 decided") {
+		t.Errorf("no decision counts in output:\n%s", out)
+	}
+	if !strings.Contains(out, "5/5 decided") {
+		t.Errorf("recovered node should complete the batch:\n%s", out)
+	}
+	if !strings.Contains(out, "recovery    :") {
+		t.Errorf("no recovery counters in output:\n%s", out)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-model", "weird"},
@@ -132,6 +192,9 @@ func TestRunBadFlags(t *testing.T) {
 		{"-crash", "x:1"},
 		{"-crash", "1:y"},
 		{"-n", "3", "-f", "1", "-d", "2"}, // below resilience bound
+		{"-batch", "2", "-protocol", "weird"},
+		{"-protocol", "vector", "-byz", "incorrect"},
+		{"-batch", "1", "-tracefile", "/tmp/x.json"},
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer

@@ -20,6 +20,7 @@ import (
 	"chc/internal/geom"
 	"chc/internal/hull"
 	"chc/internal/lp"
+	"chc/internal/multiplex"
 	"chc/internal/polytope"
 )
 
@@ -55,6 +56,7 @@ func Cases() []Case {
 	return []Case{
 		{"ConsensusN10F2D3", benchConsensusN10F2D3},
 		{"ConsensusN9F2D2", benchConsensusN9F2D2},
+		{"BatchSim8Instances", benchBatchSim8Instances},
 		{"InitialPolytopeN12F2D3", benchInitialPolytope},
 		{"LPChebyshev3D", benchLPChebyshev},
 		{"LPConvexWeights3D", benchLPConvexWeights},
@@ -184,6 +186,39 @@ func benchConsensus(b *testing.B, params core.Params, faulty []dist.ProcID, cras
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchBatchSim8Instances measures batch throughput through the unified
+// engine: one op is an eight-instance heterogeneous batch (Algorithm CC and
+// the vector baseline alternating) multiplexed over the deterministic
+// simulator at n=5. Besides the usual ns/op it reports instances/sec, the
+// batch-scheduling figure of merit. Inputs are regenerated every iteration
+// so memoization cannot carry hulls across ops.
+func benchBatchSim8Instances(b *testing.B) {
+	const n, d, k = 5, 2, 8
+	params := core.Params{
+		N: n, F: 1, D: d,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instances := make([]multiplex.Instance, k)
+		for j := range instances {
+			inst := multiplex.Instance{Params: params, Inputs: randPoints(n, d, int64(i*k+j+1))}
+			if j%2 == 1 {
+				inst.Protocol = multiplex.ProtocolVector
+			}
+			instances[j] = inst
+		}
+		if _, err := multiplex.RunBatch(multiplex.BatchConfig{
+			N: n, Instances: instances, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
 }
 
 // benchInitialPolytope exercises the exponential round-0 hot loop of the

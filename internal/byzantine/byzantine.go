@@ -127,6 +127,15 @@ func (p *Process) Output() (*polytope.Polytope, error) {
 	return p.states[stateKey{proc: p.id, round: p.tEnd}], nil
 }
 
+// DecidedRound returns the terminal round t_end once the process has
+// decided, and 0 before that.
+func (p *Process) DecidedRound() int {
+	if !p.decided {
+		return 0
+	}
+	return p.tEnd
+}
+
 // absorb records deliveries and runs the progress loop.
 func (p *Process) absorb(ctx dist.Context, ds []rbc.Delivery) {
 	for _, d := range ds {

@@ -1,0 +1,75 @@
+package byzantine
+
+import (
+	"fmt"
+
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/engine"
+	"chc/internal/polytope"
+)
+
+// The compiled protocol is a full engine protocol: correct participants
+// decide a polytope. Adversaries (NewAdversary) implement only dist.Process
+// — they have no decision to account for.
+var _ engine.Protocol[*polytope.Polytope] = (*Process)(nil)
+
+// Spec returns the engine description of one Byzantine-compiled instance:
+// correct participants for fault-free processes and the configured
+// adversaries elsewhere. The config must already be validated (see
+// validateConfig); construction is deterministic, so crash recovery can
+// rebuild any node for WAL replay.
+func Spec(cfg RunConfig) engine.InstanceSpec {
+	params := cfg.Params.WithDefaults()
+	faulty := make(map[dist.ProcID]Behavior, len(cfg.Faults))
+	for _, flt := range cfg.Faults {
+		faulty[flt.Proc] = flt.Behavior
+	}
+	return engine.InstanceSpec{New: func(id dist.ProcID) (dist.Process, error) {
+		if behavior, bad := faulty[id]; bad {
+			input := cfg.Inputs[id]
+			for _, flt := range cfg.Faults {
+				if flt.Proc == id && flt.Input != nil {
+					input = flt.Input
+				}
+			}
+			return NewAdversary(params, id, behavior, input)
+		}
+		return NewProcess(params, id, cfg.Inputs[id])
+	}}
+}
+
+// Validate checks a Byzantine execution description without running it.
+func Validate(cfg RunConfig) error {
+	_, _, err := validateConfig(cfg)
+	return err
+}
+
+// validateConfig checks a Byzantine execution description and returns the
+// normalised params plus the behaviour map.
+func validateConfig(cfg RunConfig) (core.Params, map[dist.ProcID]Behavior, error) {
+	params := cfg.Params.WithDefaults()
+	if err := params.Validate(); err != nil {
+		return params, nil, err
+	}
+	if params.N < 3*params.F+1 {
+		return params, nil, fmt.Errorf("byzantine: n=%d < 3f+1 = %d", params.N, 3*params.F+1)
+	}
+	if len(cfg.Inputs) != params.N {
+		return params, nil, fmt.Errorf("byzantine: %d inputs for n=%d", len(cfg.Inputs), params.N)
+	}
+	if len(cfg.Faults) > params.F {
+		return params, nil, fmt.Errorf("byzantine: %d faults exceed f=%d", len(cfg.Faults), params.F)
+	}
+	faulty := make(map[dist.ProcID]Behavior, len(cfg.Faults))
+	for _, flt := range cfg.Faults {
+		if flt.Proc < 0 || int(flt.Proc) >= params.N {
+			return params, nil, fmt.Errorf("byzantine: fault for unknown process %d", flt.Proc)
+		}
+		if _, dup := faulty[flt.Proc]; dup {
+			return params, nil, fmt.Errorf("byzantine: duplicate fault for process %d", flt.Proc)
+		}
+		faulty[flt.Proc] = flt.Behavior
+	}
+	return params, faulty, nil
+}

@@ -5,9 +5,9 @@ import (
 
 	"chc/internal/core"
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/polytope"
-	"chc/internal/wire"
 )
 
 // Fault assigns a Byzantine behaviour to one process.
@@ -51,76 +51,33 @@ func (r *RunResult) Correct() []dist.ProcID {
 	return out
 }
 
-// Run executes one Byzantine-compiled consensus instance in the simulator.
+// Run executes one Byzantine-compiled consensus instance under the
+// deterministic simulator (via the unified engine).
 func Run(cfg RunConfig) (*RunResult, error) {
-	params := cfg.Params.WithDefaults()
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	if params.N < 3*params.F+1 {
-		return nil, fmt.Errorf("byzantine: n=%d < 3f+1 = %d", params.N, 3*params.F+1)
-	}
-	if len(cfg.Inputs) != params.N {
-		return nil, fmt.Errorf("byzantine: %d inputs for n=%d", len(cfg.Inputs), params.N)
-	}
-	if len(cfg.Faults) > params.F {
-		return nil, fmt.Errorf("byzantine: %d faults exceed f=%d", len(cfg.Faults), params.F)
-	}
-	faulty := make(map[dist.ProcID]Behavior, len(cfg.Faults))
-	for _, flt := range cfg.Faults {
-		if flt.Proc < 0 || int(flt.Proc) >= params.N {
-			return nil, fmt.Errorf("byzantine: fault for unknown process %d", flt.Proc)
-		}
-		if _, dup := faulty[flt.Proc]; dup {
-			return nil, fmt.Errorf("byzantine: duplicate fault for process %d", flt.Proc)
-		}
-		faulty[flt.Proc] = flt.Behavior
-	}
-
-	procs := make([]dist.Process, params.N)
-	impls := make(map[dist.ProcID]*Process, params.N)
-	for i := 0; i < params.N; i++ {
-		id := dist.ProcID(i)
-		if behavior, bad := faulty[id]; bad {
-			input := cfg.Inputs[i]
-			for _, flt := range cfg.Faults {
-				if flt.Proc == id && flt.Input != nil {
-					input = flt.Input
-				}
-			}
-			adv, err := NewAdversary(params, id, behavior, input)
-			if err != nil {
-				return nil, err
-			}
-			procs[i] = adv
-			continue
-		}
-		proc, err := NewProcess(params, id, cfg.Inputs[i])
-		if err != nil {
-			return nil, err
-		}
-		impls[id] = proc
-		procs[i] = proc
-	}
-	sim, err := dist.NewSim(dist.Config{
-		N:             params.N,
-		Seed:          cfg.Seed,
-		Scheduler:     cfg.Scheduler,
-		MaxDeliveries: cfg.MaxDeliveries,
-		Sizer:         wire.MessageSize,
-	}, procs)
+	params, faulty, err := validateConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	stats, err := sim.Run()
+	res, err := engine.Run(engine.Spec{N: params.N, Instances: []engine.InstanceSpec{Spec(cfg)}}, engine.Options{
+		Seed:          cfg.Seed,
+		Scheduler:     cfg.Scheduler,
+		MaxDeliveries: cfg.MaxDeliveries,
+	})
+	if res == nil {
+		return nil, err
+	}
 	result := &RunResult{
 		Params:  params,
-		Outputs: make(map[dist.ProcID]*polytope.Polytope, len(impls)),
+		Outputs: make(map[dist.ProcID]*polytope.Polytope, params.N-len(faulty)),
 		Faulty:  faulty,
-		Stats:   stats,
+		Stats:   res.Stats,
 	}
-	for id, proc := range impls {
-		out, oerr := proc.Output()
+	for i := 0; i < params.N; i++ {
+		id := dist.ProcID(i)
+		if _, bad := faulty[id]; bad {
+			continue
+		}
+		out, oerr := res.Sub(0, id).(*Process).Output()
 		if oerr != nil {
 			if err == nil {
 				err = oerr

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"chc/internal/engine"
+	"chc/internal/polytope"
+)
+
+// Algorithm CC is a full engine protocol: its state machine decides a
+// polytope and reports the terminal round, so the unified engine can drive
+// it over any transport and account for it per instance.
+var _ engine.Protocol[*polytope.Polytope] = (*Process)(nil)

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/polytope"
-	"chc/internal/wire"
 )
 
 // RunConfig describes one complete consensus execution to simulate.
@@ -124,57 +124,57 @@ func CorrectInputHull(cfg *RunConfig) (*polytope.Polytope, error) {
 	return polytope.New(pts, params.GeomEps)
 }
 
-// Run executes one consensus instance under the deterministic simulator and
-// returns outputs, traces and statistics.
+// Spec returns the engine description of the consensus instance: one
+// Algorithm CC participant per process. The config must already be
+// validated; constructor closures are deterministic, so crash recovery can
+// re-invoke them to rebuild a node for WAL replay.
+func (cfg *RunConfig) Spec() engine.InstanceSpec {
+	params := cfg.Params.withDefaults()
+	return engine.InstanceSpec{New: func(id dist.ProcID) (dist.Process, error) {
+		proc, err := NewProcess(params, id, cfg.Inputs[id])
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SyntheticH0 != nil {
+			if err := proc.setSyntheticH0(cfg.SyntheticH0[id]); err != nil {
+				return nil, err
+			}
+		}
+		return proc, nil
+	}}
+}
+
+// Run executes one consensus instance under the deterministic simulator (via
+// the unified engine) and returns outputs, traces and statistics.
 func Run(cfg RunConfig) (*RunResult, error) {
 	cfg.Params = cfg.Params.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	params := cfg.Params
-	procs := make([]dist.Process, params.N)
-	impls := make([]*Process, params.N)
-	for i := 0; i < params.N; i++ {
-		proc, err := NewProcess(params, dist.ProcID(i), cfg.Inputs[i])
-		if err != nil {
-			return nil, err
-		}
-		if cfg.SyntheticH0 != nil {
-			if err := proc.setSyntheticH0(cfg.SyntheticH0[i]); err != nil {
-				return nil, err
-			}
-		}
-		impls[i] = proc
-		procs[i] = proc
-	}
-	sim, err := dist.NewSim(dist.Config{
-		N:             params.N,
+	res, err := engine.Run(engine.Spec{N: params.N, Instances: []engine.InstanceSpec{cfg.Spec()}}, engine.Options{
 		Seed:          cfg.Seed,
 		Scheduler:     cfg.Scheduler,
 		Crashes:       cfg.Crashes,
 		MaxDeliveries: cfg.MaxDeliveries,
-		Sizer:         wire.MessageSize,
-	}, procs)
-	if err != nil {
+	})
+	if res == nil {
 		return nil, err
 	}
-	stats, err := sim.Run()
 	result := &RunResult{
 		Params:  params,
 		Outputs: make(map[dist.ProcID]*polytope.Polytope),
-		Crashed: make(map[dist.ProcID]bool),
+		Crashed: res.Crashed,
 		Faulty:  make(map[dist.ProcID]bool),
 		Traces:  make(map[dist.ProcID]Trace),
-		Stats:   stats,
+		Stats:   res.Stats,
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true
 	}
-	for i, proc := range impls {
+	for i := 0; i < params.N; i++ {
 		id := dist.ProcID(i)
-		if sim.Crashed(id) {
-			result.Crashed[id] = true
-		}
+		proc := res.Sub(0, id).(*Process)
 		// Traces are collected for every process — crashed processes'
 		// partial traces are needed to reconstruct transition matrices.
 		result.Traces[id] = proc.TraceData()

@@ -23,11 +23,12 @@ type ProcID int
 
 // Message is a protocol message on a FIFO channel.
 type Message struct {
-	From    ProcID
-	To      ProcID
-	Kind    string // protocol-defined tag, e.g. "input", "report", "round"
-	Round   int    // asynchronous round index (informational)
-	Payload any    // protocol-defined payload; treated as immutable
+	From     ProcID
+	To       ProcID
+	Kind     string // protocol-defined tag, e.g. "input", "report", "round"
+	Round    int    // asynchronous round index (informational)
+	Instance int    // engine instance index (0 in single-instance runs)
+	Payload  any    // protocol-defined payload; treated as immutable
 }
 
 // Context is the interface a process uses to interact with the network.
@@ -41,6 +42,17 @@ type Context interface {
 	// Broadcast sends to every *other* process, in ascending ID order (the
 	// order matters when a crash cuts the broadcast short).
 	Broadcast(kind string, round int, payload any)
+}
+
+// InstanceSender is optionally implemented by Contexts that can stamp the
+// engine's numeric instance index on outgoing messages. Protocol state
+// machines never call it — they see a Context whose plain Send carries
+// their instance implicitly; the multiplexing layer (internal/engine)
+// detects this interface on the driver's context and routes every send
+// through it. Kinds are carried byte-for-byte: instance identity lives in
+// its own field, never in the kind string.
+type InstanceSender interface {
+	SendInstance(instance int, to ProcID, kind string, round int, payload any)
 }
 
 // Process is an event-driven protocol state machine. Implementations are
@@ -281,7 +293,7 @@ func (s *Sim) pickChannel() (chanKey, bool) {
 }
 
 // send enqueues a message, enforcing the sender's crash budget.
-func (s *Sim) send(from, to ProcID, kind string, round int, payload any) {
+func (s *Sim) send(from, to ProcID, kind string, round, instance int, payload any) {
 	if s.crashed[from] {
 		return
 	}
@@ -299,7 +311,7 @@ func (s *Sim) send(from, to ProcID, kind string, round int, payload any) {
 	if s.sendBudget[from] > 0 {
 		s.sendBudget[from]--
 	}
-	msg := Message{From: from, To: to, Kind: kind, Round: round, Payload: payload}
+	msg := Message{From: from, To: to, Kind: kind, Round: round, Instance: instance, Payload: payload}
 	key := chanKey{from: from, to: to}
 	if _, existed := s.queues[key]; !existed {
 		s.dirty = true
@@ -318,13 +330,20 @@ type simContext struct {
 	id  ProcID
 }
 
-var _ Context = (*simContext)(nil)
+var (
+	_ Context        = (*simContext)(nil)
+	_ InstanceSender = (*simContext)(nil)
+)
 
 func (c *simContext) ID() ProcID { return c.id }
 func (c *simContext) N() int     { return c.sim.cfg.N }
 
 func (c *simContext) Send(to ProcID, kind string, round int, payload any) {
-	c.sim.send(c.id, to, kind, round, payload)
+	c.sim.send(c.id, to, kind, round, 0, payload)
+}
+
+func (c *simContext) SendInstance(instance int, to ProcID, kind string, round int, payload any) {
+	c.sim.send(c.id, to, kind, round, instance, payload)
 }
 
 func (c *simContext) Broadcast(kind string, round int, payload any) {
@@ -332,6 +351,6 @@ func (c *simContext) Broadcast(kind string, round int, payload any) {
 		if to == c.id {
 			continue
 		}
-		c.sim.send(c.id, to, kind, round, payload)
+		c.sim.send(c.id, to, kind, round, 0, payload)
 	}
 }

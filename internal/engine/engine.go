@@ -1,0 +1,330 @@
+// Package engine is the unified execution engine of the repository: one
+// driver that runs any number of protocol instances — Algorithm CC, the
+// vector-consensus baseline, the Byzantine-compiled variant, or a
+// heterogeneous mix — over any of the three executors (the deterministic
+// discrete-event simulator, the in-process channel runtime, and loopback
+// TCP), with the full fault stack (crash plans, seeded chaos, write-ahead
+// logging, crash-recovery restarts) available to every combination.
+//
+// Multiplexing is structural, not string-based: every dist.Message carries a
+// numeric Instance field (serialised in the wire envelope), each process
+// hosts one participant per instance behind a demultiplexing Node, and the
+// write-ahead log — which journals full wire-encoded messages — therefore
+// records per-instance history for free, so a restarted node replays every
+// instance it hosts. Kind strings are carried byte-for-byte; no namespacing
+// convention is imposed on protocols.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"chc/internal/chaos"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/runtime"
+	"chc/internal/wire"
+)
+
+// Protocol is the state-machine contract the engine drives, parameterised by
+// the decision type O (Algorithm CC and the Byzantine variant decide a
+// polytope; vector consensus decides a point). It extends dist.Process with
+// the two read-side methods the engine's accounting needs: the decision
+// value and the round at which it was reached. Every protocol package
+// asserts its Process against this interface at compile time.
+type Protocol[O any] interface {
+	dist.Process
+	// Output returns the decision (an error before deciding or on failure).
+	Output() (O, error)
+	// DecidedRound returns the terminating round once decided, 0 before.
+	DecidedRound() int
+}
+
+// InstanceSpec describes one protocol instance of a run.
+type InstanceSpec struct {
+	// New builds the participant hosted by process id. It must be
+	// deterministic: crash recovery re-invokes it to rebuild the state
+	// machine that a WAL replay drives, and any divergence from the original
+	// construction is detected as replay nondeterminism. Participants that
+	// model adversaries (Byzantine behaviours) may implement only
+	// dist.Process; correct participants implement Protocol[O].
+	New func(id dist.ProcID) (dist.Process, error)
+}
+
+// Spec describes a complete execution: n processes, each hosting one
+// participant per instance.
+type Spec struct {
+	N         int
+	Instances []InstanceSpec
+}
+
+// Transport selects the executor.
+type Transport int
+
+// Available executors. The zero value is the deterministic simulator, so
+// configurations that predate the unified engine keep their meaning.
+const (
+	// TransportSim is the single-threaded discrete-event simulator:
+	// scheduler-driven delivery order, reproducible per seed.
+	TransportSim Transport = iota
+	// TransportChannel runs one goroutine per process over in-memory
+	// mailboxes (real concurrency, no sockets).
+	TransportChannel
+	// TransportTCP runs one goroutine per process over loopback TCP with
+	// the wire codec and the reliable-link layer always active.
+	TransportTCP
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case TransportSim:
+		return "sim"
+	case TransportChannel:
+		return "channel"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// Options configures a run. Sim-only fields are rejected on networked
+// transports and vice versa, so a configuration cannot silently lose
+// meaning when the transport changes.
+type Options struct {
+	Transport Transport
+
+	// Seed / Scheduler / MaxDeliveries drive the simulator (TransportSim).
+	Seed          int64
+	Scheduler     dist.Scheduler
+	MaxDeliveries int
+
+	// Crashes schedules crash-stop faults (all transports). Budgets are per
+	// process: a crash kills every instance the process hosts, as it would
+	// in a deployment that multiplexes agreement tasks over one node.
+	Crashes []dist.CrashPlan
+
+	// Sizer estimates per-message bytes for Stats (default wire.MessageSize).
+	Sizer func(dist.Message) int
+
+	// Timeout bounds networked runs (default 5 minutes).
+	Timeout time.Duration
+
+	// Chaos injects seeded link faults below the reliable-link layer
+	// (networked transports only).
+	Chaos     *chaos.Profile
+	ChaosSeed int64
+
+	// WALDir enables write-ahead logging: every node journals its delivered
+	// messages (each carrying its instance field) before acknowledging them,
+	// so any node can be reconstructed mid-protocol. Networked only.
+	WALDir string
+	// Inputs, when non-nil, are journaled per process for audit.
+	Inputs []geom.Point
+	// Restarts schedules crash-recovery faults: kill after a send budget,
+	// relaunch from the WAL. Requires WALDir. Networked only.
+	Restarts []runtime.RestartPlan
+}
+
+// Result is the outcome of a run. Participants are reached through Sub (or
+// the typed Output helper); after a networked run with restarts these are
+// the relaunched incarnations, so inspection sees recovered state.
+type Result struct {
+	N         int
+	Instances int
+	// Crashed marks processes that did not complete every hosted instance:
+	// scheduled crash-stop faults on any transport, or nodes the timeout cut
+	// off on a networked run.
+	Crashed map[dist.ProcID]bool
+	// Stats aggregates protocol-level message counts. On the simulator these
+	// are the scheduler's exact counters (including KindCounts); networked
+	// runs fill Sends/Bytes and attach link-layer NetStats.
+	Stats *dist.Stats
+	// Cluster holds the full networked-runtime counters (nil on the
+	// simulator).
+	Cluster *runtime.ClusterStats
+
+	nodes []*Node
+}
+
+// Sub returns the participant of instance k hosted by process id (the final
+// incarnation, when restarts relaunched the node).
+func (r *Result) Sub(k int, id dist.ProcID) dist.Process {
+	return r.nodes[id].Sub(k)
+}
+
+// DecidedRound returns the round at which instance k's participant on
+// process id decided (0 if undecided or not a Protocol participant).
+func (r *Result) DecidedRound(k int, id dist.ProcID) int {
+	if dr, ok := r.Sub(k, id).(interface{ DecidedRound() int }); ok {
+		return dr.DecidedRound()
+	}
+	return 0
+}
+
+// Output extracts the typed decision of instance k's participant on process
+// id. It fails if the participant has not decided, failed, or does not
+// implement Protocol[O] (e.g. a Byzantine adversary).
+func Output[O any](r *Result, k int, id dist.ProcID) (O, error) {
+	sub := r.Sub(k, id)
+	p, ok := sub.(Protocol[O])
+	if !ok {
+		var zero O
+		return zero, fmt.Errorf("engine: instance %d process %d: %T does not decide a %T", k, id, sub, zero)
+	}
+	return p.Output()
+}
+
+// Run executes the spec over the selected transport. When the execution
+// itself fails (deadlock, livelock, timeout, recovery failure) the partial
+// Result is returned alongside the error; configuration errors return a nil
+// Result.
+func Run(spec Spec, opts Options) (*Result, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("engine: N = %d", spec.N)
+	}
+	if len(spec.Instances) == 0 {
+		return nil, errors.New("engine: no instances")
+	}
+	nodes := make([]*Node, spec.N)
+	procs := make([]dist.Process, spec.N)
+	for i := range procs {
+		nd, err := buildNode(spec, dist.ProcID(i))
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+		procs[i] = nd
+	}
+	if opts.Sizer == nil {
+		opts.Sizer = wire.MessageSize
+	}
+	switch opts.Transport {
+	case TransportSim:
+		if opts.Chaos != nil || opts.WALDir != "" || len(opts.Restarts) > 0 {
+			return nil, errors.New("engine: chaos, WAL and restarts need a networked transport (the simulator has no link layer)")
+		}
+		return runSim(spec, opts, nodes, procs)
+	case TransportChannel, TransportTCP:
+		if opts.Scheduler != nil {
+			return nil, errors.New("engine: schedulers only drive the simulator; networked delivery order is real concurrency")
+		}
+		return runCluster(spec, opts, nodes, procs)
+	default:
+		return nil, fmt.Errorf("engine: unknown transport %d", int(opts.Transport))
+	}
+}
+
+// runSim drives the nodes with the deterministic simulator.
+func runSim(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*Result, error) {
+	sim, err := dist.NewSim(dist.Config{
+		N:             spec.N,
+		Seed:          opts.Seed,
+		Scheduler:     opts.Scheduler,
+		Crashes:       opts.Crashes,
+		MaxDeliveries: opts.MaxDeliveries,
+		Sizer:         opts.Sizer,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := sim.Run()
+	res := &Result{
+		N:         spec.N,
+		Instances: len(spec.Instances),
+		Crashed:   make(map[dist.ProcID]bool),
+		Stats:     stats,
+		nodes:     nodes,
+	}
+	for i := 0; i < spec.N; i++ {
+		if sim.Crashed(dist.ProcID(i)) {
+			res.Crashed[dist.ProcID(i)] = true
+		}
+	}
+	return res, runErr
+}
+
+// runCluster drives the nodes with the goroutine runtime over channels or
+// TCP, layering on the requested fault stack.
+func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*Result, error) {
+	runOpts := []runtime.Option{runtime.WithSizer(opts.Sizer)}
+	if opts.WALDir != "" {
+		runOpts = append(runOpts, runtime.WithRecovery(runtime.RecoveryConfig{
+			Dir: opts.WALDir,
+			// The factory rebuilds the whole multiplexing node: replay then
+			// drives the journaled deliveries — each stamped with its
+			// instance — through it, reconstructing every hosted instance.
+			// Specs were validated by the eager construction above, so a
+			// failure here is replay-level corruption, which the recovery
+			// machinery reports by catching this panic.
+			Factory: func(i int) dist.Process {
+				nd, err := buildNode(spec, dist.ProcID(i))
+				if err != nil {
+					panic(err)
+				}
+				return nd
+			},
+			Inputs: opts.Inputs,
+		}))
+	}
+	if len(opts.Restarts) > 0 {
+		runOpts = append(runOpts, runtime.WithRestarts(opts.Restarts...))
+	}
+	if len(opts.Crashes) > 0 {
+		runOpts = append(runOpts, runtime.WithCrashes(opts.Crashes...))
+	}
+	if opts.Chaos != nil {
+		runOpts = append(runOpts, runtime.WithChaos(*opts.Chaos, opts.ChaosSeed))
+	}
+	var (
+		cluster *runtime.Cluster
+		err     error
+	)
+	switch opts.Transport {
+	case TransportChannel:
+		cluster, err = runtime.NewChannelCluster(procs, runOpts...)
+	case TransportTCP:
+		cluster, err = runtime.NewTCPCluster(procs, runOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Minute
+	}
+	runErr := cluster.Run(timeout)
+	// Read the post-run incarnations: with restarts, a relaunched node
+	// replaces the one built above, and its recovered participants are the
+	// ones to inspect.
+	for i, p := range cluster.Processes() {
+		nd, ok := p.(*Node)
+		if !ok {
+			return nil, fmt.Errorf("engine: node %d: unexpected process type %T", i, p)
+		}
+		nodes[i] = nd
+	}
+	st := cluster.Stats()
+	net := st.Net
+	res := &Result{
+		N:         spec.N,
+		Instances: len(spec.Instances),
+		Crashed:   make(map[dist.ProcID]bool),
+		Stats: &dist.Stats{
+			Sends:      int(st.Sends),
+			Bytes:      int(st.Bytes),
+			KindCounts: map[string]int{},
+			Net:        &net,
+		},
+		Cluster: &st,
+		nodes:   nodes,
+	}
+	for i, nd := range nodes {
+		if !nd.Done() {
+			res.Crashed[dist.ProcID(i)] = true
+		}
+	}
+	return res, runErr
+}

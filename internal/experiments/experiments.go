@@ -23,6 +23,7 @@
 //	E15 the open conjecture on strongly convex arg-min agreement (Sec. 7)
 //	E16 the chaos matrix: consensus over unreliable links via rlink
 //	E17 the crash-recovery matrix: WAL replay + epoch link resumption
+//	E18 the batch matrix: heterogeneous instances multiplexed over one TCP net
 package experiments
 
 import (
@@ -145,6 +146,7 @@ func All() []Experiment {
 		{"E15", "Open conjecture: strongly convex arg-min agreement", E15StrongConvexity},
 		{"E16", "Chaos matrix: consensus over unreliable links (rlink)", E16ChaosMatrix},
 		{"E17", "Crash-recovery matrix: kill-and-restart faults over the WAL runtime", E17CrashRecovery},
+		{"E18", "Batch matrix: heterogeneous instances over one TCP network", E18BatchMatrix},
 	}
 }
 

@@ -1,207 +1,260 @@
 // Package multiplex runs a batch of independent consensus instances over a
 // single network, the way a deployed system would amortise its connections
 // across many agreement tasks. Each process hosts one sub-process per
-// instance; message kinds are namespaced per instance so the protocols
-// cannot interfere, and the batch completes when every live sub-process of
-// every instance has decided.
+// instance; the unified engine routes traffic by the numeric instance field
+// every message carries, so the protocols cannot interfere, and the batch
+// completes when every live sub-process of every instance has decided.
+//
+// Batches are heterogeneous: each instance picks its protocol — Algorithm
+// CC, the vector-consensus baseline, or the Byzantine-compiled variant —
+// and the whole batch runs over any engine transport (deterministic
+// simulator, in-process channels, loopback TCP) with the full fault stack
+// (crash plans, seeded chaos, write-ahead logging, crash recovery).
 package multiplex
 
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
+	"time"
 
+	"chc/internal/byzantine"
+	"chc/internal/chaos"
 	"chc/internal/core"
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/polytope"
-	"chc/internal/wire"
+	"chc/internal/runtime"
+	"chc/internal/vectorconsensus"
 )
 
-// kindSep separates the instance prefix from the inner message kind.
-const kindSep = "|"
+// ProtocolKind selects the state machine an instance runs.
+type ProtocolKind int
+
+// Available protocols. The zero value is Algorithm CC, so pre-existing
+// batch configurations keep their meaning.
+const (
+	// ProtocolCC is Algorithm CC: convex hull consensus under crash faults.
+	ProtocolCC ProtocolKind = iota
+	// ProtocolVector is the approximate vector consensus baseline: same
+	// round structure, point-valued decisions.
+	ProtocolVector
+	// ProtocolByzantine is the crash→Byzantine transformation (n >= 3f+1);
+	// the instance's Faults configure adversarial participants.
+	ProtocolByzantine
+)
+
+// String names the protocol.
+func (p ProtocolKind) String() string {
+	switch p {
+	case ProtocolCC:
+		return "cc"
+	case ProtocolVector:
+		return "vector"
+	case ProtocolByzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
 
 // Instance describes one consensus instance of a batch. All instances share
 // n (they run on the same processes) but may differ in every other
-// parameter and in their inputs.
+// parameter, in their protocol, and in their inputs.
 type Instance struct {
 	Params core.Params
 	Inputs []geom.Point
+
+	// Protocol selects the state machine (default: Algorithm CC).
+	Protocol ProtocolKind
+
+	// Faults configures Byzantine adversaries hosted by this instance
+	// (ProtocolByzantine only). Faulty participants exist only inside this
+	// instance: the same process runs correct participants of every other
+	// instance, the way one compromised tenant does not corrupt the node's
+	// other tenants.
+	Faults []byzantine.Fault
 }
 
 // BatchConfig describes a batch execution.
 type BatchConfig struct {
 	N         int
 	Instances []Instance
+
 	// Faulty / Crashes apply to the shared processes (a crash kills every
 	// instance hosted by that process, as it would in a real deployment).
 	Faulty  []dist.ProcID
 	Crashes []dist.CrashPlan
-	Seed    int64
-	// Scheduler defaults to random delivery.
+
+	// Seed / Scheduler drive the deterministic simulator (Transport ==
+	// engine.TransportSim); Scheduler defaults to random delivery.
+	Seed      int64
 	Scheduler dist.Scheduler
+
+	// Transport selects the executor (default: deterministic simulator).
+	Transport engine.Transport
+
+	// Timeout bounds networked runs (default: the engine's 5 minutes).
+	Timeout time.Duration
+
+	// Chaos injects seeded link faults (networked transports only).
+	Chaos     *chaos.Profile
+	ChaosSeed int64
+
+	// WALDir enables write-ahead logging; every journaled delivery carries
+	// its instance, so a restarted node replays the whole batch it hosts.
+	WALDir string
+
+	// Recover converts Crashes from crash-stop faults into crash-recovery
+	// faults: each planned crash kills the node mid-protocol, keeps it down
+	// for RecoverDowntime, then relaunches it from its write-ahead log.
+	// Requires WALDir and a networked transport.
+	Recover         bool
+	RecoverDowntime time.Duration
 }
 
-// BatchResult maps instance index -> process -> output polytope.
+// BatchResult aggregates per-instance outcomes. Outputs carries the
+// polytope decisions (CC and Byzantine instances), Points the point
+// decisions (vector instances); index k of each slice belongs to instance k
+// and holds entries only for processes that decided it.
 type BatchResult struct {
 	Outputs []map[dist.ProcID]*polytope.Polytope
+	Points  []map[dist.ProcID]geom.Point
+	// Rounds records the round at which each process decided each instance.
+	Rounds []map[dist.ProcID]int
+	// Crashed marks processes that did not complete every hosted instance.
+	Crashed map[dist.ProcID]bool
+	// Stats aggregates message counts; on networked runs Stats.Net carries
+	// the link-layer counters and Cluster the full runtime counters.
 	Stats   *dist.Stats
+	Cluster *runtime.ClusterStats
 }
 
-// node hosts one sub-process per instance and demultiplexes traffic.
-type node struct {
-	subs []*core.Process
-}
-
-var _ dist.Process = (*node)(nil)
-
-func (nd *node) Init(ctx dist.Context) {
-	for k, sub := range nd.subs {
-		sub.Init(&taggedContext{inner: ctx, prefix: prefix(k)})
-	}
-}
-
-func (nd *node) Deliver(ctx dist.Context, msg dist.Message) {
-	idx, innerKind, ok := splitKind(msg.Kind)
-	if !ok || idx < 0 || idx >= len(nd.subs) {
-		return
-	}
-	inner := msg
-	inner.Kind = innerKind
-	nd.subs[idx].Deliver(&taggedContext{inner: ctx, prefix: prefix(idx)}, inner)
-}
-
-func (nd *node) Done() bool {
-	for _, sub := range nd.subs {
-		if !sub.Done() {
-			return false
-		}
-	}
-	return true
-}
-
-// taggedContext rewrites outgoing kinds with the instance prefix.
-type taggedContext struct {
-	inner  dist.Context
-	prefix string
-}
-
-var _ dist.Context = (*taggedContext)(nil)
-
-func (tc *taggedContext) ID() dist.ProcID { return tc.inner.ID() }
-func (tc *taggedContext) N() int          { return tc.inner.N() }
-
-func (tc *taggedContext) Send(to dist.ProcID, kind string, round int, payload any) {
-	tc.inner.Send(to, tc.prefix+kind, round, payload)
-}
-
-func (tc *taggedContext) Broadcast(kind string, round int, payload any) {
-	tc.inner.Broadcast(tc.prefix+kind, round, payload)
-}
-
-func prefix(idx int) string { return "i" + strconv.Itoa(idx) + kindSep }
-
-func splitKind(kind string) (idx int, inner string, ok bool) {
-	if !strings.HasPrefix(kind, "i") {
-		return 0, "", false
-	}
-	sep := strings.Index(kind, kindSep)
-	if sep < 2 {
-		return 0, "", false
-	}
-	n, err := strconv.Atoi(kind[1:sep])
-	if err != nil {
-		return 0, "", false
-	}
-	return n, kind[sep+1:], true
-}
-
-// Collector retrieves per-instance outputs from a batch's nodes after a
-// run completes (used when the nodes are driven by an external runtime
-// instead of RunBatch's built-in simulator).
-type Collector struct {
-	instances int
-	nodes     []*node
-}
-
-// Outputs returns instance index -> process -> output polytope for every
-// sub-process that decided.
-func (c *Collector) Outputs() []map[dist.ProcID]*polytope.Polytope {
-	out := make([]map[dist.ProcID]*polytope.Polytope, c.instances)
-	for k := 0; k < c.instances; k++ {
-		out[k] = make(map[dist.ProcID]*polytope.Polytope)
-		for i, nd := range c.nodes {
-			o, err := nd.subs[k].Output()
-			if err != nil {
-				continue
-			}
-			out[k][dist.ProcID(i)] = o
-		}
-	}
-	return out
-}
-
-// NewNodes validates the batch and builds one demultiplexing process per
-// node, for use with any dist.Process driver (the deterministic simulator
-// or the goroutine/TCP runtime).
-func NewNodes(cfg BatchConfig) ([]dist.Process, *Collector, error) {
+// buildSpec validates the batch and translates it into an engine spec.
+func buildSpec(cfg BatchConfig) (engine.Spec, error) {
 	if cfg.N <= 0 {
-		return nil, nil, errors.New("multiplex: need positive N")
+		return engine.Spec{}, errors.New("multiplex: need positive N")
 	}
 	if len(cfg.Instances) == 0 {
-		return nil, nil, errors.New("multiplex: empty batch")
+		return engine.Spec{}, errors.New("multiplex: empty batch")
 	}
+	spec := engine.Spec{N: cfg.N, Instances: make([]engine.InstanceSpec, len(cfg.Instances))}
 	for k, inst := range cfg.Instances {
 		params := inst.Params.WithDefaults()
 		if params.N != cfg.N {
-			return nil, nil, fmt.Errorf("multiplex: instance %d has n=%d, batch runs on n=%d", k, params.N, cfg.N)
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d has n=%d, batch runs on n=%d", k, params.N, cfg.N)
 		}
 		if err := params.Validate(); err != nil {
-			return nil, nil, fmt.Errorf("multiplex: instance %d: %w", k, err)
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: %w", k, err)
 		}
 		if len(inst.Inputs) != cfg.N {
-			return nil, nil, fmt.Errorf("multiplex: instance %d has %d inputs for n=%d", k, len(inst.Inputs), cfg.N)
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d has %d inputs for n=%d", k, len(inst.Inputs), cfg.N)
 		}
-	}
-	procs := make([]dist.Process, cfg.N)
-	nodes := make([]*node, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		nd := &node{subs: make([]*core.Process, len(cfg.Instances))}
-		for k, inst := range cfg.Instances {
-			sub, err := core.NewProcess(inst.Params, dist.ProcID(i), inst.Inputs[i])
-			if err != nil {
-				return nil, nil, fmt.Errorf("multiplex: instance %d process %d: %w", k, i, err)
+		if len(inst.Faults) > 0 && inst.Protocol != ProtocolByzantine {
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: Faults require ProtocolByzantine, got %v", k, inst.Protocol)
+		}
+		switch inst.Protocol {
+		case ProtocolCC:
+			ccCfg := core.RunConfig{Params: params, Inputs: inst.Inputs}
+			spec.Instances[k] = ccCfg.Spec()
+		case ProtocolVector:
+			spec.Instances[k] = vectorconsensus.Spec(core.RunConfig{Params: params, Inputs: inst.Inputs})
+		case ProtocolByzantine:
+			bzCfg := byzantine.RunConfig{Params: params, Inputs: inst.Inputs, Faults: inst.Faults}
+			if err := byzantine.Validate(bzCfg); err != nil {
+				return engine.Spec{}, fmt.Errorf("multiplex: instance %d: %w", k, err)
 			}
-			nd.subs[k] = sub
+			spec.Instances[k] = byzantine.Spec(bzCfg)
+		default:
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: unknown protocol %d", k, int(inst.Protocol))
 		}
-		nodes[i] = nd
-		procs[i] = nd
 	}
-	return procs, &Collector{instances: len(cfg.Instances), nodes: nodes}, nil
+	return spec, nil
 }
 
 // RunBatch executes every instance of the batch concurrently over one
-// simulated network.
+// network, selected by cfg.Transport.
 func RunBatch(cfg BatchConfig) (*BatchResult, error) {
-	procs, collector, err := NewNodes(cfg)
+	spec, err := buildSpec(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := dist.NewSim(dist.Config{
-		N:         cfg.N,
+	if cfg.Recover && cfg.WALDir == "" {
+		return nil, errors.New("multiplex: Recover requires WALDir")
+	}
+	opts := engine.Options{
+		Transport: cfg.Transport,
 		Seed:      cfg.Seed,
 		Scheduler: cfg.Scheduler,
 		Crashes:   cfg.Crashes,
-		Sizer:     wire.MessageSize,
-	}, procs)
-	if err != nil {
-		return nil, err
+		Timeout:   cfg.Timeout,
+		Chaos:     cfg.Chaos,
+		ChaosSeed: cfg.ChaosSeed,
+		WALDir:    cfg.WALDir,
 	}
-	stats, runErr := sim.Run()
+	if cfg.Recover {
+		// Crash-recovery kills are not crash-stop faults: the node comes back
+		// and must complete every hosted instance, so the crash plans become
+		// restart plans instead.
+		opts.Crashes = nil
+		plans := make([]runtime.RestartPlan, 0, len(cfg.Crashes))
+		for _, cp := range cfg.Crashes {
+			plans = append(plans, runtime.RestartPlan{
+				Proc:           cp.Proc,
+				KillAfterSends: cp.AfterSends,
+				Downtime:       cfg.RecoverDowntime,
+			})
+		}
+		opts.Restarts = plans
+	}
+	res, runErr := engine.Run(spec, opts)
+	if res == nil {
+		return nil, runErr
+	}
 	result := &BatchResult{
-		Outputs: collector.Outputs(),
-		Stats:   stats,
+		Outputs: make([]map[dist.ProcID]*polytope.Polytope, len(cfg.Instances)),
+		Points:  make([]map[dist.ProcID]geom.Point, len(cfg.Instances)),
+		Rounds:  make([]map[dist.ProcID]int, len(cfg.Instances)),
+		Crashed: res.Crashed,
+		Stats:   res.Stats,
+		Cluster: res.Cluster,
+	}
+	for k := range cfg.Instances {
+		result.Outputs[k] = make(map[dist.ProcID]*polytope.Polytope)
+		result.Points[k] = make(map[dist.ProcID]geom.Point)
+		result.Rounds[k] = make(map[dist.ProcID]int)
+		byzFaulty := make(map[dist.ProcID]bool)
+		for _, fault := range cfg.Instances[k].Faults {
+			byzFaulty[fault.Proc] = true
+		}
+		for i := 0; i < cfg.N; i++ {
+			id := dist.ProcID(i)
+			if byzFaulty[id] {
+				// A Byzantine adversary: its "decision" is meaningless and
+				// carries no correctness obligations, so it is not reported.
+				continue
+			}
+			switch sub := res.Sub(k, id).(type) {
+			case *core.Process:
+				if out, oerr := sub.Output(); oerr == nil {
+					result.Outputs[k][id] = out
+				}
+			case *vectorconsensus.Process:
+				if pt, oerr := sub.Output(); oerr == nil {
+					result.Points[k][id] = pt
+				}
+			case *byzantine.Process:
+				if out, oerr := sub.Output(); oerr == nil {
+					result.Outputs[k][id] = out
+				}
+			default:
+				// A Byzantine adversary: nothing to collect.
+				continue
+			}
+			if r := res.DecidedRound(k, id); r > 0 {
+				result.Rounds[k][id] = r
+			}
+		}
 	}
 	if runErr != nil {
 		return result, fmt.Errorf("multiplex: %w", runErr)

@@ -3,13 +3,13 @@ package multiplex
 import (
 	"math/rand"
 	"testing"
-	"time"
 
+	"chc/internal/byzantine"
 	"chc/internal/core"
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/polytope"
-	"chc/internal/runtime"
 )
 
 func params(n, f, d int, eps float64) core.Params {
@@ -158,22 +158,106 @@ func TestBatchValidation(t *testing.T) {
 	if _, err := RunBatch(bad); err == nil {
 		t.Error("input count mismatch should error")
 	}
+	bad = good
+	bad.Instances = []Instance{{
+		Params: params(5, 1, 2, 0.1), Inputs: randInputs(5, 2, 1),
+		Faults: []byzantine.Fault{{Proc: 0, Behavior: byzantine.Silent}},
+	}}
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("faults on a non-Byzantine instance should error")
+	}
+	bad = good
+	bad.Instances = []Instance{{
+		Params: params(5, 1, 2, 0.1), Inputs: randInputs(5, 2, 1),
+		Protocol: ProtocolByzantine,
+		Faults: []byzantine.Fault{
+			{Proc: 0, Behavior: byzantine.Silent},
+			{Proc: 0, Behavior: byzantine.Garbler},
+		},
+	}}
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("duplicate Byzantine fault should error")
+	}
+	bad = good
+	bad.Recover = true
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("Recover without WALDir should error")
+	}
 }
 
-func TestSplitKind(t *testing.T) {
-	idx, inner, ok := splitKind("i7|cc.state")
-	if !ok || idx != 7 || inner != "cc.state" {
-		t.Errorf("splitKind = %d %q %v", idx, inner, ok)
+// TestBatchHeterogeneous runs a CC instance, a vector-consensus instance,
+// and a Byzantine instance with a live adversary over one simulated network.
+func TestBatchHeterogeneous(t *testing.T) {
+	const n = 5
+	byzInputs := randInputs(n, 2, 11)
+	byzParams := params(n, 1, 2, 0.2)
+	byzParams.Model = core.IncorrectInputs
+	cfg := BatchConfig{
+		N: n,
+		Instances: []Instance{
+			{Params: params(n, 1, 2, 0.1), Inputs: randInputs(n, 2, 9)},
+			{Params: params(n, 1, 2, 0.1), Inputs: randInputs(n, 2, 10), Protocol: ProtocolVector},
+			{
+				Params: byzParams, Inputs: byzInputs,
+				Protocol: ProtocolByzantine,
+				Faults: []byzantine.Fault{{
+					Proc:     0,
+					Behavior: byzantine.IncorrectInput,
+					Input:    geom.NewPoint(-50, 50),
+				}},
+			},
+		},
+		Seed: 9,
 	}
-	for _, bad := range []string{"cc.state", "i|x", "ix|y", "7|x", "i"} {
-		if _, _, ok := splitKind(bad); ok {
-			t.Errorf("splitKind(%q) should fail", bad)
+	result, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Outputs[0]) != n {
+		t.Errorf("CC instance: %d outputs, want %d", len(result.Outputs[0]), n)
+	}
+	if len(result.Points[1]) != n {
+		t.Errorf("vector instance: %d points, want %d", len(result.Points[1]), n)
+	}
+	// The Byzantine instance decides at every correct process, and validity
+	// holds against the correct-input hull (the adversarial input from
+	// process 0 must not drag outputs outside it).
+	bzCfg := byzantine.RunConfig{Params: byzParams, Inputs: byzInputs, Faults: cfg.Instances[2].Faults}
+	ref, err := byzantine.CorrectInputHull(&bzCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		out, ok := result.Outputs[2][dist.ProcID(i)]
+		if !ok {
+			t.Fatalf("byzantine instance: process %d did not decide", i)
+		}
+		for _, v := range out.Vertices() {
+			d, err := ref.Distance(v, geom.DefaultEps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > 1e-6 {
+				t.Errorf("byzantine instance: process %d vertex %v at distance %v from correct hull", i, v, d)
+			}
+		}
+	}
+	// Rounds are accounted per instance.
+	for k := range cfg.Instances {
+		start := 0
+		if k == 2 {
+			start = 1 // the adversary has no decided round
+		}
+		for i := start; i < n; i++ {
+			if result.Rounds[k][dist.ProcID(i)] <= 0 {
+				t.Errorf("instance %d: process %d has no decided round", k, i)
+			}
 		}
 	}
 }
 
-// TestBatchOverConcurrentRuntime drives the same demux nodes with real
-// goroutines (package runtime) instead of the simulator.
+// TestBatchOverConcurrentRuntime drives the same batch with real goroutines
+// (channel transport) instead of the simulator.
 func TestBatchOverConcurrentRuntime(t *testing.T) {
 	const n = 5
 	cfg := BatchConfig{
@@ -181,21 +265,15 @@ func TestBatchOverConcurrentRuntime(t *testing.T) {
 		Instances: []Instance{
 			{Params: params(n, 1, 2, 0.3), Inputs: randInputs(n, 2, 7)},
 			{Params: params(n, 1, 1, 0.3), Inputs: randInputs(n, 1, 8)},
+			{Params: params(n, 1, 2, 0.3), Inputs: randInputs(n, 2, 12), Protocol: ProtocolVector},
 		},
+		Transport: engine.TransportChannel,
 	}
-	procs, collector, err := NewNodes(cfg)
+	result, err := RunBatch(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster, err := runtime.NewChannelCluster(procs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cluster.Run(60 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	outputs := collector.Outputs()
-	for k, outs := range outputs {
+	for k, outs := range result.Outputs[:2] {
 		if len(outs) != n {
 			t.Fatalf("instance %d: %d outputs, want %d", k, len(outs), n)
 		}
@@ -210,5 +288,11 @@ func TestBatchOverConcurrentRuntime(t *testing.T) {
 		if d > cfg.Instances[k].Params.Epsilon {
 			t.Errorf("instance %d: agreement %v > ε", k, d)
 		}
+	}
+	if len(result.Points[2]) != n {
+		t.Fatalf("vector instance: %d points, want %d", len(result.Points[2]), n)
+	}
+	if result.Cluster == nil {
+		t.Error("networked batch should surface cluster stats")
 	}
 }

@@ -526,12 +526,19 @@ type nodeContext struct {
 	crashed *atomic.Bool
 }
 
-var _ dist.Context = (*nodeContext)(nil)
+var (
+	_ dist.Context        = (*nodeContext)(nil)
+	_ dist.InstanceSender = (*nodeContext)(nil)
+)
 
 func (nc *nodeContext) ID() dist.ProcID { return nc.id }
 func (nc *nodeContext) N() int          { return nc.n }
 
 func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	nc.SendInstance(0, to, kind, round, payload)
+}
+
+func (nc *nodeContext) SendInstance(instance int, to dist.ProcID, kind string, round int, payload any) {
 	// Invalid targets are local no-ops: they consume no crash budget and do
 	// not count as sends, mirroring dist.Sim.send.
 	if to < 0 || int(to) >= nc.n {
@@ -540,7 +547,7 @@ func (nc *nodeContext) Send(to dist.ProcID, kind string, round int, payload any)
 	if !nc.cluster.consumeSendBudget(nc.id, nc.crashed) {
 		return
 	}
-	msg := dist.Message{From: nc.id, To: to, Kind: kind, Round: round, Payload: payload}
+	msg := dist.Message{From: nc.id, To: to, Kind: kind, Round: round, Instance: instance, Payload: payload}
 	nc.cluster.sends.Add(1)
 	if nc.cluster.sizer != nil {
 		nc.cluster.bytes.Add(int64(nc.cluster.sizer(msg)))

@@ -1,0 +1,20 @@
+package runtime
+
+import (
+	"chc/internal/dist"
+	"chc/internal/wal"
+)
+
+// Test hooks for the external runtime_test package, which exercises the
+// cluster against full consensus processes (package core) and therefore
+// cannot live in-package: core runs on the unified engine, which drives this
+// runtime.
+
+// ReplayNodeForTest exposes replayNode: rebuild node i from its WAL.
+func (c *Cluster) ReplayNodeForTest(i int) (dist.Process, *wal.Replayed, error) {
+	proc, _, rep, err := c.replayNode(i)
+	return proc, rep, err
+}
+
+// RecoveryDirForTest exposes the configured WAL directory.
+func (c *Cluster) RecoveryDirForTest() string { return c.recovery.Dir }

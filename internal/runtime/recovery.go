@@ -363,16 +363,27 @@ type captureContext struct {
 	self  []dist.Message
 }
 
-var _ dist.Context = (*captureContext)(nil)
+var (
+	_ dist.Context        = (*captureContext)(nil)
+	_ dist.InstanceSender = (*captureContext)(nil)
+)
 
 func (cc *captureContext) ID() dist.ProcID { return cc.id }
 func (cc *captureContext) N() int          { return cc.n }
 
 func (cc *captureContext) Send(to dist.ProcID, kind string, round int, payload any) {
+	cc.SendInstance(0, to, kind, round, payload)
+}
+
+// SendInstance preserves the engine's instance index on regenerated sends:
+// a multiplexing node replayed from its WAL rebuilds retransmission queues
+// whose messages must route to the same instance they originally belonged
+// to.
+func (cc *captureContext) SendInstance(instance int, to dist.ProcID, kind string, round int, payload any) {
 	if to < 0 || int(to) >= cc.n {
 		return
 	}
-	msg := dist.Message{From: cc.id, To: to, Kind: kind, Round: round, Payload: payload}
+	msg := dist.Message{From: cc.id, To: to, Kind: kind, Round: round, Instance: instance, Payload: payload}
 	if to == cc.id {
 		cc.self = append(cc.self, msg)
 		return

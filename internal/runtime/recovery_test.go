@@ -1,141 +1,15 @@
 package runtime
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"sync"
 	"testing"
 	"time"
 
-	"chc/internal/chaos"
-	"chc/internal/core"
 	"chc/internal/dist"
 	"chc/internal/geom"
-	"chc/internal/polytope"
 	"chc/internal/wal"
 )
-
-// ccFixture builds n Algorithm CC processes with deterministic inputs and a
-// factory that rebuilds any of them from scratch — the determinism the WAL
-// replay path relies on.
-type ccFixture struct {
-	params core.Params
-	inputs []geom.Point
-}
-
-func newCCFixture(t *testing.T, n, f int) *ccFixture {
-	t.Helper()
-	params := core.Params{
-		N: n, F: f, D: 2,
-		Epsilon:    0.05,
-		InputLower: 0, InputUpper: 10,
-	}
-	inputs := make([]geom.Point, n)
-	for i := range inputs {
-		inputs[i] = geom.NewPoint(float64(i%4)+0.5, float64((i*3)%5)+0.5)
-	}
-	return &ccFixture{params: params, inputs: inputs}
-}
-
-func (fx *ccFixture) factory(t *testing.T) func(i int) dist.Process {
-	return func(i int) dist.Process {
-		p, err := core.NewProcess(fx.params, dist.ProcID(i), fx.inputs[i])
-		if err != nil {
-			t.Errorf("factory(%d): %v", i, err)
-			return nil
-		}
-		return p
-	}
-}
-
-func (fx *ccFixture) procs(t *testing.T) []dist.Process {
-	t.Helper()
-	procs := make([]dist.Process, fx.params.N)
-	for i := range procs {
-		p, err := core.NewProcess(fx.params, dist.ProcID(i), fx.inputs[i])
-		if err != nil {
-			t.Fatal(err)
-		}
-		procs[i] = p
-	}
-	return procs
-}
-
-// protocolStateBytes serializes the observable protocol state of a CC
-// process — the full execution trace plus the decision polytope — so two
-// reconstructions can be compared byte for byte.
-func protocolStateBytes(t *testing.T, p dist.Process) []byte {
-	t.Helper()
-	cp, ok := p.(*core.Process)
-	if !ok {
-		t.Fatalf("process is %T, want *core.Process", p)
-	}
-	out, err := cp.Output()
-	if err != nil {
-		t.Fatalf("process has no decision: %v", err)
-	}
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(cp.TraceData()); err != nil {
-		t.Fatal(err)
-	}
-	if err := enc.Encode(out.Vertices()); err != nil {
-		t.Fatal(err)
-	}
-	return buf.Bytes()
-}
-
-// TestWALReplayByteIdentical is the acceptance-criteria replay test: after a
-// full consensus run with journaling enabled, replaying each node's WAL
-// through a fresh factory-built process must reconstruct byte-identical
-// protocol state (trace and decision polytope).
-func TestWALReplayByteIdentical(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	procs := fx.procs(t)
-	dir := t.TempDir()
-	c, err := NewChannelCluster(procs,
-		WithRecovery(RecoveryConfig{Dir: dir, Factory: fx.factory(t), Inputs: fx.inputs}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Run(60 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	live := c.Processes()
-	for i := range procs {
-		replayed, _, rep, err := c.replayNode(i)
-		if err != nil {
-			t.Fatalf("replay node %d: %v", i, err)
-		}
-		if rep.Epoch != 0 {
-			t.Errorf("node %d: epoch = %d, want 0 (no restarts)", i, rep.Epoch)
-		}
-		want := protocolStateBytes(t, live[i])
-		got := protocolStateBytes(t, replayed)
-		if !bytes.Equal(want, got) {
-			t.Errorf("node %d: replayed state differs from live state (%d vs %d bytes)",
-				i, len(got), len(want))
-		}
-	}
-	if st := c.Stats(); st.Net.WALAppends == 0 || st.Net.WALSyncs == 0 {
-		t.Errorf("WAL counters not reported: %+v", st.Net)
-	}
-	// The decision must be journaled too: a decided node's log says so
-	// without re-executing the state machine.
-	for i := range procs {
-		rep, err := wal.Replay(WALPath(dir, dist.ProcID(i)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !rep.Decided {
-			t.Errorf("node %d: no decision record in the WAL", i)
-		}
-		if want := fx.params.TEnd(); rep.DecidedRound != want {
-			t.Errorf("node %d: decided round = %d, want t_end = %d", i, rep.DecidedRound, want)
-		}
-	}
-}
 
 // TestJournalingDeliverOrderMatchesJournal hammers one incarnation's
 // journaling path from several goroutines (per-sender link locks in rlink
@@ -187,134 +61,6 @@ func TestJournalingDeliverOrderMatchesJournal(t *testing.T) {
 		if got.From != want.From || got.Round != want.Round {
 			t.Fatalf("position %d: mailbox has {from %d round %d}, journal has {from %d round %d}",
 				i, got.From, got.Round, want.From, want.Round)
-		}
-	}
-}
-
-// runRecoveryConsensus runs one CC instance with the given restart schedule
-// and asserts that every process — including the restarted ones — decides,
-// and that all decisions agree.
-func runRecoveryConsensus(t *testing.T, fx *ccFixture, mk func([]dist.Process, ...Option) (*Cluster, error), plans []RestartPlan) *Cluster {
-	t.Helper()
-	procs := fx.procs(t)
-	c, err := mk(procs,
-		WithRecovery(RecoveryConfig{Dir: t.TempDir(), Factory: fx.factory(t), Inputs: fx.inputs}),
-		WithRestarts(plans...))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Run(60 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	live := c.Processes()
-	outs := make([]*core.Process, len(live))
-	for i, p := range live {
-		cp, ok := p.(*core.Process)
-		if !ok {
-			t.Fatalf("node %d: process is %T", i, p)
-		}
-		if _, err := cp.Output(); err != nil {
-			t.Fatalf("node %d did not decide after recovery: %v", i, err)
-		}
-		outs[i] = cp
-	}
-	// ε-agreement must hold across the restart boundary: recovered nodes are
-	// correct processes, not crashed ones.
-	for i := 1; i < len(outs); i++ {
-		a, _ := outs[0].Output()
-		b, _ := outs[i].Output()
-		d, err := polytope.Hausdorff(a, b, geom.DefaultEps)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if d > fx.params.Epsilon+1e-9 {
-			t.Errorf("outputs 0 and %d disagree: d_H = %g > ε = %g", i, d, fx.params.Epsilon)
-		}
-	}
-	return c
-}
-
-func TestChannelClusterRestartRecovery(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	c := runRecoveryConsensus(t, fx, NewChannelCluster, []RestartPlan{
-		{Proc: 1, KillAfterSends: 6, Downtime: 10 * time.Millisecond},
-	})
-	st := c.Stats()
-	if st.Net.Resumes == 0 {
-		t.Errorf("no resumption handshakes observed: %+v", st.Net)
-	}
-	if st.Net.WALAppends == 0 {
-		t.Errorf("no WAL appends observed: %+v", st.Net)
-	}
-}
-
-func TestChannelClusterDoubleRestart(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	runRecoveryConsensus(t, fx, NewChannelCluster, []RestartPlan{
-		{Proc: 2, KillAfterSends: 5, Downtime: 5 * time.Millisecond},
-		{Proc: 2, KillAfterSends: 4, Downtime: 5 * time.Millisecond},
-	})
-}
-
-// TestZeroBudgetRelaunchCrashesImmediately pins KillAfterSends=0 semantics
-// on a relaunched incarnation: the node must crash the instant it comes back
-// up (same as a first incarnation with a zero budget), be relaunched again,
-// and still reach agreement — the plan must not hang waiting for a send that
-// may never happen.
-func TestZeroBudgetRelaunchCrashesImmediately(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	c := runRecoveryConsensus(t, fx, NewChannelCluster, []RestartPlan{
-		{Proc: 2, KillAfterSends: 5, Downtime: 5 * time.Millisecond},
-		{Proc: 2, KillAfterSends: 0, Downtime: 5 * time.Millisecond},
-	})
-	// Both plans must actually have fired: the final log carries one epoch
-	// record per incarnation.
-	rep, err := wal.Replay(WALPath(c.recovery.Dir, 2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Epoch != 2 {
-		t.Errorf("node 2 ran %d incarnations, want 3 (epoch = %d, want 2)", rep.Epoch+1, rep.Epoch)
-	}
-}
-
-func TestChannelClusterTwoNodeRestart(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	runRecoveryConsensus(t, fx, NewChannelCluster, []RestartPlan{
-		{Proc: 0, KillAfterSends: 4, Downtime: 5 * time.Millisecond},
-		{Proc: 3, KillAfterSends: 12, Downtime: 15 * time.Millisecond},
-	})
-}
-
-func TestTCPClusterRestartRecovery(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	c := runRecoveryConsensus(t, fx, NewTCPCluster, []RestartPlan{
-		{Proc: 1, KillAfterSends: 5, Downtime: 20 * time.Millisecond},
-	})
-	if st := c.Stats(); st.Net.Resumes == 0 {
-		t.Errorf("no resumption handshakes observed over TCP: %+v", st.Net)
-	}
-}
-
-// TestRestartWithChaos composes kill-and-restart faults with a lossy,
-// duplicating link layer: the WAL and the chaos machinery must not step on
-// each other.
-func TestRestartWithChaos(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	procs := fx.procs(t)
-	c, err := NewChannelCluster(procs,
-		WithChaos(chaos.Light(), 7),
-		WithRecovery(RecoveryConfig{Dir: t.TempDir(), Factory: fx.factory(t), Inputs: fx.inputs}),
-		WithRestarts(RestartPlan{Proc: 2, KillAfterSends: 8, Downtime: 10 * time.Millisecond}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Run(60 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	for i, p := range c.Processes() {
-		if _, err := p.(*core.Process).Output(); err != nil {
-			t.Fatalf("node %d did not decide: %v", i, err)
 		}
 	}
 }
@@ -410,46 +156,5 @@ func TestRecoveryValidation(t *testing.T) {
 func TestWALPathLayout(t *testing.T) {
 	if got := WALPath("/tmp/x", 7); got != "/tmp/x/node-007.wal" {
 		t.Errorf("WALPath = %q", got)
-	}
-}
-
-// TestReplayIsRepeatable runs the same WAL through replayNode twice and
-// checks the reconstructions match — replay must not consume or reorder the
-// log (the torture analogue at cluster level).
-func TestReplayIsRepeatable(t *testing.T) {
-	fx := newCCFixture(t, 5, 1)
-	procs := fx.procs(t)
-	dir := t.TempDir()
-	c, err := NewChannelCluster(procs,
-		WithRecovery(RecoveryConfig{Dir: dir, Factory: fx.factory(t), Inputs: fx.inputs}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Run(60 * time.Second); err != nil {
-		t.Fatal(err)
-	}
-	first, _, _, err := c.replayNode(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	second, _, _, err := c.replayNode(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(protocolStateBytes(t, first), protocolStateBytes(t, second)) {
-		t.Error("two replays of the same WAL reconstructed different state")
-	}
-	// The journal itself must also survive replay byte for byte.
-	rep1, err := wal.Replay(WALPath(dir, 2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep2, err := wal.Replay(WALPath(dir, 2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep1.Records != rep2.Records || len(rep1.Delivered) != len(rep2.Delivered) {
-		t.Errorf("replay not repeatable: %d/%d records, %d/%d deliveries",
-			rep1.Records, rep2.Records, len(rep1.Delivered), len(rep2.Delivered))
 	}
 }

@@ -19,10 +19,14 @@ import (
 
 	"chc/internal/core"
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/stablevector"
 	"chc/internal/wire"
 )
+
+// The baseline is a full engine protocol: it decides a point.
+var _ engine.Protocol[geom.Point] = (*Process)(nil)
 
 // KindState is the message kind carrying a round-t point state.
 const KindState = "vc.state"
@@ -112,6 +116,15 @@ func (p *Process) Output() (geom.Point, error) {
 
 // Rounds returns the number of averaging rounds executed.
 func (p *Process) Rounds() int { return p.rounds }
+
+// DecidedRound returns the terminal averaging round t_end once the process
+// has decided, and 0 before that.
+func (p *Process) DecidedRound() int {
+	if !p.decided {
+		return 0
+	}
+	return p.tEnd
+}
 
 func (p *Process) tryFinishRound0(ctx dist.Context) {
 	if p.round != 0 || p.failure != nil {
@@ -223,45 +236,44 @@ func (r *RunResult) MaxPairwiseDistance() float64 {
 	return worst
 }
 
-// Run executes one vector consensus instance under the simulator, reusing
-// the execution description of package core.
+// Spec returns the engine description of the baseline instance: one vector
+// consensus participant per process, built deterministically from the
+// validated config.
+func Spec(cfg core.RunConfig) engine.InstanceSpec {
+	params := cfg.Params
+	return engine.InstanceSpec{New: func(id dist.ProcID) (dist.Process, error) {
+		return NewProcess(params, id, cfg.Inputs[id])
+	}}
+}
+
+// Run executes one vector consensus instance under the deterministic
+// simulator (via the unified engine), reusing the execution description of
+// package core.
 func Run(cfg core.RunConfig) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	params := cfg.Params
-	procs := make([]dist.Process, params.N)
-	impls := make([]*Process, params.N)
-	for i := 0; i < params.N; i++ {
-		proc, err := NewProcess(params, dist.ProcID(i), cfg.Inputs[i])
-		if err != nil {
-			return nil, err
-		}
-		impls[i] = proc
-		procs[i] = proc
-	}
-	sim, err := dist.NewSim(dist.Config{
-		N:             params.N,
+	res, err := engine.Run(engine.Spec{N: params.N, Instances: []engine.InstanceSpec{Spec(cfg)}}, engine.Options{
 		Seed:          cfg.Seed,
 		Scheduler:     cfg.Scheduler,
 		Crashes:       cfg.Crashes,
 		MaxDeliveries: cfg.MaxDeliveries,
-		Sizer:         wire.MessageSize,
-	}, procs)
-	if err != nil {
+	})
+	if res == nil {
 		return nil, err
 	}
-	stats, err := sim.Run()
 	result := &RunResult{
 		Params:  params,
 		Outputs: make(map[dist.ProcID]geom.Point),
 		Faulty:  make(map[dist.ProcID]bool),
-		Stats:   stats,
+		Stats:   res.Stats,
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true
 	}
-	for i, proc := range impls {
+	for i := 0; i < params.N; i++ {
+		proc := res.Sub(0, dist.ProcID(i)).(*Process)
 		if proc.decided {
 			out, oerr := proc.Output()
 			if oerr != nil {

@@ -89,7 +89,12 @@ type RBCPayload struct {
 // The frame layout is:
 //
 //	u32 frameLen (bytes after this field)
-//	i32 from | i32 to | i32 round | u8 kindLen | kind | u8 tag | payload
+//	i32 from | i32 to | i32 round | i32 instance | u8 kindLen | kind | u8 tag | payload
+//
+// The instance field is the engine's numeric multiplexing index: it names
+// which protocol instance of a batch the message belongs to, so the kind
+// string is carried byte-for-byte with no namespacing conventions imposed
+// on it.
 func EncodeMessage(m dist.Message) ([]byte, error) {
 	if len(m.Kind) > 255 {
 		return nil, fmt.Errorf("wire: kind %q too long", m.Kind)
@@ -98,6 +103,7 @@ func EncodeMessage(m dist.Message) ([]byte, error) {
 	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.From)))
 	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.To)))
 	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.Round)))
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.Instance)))
 	body = append(body, byte(len(m.Kind)))
 	body = append(body, m.Kind...)
 	var err error
@@ -198,6 +204,10 @@ func DecodeMessage(frame []byte) (dist.Message, error) {
 	if err != nil {
 		return m, err
 	}
+	instance, err := r.u32()
+	if err != nil {
+		return m, err
+	}
 	kind, err := r.str8()
 	if err != nil {
 		return m, err
@@ -212,6 +222,7 @@ func DecodeMessage(frame []byte) (dist.Message, error) {
 	m.From = dist.ProcID(int32(from))
 	m.To = dist.ProcID(int32(to))
 	m.Round = int(int32(round))
+	m.Instance = int(int32(instance))
 	m.Kind = kind
 	m.Payload = payload
 	return m, nil

@@ -7,8 +7,8 @@ import (
 	"chc/internal/chaos"
 	"chc/internal/core"
 	"chc/internal/dist"
+	"chc/internal/engine"
 	"chc/internal/runtime"
-	"chc/internal/wire"
 )
 
 // TransportKind selects how RunNetworked connects the processes.
@@ -24,6 +24,18 @@ const (
 	// acks, retransmission, reconnect) always active.
 	TCP
 )
+
+// engineTransport maps the public transport to the engine's executor.
+func (t TransportKind) engineTransport() (engine.Transport, error) {
+	switch t {
+	case InProcess:
+		return engine.TransportChannel, nil
+	case TCP:
+		return engine.TransportTCP, nil
+	default:
+		return 0, fmt.Errorf("chc: unknown transport %d", int(t))
+	}
+}
 
 // ChaosProfile describes injected network faults for RunNetworked: per-frame
 // drop and duplication probabilities, bounded random delays, and transient
@@ -96,11 +108,11 @@ func WithCrashRecovery(downtime time.Duration) NetworkOption {
 }
 
 // RunNetworked executes a convex hull consensus instance under real
-// concurrency — one goroutine per process — over the selected transport.
-// Unlike Run, delivery order comes from actual goroutine and network
-// scheduling, so executions are not reproducible; cfg.Seed and
-// cfg.Scheduler are ignored (chaos fault plans, by contrast, are seeded and
-// reproducible per link).
+// concurrency — one goroutine per process — over the selected transport
+// (via the unified engine). Unlike Run, delivery order comes from actual
+// goroutine and network scheduling, so executions are not reproducible;
+// cfg.Seed and cfg.Scheduler are ignored (chaos fault plans, by contrast,
+// are seeded and reproducible per link).
 //
 // The returned result carries outputs and traces; Crashed marks processes
 // whose scheduled crash prevented a decision. Stats.Net exposes the
@@ -114,6 +126,10 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	if netOpts.recover && netOpts.walDir == "" {
 		return nil, fmt.Errorf("chc: WithCrashRecovery requires WithWAL")
 	}
+	engTransport, err := transport.engineTransport()
+	if err != nil {
+		return nil, err
+	}
 	var restartCrashes []CrashPlan
 	if netOpts.recover {
 		// Crash-recovery kills are not crash-stop faults: the node comes
@@ -123,34 +139,20 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 		restartCrashes = cfg.Crashes
 		cfg.Crashes = nil
 	}
+	cfg.Seed = 0
+	cfg.Scheduler = nil
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	params := cfg.Params
-	procs := make([]dist.Process, params.N)
-	for i := 0; i < params.N; i++ {
-		proc, err := core.NewProcess(params, ProcID(i), cfg.Inputs[i])
-		if err != nil {
-			return nil, err
-		}
-		procs[i] = proc
-	}
-	runOpts := []runtime.Option{runtime.WithSizer(wire.MessageSize)}
-	if netOpts.walDir != "" {
-		runOpts = append(runOpts, runtime.WithRecovery(runtime.RecoveryConfig{
-			Dir: netOpts.walDir,
-			// The factory rebuilds the deterministic state machine the WAL
-			// replay drives; params and inputs were validated above, so a
-			// constructor failure here is a programming error.
-			Factory: func(i int) dist.Process {
-				p, err := core.NewProcess(params, ProcID(i), cfg.Inputs[i])
-				if err != nil {
-					panic(err)
-				}
-				return p
-			},
-			Inputs: cfg.Inputs,
-		}))
+	engOpts := engine.Options{
+		Transport: engTransport,
+		Crashes:   cfg.Crashes,
+		Timeout:   timeout,
+		Chaos:     netOpts.chaos,
+		ChaosSeed: netOpts.chaosSeed,
+		WALDir:    netOpts.walDir,
+		Inputs:    cfg.Inputs,
 	}
 	if netOpts.recover {
 		plans := make([]runtime.RestartPlan, 0, len(restartCrashes))
@@ -161,57 +163,32 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 				Downtime:       netOpts.recoverWait,
 			})
 		}
-		runOpts = append(runOpts, runtime.WithRestarts(plans...))
-	} else if len(cfg.Crashes) > 0 {
-		runOpts = append(runOpts, runtime.WithCrashes(cfg.Crashes...))
+		engOpts.Restarts = plans
 	}
-	if netOpts.chaos != nil {
-		runOpts = append(runOpts, runtime.WithChaos(*netOpts.chaos, netOpts.chaosSeed))
-	}
-	var (
-		cluster *runtime.Cluster
-		err     error
-	)
-	switch transport {
-	case InProcess:
-		cluster, err = runtime.NewChannelCluster(procs, runOpts...)
-	case TCP:
-		cluster, err = runtime.NewTCPCluster(procs, runOpts...)
-	default:
-		return nil, fmt.Errorf("chc: unknown transport %d", transport)
+	res, err := engine.Run(engine.Spec{N: params.N, Instances: []engine.InstanceSpec{cfg.Spec()}}, engOpts)
+	if res == nil {
+		return nil, err
 	}
 	if err != nil {
 		return nil, err
 	}
-	if err := cluster.Run(timeout); err != nil {
-		return nil, err
-	}
-	st := cluster.Stats()
-	net := st.Net
 	result := &RunResult{
 		Params:  params,
 		Outputs: make(map[ProcID]*Polytope),
 		Crashed: make(map[ProcID]bool),
 		Faulty:  make(map[ProcID]bool),
 		Traces:  make(map[ProcID]Trace),
-		Stats: &Stats{
-			Sends: int(st.Sends), Bytes: int(st.Bytes),
-			KindCounts: map[string]int{},
-			Net:        &net,
-		},
+		Stats:   res.Stats,
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true
 	}
-	// Read the post-run incarnations from the cluster: with crash recovery a
-	// relaunched process replaces the one constructed above, and its
-	// recovered state is the one to inspect.
-	for i, proc := range cluster.Processes() {
+	// Inspect the post-run incarnations: with crash recovery a relaunched
+	// process replaces the one first constructed, and its recovered state is
+	// the one to read.
+	for i := 0; i < params.N; i++ {
 		id := ProcID(i)
-		impl, ok := proc.(*core.Process)
-		if !ok {
-			return nil, fmt.Errorf("chc: node %d: unexpected process type %T", i, proc)
-		}
+		impl := res.Sub(0, id).(*core.Process)
 		result.Traces[id] = impl.TraceData()
 		out, oerr := impl.Output()
 		if oerr != nil {
