@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak bench bench-json bench-check experiments
+.PHONY: build test check race soak bench bench-json bench-check bench-telemetry experiments
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,11 @@ test: build
 
 # check is the tier-1 gate plus static analysis and the race detector over
 # the concurrency-heavy packages (networked runtime, reliable links, chaos
-# injection, simulator, wire codec).
+# injection, simulator, wire codec, telemetry registry).
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runtime/... ./internal/rlink/... ./internal/chaos/... ./internal/dist/... ./internal/wire/... ./internal/wal/... ./internal/engine/... ./internal/multiplex/...
+	$(GO) test -race ./internal/runtime/... ./internal/rlink/... ./internal/chaos/... ./internal/dist/... ./internal/wire/... ./internal/wal/... ./internal/engine/... ./internal/multiplex/... ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...
@@ -37,6 +37,24 @@ bench-json: build
 # case is more than 25% slower (ns/op) than the committed seed baseline.
 bench-check: build
 	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-check.json -baseline BENCH_seed.json
+
+# The newest committed benchmark baseline; bump when a fresh BENCH_<sha>.json
+# lands.
+BENCH_BASELINE ?= BENCH_53c28f4.json
+# Allowed ns/op regression of the telemetry-disabled consensus case. 2% is
+# the overhead budget of DESIGN.md §9 (every instrument's disabled path is a
+# single atomic load); CI overrides this with a coarser bound because shared
+# runners are noisy.
+TELEMETRY_MAX_REGRESS ?= 0.02
+
+# bench-telemetry is the observability overhead gate: the telemetry-disabled
+# consensus case must stay within TELEMETRY_MAX_REGRESS of the committed
+# baseline, and the telemetry-enabled twin is measured alongside so the
+# BENCH_*.json trajectory records the enabled overhead commit by commit.
+bench-telemetry: build
+	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-telemetry.json \
+		-bench ConsensusN10F2D3,ConsensusN10F2D3Telemetry \
+		-baseline $(BENCH_BASELINE) -max-regress $(TELEMETRY_MAX_REGRESS)
 
 experiments:
 	$(GO) run ./cmd/chcbench -quick

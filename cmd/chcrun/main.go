@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,28 +37,30 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("chcrun", flag.ContinueOnError)
 	var (
-		n         = fs.Int("n", 7, "number of processes")
-		f         = fs.Int("f", 1, "maximum faulty processes")
-		d         = fs.Int("d", 2, "input dimension")
-		eps       = fs.Float64("eps", 0.01, "agreement parameter ε")
-		seed      = fs.Int64("seed", 1, "scheduler / input seed")
-		faulty    = fs.String("faulty", "", "comma-separated faulty process IDs")
-		crash     = fs.String("crash", "", "crash plans id:afterSends,...")
-		sched     = fs.String("sched", "random", "scheduler: random|rr|delay|split")
-		model     = fs.String("model", "incorrect", "fault model: incorrect|correct")
-		transport = fs.String("transport", "sim", "execution: sim|inproc|tcp")
-		batch     = fs.Int("batch", 0, "run this many instances as one batch multiplexed over the shared transport (0 = single-instance mode)")
-		protocol  = fs.String("protocol", "cc", "protocol for batch instances: cc|vector|byzantine (implies batch mode when not cc)")
-		byz       = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
-		traceFile = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
-		chaosSpec = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
-		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
-		walDir    = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory (inproc/tcp only)")
-		recoverWAL = fs.Bool("recover", false, "treat -crash plans as kill-and-restart faults: relaunch killed processes from their WALs (requires -wal-dir)")
-		downtime  = fs.Duration("recover-downtime", 10*time.Millisecond, "how long a killed process stays down before its WAL relaunch")
+		n             = fs.Int("n", 7, "number of processes")
+		f             = fs.Int("f", 1, "maximum faulty processes")
+		d             = fs.Int("d", 2, "input dimension")
+		eps           = fs.Float64("eps", 0.01, "agreement parameter ε")
+		seed          = fs.Int64("seed", 1, "scheduler / input seed")
+		faulty        = fs.String("faulty", "", "comma-separated faulty process IDs")
+		crash         = fs.String("crash", "", "crash plans id:afterSends,...")
+		sched         = fs.String("sched", "random", "scheduler: random|rr|delay|split")
+		model         = fs.String("model", "incorrect", "fault model: incorrect|correct")
+		transport     = fs.String("transport", "sim", "execution: sim|inproc|tcp")
+		batch         = fs.Int("batch", 0, "run this many instances as one batch multiplexed over the shared transport (0 = single-instance mode)")
+		protocol      = fs.String("protocol", "cc", "protocol for batch instances: cc|vector|byzantine (implies batch mode when not cc)")
+		byz           = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
+		traceFile     = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
+		chaosSpec     = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
+		chaosSeed     = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
+		walDir        = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory (inproc/tcp only)")
+		recoverWAL    = fs.Bool("recover", false, "treat -crash plans as kill-and-restart faults: relaunch killed processes from their WALs (requires -wal-dir)")
+		downtime      = fs.Duration("recover-downtime", 10*time.Millisecond, "how long a killed process stays down before its WAL relaunch")
+		metricsAddr   = fs.String("metrics-addr", "", "enable telemetry and serve /metrics, /runs and /debug/pprof on this address (host:port; port 0 picks a free port)")
+		telemetryJSON = fs.String("telemetry-json", "", "enable telemetry and write the final registry snapshot as JSON to this file (written on error and timeout exits too)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +83,36 @@ func run(args []string, w io.Writer) error {
 		if *crash == "" {
 			return fmt.Errorf("-recover needs -crash plans to convert into kill-and-restart faults")
 		}
+	}
+
+	if *metricsAddr != "" {
+		resolved, _, serr := chc.ServeTelemetry(*metricsAddr)
+		if serr != nil {
+			return fmt.Errorf("-metrics-addr: %w", serr)
+		}
+		fmt.Fprintf(w, "telemetry   : serving /metrics /runs /debug/pprof on http://%s\n", resolved)
+	}
+	if *telemetryJSON != "" {
+		chc.EnableTelemetry(true)
+	}
+	if chc.TelemetryEnabled() {
+		// Failed and timed-out runs return no result object, so their summary
+		// comes from the process-wide registry instead; the JSON dump is
+		// written on every exit path for the same reason.
+		defer func() {
+			if err != nil {
+				printTelemetrySummary(w)
+			}
+			if *telemetryJSON != "" {
+				if werr := writeTelemetryJSON(w, *telemetryJSON); werr != nil {
+					if err == nil {
+						err = werr
+					} else {
+						fmt.Fprintf(w, "telemetry   : %v\n", werr)
+					}
+				}
+			}
+		}()
 	}
 
 	params := chc.Params{
@@ -483,6 +516,44 @@ func runByzantine(w io.Writer, params chc.Params, inputs []chc.Point, faulty []c
 	}
 	fmt.Fprintf(w, "messages    : %d sends, %d bytes (reliable broadcast)\n",
 		result.Stats.Sends, result.Stats.Bytes)
+	return nil
+}
+
+// printTelemetrySummary prints the message/network/recovery counters from the
+// process-wide registry. Error and timeout exits use it: those paths have no
+// result object to report from, but the registry has been counting all along.
+func printTelemetrySummary(w io.Writer) {
+	snap := chc.TelemetrySnapshot()
+	total := func(name string) int64 {
+		if mf := snap.Find(name); mf != nil {
+			return int64(mf.Total())
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "telemetry   : %d sends, %d frames, %d retransmits, %d reconnects, %d restarts (registry totals at exit)\n",
+		total("chc_runtime_sends_total"), total("chc_rlink_frames_sent_total"),
+		total("chc_rlink_retransmits_total"), total("chc_tcp_reconnects_total"),
+		total("chc_runtime_restarts_total"))
+	if drops := total("chc_chaos_drops_total") + total("chc_chaos_partition_drops_total"); drops > 0 {
+		fmt.Fprintf(w, "chaos       : %d drops, %d dups, %d delays injected\n",
+			drops, total("chc_chaos_dups_total"), total("chc_chaos_delays_total"))
+	}
+	if appends := total("chc_wal_appends_total"); appends > 0 {
+		fmt.Fprintf(w, "recovery    : %d wal appends in %d fsync batches, %d link resumes\n",
+			appends, total("chc_wal_fsyncs_total"), total("chc_rlink_resumes_total"))
+	}
+}
+
+// writeTelemetryJSON dumps the final registry snapshot to path for scripting.
+func writeTelemetryJSON(w io.Writer, path string) error {
+	data, err := json.MarshalIndent(chc.TelemetrySnapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("-telemetry-json: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("-telemetry-json: %w", err)
+	}
+	fmt.Fprintf(w, "telemetry   : snapshot written to %s\n", path)
 	return nil
 }
 

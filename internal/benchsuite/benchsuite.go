@@ -22,6 +22,7 @@ import (
 	"chc/internal/lp"
 	"chc/internal/multiplex"
 	"chc/internal/polytope"
+	"chc/internal/telemetry"
 )
 
 // Case is one named benchmark of the suite.
@@ -55,6 +56,7 @@ type Report struct {
 func Cases() []Case {
 	return []Case{
 		{"ConsensusN10F2D3", benchConsensusN10F2D3},
+		{"ConsensusN10F2D3Telemetry", benchConsensusN10F2D3Telemetry},
 		{"ConsensusN9F2D2", benchConsensusN9F2D2},
 		{"BatchSim8Instances", benchBatchSim8Instances},
 		{"InitialPolytopeN12F2D3", benchInitialPolytope},
@@ -157,6 +159,18 @@ func benchConsensusN10F2D3(b *testing.B) {
 		InputLower: 0, InputUpper: 10,
 		Model: core.CorrectInputs,
 	}, []dist.ProcID{0, 1}, []dist.CrashPlan{{Proc: 0, AfterSends: 9}, {Proc: 1, AfterSends: 40}})
+}
+
+// benchConsensusN10F2D3Telemetry is the identical workload with the metrics
+// registry enabled; ConsensusN10F2D3 above is its disabled twin. Tracking the
+// pair in BENCH_*.json records the observability overhead commit by commit,
+// and keeps the disabled path honest: the twin must stay within the
+// regression gate of the committed baseline even though every instrument in
+// the hot loop still executes its one-atomic-load disabled check.
+func benchConsensusN10F2D3Telemetry(b *testing.B) {
+	prev := telemetry.Enable(true)
+	defer telemetry.Enable(prev)
+	benchConsensusN10F2D3(b)
 }
 
 func benchConsensusN9F2D2(b *testing.B) {

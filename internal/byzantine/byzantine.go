@@ -228,11 +228,11 @@ func (p *Process) advance(ctx dist.Context) {
 		if p.tEnd == 0 {
 			// Degenerate: deciding h_i[0] requires only the own round-0 state.
 			if _, ok := p.states[stateKey{proc: p.id, round: 0}]; ok {
-				p.decided = true
+				p.decide()
 				return
 			}
 		} else if _, ok := p.states[stateKey{proc: p.id, round: p.tEnd}]; ok {
-			p.decided = true
+			p.decide()
 			return
 		}
 		if !progressed {
@@ -241,7 +241,15 @@ func (p *Process) advance(ctx dist.Context) {
 	}
 }
 
+// decide marks the process decided and records it with the registry.
+func (p *Process) decide() {
+	p.decided = true
+	mDecided.Inc()
+	mDecidedRound.Observe(float64(p.tEnd))
+}
+
 func (p *Process) broadcastChoice(ctx dist.Context, round int, choice []dist.ProcID) {
+	mRoundsStarted.Inc()
 	key := stateKey{proc: p.id, round: round}
 	if _, dup := p.choices[key]; !dup {
 		// Record our own choice immediately; our own RBC delivery will be a

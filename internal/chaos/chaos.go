@@ -177,6 +177,7 @@ func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
 	if inj.partitioned(to, k) {
 		l.mu.Unlock()
 		inj.partitionDrops.Add(1)
+		mPartitionDrops.Inc()
 		return nil
 	}
 	// Always burn exactly three dice per frame so the decision stream stays
@@ -188,11 +189,13 @@ func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
 
 	if dropRoll < inj.profile.Drop {
 		inj.drops.Add(1)
+		mDrops.Inc()
 		return nil
 	}
 	copies := 1
 	if dupRoll < inj.profile.Dup {
 		inj.dups.Add(1)
+		mDups.Inc()
 		copies = 2
 	}
 	var delay time.Duration
@@ -202,6 +205,7 @@ func (inj *Injector) SendFrame(to dist.ProcID, f wire.Frame) error {
 	}
 	if delay > 0 {
 		inj.delays.Add(1)
+		mDelays.Inc()
 		for c := 0; c < copies; c++ {
 			time.AfterFunc(delay, func() {
 				if inj.closed.Load() {

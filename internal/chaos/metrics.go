@@ -1,0 +1,18 @@
+package chaos
+
+import "chc/internal/telemetry"
+
+// Process-wide telemetry mirrors of the per-injector fault counters. Each
+// injector keeps its own atomics (surfaced through Stats, the compatibility
+// accessor); the same dice sites also bump these registry series, which
+// aggregate across every injector in the process and feed /metrics.
+var (
+	mDrops = telemetry.Default().Counter("chc_chaos_drops_total",
+		"Frames silently discarded by the drop dice.")
+	mDups = telemetry.Default().Counter("chc_chaos_dups_total",
+		"Extra frame copies sent by the duplication dice.")
+	mDelays = telemetry.Default().Counter("chc_chaos_delays_total",
+		"Frames deferred by the delay dice.")
+	mPartitionDrops = telemetry.Default().Counter("chc_chaos_partition_drops_total",
+		"Frames discarded inside a partition window.")
+)

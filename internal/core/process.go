@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"chc/internal/dist"
 	"chc/internal/geom"
 	"chc/internal/geom/par"
 	"chc/internal/polytope"
 	"chc/internal/stablevector"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -54,6 +56,12 @@ type Process struct {
 	pending     map[int]map[dist.ProcID][]geom.Point // buffered round-t states
 
 	syntheticH0 *polytope.Polytope // non-nil: skip round 0 (analysis mode)
+
+	// r0Start/roundStart carry the telemetry clock across the async phase
+	// boundaries; both stay zero while telemetry and tracing are off, so the
+	// disabled path never reads the wall clock.
+	r0Start    time.Time
+	roundStart time.Time
 
 	decided bool
 	failure error
@@ -105,9 +113,13 @@ func (p *Process) Init(ctx dist.Context) {
 	if p.syntheticH0 != nil {
 		p.state = p.syntheticH0
 		p.trace.H0 = p.syntheticH0.Vertices()
+		p.emitRoundState(0, p.trace.H0)
 		p.enterRound(ctx, 1)
 		p.advance(ctx)
 		return
+	}
+	if telemetry.Enabled() || telemetry.TraceOn() {
+		p.r0Start = time.Now()
 	}
 	if p.params.Round0 == NaiveCollectRound0 {
 		p.naiveInputs = map[dist.ProcID]geom.Point{p.id: p.input}
@@ -226,6 +238,10 @@ func (p *Process) tryFinishRound0(ctx dist.Context) {
 	p.trace.R0Entries = entries
 	p.trace.H0 = h0.Vertices()
 	p.state = h0
+	if !p.r0Start.IsZero() {
+		mRound0Seconds.ObserveDuration(time.Since(p.r0Start))
+	}
+	p.emitRoundState(0, p.trace.H0)
 	p.enterRound(ctx, 1)
 	p.advance(ctx)
 }
@@ -235,7 +251,16 @@ func (p *Process) tryFinishRound0(ctx dist.Context) {
 func (p *Process) enterRound(ctx dist.Context, t int) {
 	if t > p.tEnd {
 		p.decided = true
+		mDecided.Inc()
+		mDecidedRound.Observe(float64(p.tEnd))
+		if telemetry.TraceOn() {
+			telemetry.Emit("cc.decided", map[string]any{"proc": int(p.id), "round": p.tEnd})
+		}
 		return
+	}
+	mRoundsStarted.Inc()
+	if telemetry.Enabled() || telemetry.TraceOn() {
+		p.roundStart = time.Now()
 	}
 	p.round = t
 	perRound := p.pending[t]
@@ -286,15 +311,38 @@ func (p *Process) advance(ctx dist.Context) {
 			avg, approxErr = limited, errDist
 		}
 		p.state = avg
-		p.trace.Rounds = append(p.trace.Rounds, RoundRecord{
+		rec := RoundRecord{
 			Round:     p.round,
 			Senders:   senders,
 			State:     avg.Vertices(),
 			ApproxErr: approxErr,
-		})
+		}
+		p.trace.Rounds = append(p.trace.Rounds, rec)
+		if !p.roundStart.IsZero() {
+			mRoundSeconds.ObserveDuration(time.Since(p.roundStart))
+		}
+		p.emitRoundState(rec.Round, rec.State)
 		delete(p.pending, p.round) // Y_i[t] is fixed; late round-t messages are ignored
 		p.enterRound(ctx, p.round+1)
 	}
+}
+
+// emitRoundState publishes one per-round state snapshot to the trace sink.
+// Round 0 carries h_i[0]; round t >= 1 carries h_i[t]. Experiment E19
+// measures the per-round Hausdorff contraction from exactly these events, so
+// the vertices are attached verbatim (they are immutable copies already held
+// by the trace record). WAL replay re-executes deliveries and therefore
+// re-emits identical events for already-completed rounds; consumers must
+// deduplicate by (proc, round).
+func (p *Process) emitRoundState(round int, verts []geom.Point) {
+	if !telemetry.TraceOn() {
+		return
+	}
+	telemetry.Emit("cc.round", map[string]any{
+		"proc":  int(p.id),
+		"round": round,
+		"state": verts,
+	})
 }
 
 // InitialPolytope computes h_i[0] from the multiset X_i (line 5). Under the

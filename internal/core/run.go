@@ -7,6 +7,7 @@ import (
 	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/polytope"
+	"chc/internal/telemetry"
 )
 
 // RunConfig describes one complete consensus execution to simulate.
@@ -39,6 +40,13 @@ type RunConfig struct {
 	// experiments can measure the contraction from controlled worst-case
 	// starting states. Validity/optimality checks do not apply to such runs.
 	SyntheticH0 [][]geom.Point
+
+	// TelemetryAddr, when non-empty, enables the process-wide telemetry
+	// registry and mounts (or reuses) the HTTP exposition server on this
+	// address before the run starts: /metrics (Prometheus text), /runs
+	// (JSON), /debug/pprof. Port 0 picks a free port; the server outlives
+	// the run so late scrapes still see its counters.
+	TelemetryAddr string
 }
 
 // Validate checks the execution description.
@@ -92,6 +100,11 @@ type RunResult struct {
 
 	// Stats are the simulator's message statistics.
 	Stats *dist.Stats
+
+	// Telemetry is the registry snapshot taken when the run finished, nil
+	// while telemetry is disabled. It is a process-wide aggregate: counters
+	// include everything the process has recorded so far, not just this run.
+	Telemetry *telemetry.Snapshot
 }
 
 // FaultFree returns the sorted IDs of processes outside F.
@@ -151,6 +164,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.TelemetryAddr != "" {
+		if _, err := telemetry.EnsureServer(cfg.TelemetryAddr); err != nil {
+			return nil, err
+		}
+	}
 	params := cfg.Params
 	res, err := engine.Run(engine.Spec{N: params.N, Instances: []engine.InstanceSpec{cfg.Spec()}}, engine.Options{
 		Seed:          cfg.Seed,
@@ -168,6 +186,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Faulty:  make(map[dist.ProcID]bool),
 		Traces:  make(map[dist.ProcID]Trace),
 		Stats:   res.Stats,
+	}
+	if telemetry.Enabled() {
+		result.Telemetry = telemetry.Default().Snapshot()
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true

@@ -1,0 +1,15 @@
+package dist
+
+import "chc/internal/telemetry"
+
+// Registry mirrors of the simulator's Stats counters. The networked runtime
+// has its own chc_runtime_* mirrors; these cover deterministic-simulator
+// runs, which would otherwise be invisible to /metrics.
+var (
+	mSimSends = telemetry.Default().Counter("chc_sim_sends_total",
+		"Messages handed to the deterministic simulator's network.")
+	mSimDeliveries = telemetry.Default().Counter("chc_sim_deliveries_total",
+		"Messages the deterministic simulator delivered to live processes.")
+	mSimDroppedCrash = telemetry.Default().Counter("chc_sim_dropped_crash_total",
+		"Messages the deterministic simulator discarded because the addressee had crashed.")
+)

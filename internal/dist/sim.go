@@ -225,9 +225,11 @@ func (s *Sim) Run() (*Stats, error) {
 		s.dirty = true
 		if s.crashed[msg.To] {
 			s.stats.DroppedCrash++
+			mSimDroppedCrash.Inc()
 			continue
 		}
 		s.stats.Deliveries++
+		mSimDeliveries.Inc()
 		s.procs[msg.To].Deliver(&simContext{sim: s, id: msg.To}, msg)
 	}
 	return &s.stats, ErrLivelock
@@ -318,6 +320,7 @@ func (s *Sim) send(from, to ProcID, kind string, round, instance int, payload an
 	}
 	s.queues[key] = append(s.queues[key], msg)
 	s.stats.Sends++
+	mSimSends.Inc()
 	s.stats.KindCounts[kind]++
 	if s.cfg.Sizer != nil {
 		s.stats.Bytes += s.cfg.Sizer(msg)

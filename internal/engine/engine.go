@@ -24,6 +24,7 @@ import (
 	"chc/internal/dist"
 	"chc/internal/geom"
 	"chc/internal/runtime"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -206,15 +207,73 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		if opts.Chaos != nil || opts.WALDir != "" || len(opts.Restarts) > 0 {
 			return nil, errors.New("engine: chaos, WAL and restarts need a networked transport (the simulator has no link layer)")
 		}
-		return runSim(spec, opts, nodes, procs)
 	case TransportChannel, TransportTCP:
 		if opts.Scheduler != nil {
 			return nil, errors.New("engine: schedulers only drive the simulator; networked delivery order is real concurrency")
 		}
-		return runCluster(spec, opts, nodes, procs)
 	default:
 		return nil, fmt.Errorf("engine: unknown transport %d", int(opts.Transport))
 	}
+
+	// The run is tracked only past this point, so configuration errors never
+	// register: /runs shows executions, not rejected specs.
+	handle := telemetry.BeginRun(telemetry.RunInfo{
+		Transport: opts.Transport.String(),
+		N:         spec.N,
+		Instances: len(spec.Instances),
+	})
+	transport := opts.Transport.String()
+	mRunsStarted.With(transport).Inc()
+	mActiveRuns.Add(1)
+	var start time.Time
+	if telemetry.Enabled() || telemetry.TraceOn() {
+		start = time.Now()
+	}
+
+	var (
+		res    *Result
+		runErr error
+	)
+	if opts.Transport == TransportSim {
+		res, runErr = runSim(spec, opts, nodes, procs)
+	} else {
+		res, runErr = runCluster(spec, opts, nodes, procs)
+	}
+
+	status := "ok"
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, runtime.ErrTimeout):
+		status = "timeout"
+	default:
+		status = "error"
+	}
+	mActiveRuns.Add(-1)
+	mRunsCompleted.With(transport, status).Inc()
+	if !start.IsZero() {
+		mRunSeconds.With(transport).ObserveDuration(time.Since(start))
+	}
+	handle.Complete(status, func(rec *telemetry.RunRecord) {
+		if runErr != nil {
+			rec.Error = runErr.Error()
+		}
+		if res == nil {
+			return
+		}
+		if res.Stats != nil {
+			rec.Sends = int64(res.Stats.Sends)
+			rec.Bytes = int64(res.Stats.Bytes)
+		}
+		rec.DecidedRounds = make(map[string]int)
+		for k := range spec.Instances {
+			for i := 0; i < spec.N; i++ {
+				if r := res.DecidedRound(k, dist.ProcID(i)); r > 0 {
+					rec.DecidedRounds[fmt.Sprintf("%d/%d", k, i)] = r
+				}
+			}
+		}
+	})
+	return res, runErr
 }
 
 // runSim drives the nodes with the deterministic simulator.

@@ -1,0 +1,16 @@
+package engine
+
+import "chc/internal/telemetry"
+
+// Engine-level run accounting: one registry family per lifecycle edge, with
+// the run tracker (the /runs endpoint) carrying the per-run detail.
+var (
+	mRunsStarted = telemetry.Default().CounterVec("chc_engine_runs_started_total",
+		"Engine runs launched, by transport.", "transport")
+	mRunsCompleted = telemetry.Default().CounterVec("chc_engine_runs_completed_total",
+		"Engine runs finished, by transport and outcome (ok, error, timeout).", "transport", "status")
+	mActiveRuns = telemetry.Default().Gauge("chc_engine_active_runs",
+		"Engine runs currently executing.")
+	mRunSeconds = telemetry.Default().HistogramVec("chc_engine_run_seconds",
+		"Wall-clock duration of one engine run.", nil, "transport")
+)

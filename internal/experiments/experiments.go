@@ -24,6 +24,7 @@
 //	E16 the chaos matrix: consensus over unreliable links via rlink
 //	E17 the crash-recovery matrix: WAL replay + epoch link resumption
 //	E18 the batch matrix: heterogeneous instances multiplexed over one TCP net
+//	E19 the telemetry audit: eq. (19) and Lemma 3 measured from trace events
 package experiments
 
 import (
@@ -147,6 +148,7 @@ func All() []Experiment {
 		{"E16", "Chaos matrix: consensus over unreliable links (rlink)", E16ChaosMatrix},
 		{"E17", "Crash-recovery matrix: kill-and-restart faults over the WAL runtime", E17CrashRecovery},
 		{"E18", "Batch matrix: heterogeneous instances over one TCP network", E18BatchMatrix},
+		{"E19", "Telemetry audit: round bound and contraction from trace events", E19TelemetryAudit},
 	}
 }
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE19AllPass parses the E19 table and requires 100% pass rates on every
+// chaos×fault cell: the eq. (19) round bound, the Lemma 3 / eq. (18)
+// contraction envelope, and final ε-agreement must all hold when measured
+// purely from the telemetry stream — and the restart cells must report
+// replayed (deduplicated) events, proving the WAL recovery path actually
+// re-emitted.
+func TestE19AllPass(t *testing.T) {
+	table, err := E19TelemetryAudit(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("E19 has %d rows, want 4 (chaos {off,light} × faults {none,restart})", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		for col := 3; col <= 5; col++ {
+			parts := strings.Split(row[col], "/")
+			if len(parts) != 2 || parts[0] != parts[1] || parts[0] == "0" {
+				t.Errorf("chaos=%s faults=%s column %q: %s is not a full pass",
+					row[0], row[1], table.Header[col], row[col])
+			}
+		}
+		replayed, perr := strconv.Atoi(row[6])
+		if perr != nil {
+			t.Fatalf("replayed column %q is not an int", row[6])
+		}
+		if strings.HasPrefix(row[1], "restart") && replayed == 0 {
+			t.Errorf("chaos=%s faults=%s: restart cell reports no replayed events", row[0], row[1])
+		}
+	}
+}

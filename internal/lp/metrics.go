@@ -1,0 +1,10 @@
+package lp
+
+import "chc/internal/telemetry"
+
+// mSolves counts simplex invocations process-wide. LP solves are the finest
+// unit of geometry work (hundreds per support-sampled intersection), so they
+// get a counter only — per-solve spans would dominate any trace. Round-level
+// spans in the protocol layer carry the latency.
+var mSolves = telemetry.Default().Counter("chc_lp_solves_total",
+	"Two-phase simplex solves across the process.")

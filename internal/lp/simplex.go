@@ -134,6 +134,7 @@ func (p *Problem) Solve(eps float64) (*Solution, error) {
 // before SolveWith returns, so any memory previously drawn from it is
 // recycled; Solution.X is always freshly allocated and safe to retain.
 func (p *Problem) SolveWith(ws *Workspace, eps float64) (*Solution, error) {
+	mSolves.Inc()
 	if p.NumVars <= 0 {
 		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
 	}

@@ -25,6 +25,7 @@ import (
 	"chc/internal/geom"
 	"chc/internal/polytope"
 	"chc/internal/runtime"
+	"chc/internal/telemetry"
 	"chc/internal/vectorconsensus"
 )
 
@@ -111,6 +112,11 @@ type BatchConfig struct {
 	// Requires WALDir and a networked transport.
 	Recover         bool
 	RecoverDowntime time.Duration
+
+	// TelemetryAddr, when non-empty, enables the process-wide telemetry
+	// registry and mounts (or reuses) the HTTP exposition server on this
+	// address before the batch starts. Port 0 picks a free port.
+	TelemetryAddr string
 }
 
 // BatchResult aggregates per-instance outcomes. Outputs carries the
@@ -128,6 +134,11 @@ type BatchResult struct {
 	// the link-layer counters and Cluster the full runtime counters.
 	Stats   *dist.Stats
 	Cluster *runtime.ClusterStats
+
+	// Telemetry is the registry snapshot taken when the batch finished, nil
+	// while telemetry is disabled. It is a process-wide aggregate: counters
+	// include everything the process has recorded so far, not just this run.
+	Telemetry *telemetry.Snapshot
 }
 
 // buildSpec validates the batch and translates it into an engine spec.
@@ -182,6 +193,11 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	if cfg.Recover && cfg.WALDir == "" {
 		return nil, errors.New("multiplex: Recover requires WALDir")
 	}
+	if cfg.TelemetryAddr != "" {
+		if _, err := telemetry.EnsureServer(cfg.TelemetryAddr); err != nil {
+			return nil, err
+		}
+	}
 	opts := engine.Options{
 		Transport: cfg.Transport,
 		Seed:      cfg.Seed,
@@ -218,6 +234,9 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		Crashed: res.Crashed,
 		Stats:   res.Stats,
 		Cluster: res.Cluster,
+	}
+	if telemetry.Enabled() {
+		result.Telemetry = telemetry.Default().Snapshot()
 	}
 	for k := range cfg.Instances {
 		result.Outputs[k] = make(map[dist.ProcID]*polytope.Polytope)

@@ -1,0 +1,23 @@
+package polytope
+
+import "chc/internal/telemetry"
+
+// The geometry caches already keep their own atomic tallies (HullCacheStats,
+// CombineCacheStats — the compatibility accessors); the registry mirrors them
+// with pull-style collectors so the hot cache paths gain no new writes at
+// all: the counters are read only when a snapshot or /metrics scrape asks.
+func init() {
+	reg := telemetry.Default()
+	reg.CounterFunc("chc_hull_cache_hits_total",
+		"Convex-hull memoization hits across the process.",
+		func() float64 { h, _ := HullCacheStats(); return float64(h) })
+	reg.CounterFunc("chc_hull_cache_misses_total",
+		"Convex-hull memoization misses across the process.",
+		func() float64 { _, m := HullCacheStats(); return float64(m) })
+	reg.CounterFunc("chc_combine_cache_hits_total",
+		"Minkowski-combination memoization hits across the process.",
+		func() float64 { h, _ := CombineCacheStats(); return float64(h) })
+	reg.CounterFunc("chc_combine_cache_misses_total",
+		"Minkowski-combination memoization misses across the process.",
+		func() float64 { _, m := CombineCacheStats(); return float64(m) })
+}

@@ -1,0 +1,28 @@
+package rlink
+
+import "chc/internal/telemetry"
+
+// Process-wide telemetry mirrors of the per-endpoint reliability counters.
+// Each endpoint keeps its own atomics (surfaced through Stats, the
+// compatibility accessor); the same increment sites also bump these
+// registry counters, which aggregate across every endpoint in the process
+// and feed /metrics. Per-link retransmit detail is labeled — retransmits
+// are rare enough that the family lookup off the hot path is free.
+var (
+	mFramesSent = telemetry.Default().Counter("chc_rlink_frames_sent_total",
+		"Data frames handed to the transport, including retransmissions reseeded from a WAL.")
+	mRetransmits = telemetry.Default().Counter("chc_rlink_retransmits_total",
+		"Data frames re-sent because no cumulative ack covered them in time.")
+	mRetransmitsByLink = telemetry.Default().CounterVec("chc_rlink_link_retransmits_total",
+		"Retransmissions per directed link.", "link")
+	mDupSuppressed = telemetry.Default().Counter("chc_rlink_dup_suppressed_total",
+		"Received data frames discarded as duplicates.")
+	mOutOfOrder = telemetry.Default().Counter("chc_rlink_out_of_order_total",
+		"Received data frames buffered ahead of the delivery cursor.")
+	mAcksSent = telemetry.Default().Counter("chc_rlink_acks_sent_total",
+		"Cumulative acks sent.")
+	mAcksWithheld = telemetry.Default().Counter("chc_rlink_acks_withheld_total",
+		"Deliveries rejected (journaling failure) that stalled the ack cursor.")
+	mResumes = telemetry.Default().Counter("chc_rlink_resumes_total",
+		"Epoch handshakes that resynchronized a link across a peer restart.")
+)

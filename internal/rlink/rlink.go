@@ -15,12 +15,14 @@ package rlink
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"chc/internal/dist"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -187,6 +189,7 @@ func (e *Endpoint) Send(msg dist.Message) error {
 	})
 	l.mu.Unlock()
 	e.framesSent.Add(1)
+	mFramesSent.Inc()
 	_ = e.sender.SendFrame(msg.To, f)
 	return nil
 }
@@ -222,12 +225,15 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 		switch {
 		case f.Seq < il.next:
 			e.dupSuppressed.Add(1)
+			mDupSuppressed.Inc()
 		default:
 			if _, dup := il.buffered[f.Seq]; dup {
 				e.dupSuppressed.Add(1)
+				mDupSuppressed.Inc()
 			} else {
 				if f.Seq != il.next {
 					e.outOfOrder.Add(1)
+					mOutOfOrder.Inc()
 				}
 				il.buffered[f.Seq] = f.Msg
 			}
@@ -250,6 +256,7 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 					break
 				}
 				if e.deliver(m) != nil {
+					mAcksWithheld.Inc()
 					break
 				}
 				delete(il.buffered, il.next)
@@ -263,6 +270,7 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 		// produced the duplicate means a previous ack was lost.
 		if ackable {
 			e.acksSent.Add(1)
+			mAcksSent.Inc()
 			_ = e.sender.SendFrame(f.From, wire.Frame{Type: wire.FrameAck, From: e.self, Seq: ackSeq})
 		}
 	}
@@ -296,6 +304,16 @@ func (e *Endpoint) retransmitLoop() {
 				l.mu.Unlock()
 				e.framesSent.Add(firsts)
 				e.retransmits.Add(int64(len(resend)) - firsts)
+				mFramesSent.Add(firsts)
+				if redone := int64(len(resend)) - firsts; redone > 0 {
+					mRetransmits.Add(redone)
+					mRetransmitsByLink.With(fmt.Sprintf("%d->%d", e.self, to)).Add(redone)
+					if telemetry.TraceOn() {
+						telemetry.Emit("rlink.retransmit", map[string]any{
+							"from": int(e.self), "to": to, "frames": redone,
+						})
+					}
+				}
 				for _, f := range resend {
 					_ = e.sender.SendFrame(dist.ProcID(to), f)
 				}

@@ -58,12 +58,12 @@ type Cluster struct {
 	trans  []transport
 	budget []int64 // remaining sends before simulated crash; -1 = unlimited
 
-	rel     []*rlink.Endpoint           // reliable-link endpoints (nil entries when disabled)
-	inj     []*chaos.Injector           // chaos injectors (nil entries when disabled)
-	tcp     []*tcpTransport             // TCP transports (nil entries for channel clusters)
-	wal     []*wal.WAL                  // write-ahead logs (recovery mode only)
-	deliver []func(dist.Message) error  // per-incarnation mailbox delivery (recovery mode only)
-	sender  []rlink.Sender              // frame sender under each endpoint (incl. chaos), for rebuilds
+	rel     []*rlink.Endpoint          // reliable-link endpoints (nil entries when disabled)
+	inj     []*chaos.Injector          // chaos injectors (nil entries when disabled)
+	tcp     []*tcpTransport            // TCP transports (nil entries for channel clusters)
+	wal     []*wal.WAL                 // write-ahead logs (recovery mode only)
+	deliver []func(dist.Message) error // per-incarnation mailbox delivery (recovery mode only)
+	sender  []rlink.Sender             // frame sender under each endpoint (incl. chaos), for rebuilds
 
 	chaosProfile *chaos.Profile
 	chaosSeed    int64
@@ -549,6 +549,7 @@ func (nc *nodeContext) SendInstance(instance int, to dist.ProcID, kind string, r
 	}
 	msg := dist.Message{From: nc.id, To: to, Kind: kind, Round: round, Instance: instance, Payload: payload}
 	nc.cluster.sends.Add(1)
+	mSends.Inc()
 	if nc.cluster.sizer != nil {
 		nc.cluster.bytes.Add(int64(nc.cluster.sizer(msg)))
 	}

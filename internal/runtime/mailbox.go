@@ -43,6 +43,7 @@ func (m *mailbox) Push(msg dist.Message) {
 		return
 	}
 	m.queue = append(m.queue, msg)
+	mMailboxDepth.Add(1)
 	m.cond.Signal()
 }
 
@@ -59,6 +60,7 @@ func (m *mailbox) Pop() (dist.Message, error) {
 	}
 	msg := m.queue[0]
 	m.queue = m.queue[1:]
+	mMailboxDepth.Add(-1)
 	return msg, nil
 }
 

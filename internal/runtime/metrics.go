@@ -1,0 +1,23 @@
+package runtime
+
+import "chc/internal/telemetry"
+
+// Process-wide telemetry for the concurrent runtime. ClusterStats remains
+// the compatibility accessor for per-cluster counts; these registry series
+// aggregate across every cluster in the process and feed /metrics.
+var (
+	mSends = telemetry.Default().Counter("chc_runtime_sends_total",
+		"Protocol messages handed to the network by node contexts.")
+	mMailboxDepth = telemetry.Default().Gauge("chc_runtime_mailbox_depth",
+		"Protocol messages queued in node mailboxes, process-wide.")
+	mRestarts = telemetry.Default().Counter("chc_runtime_restarts_total",
+		"Nodes relaunched from their write-ahead log after a planned kill.")
+	mRecoverySeconds = telemetry.Default().Histogram("chc_runtime_recovery_seconds",
+		"Relaunch latency: WAL replay through reliable-link resumption (excludes planned downtime).", nil)
+	mRecoveryFailures = telemetry.Default().Counter("chc_runtime_recovery_failures_total",
+		"Relaunch attempts that failed (corrupt WAL, replay nondeterminism, panic).")
+	mReconnects = telemetry.Default().Counter("chc_tcp_reconnects_total",
+		"Successful TCP redials after a broken link.")
+	mLinkFaults = telemetry.Default().Counter("chc_tcp_link_faults_total",
+		"TCP link faults observed: write failures, mid-frame truncation, bad handshakes.")
+)

@@ -11,6 +11,7 @@ import (
 	"chc/internal/dist"
 	"chc/internal/geom"
 	"chc/internal/rlink"
+	"chc/internal/telemetry"
 	"chc/internal/wal"
 )
 
@@ -289,13 +290,32 @@ func (rs *runState) supervise(i int, plan RestartPlan) {
 	if plan.Downtime > 0 {
 		time.Sleep(plan.Downtime)
 	}
+	// The recovery clock starts after the planned downtime: it measures the
+	// relaunch work (replay + resumption), not the configured sleep. The
+	// disabled path never reads the clock.
+	var start time.Time
+	if telemetry.Enabled() || telemetry.TraceOn() {
+		start = time.Now()
+	}
 	if err := rs.c.relaunch(rs, i); err != nil {
 		if !errors.Is(err, errRunStopped) {
+			mRecoveryFailures.Inc()
 			rs.recordRecoveryError(fmt.Errorf("node %d: %w", i, err))
 		}
 		// The relaunched incarnation will never settle its slot; do it here
 		// so Run can return.
 		rs.settleSlot()
+		return
+	}
+	mRestarts.Inc()
+	if !start.IsZero() {
+		d := time.Since(start)
+		mRecoverySeconds.ObserveDuration(d)
+		if telemetry.TraceOn() {
+			telemetry.Emit("runtime.recovery", map[string]any{
+				"proc": i, "dur_ns": d.Nanoseconds(), "downtime_ns": plan.Downtime.Nanoseconds(),
+			})
+		}
 	}
 }
 

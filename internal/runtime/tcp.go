@@ -234,6 +234,7 @@ func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
 		p.mu.Unlock()
 		if !t.closed.Load() {
 			t.linkFaults.Add(1)
+			mLinkFaults.Inc()
 			t.ensureRedial(to)
 		}
 		return err
@@ -276,6 +277,7 @@ func (t *tcpTransport) ensureRedial(to dist.ProcID) {
 		for !t.closed.Load() {
 			if err := t.dial(to); err == nil {
 				t.reconnects.Add(1)
+				mReconnects.Inc()
 				return
 			}
 			time.Sleep(backoff)
@@ -324,6 +326,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	if err != nil || hs.Type != wire.FrameHandshake {
 		if !t.closed.Load() {
 			t.linkFaults.Add(1) // garbage before identification
+			mLinkFaults.Inc()
 		}
 		return
 	}
@@ -343,6 +346,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			// redial and the reliable-link layer retransmits whatever was
 			// cut off.
 			t.linkFaults.Add(1)
+			mLinkFaults.Inc()
 			return
 		}
 		if ep := t.ep.Load(); ep != nil {

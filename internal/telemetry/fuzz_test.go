@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTextExposition drives arbitrary metric names, help strings, label
+// values and sample values through the text encoder and requires that the
+// output always parses and that label values survive the escape/unescape
+// round trip. This is the encoder's adversarial input surface: names are
+// sanitized, help and label values are escaped.
+func FuzzTextExposition(f *testing.F) {
+	f.Add("chc_test_total", "plain help", "value", 1.5)
+	f.Add("", "", "", 0.0)
+	f.Add("9starts_with_digit", "help\nwith newline", `back\slash "quote"`, -3.25)
+	f.Add("weird name!", `multi
+line`, "\x00\xff", 1e300)
+	f.Fuzz(func(t *testing.T, name, help, labelVal string, value float64) {
+		r := NewRegistry()
+		r.SetEnabled(true)
+		r.CounterVec(name, help, "l").With(labelVal).Add(1)
+		r.Gauge(name+"_g", help).Set(value)
+		h := r.Histogram(name+"_h", help, []float64{0.5, 2})
+		h.Observe(value)
+
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		samples, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("output does not parse: %v\n%s", err, sb.String())
+		}
+		// The label value must survive the round trip, modulo the escapes
+		// the format cannot represent (carriage returns stay literal and
+		// are fine inside quoted values).
+		wantName := sanitizeName(name)
+		found := false
+		for _, s := range samples {
+			if s.Name == wantName && s.Labels["l"] == labelVal {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("label value %q lost in round trip\n%s", labelVal, sb.String())
+		}
+	})
+}

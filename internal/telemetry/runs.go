@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunInfo describes a run at the moment it starts.
+type RunInfo struct {
+	Transport string `json:"transport"`
+	N         int    `json:"n"`
+	Instances int    `json:"instances"`
+}
+
+// RunRecord is the tracked state of one engine run, served as JSON from the
+// /runs endpoint.
+type RunRecord struct {
+	ID        int64     `json:"id"`
+	Transport string    `json:"transport"`
+	N         int       `json:"n"`
+	Instances int       `json:"instances"`
+	Started   time.Time `json:"started"`
+	Ended     time.Time `json:"ended,omitempty"`
+	// Status is "running", then "ok", "error" or "timeout".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Sends/Bytes are filled at completion from the run's own stats.
+	Sends int64 `json:"sends,omitempty"`
+	Bytes int64 `json:"bytes,omitempty"`
+	// DecidedRounds maps "instance/proc" to the decided round.
+	DecidedRounds map[string]int `json:"decided_rounds,omitempty"`
+}
+
+// keepCompleted bounds the completed-run ring served by /runs.
+const keepCompleted = 64
+
+type runTracker struct {
+	nextID atomic.Int64
+
+	mu        sync.Mutex
+	active    map[int64]*RunRecord
+	completed []*RunRecord // most recent last
+}
+
+var runs = &runTracker{active: make(map[int64]*RunRecord)}
+
+// RunHandle tags one tracked run. A nil handle (telemetry disabled at run
+// start) is valid and inert.
+type RunHandle struct {
+	rec *RunRecord
+}
+
+// BeginRun registers a run with the tracker when telemetry is enabled;
+// otherwise it returns nil, which Complete tolerates.
+func BeginRun(info RunInfo) *RunHandle {
+	if !Enabled() {
+		return nil
+	}
+	rec := &RunRecord{
+		ID:        runs.nextID.Add(1),
+		Transport: info.Transport,
+		N:         info.N,
+		Instances: info.Instances,
+		Started:   time.Now(),
+		Status:    "running",
+	}
+	runs.mu.Lock()
+	runs.active[rec.ID] = rec
+	runs.mu.Unlock()
+	return &RunHandle{rec: rec}
+}
+
+// Complete moves the run from active to the completed ring. fill, when
+// non-nil, runs under the tracker lock to stamp final counters onto the
+// record.
+func (h *RunHandle) Complete(status string, fill func(*RunRecord)) {
+	if h == nil || h.rec == nil {
+		return
+	}
+	runs.mu.Lock()
+	defer runs.mu.Unlock()
+	delete(runs.active, h.rec.ID)
+	h.rec.Ended = time.Now()
+	h.rec.Status = status
+	if fill != nil {
+		fill(h.rec)
+	}
+	runs.completed = append(runs.completed, h.rec)
+	if len(runs.completed) > keepCompleted {
+		runs.completed = runs.completed[len(runs.completed)-keepCompleted:]
+	}
+}
+
+// RunsSnapshot lists active runs first (by start time), then the retained
+// completed runs, oldest first.
+type RunsSnapshot struct {
+	Active    []RunRecord `json:"active"`
+	Completed []RunRecord `json:"completed"`
+}
+
+// SnapshotRuns copies the tracker state.
+func SnapshotRuns() RunsSnapshot {
+	runs.mu.Lock()
+	defer runs.mu.Unlock()
+	snap := RunsSnapshot{}
+	for _, rec := range runs.active {
+		snap.Active = append(snap.Active, *rec)
+	}
+	for i := 0; i+1 < len(snap.Active); i++ { // insertion sort: the set is tiny
+		for j := i + 1; j < len(snap.Active); j++ {
+			if snap.Active[j].Started.Before(snap.Active[i].Started) {
+				snap.Active[i], snap.Active[j] = snap.Active[j], snap.Active[i]
+			}
+		}
+	}
+	for _, rec := range runs.completed {
+		snap.Completed = append(snap.Completed, *rec)
+	}
+	return snap
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server exposes a registry over HTTP: /metrics in Prometheus text format,
+// /runs as a JSON snapshot of tracked runs, and the standard pprof handlers
+// under /debug/pprof/.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the exposition mux for reg. The pprof handlers are wired
+// explicitly so nothing registers on http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(SnapshotRuns())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "chc telemetry\n\n/metrics\n/runs\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr (host:port; port 0 picks a free port), enables the
+// registry, and serves the exposition endpoints until Close.
+func Serve(reg *Registry, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	reg.SetEnabled(true)
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+var (
+	serverMu     sync.Mutex
+	activeServer *Server
+)
+
+// EnsureServer starts the process-wide exposition server for the default
+// registry if none is running, and returns it. A second call returns the
+// existing server regardless of addr, so every RunConfig/flag that mounts
+// telemetry shares one listener.
+func EnsureServer(addr string) (*Server, error) {
+	serverMu.Lock()
+	defer serverMu.Unlock()
+	if activeServer != nil {
+		return activeServer, nil
+	}
+	s, err := Serve(Default(), addr)
+	if err != nil {
+		return nil, err
+	}
+	activeServer = s
+	return s, nil
+}
+
+// ActiveServer returns the process-wide server, or nil when none has been
+// started. Tests use it to discover the resolved port of a ":0" mount.
+func ActiveServer() *Server {
+	serverMu.Lock()
+	defer serverMu.Unlock()
+	return activeServer
+}
+
+// ShutdownServer closes and forgets the process-wide server (test helper).
+func ShutdownServer() {
+	serverMu.Lock()
+	defer serverMu.Unlock()
+	if activeServer != nil {
+		_ = activeServer.Close()
+		activeServer = nil
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "a counter").Add(0)
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !r.Enabled() {
+		t.Error("Serve must enable the registry")
+	}
+	r.Counter("served_total", "a counter").Add(5)
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "served_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if _, err := ParseText(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics not valid exposition: %v", err)
+	}
+
+	code, body = get(t, srv.URL()+"/runs")
+	if code != 200 {
+		t.Fatalf("/runs status %d", code)
+	}
+	var snap RunsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("/runs not valid JSON: %v", err)
+	}
+
+	code, _ = get(t, srv.URL()+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	code, body = get(t, srv.URL()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, srv.URL()+"/")
+	if code != 200 {
+		t.Errorf("/ status %d", code)
+	}
+	code, _ = get(t, srv.URL()+"/nope")
+	if code != 404 {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestEnsureServerIsIdempotent(t *testing.T) {
+	defer ShutdownServer()
+	defer Enable(Enable(false)) // restore whatever the enabled state was
+	s1, err := EnsureServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := EnsureServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("EnsureServer must reuse the existing server")
+	}
+	if ActiveServer() != s1 {
+		t.Error("ActiveServer mismatch")
+	}
+	code, _ := get(t, s1.URL()+"/metrics")
+	if code != 200 {
+		t.Errorf("/metrics status %d", code)
+	}
+	ShutdownServer()
+	if ActiveServer() != nil {
+		t.Error("ShutdownServer did not clear the active server")
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE lines per family, then one sample line
+// per (labels) cell; histograms expand into _bucket{le=...}, _sum and
+// _count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, mf := range snap.Metrics {
+		if err := writeFamilyText(w, mf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamilyText(w io.Writer, mf MetricFamily) error {
+	if mf.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", mf.Name, escapeHelp(mf.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mf.Name, mf.Type); err != nil {
+		return err
+	}
+	for _, s := range mf.Samples {
+		if mf.Type == TypeHistogram {
+			if err := writeHistogramText(w, mf.Name, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", mf.Name, formatLabels(s.Labels, "", ""), formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogramText(w io.Writer, name string, s Sample) error {
+	h := s.Histogram
+	if h == nil {
+		return nil
+	}
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(s.Labels, "le", le), b.CumulativeCount); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(s.Labels, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.Labels, "", ""), h.Count)
+	return err
+}
+
+// formatLabels renders {k="v",...}, optionally appending one extra pair
+// (used for the histogram le label). Returns "" when there are no labels.
+func formatLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range keys {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format. Carriage returns are escaped too (an extension the
+// package's own parser understands) because line-based readers strip a
+// trailing \r and would otherwise corrupt the value.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ { // bytes, not runes: invalid UTF-8 must survive
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline (quotes are legal in HELP text).
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFullRegistry registers one of everything: unlabeled and labeled
+// counters, gauges, histograms, and both collector kinds.
+func buildFullRegistry() *Registry {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("plain_total", "a plain counter").Add(3)
+	r.CounterVec("labeled_total", "a labeled counter", "proto", "link").With("cc", "0->1").Add(9)
+	r.Gauge("depth", "a gauge").Set(-2.5)
+	r.GaugeVec("temp", "a labeled gauge", "zone").With(`we"ird\zone` + "\n").Set(1.25)
+	h := r.Histogram("lat_seconds", "latency with \"quotes\" and \\slashes", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.HistogramVec("rounds", "rounds per proc", RoundBuckets, "instance").With("0").Observe(4)
+	r.CounterFunc("pulled_total", "a pull counter", func() float64 { return 11 })
+	r.GaugeFunc("pulled_depth", "a pull gauge", func() float64 { return 0.5 })
+	return r
+}
+
+// TestExpositionRoundTrip is the satellite-mandated check: every registered
+// metric appears in the /metrics text and the whole output parses as valid
+// Prometheus text exposition.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := buildFullRegistry()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	byName := map[string][]TextSample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+
+	// Every family in the snapshot must appear in the text output.
+	for _, mf := range r.Snapshot().Metrics {
+		switch mf.Type {
+		case TypeHistogram:
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if len(byName[mf.Name+suffix]) == 0 {
+					t.Errorf("histogram %s missing %s series", mf.Name, suffix)
+				}
+			}
+		default:
+			if len(byName[mf.Name]) == 0 {
+				t.Errorf("metric %s missing from exposition", mf.Name)
+			}
+		}
+	}
+
+	// Spot-check values and escaping survive the round trip.
+	if got := byName["plain_total"][0].Value; got != 3 {
+		t.Errorf("plain_total = %v", got)
+	}
+	lab := byName["labeled_total"][0].Labels
+	if lab["proto"] != "cc" || lab["link"] != "0->1" {
+		t.Errorf("labels = %v", lab)
+	}
+	zone := byName["temp"][0].Labels["zone"]
+	if zone != `we"ird\zone`+"\n" {
+		t.Errorf("escaped label round-trip = %q", zone)
+	}
+	// Histogram bucket counts must be cumulative and end at the total.
+	var infCount float64
+	for _, s := range byName["lat_seconds_bucket"] {
+		if s.Labels["le"] == "+Inf" {
+			infCount = s.Value
+		}
+	}
+	if infCount != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", infCount)
+	}
+	if got := byName["lat_seconds_count"][0].Value; got != 3 {
+		t.Errorf("count series = %v, want 3", got)
+	}
+}
+
+// TestDefaultRegistryExposition ensures the process-wide registry — with
+// everything the repo's packages registered at init — renders parseable
+// text. This is what a live /metrics scrape serves.
+func TestDefaultRegistryExposition(t *testing.T) {
+	var sb strings.Builder
+	if err := Default().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("default registry exposition invalid: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		"metric{unterminated=\"x 3\n",
+		"metric{bad-name=\"x\"} 3\n",
+		"metric not-a-number\n",
+		"# TYPE metric sandwich\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	if TraceOn() {
+		t.Fatal("tracing must start disabled")
+	}
+	Emit("noop", nil) // must not panic
+	if sp := StartSpan("noop", nil); sp != nil {
+		t.Fatal("StartSpan must return nil while disabled")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	sink := NewMemorySink()
+	prev := SetSink(sink)
+	defer SetSink(prev)
+	if !TraceOn() {
+		t.Fatal("sink installed but TraceOn false")
+	}
+	Emit("point", map[string]any{"proc": 3})
+	sp := StartSpan("phase", map[string]any{"round": 2})
+	time.Sleep(time.Millisecond)
+	sp.End(map[string]any{"senders": 4})
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "point" || evs[0].Attrs["proc"] != 3 {
+		t.Errorf("point event = %+v", evs[0])
+	}
+	if evs[1].Name != "phase" || evs[1].Dur <= 0 {
+		t.Errorf("span event = %+v", evs[1])
+	}
+	if evs[1].Attrs["round"] != 2 || evs[1].Attrs["senders"] != 4 {
+		t.Errorf("span attrs not merged: %+v", evs[1].Attrs)
+	}
+	sink.Reset()
+	if len(sink.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestJSONSinkEmitsOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetSink(NewJSONSink(&buf))
+	defer SetSink(prev)
+	Emit("a", map[string]any{"k": "v"})
+	StartSpan("b", nil).End(nil)
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", n, err)
+		}
+		if _, ok := ev["name"]; !ok {
+			t.Fatalf("line %d missing name: %s", n, sc.Text())
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d JSON lines, want 2", n)
+	}
+}
+
+func TestSetSinkReturnsPrevious(t *testing.T) {
+	a, b := NewMemorySink(), NewMemorySink()
+	if prev := SetSink(a); prev != nil {
+		SetSink(prev)
+		t.Skip("another test left a sink installed")
+	}
+	if prev := SetSink(b); prev != Sink(a) {
+		t.Error("SetSink did not return previous sink")
+	}
+	if prev := SetSink(nil); prev != Sink(b) {
+		t.Error("SetSink(nil) did not return previous sink")
+	}
+	if TraceOn() {
+		t.Error("tracing still on after SetSink(nil)")
+	}
+}

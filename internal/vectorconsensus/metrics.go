@@ -1,0 +1,16 @@
+package vectorconsensus
+
+import "chc/internal/telemetry"
+
+// Cells of the shared chc_consensus_* families for the vector-consensus
+// baseline (the "protocol" label distinguishes the three protocol packages).
+var (
+	mRoundsStarted = telemetry.Default().CounterVec("chc_consensus_rounds_started_total",
+		"Averaging rounds entered: own state recorded into MSG_i[t] and broadcast.",
+		"protocol").With("vector")
+	mDecided = telemetry.Default().CounterVec("chc_consensus_decided_total",
+		"Participants that reached a decision.", "protocol").With("vector")
+	mDecidedRound = telemetry.Default().HistogramVec("chc_consensus_decided_round",
+		"Terminal round t_end at which participants decided (experiment E19 checks its Max against the closed-form bound of eq. 19).",
+		telemetry.RoundBuckets, "protocol").With("vector")
+)

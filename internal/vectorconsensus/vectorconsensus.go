@@ -151,8 +151,11 @@ func (p *Process) tryFinishRound0(ctx dist.Context) {
 func (p *Process) enterRound(ctx dist.Context, t int) {
 	if t > p.tEnd {
 		p.decided = true
+		mDecided.Inc()
+		mDecidedRound.Observe(float64(p.tEnd))
 		return
 	}
+	mRoundsStarted.Inc()
 	p.round = t
 	perRound := p.pending[t]
 	if perRound == nil {

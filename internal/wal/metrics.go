@@ -1,0 +1,34 @@
+package wal
+
+import (
+	"time"
+
+	"chc/internal/telemetry"
+)
+
+// Process-wide telemetry mirrors of the per-log I/O counters. Each WAL
+// keeps its own tallies (surfaced through Stats, the compatibility
+// accessor); the shared increment sites also feed these registry series.
+var (
+	mAppends = telemetry.Default().Counter("chc_wal_appends_total",
+		"Records appended across all write-ahead logs.")
+	mSyncs = telemetry.Default().Counter("chc_wal_fsyncs_total",
+		"Group-commit fsyncs across all write-ahead logs.")
+	mFsyncSeconds = telemetry.Default().Histogram("chc_wal_fsync_seconds",
+		"Latency of one flush+fsync group commit.", nil)
+	mReplayRecords = telemetry.Default().Counter("chc_wal_replay_records_total",
+		"Intact records decoded while replaying logs after a restart.")
+	mReplayTorn = telemetry.Default().Counter("chc_wal_replay_torn_tails_total",
+		"Replays that ended at a torn (truncated or CRC-corrupt) tail record.")
+)
+
+// observeFsync records one group commit; the duration is measured by the
+// caller only when telemetry or tracing is live, so the disabled path never
+// calls time.Now.
+func observeFsync(d time.Duration) {
+	mSyncs.Inc()
+	mFsyncSeconds.ObserveDuration(d)
+	if telemetry.TraceOn() {
+		telemetry.Emit("wal.fsync", map[string]any{"dur_ns": d.Nanoseconds()})
+	}
+}

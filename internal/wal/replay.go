@@ -82,6 +82,10 @@ func replayReader(r *bufio.Reader) (*Replayed, error) {
 		}
 		rep.Records++
 	}
+	mReplayRecords.Add(int64(rep.Records))
+	if rep.TornTail {
+		mReplayTorn.Inc()
+	}
 	if epochs == 0 {
 		return rep, fmt.Errorf("%w: no epoch record (empty or foreign log)", ErrCorrupt)
 	}

@@ -35,9 +35,11 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"chc/internal/dist"
 	"chc/internal/geom"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -148,6 +150,7 @@ func (w *WAL) append(body []byte) error {
 	}
 	w.dirty = true
 	w.appends++
+	mAppends.Inc()
 	return nil
 }
 
@@ -205,6 +208,10 @@ func (w *WAL) Sync() error {
 	if !w.dirty {
 		return nil
 	}
+	var start time.Time
+	if timed := telemetry.Enabled() || telemetry.TraceOn(); timed {
+		start = time.Now()
+	}
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
@@ -213,6 +220,11 @@ func (w *WAL) Sync() error {
 	}
 	w.dirty = false
 	w.syncs++
+	if !start.IsZero() {
+		observeFsync(time.Since(start))
+	} else {
+		mSyncs.Inc()
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"chc/internal/dist"
 	"chc/internal/engine"
 	"chc/internal/runtime"
+	"chc/internal/telemetry"
 )
 
 // TransportKind selects how RunNetworked connects the processes.
@@ -144,6 +145,11 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.TelemetryAddr != "" {
+		if _, err := telemetry.EnsureServer(cfg.TelemetryAddr); err != nil {
+			return nil, err
+		}
+	}
 	params := cfg.Params
 	engOpts := engine.Options{
 		Transport: engTransport,
@@ -179,6 +185,9 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 		Faulty:  make(map[ProcID]bool),
 		Traces:  make(map[ProcID]Trace),
 		Stats:   res.Stats,
+	}
+	if telemetry.Enabled() {
+		result.Telemetry = telemetry.Default().Snapshot()
 	}
 	for _, id := range cfg.Faulty {
 		result.Faulty[id] = true

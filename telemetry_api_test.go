@@ -1,0 +1,116 @@
+package chc_test
+
+import (
+	"strings"
+	"testing"
+
+	"chc"
+)
+
+// TestRunResultTelemetry checks that an enabled registry is snapshotted into
+// RunResult and that the protocol layers actually recorded into it.
+func TestRunResultTelemetry(t *testing.T) {
+	prev := chc.EnableTelemetry(true)
+	defer chc.EnableTelemetry(prev)
+
+	cfg := chc.RunConfig{
+		Params: params(),
+		Inputs: inputs2D(5, 7),
+		Seed:   7,
+	}
+	result, err := chc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := result.Telemetry
+	if snap == nil {
+		t.Fatal("RunResult.Telemetry nil with telemetry enabled")
+	}
+	decided := snap.Find("chc_consensus_decided_total")
+	if decided == nil {
+		t.Fatal("chc_consensus_decided_total missing from snapshot")
+	}
+	if decided.Total() < float64(cfg.Params.N) {
+		t.Errorf("decided total = %v, want >= %d", decided.Total(), cfg.Params.N)
+	}
+	rounds := snap.Find("chc_consensus_decided_round")
+	if rounds == nil {
+		t.Fatal("chc_consensus_decided_round missing from snapshot")
+	}
+	tEnd := cfg.Params.TEnd()
+	for _, s := range rounds.Samples {
+		if s.Labels["protocol"] != "cc" || s.Histogram == nil {
+			continue
+		}
+		if s.Histogram.Max > float64(tEnd) {
+			t.Errorf("decided-round max %v exceeds t_end %d", s.Histogram.Max, tEnd)
+		}
+	}
+
+	var sb strings.Builder
+	if err := chc.WriteMetricsText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "chc_consensus_decided_total") {
+		t.Error("text exposition missing chc_consensus_decided_total")
+	}
+}
+
+// TestRunTelemetryDisabled checks the disabled path: no snapshot attached,
+// and the registry's counters do not advance.
+func TestRunTelemetryDisabled(t *testing.T) {
+	prev := chc.EnableTelemetry(false)
+	defer chc.EnableTelemetry(prev)
+
+	before := chc.TelemetrySnapshot()
+	var beforeDecided float64
+	if mf := before.Find("chc_consensus_decided_total"); mf != nil {
+		beforeDecided = mf.Total()
+	}
+	result, err := chc.Run(chc.RunConfig{Params: params(), Inputs: inputs2D(5, 9), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Telemetry != nil {
+		t.Error("RunResult.Telemetry should be nil while disabled")
+	}
+	after := chc.TelemetrySnapshot()
+	var afterDecided float64
+	if mf := after.Find("chc_consensus_decided_total"); mf != nil {
+		afterDecided = mf.Total()
+	}
+	if afterDecided != beforeDecided {
+		t.Errorf("decided counter advanced while disabled: %v -> %v", beforeDecided, afterDecided)
+	}
+}
+
+// TestTraceSinkRoundEvents checks that a memory sink observes the per-round
+// state events E19 is built on, with one round-0 event per process.
+func TestTraceSinkRoundEvents(t *testing.T) {
+	sink := chc.NewMemoryTraceSink()
+	prev := chc.SetTraceSink(sink)
+	defer chc.SetTraceSink(prev)
+
+	cfg := chc.RunConfig{Params: params(), Inputs: inputs2D(5, 11), Seed: 11}
+	if _, err := chc.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	round0 := make(map[int]bool)
+	decided := 0
+	for _, ev := range sink.Events() {
+		switch ev.Name {
+		case "cc.round":
+			if ev.Attrs["round"].(int) == 0 {
+				round0[ev.Attrs["proc"].(int)] = true
+			}
+		case "cc.decided":
+			decided++
+		}
+	}
+	if len(round0) != cfg.Params.N {
+		t.Errorf("round-0 events from %d processes, want %d", len(round0), cfg.Params.N)
+	}
+	if decided != cfg.Params.N {
+		t.Errorf("%d cc.decided events, want %d", decided, cfg.Params.N)
+	}
+}
