@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak bench bench-json bench-check bench-telemetry experiments
+.PHONY: build test check race soak disk-torture bench bench-json bench-check bench-telemetry experiments
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race:
 # plans) under the race detector. Opt-in: it is too slow for tier-1.
 soak:
 	CHC_CHAOS_SOAK=1 $(GO) test -race -v -run TestChaosSoak -timeout 20m ./internal/runtime/
+
+# disk-torture is the storage-fault gate: the deterministic fault injector,
+# the full WAL suite (torn checkpoints, mid-rotation crashes, compaction
+# bounds, byte-identical checkpointed replay), and the runtime durability
+# policies (fail-stop within the f budget, degrade + re-arm), all under the
+# race detector.
+disk-torture: build
+	$(GO) test -race -timeout 10m ./internal/diskfault/ ./internal/wal/
+	$(GO) test -race -timeout 10m -run 'Durab|FailStop|Degrad|DiskFault|WALReplay' ./internal/runtime/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

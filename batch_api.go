@@ -2,8 +2,10 @@ package chc
 
 import (
 	"chc/internal/byzantine"
+	"chc/internal/diskfault"
 	"chc/internal/engine"
 	"chc/internal/multiplex"
+	"chc/internal/wal"
 )
 
 // Batch execution: many independent consensus instances multiplexed over
@@ -29,6 +31,14 @@ type (
 	// BatchFault assigns a Byzantine behaviour to one process of a
 	// BatchCompiledByzantine instance.
 	BatchFault = byzantine.Fault
+
+	// WALFileSystem is the filesystem the write-ahead logs write through
+	// (BatchConfig.WALFS); nil means the host filesystem. See DiskFaultFS.
+	WALFileSystem = wal.FS
+
+	// WALCheckpointPolicy configures WAL snapshot + segment rotation
+	// (BatchConfig.Checkpoint); the zero value disables checkpointing.
+	WALCheckpointPolicy = wal.CheckpointPolicy
 )
 
 // Protocols a batch instance can run.
@@ -53,6 +63,13 @@ const (
 	// wire codec and the reliable-link layer always active.
 	BatchTCP = engine.TransportTCP
 )
+
+// DiskFaultFS wraps the host filesystem in seeded, deterministic storage
+// fault injection for BatchConfig.WALFS — the batch counterpart of
+// WithDiskFaults. Requires BatchConfig.WALDir.
+func DiskFaultFS(plan DiskFaultPlan) WALFileSystem {
+	return diskfault.New(wal.OSFS(), plan)
+}
 
 // RunBatch executes every instance of the batch concurrently over one
 // network. Messages carry their instance index, so the protocols cannot

@@ -59,6 +59,10 @@ func run(args []string, w io.Writer) (err error) {
 		walDir        = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory (inproc/tcp only)")
 		recoverWAL    = fs.Bool("recover", false, "treat -crash plans as kill-and-restart faults: relaunch killed processes from their WALs (requires -wal-dir)")
 		downtime      = fs.Duration("recover-downtime", 10*time.Millisecond, "how long a killed process stays down before its WAL relaunch")
+		diskFaults    = fs.String("disk-faults", "off", "storage fault plan against the WALs: off|flaky|sick or werr=P,nospc=P,torn=P,syncerr=P,slow=P:LO-HI,cut=N,path=SUBSTR,after=K (requires -wal-dir)")
+		diskSeed      = fs.Int64("disk-seed", 1, "seed for the deterministic storage fault schedule")
+		walCheckpoint = fs.Int64("wal-checkpoint", 0, "rotate each WAL into segments and publish a full-history snapshot whenever its live file exceeds this many bytes; 0 disables (requires -wal-dir)")
+		durability    = fs.String("durability", "failstop", "policy when a WAL stops accepting writes: failstop (node becomes a crash fault) | degrade (node quarantines non-durably and re-arms with backoff)")
 		metricsAddr   = fs.String("metrics-addr", "", "enable telemetry and serve /metrics, /runs and /debug/pprof on this address (host:port; port 0 picks a free port)")
 		telemetryJSON = fs.String("telemetry-json", "", "enable telemetry and write the final registry snapshot as JSON to this file (written on error and timeout exits too)")
 	)
@@ -82,6 +86,30 @@ func run(args []string, w io.Writer) (err error) {
 		}
 		if *crash == "" {
 			return fmt.Errorf("-recover needs -crash plans to convert into kill-and-restart faults")
+		}
+	}
+	diskPlan, err := chc.ParseDiskFaultPlan(*diskFaults)
+	if err != nil {
+		return fmt.Errorf("-disk-faults: %w", err)
+	}
+	diskPlan.Seed = *diskSeed
+	var durabilityPolicy chc.DurabilityPolicy
+	switch *durability {
+	case "failstop":
+		durabilityPolicy = chc.FailStop
+	case "degrade":
+		durabilityPolicy = chc.Degrade
+	default:
+		return fmt.Errorf("-durability: unknown policy %q (failstop|degrade)", *durability)
+	}
+	if *walDir == "" {
+		switch {
+		case diskPlan.Enabled():
+			return fmt.Errorf("-disk-faults requires -wal-dir")
+		case *walCheckpoint > 0:
+			return fmt.Errorf("-wal-checkpoint requires -wal-dir")
+		case durabilityPolicy != chc.FailStop:
+			return fmt.Errorf("-durability requires -wal-dir")
 		}
 	}
 
@@ -186,6 +214,7 @@ func run(args []string, w io.Writer) (err error) {
 			seed: *seed, rng: rng, faulty: cfg.Faulty, crashes: cfg.Crashes,
 			scheduler: cfg.Scheduler, chaos: chaosProfile, chaosSeed: *chaosSeed,
 			walDir: *walDir, recoverWAL: *recoverWAL, downtime: *downtime,
+			diskPlan: diskPlan, checkpoint: *walCheckpoint, durability: durabilityPolicy,
 		})
 	}
 
@@ -205,6 +234,15 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if *recoverWAL {
 		netOpts = append(netOpts, chc.WithCrashRecovery(*downtime))
+	}
+	if diskPlan.Enabled() {
+		netOpts = append(netOpts, chc.WithDiskFaults(diskPlan))
+	}
+	if *walCheckpoint > 0 {
+		netOpts = append(netOpts, chc.WithWALCheckpoint(*walCheckpoint))
+	}
+	if durabilityPolicy != chc.FailStop {
+		netOpts = append(netOpts, chc.WithDurability(durabilityPolicy))
 	}
 	var result *chc.RunResult
 	start := time.Now()
@@ -275,7 +313,14 @@ func run(args []string, w io.Writer) (err error) {
 				fmt.Fprintf(w, "recovery    : %d wal appends in %d fsync batches, %d link resumes\n",
 					net.WALAppends, net.WALSyncs, net.Resumes)
 			}
+			if diskPlan.Enabled() || *walCheckpoint > 0 {
+				fmt.Fprintf(w, "storage     : %d durability faults, %d fail-stops, %d degradations, %d re-arms, %d checkpoints\n",
+					net.DurabilityFaults, net.FailStops, net.Degradations, net.Rearms, net.WALCheckpoints)
+			}
 		}
+	}
+	if len(result.Degraded) > 0 {
+		fmt.Fprintf(w, "degraded    : %v (non-durable at shutdown; no re-arm succeeded)\n", result.Degraded)
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -311,6 +356,9 @@ type batchMode struct {
 	walDir     string
 	recoverWAL bool
 	downtime   time.Duration
+	diskPlan   chc.DiskFaultPlan
+	checkpoint int64
+	durability chc.DurabilityPolicy
 }
 
 // runBatchMode executes -batch instances of -protocol as one batch
@@ -394,6 +442,13 @@ func runBatchMode(w io.Writer, m batchMode) error {
 		cfg.Recover = true
 		cfg.RecoverDowntime = m.downtime
 	}
+	if m.diskPlan.Enabled() {
+		cfg.WALFS = chc.DiskFaultFS(m.diskPlan)
+	}
+	if m.checkpoint > 0 {
+		cfg.Checkpoint = chc.WALCheckpointPolicy{EveryBytes: m.checkpoint}
+	}
+	cfg.Durability = m.durability
 
 	start := time.Now()
 	result, err := chc.RunBatch(cfg)
@@ -452,6 +507,10 @@ func runBatchMode(w io.Writer, m batchMode) error {
 			if m.walDir != "" {
 				fmt.Fprintf(w, "recovery    : %d wal appends in %d fsync batches, %d link resumes\n",
 					net.WALAppends, net.WALSyncs, net.Resumes)
+			}
+			if m.diskPlan.Enabled() || m.checkpoint > 0 {
+				fmt.Fprintf(w, "storage     : %d durability faults, %d fail-stops, %d degradations, %d re-arms, %d checkpoints\n",
+					net.DurabilityFaults, net.FailStops, net.Degradations, net.Rearms, net.WALCheckpoints)
 			}
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"chc/internal/geom"
 	"chc/internal/polytope"
 	"chc/internal/rbc"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -57,6 +58,10 @@ type Process struct {
 
 	decided bool
 	failure error
+
+	// traceInstance is the engine instance index stamped onto trace events,
+	// so multi-instance runs can attribute rounds to their agreement task.
+	traceInstance int
 }
 
 var _ dist.Process = (*Process)(nil)
@@ -246,10 +251,27 @@ func (p *Process) decide() {
 	p.decided = true
 	mDecided.Inc()
 	mDecidedRound.Observe(float64(p.tEnd))
+	if telemetry.TraceOn() {
+		telemetry.Emit("byz.decided", map[string]any{
+			"proc": int(p.id), "round": p.tEnd, "instance": p.traceInstance,
+		})
+	}
 }
+
+// SetTraceInstance stamps the engine instance index onto this process's
+// trace events (the engine calls it when building multi-instance nodes).
+func (p *Process) SetTraceInstance(k int) { p.traceInstance = k }
 
 func (p *Process) broadcastChoice(ctx dist.Context, round int, choice []dist.ProcID) {
 	mRoundsStarted.Inc()
+	if telemetry.TraceOn() {
+		// The compiled protocol's round state is the broadcast sender choice,
+		// not a geometric object; consumers deduplicate by (proc, round,
+		// instance) as for cc.round/vc.round.
+		telemetry.Emit("byz.round", map[string]any{
+			"proc": int(p.id), "round": round, "choice": choice, "instance": p.traceInstance,
+		})
+	}
 	key := stateKey{proc: p.id, round: round}
 	if _, dup := p.choices[key]; !dup {
 		// Record our own choice immediately; our own RBC delivery will be a

@@ -66,6 +66,10 @@ type Process struct {
 	decided bool
 	failure error
 	trace   Trace
+
+	// traceInstance is the engine instance index stamped onto trace events,
+	// so multi-instance runs can attribute rounds to their agreement task.
+	traceInstance int
 }
 
 var _ dist.Process = (*Process)(nil)
@@ -254,7 +258,9 @@ func (p *Process) enterRound(ctx dist.Context, t int) {
 		mDecided.Inc()
 		mDecidedRound.Observe(float64(p.tEnd))
 		if telemetry.TraceOn() {
-			telemetry.Emit("cc.decided", map[string]any{"proc": int(p.id), "round": p.tEnd})
+			telemetry.Emit("cc.decided", map[string]any{
+				"proc": int(p.id), "round": p.tEnd, "instance": p.traceInstance,
+			})
 		}
 		return
 	}
@@ -339,11 +345,16 @@ func (p *Process) emitRoundState(round int, verts []geom.Point) {
 		return
 	}
 	telemetry.Emit("cc.round", map[string]any{
-		"proc":  int(p.id),
-		"round": round,
-		"state": verts,
+		"proc":     int(p.id),
+		"round":    round,
+		"state":    verts,
+		"instance": p.traceInstance,
 	})
 }
+
+// SetTraceInstance stamps the engine instance index onto this process's
+// trace events (the engine calls it when building multi-instance nodes).
+func (p *Process) SetTraceInstance(k int) { p.traceInstance = k }
 
 // InitialPolytope computes h_i[0] from the multiset X_i (line 5). Under the
 // incorrect-inputs model it intersects the hulls of all (|X|-f)-subsets;

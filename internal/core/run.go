@@ -92,6 +92,12 @@ type RunResult struct {
 	// Crashed reports which processes crashed during the run.
 	Crashed map[dist.ProcID]bool
 
+	// Degraded lists processes still in non-durable (quarantined) mode when
+	// the run ended: their disks failed mid-run under the Degrade durability
+	// policy and no re-arm succeeded before shutdown. Empty for simulator
+	// runs and for networked runs without storage faults.
+	Degraded []dist.ProcID
+
 	// Faulty echoes the configured fault set F.
 	Faulty map[dist.ProcID]bool
 

@@ -1,0 +1,15 @@
+package diskfault
+
+import "chc/internal/telemetry"
+
+// Process-wide injection counters, one series per fault kind.
+var (
+	injected = telemetry.Default().CounterVec("chc_diskfault_injected_total",
+		"Storage faults injected, by kind.", "kind")
+	mWriteErrs  = injected.With("write_error")
+	mNoSpace    = injected.With("no_space")
+	mTornWrites = injected.With("torn_write")
+	mSyncErrs   = injected.With("sync_error")
+	mSyncDelays = injected.With("sync_delay")
+	mPowerCuts  = injected.With("power_cut")
+)

@@ -116,6 +116,12 @@ type NetStats struct {
 	Resumes    int64 // epoch-increase handshakes processed (peer restarts seen)
 	WALAppends int64 // records appended to write-ahead logs
 	WALSyncs   int64 // fsync batches issued by write-ahead logs
+
+	WALCheckpoints   int64 // snapshots published (rotations + degraded re-arms)
+	DurabilityFaults int64 // WAL write/fsync failures observed by the runtime
+	FailStops        int64 // nodes fail-stopped on durability failure
+	Degradations     int64 // nodes that entered non-durable (degraded) mode
+	Rearms           int64 // degraded nodes whose durability was restored
 }
 
 // ErrDeadlock is returned when live undecided processes remain but no

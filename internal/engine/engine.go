@@ -25,6 +25,7 @@ import (
 	"chc/internal/geom"
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
+	"chc/internal/wal"
 	"chc/internal/wire"
 )
 
@@ -127,6 +128,20 @@ type Options struct {
 	// Restarts schedules crash-recovery faults: kill after a send budget,
 	// relaunch from the WAL. Requires WALDir. Networked only.
 	Restarts []runtime.RestartPlan
+
+	// WALFS is the filesystem the journals write through (nil = host).
+	// Wrapping it with a diskfault.FS injects storage faults under the
+	// logs. Requires WALDir.
+	WALFS wal.FS
+	// Checkpoint enables periodic WAL snapshot + segment rotation, so
+	// recovery replays snapshot + tail instead of the whole history and
+	// compaction bounds the on-disk size. Requires WALDir.
+	Checkpoint wal.CheckpointPolicy
+	// Durability decides what a node does when its journal stops accepting
+	// writes: fail-stop (default, the node becomes a crash fault) or
+	// degrade (quarantine into non-durable mode with background re-arm).
+	// Requires WALDir.
+	Durability runtime.DurabilityPolicy
 }
 
 // Result is the outcome of a run. Participants are reached through Sub (or
@@ -146,6 +161,10 @@ type Result struct {
 	// Cluster holds the full networked-runtime counters (nil on the
 	// simulator).
 	Cluster *runtime.ClusterStats
+	// Degraded lists nodes still in non-durable mode when the run ended:
+	// their disks failed, the Degrade policy quarantined them, and no
+	// re-arm succeeded before shutdown.
+	Degraded []dist.ProcID
 
 	nodes []*Node
 }
@@ -206,6 +225,9 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	case TransportSim:
 		if opts.Chaos != nil || opts.WALDir != "" || len(opts.Restarts) > 0 {
 			return nil, errors.New("engine: chaos, WAL and restarts need a networked transport (the simulator has no link layer)")
+		}
+		if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
+			return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy need a networked transport with WALDir")
 		}
 	case TransportChannel, TransportTCP:
 		if opts.Scheduler != nil {
@@ -325,8 +347,13 @@ func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*
 				}
 				return nd
 			},
-			Inputs: opts.Inputs,
+			Inputs:     opts.Inputs,
+			FS:         opts.WALFS,
+			Checkpoint: opts.Checkpoint,
+			Durability: opts.Durability,
 		}))
+	} else if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
+		return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy require WALDir")
 	}
 	if len(opts.Restarts) > 0 {
 		runOpts = append(runOpts, runtime.WithRestarts(opts.Restarts...))
@@ -377,8 +404,9 @@ func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*
 			KindCounts: map[string]int{},
 			Net:        &net,
 		},
-		Cluster: &st,
-		nodes:   nodes,
+		Cluster:  &st,
+		Degraded: cluster.Degraded(),
+		nodes:    nodes,
 	}
 	for i, nd := range nodes {
 		if !nd.Done() {

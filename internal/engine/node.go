@@ -30,6 +30,11 @@ func buildNode(spec Spec, id dist.ProcID) (*Node, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: instance %d process %d: %w", k, id, err)
 		}
+		// Participants that stamp trace events get told which instance they
+		// serve, so multi-instance traces stay attributable.
+		if ti, ok := sub.(interface{ SetTraceInstance(int) }); ok {
+			ti.SetTraceInstance(k)
+		}
 		nd.subs[k] = sub
 	}
 	return nd, nil

@@ -25,6 +25,7 @@
 //	E17 the crash-recovery matrix: WAL replay + epoch link resumption
 //	E18 the batch matrix: heterogeneous instances multiplexed over one TCP net
 //	E19 the telemetry audit: eq. (19) and Lemma 3 measured from trace events
+//	E20 the storage-fault matrix: disk faults × durability policy × compaction
 package experiments
 
 import (
@@ -149,6 +150,7 @@ func All() []Experiment {
 		{"E17", "Crash-recovery matrix: kill-and-restart faults over the WAL runtime", E17CrashRecovery},
 		{"E18", "Batch matrix: heterogeneous instances over one TCP network", E18BatchMatrix},
 		{"E19", "Telemetry audit: round bound and contraction from trace events", E19TelemetryAudit},
+		{"E20", "Storage-fault matrix: disk faults, durability policies and compaction", E20StorageFaults},
 	}
 }
 

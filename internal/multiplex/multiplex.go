@@ -27,6 +27,7 @@ import (
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
 	"chc/internal/vectorconsensus"
+	"chc/internal/wal"
 )
 
 // ProtocolKind selects the state machine an instance runs.
@@ -105,6 +106,15 @@ type BatchConfig struct {
 	// WALDir enables write-ahead logging; every journaled delivery carries
 	// its instance, so a restarted node replays the whole batch it hosts.
 	WALDir string
+
+	// WALFS is the filesystem the journals write through (nil = host);
+	// storage fault injection (package diskfault) hooks in here.
+	WALFS wal.FS
+	// Checkpoint enables WAL snapshot + segment rotation (requires WALDir).
+	Checkpoint wal.CheckpointPolicy
+	// Durability selects the policy applied when a node's journal fails
+	// (requires WALDir; default fail-stop).
+	Durability runtime.DurabilityPolicy
 
 	// Recover converts Crashes from crash-stop faults into crash-recovery
 	// faults: each planned crash kills the node mid-protocol, keeps it down
@@ -193,6 +203,9 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 	if cfg.Recover && cfg.WALDir == "" {
 		return nil, errors.New("multiplex: Recover requires WALDir")
 	}
+	if cfg.WALDir == "" && (cfg.WALFS != nil || cfg.Checkpoint.Enabled() || cfg.Durability != runtime.FailStop) {
+		return nil, errors.New("multiplex: WALFS, Checkpoint and Durability require WALDir")
+	}
 	if cfg.TelemetryAddr != "" {
 		if _, err := telemetry.EnsureServer(cfg.TelemetryAddr); err != nil {
 			return nil, err
@@ -206,7 +219,10 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		Timeout:   cfg.Timeout,
 		Chaos:     cfg.Chaos,
 		ChaosSeed: cfg.ChaosSeed,
-		WALDir:    cfg.WALDir,
+		WALDir:     cfg.WALDir,
+		WALFS:      cfg.WALFS,
+		Checkpoint: cfg.Checkpoint,
+		Durability: cfg.Durability,
 	}
 	if cfg.Recover {
 		// Crash-recovery kills are not crash-stop faults: the node comes back

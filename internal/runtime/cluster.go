@@ -62,6 +62,8 @@ type Cluster struct {
 	inj     []*chaos.Injector          // chaos injectors (nil entries when disabled)
 	tcp     []*tcpTransport            // TCP transports (nil entries for channel clusters)
 	wal     []*wal.WAL                 // write-ahead logs (recovery mode only)
+	box     []*durableBox              // durability state machines (recovery mode only)
+	crash   []*atomic.Bool             // per-incarnation crash flags (fresh on relaunch)
 	deliver []func(dist.Message) error // per-incarnation mailbox delivery (recovery mode only)
 	sender  []rlink.Sender             // frame sender under each endpoint (incl. chaos), for rebuilds
 
@@ -75,6 +77,9 @@ type Cluster struct {
 
 	retiredMu sync.Mutex
 	retired   dist.NetStats // counters from endpoints/logs of killed incarnations
+
+	durability durabilityCounters
+	bg         sync.WaitGroup // background re-arm loops
 
 	sends atomic.Int64
 	bytes atomic.Int64
@@ -197,12 +202,15 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		inj:     make([]*chaos.Injector, len(procs)),
 		tcp:     make([]*tcpTransport, len(procs)),
 		wal:     make([]*wal.WAL, len(procs)),
+		box:     make([]*durableBox, len(procs)),
+		crash:   make([]*atomic.Bool, len(procs)),
 		deliver: make([]func(dist.Message) error, len(procs)),
 		sender:  make([]rlink.Sender, len(procs)),
 	}
 	for i := range procs {
 		c.inbox[i] = newMailbox()
 		c.budget[i] = -1
+		c.crash[i] = &atomic.Bool{}
 	}
 	for _, o := range opts {
 		o.apply(c)
@@ -230,7 +238,7 @@ func (c *Cluster) installEndpoint(i int, s rlink.Sender) error {
 	c.sender[i] = s
 	deliver := c.deliverLocal
 	if c.recovery != nil {
-		w, err := wal.Create(WALPath(c.recovery.Dir, dist.ProcID(i)))
+		w, err := wal.CreateWith(WALPath(c.recovery.Dir, dist.ProcID(i)), c.walOptions())
 		if err != nil {
 			return fmt.Errorf("runtime: create WAL for node %d: %w", i, err)
 		}
@@ -244,7 +252,9 @@ func (c *Cluster) installEndpoint(i int, s rlink.Sender) error {
 			}
 		}
 		c.wal[i] = w
-		deliver = journalingDeliver(w, c.inbox[i])
+		box := newDurableBox(c, i, w, c.inbox[i], c.crash[i])
+		c.box[i] = box
+		deliver = box.deliver
 		c.deliver[i] = deliver
 	}
 	ep := rlink.New(dist.ProcID(i), len(c.procs), s, deliver, c.rlinkCfg)
@@ -262,37 +272,17 @@ func (c *Cluster) closeWALs() {
 	}
 }
 
-// journalingDeliver wraps a mailbox hand-off with the WAL durability
-// contract: the delivery record is appended and fsynced before the message
-// becomes visible to the process — and, because rlink withholds the
-// cumulative ack when deliver fails, before the sender is told to stop
-// retransmitting. The whole append+fsync+push sequence runs under one
-// mutex, so journal order always equals mailbox (processing) order even
-// though deliveries to one node race each other (per-sender link locks in
-// rlink, plus the node's own goroutine journaling self-sends): replay
-// re-drives the journal in order, and any divergence between the two
-// orders would let a relaunched incarnation attach different payloads to
-// already-transmitted (link, seq) pairs — equivocation across the restart
-// boundary. A journaling failure is reported to the caller: rlink leaves
-// the message buffered un-acked so the peer retransmits and the delivery
-// is retried; a failed self-send journal crashes the node (see
-// nodeContext.Send). The closure captures its own incarnation's log,
-// mailbox and mutex, so swapping in a new incarnation is atomic by
-// construction.
-func journalingDeliver(w *wal.WAL, mbox *mailbox) func(dist.Message) error {
-	var mu sync.Mutex
-	return func(m dist.Message) error {
-		mu.Lock()
-		defer mu.Unlock()
-		if err := w.AppendDelivered(m); err != nil {
-			return err
-		}
-		if err := w.Sync(); err != nil {
-			return err
-		}
-		mbox.Push(m)
-		return nil
+// walOptions builds the log options from the recovery configuration: the
+// (possibly fault-injecting) filesystem, the checkpoint policy, and mirror
+// mode when the degrade policy may need to re-arm.
+func (c *Cluster) walOptions() wal.Options {
+	o := wal.Options{}
+	if c.recovery != nil {
+		o.FS = c.recovery.FS
+		o.Checkpoint = c.recovery.Checkpoint
+		o.Mirror = c.recovery.Durability == Degrade
 	}
+	return o
 }
 
 // routeFrame delivers a frame to the target node's reliable-link endpoint
@@ -344,6 +334,7 @@ func (c *Cluster) Stats() ClusterStats {
 		s := w.Stats()
 		st.Net.WALAppends += s.Appends
 		st.Net.WALSyncs += s.Syncs
+		st.Net.WALCheckpoints += s.Checkpoints
 	}
 	for _, inj := range c.inj {
 		if inj == nil {
@@ -373,7 +364,28 @@ func (c *Cluster) Stats() ClusterStats {
 	st.Net.Resumes += r.Resumes
 	st.Net.WALAppends += r.WALAppends
 	st.Net.WALSyncs += r.WALSyncs
+	st.Net.WALCheckpoints += r.WALCheckpoints
+	d := c.durability.stats()
+	st.Net.DurabilityFaults = d.Faults
+	st.Net.FailStops = d.FailStops
+	st.Net.Degradations = d.Degraded
+	st.Net.Rearms = d.Rearms
 	return st
+}
+
+// Degraded lists the nodes currently running in non-durable (degraded)
+// mode: quarantined by the Degrade policy and not yet re-armed.
+func (c *Cluster) Degraded() []dist.ProcID {
+	c.stateMu.RLock()
+	boxes := append([]*durableBox(nil), c.box...)
+	c.stateMu.RUnlock()
+	var out []dist.ProcID
+	for i, b := range boxes {
+		if b != nil && b.isDegraded() {
+			out = append(out, dist.ProcID(i))
+		}
+	}
+	return out
 }
 
 // Processes returns the cluster's current state machines — after a run with
@@ -412,7 +424,7 @@ func (c *Cluster) Run(timeout time.Duration) error {
 
 	c.stateMu.RLock()
 	for i := range c.procs {
-		rs.launch(i, c.procs[i], c.inbox[i], false)
+		rs.launch(i, c.procs[i], c.inbox[i], c.crash[i], false)
 	}
 	c.stateMu.RUnlock()
 
@@ -432,8 +444,14 @@ func (c *Cluster) Run(timeout time.Duration) error {
 	inboxes := append([]*mailbox(nil), c.inbox...)
 	rel := append([]*rlink.Endpoint(nil), c.rel...)
 	wals := append([]*wal.WAL(nil), c.wal...)
+	boxes := append([]*durableBox(nil), c.box...)
 	trans := append([]transport(nil), c.trans...)
 	c.stateMu.Unlock()
+	for _, b := range boxes {
+		if b != nil {
+			b.close()
+		}
+	}
 	for _, mbox := range inboxes {
 		mbox.Close()
 	}
@@ -463,6 +481,7 @@ func (c *Cluster) Run(timeout time.Duration) error {
 		}
 	}
 	rs.wg.Wait()
+	c.bg.Wait()
 	if recErr := rs.recoveryErr(); recErr != nil {
 		return recErr
 	}

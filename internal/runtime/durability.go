@@ -1,0 +1,288 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/telemetry"
+	"chc/internal/wal"
+)
+
+// DurabilityPolicy decides what a node does when its write-ahead log stops
+// accepting writes (disk error, full device, failed fsync).
+type DurabilityPolicy int
+
+const (
+	// FailStop (the default) makes the node crash on the spot: a process
+	// that cannot journal can no longer uphold the recovery contract, so it
+	// becomes one of the f crash faults the protocol tolerates. With a
+	// queued restart plan the supervisor may still relaunch it from the
+	// durable prefix of its log.
+	FailStop DurabilityPolicy = iota
+	// Degrade quarantines the node into non-durable mode instead: it keeps
+	// participating (deliveries are acked without journaling, buffered in
+	// memory) while a background loop retries the disk with backoff. A
+	// successful re-arm publishes the full history — including the
+	// degraded-window deliveries — as a fresh snapshot, restoring
+	// durability; a degraded node that crashes before then is a full crash
+	// fault and must not be relaunched.
+	Degrade
+)
+
+// String names the policy for flags and run reports.
+func (p DurabilityPolicy) String() string {
+	if p == Degrade {
+		return "degrade"
+	}
+	return "failstop"
+}
+
+// DurabilityStats counts storage-failure handling for one cluster.
+type DurabilityStats struct {
+	Faults    int64 // WAL write/fsync failures observed
+	FailStops int64 // nodes fail-stopped
+	Degraded  int64 // nodes that entered degraded mode
+	Rearms    int64 // successful durability restorations
+}
+
+// errFailStopped refuses deliveries to an incarnation that has already
+// fail-stopped; the link withholds its ack, so the peer keeps the message
+// for a potential relaunch.
+var errFailStopped = errors.New("runtime: node fail-stopped on durability failure")
+
+// durableBox owns the durability path of one incarnation: the WAL, the
+// mailbox, and the degradation state machine. It replaces the plain
+// journaling closure so a journaling failure can be handled by policy
+// instead of only being reported upstream.
+//
+// The append+fsync+push sequence runs under one mutex for the same reason
+// journalingDeliver's did: journal order must equal mailbox (processing)
+// order, or a relaunched incarnation could attach different payloads to
+// already-transmitted (link, seq) pairs — equivocation across the restart
+// boundary.
+type durableBox struct {
+	c       *Cluster
+	i       int
+	crashed *atomic.Bool // the incarnation's crash flag (shared with runProc)
+	policy  DurabilityPolicy
+	rearmMin, rearmMax time.Duration
+
+	mu       sync.Mutex
+	w        *wal.WAL
+	mbox     *mailbox
+	degraded bool
+	rearming bool
+	pending  [][]byte // record bodies accrued while degraded, journal order
+	closed   bool
+	closedCh chan struct{}
+}
+
+func newDurableBox(c *Cluster, i int, w *wal.WAL, mbox *mailbox, crashed *atomic.Bool) *durableBox {
+	b := &durableBox{
+		c: c, i: i, w: w, mbox: mbox, crashed: crashed,
+		policy:   FailStop,
+		rearmMin: time.Millisecond, rearmMax: 250 * time.Millisecond,
+		closedCh: make(chan struct{}),
+	}
+	if c.recovery != nil {
+		b.policy = c.recovery.Durability
+		if c.recovery.RearmMin > 0 {
+			b.rearmMin = c.recovery.RearmMin
+		}
+		if c.recovery.RearmMax > 0 {
+			b.rearmMax = c.recovery.RearmMax
+		}
+	}
+	return b
+}
+
+// deliver is the rlink delivery callback: journal, fsync, then push. On a
+// durability failure it applies the policy; only fail-stop reports the
+// error upstream (withholding the link ack so the peer keeps the message).
+func (b *durableBox) deliver(m dist.Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.crashed.Load() {
+		// The incarnation already fail-stopped (or was killed); its teardown
+		// is asynchronous, so deliveries can still race in. Refuse them
+		// without re-counting faults: FailStops counts nodes, not attempts.
+		return errFailStopped
+	}
+	if b.degraded {
+		b.bufferDegraded(m)
+		return nil
+	}
+	err := b.w.AppendDelivered(m)
+	if err == nil {
+		err = b.w.Sync()
+	}
+	if err == nil {
+		b.mbox.Push(m)
+		return nil
+	}
+	b.c.durability.faults.Add(1)
+	mDurabilityFaults.Inc()
+	if telemetry.TraceOn() {
+		telemetry.Emit("runtime.durability", map[string]any{
+			"proc": b.i, "action": "fault", "err": err.Error(),
+		})
+	}
+	if b.policy == Degrade {
+		b.enterDegraded(m)
+		return nil
+	}
+	b.failStop()
+	return err
+}
+
+// journalDecided journals a decision through the box so a degraded node's
+// decision lands in the pending buffer (and so in the re-arm snapshot).
+// Failures are tolerated like journalDecision's: the decision is already
+// reproducible from the journaled deliveries.
+func (b *durableBox) journalDecided(round int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.degraded {
+		b.pending = append(b.pending, wal.EncodeDecided(round))
+		return
+	}
+	if err := b.w.AppendDecided(round); err != nil {
+		return
+	}
+	_ = b.w.Sync()
+}
+
+// bufferDegraded acks a delivery non-durably: the body is buffered for the
+// next re-arm attempt and the message made visible to the process.
+func (b *durableBox) bufferDegraded(m dist.Message) {
+	if body, err := wal.EncodeDelivered(m); err == nil {
+		b.pending = append(b.pending, body)
+	}
+	b.mbox.Push(m)
+}
+
+// failStop crashes the incarnation (under b.mu). The teardown must be
+// asynchronous: deliver runs inside the reliable link's receive path, and
+// killNode closes the endpoint, which waits for that very machinery.
+func (b *durableBox) failStop() {
+	b.crashed.Store(true)
+	b.c.durability.failStops.Add(1)
+	mFailStops.Inc()
+	if telemetry.TraceOn() {
+		telemetry.Emit("runtime.durability", map[string]any{"proc": b.i, "action": "failstop"})
+	}
+	go b.c.killNode(b.i)
+}
+
+// enterDegraded quarantines the node into non-durable mode (under b.mu):
+// the failed delivery is the first pending entry, any bodies the WAL had
+// buffered-but-not-fsynced are dropped from its mirror (they are exactly
+// the failed delivery, which pending now owns), and the re-arm loop starts.
+func (b *durableBox) enterDegraded(m dist.Message) {
+	b.degraded = true
+	b.w.DropUnsynced()
+	b.bufferDegraded(m)
+	b.c.durability.degraded.Add(1)
+	mDegradations.Inc()
+	if telemetry.TraceOn() {
+		telemetry.Emit("runtime.durability", map[string]any{"proc": b.i, "action": "degrade"})
+	}
+	if !b.rearming {
+		b.rearming = true
+		b.c.bg.Add(1)
+		go b.rearmLoop()
+	}
+}
+
+// rearmLoop retries the disk with exponential backoff until durability is
+// restored or the box is closed. Holding b.mu across the Rearm call is
+// deliberate: deliveries arriving during the attempt wait, so a successful
+// re-arm covers every message the process has consumed.
+func (b *durableBox) rearmLoop() {
+	defer b.c.bg.Done()
+	backoff := b.rearmMin
+	for {
+		select {
+		case <-time.After(backoff):
+		case <-b.closedCh:
+			return
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		ok := b.rearmOnceLocked()
+		b.mu.Unlock()
+		if ok {
+			return
+		}
+		backoff *= 2
+		if backoff > b.rearmMax {
+			backoff = b.rearmMax
+		}
+	}
+}
+
+// rearmOnceLocked attempts one durability restoration (under b.mu) and
+// reports success.
+func (b *durableBox) rearmOnceLocked() bool {
+	if b.w.Rearm(b.pending) != nil {
+		return false
+	}
+	b.pending = nil
+	b.degraded = false
+	b.rearming = false
+	b.c.durability.rearms.Add(1)
+	mRearms.Inc()
+	if telemetry.TraceOn() {
+		telemetry.Emit("runtime.durability", map[string]any{"proc": b.i, "action": "rearm"})
+	}
+	return true
+}
+
+// isDegraded reports whether the node is currently in non-durable mode.
+func (b *durableBox) isDegraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.degraded
+}
+
+// close stops the re-arm loop, after one last synchronous restoration
+// attempt: if the disk has healed by shutdown, the degraded-window history
+// is persisted rather than abandoned (so post-run replay sees it). A disk
+// that is still failing fails the attempt immediately and the node's
+// durability ends where the failure left it. Idempotent; called from
+// killNode and Run shutdown.
+func (b *durableBox) close() {
+	b.mu.Lock()
+	if !b.closed {
+		if b.degraded {
+			b.rearmOnceLocked()
+		}
+		b.closed = true
+		close(b.closedCh)
+	}
+	b.mu.Unlock()
+}
+
+// durabilityCounters aggregates storage-failure handling across a cluster's
+// incarnations (atomics: bumped from link callbacks and re-arm loops).
+type durabilityCounters struct {
+	faults    atomic.Int64
+	failStops atomic.Int64
+	degraded  atomic.Int64
+	rearms    atomic.Int64
+}
+
+func (d *durabilityCounters) stats() DurabilityStats {
+	return DurabilityStats{
+		Faults:    d.faults.Load(),
+		FailStops: d.failStops.Load(),
+		Degraded:  d.degraded.Load(),
+		Rearms:    d.rearms.Load(),
+	}
+}

@@ -1,0 +1,319 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/wal"
+)
+
+var errInjectedSync = errors.New("injected fsync failure")
+
+// flakyFS fails fsyncs on matching paths while the fail flag is set — a
+// switchable sick disk for exercising the degradation policy without
+// probabilistic schedules. A positive budget heals the disk automatically
+// after that many injected failures (a deterministic transient outage).
+type flakyFS struct {
+	wal.FS
+	fail   atomic.Bool
+	budget atomic.Int64 // >0: remaining failures before auto-heal
+	match  string       // path substring; empty matches all
+}
+
+func (f *flakyFS) failing(path string) bool {
+	if !f.fail.Load() || (f.match != "" && !strings.Contains(path, f.match)) {
+		return false
+	}
+	if f.budget.Load() > 0 && f.budget.Add(-1) <= 0 {
+		f.fail.Store(false)
+	}
+	return true
+}
+
+func (f *flakyFS) Create(path string) (wal.File, error) {
+	file, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f, path: path}, nil
+}
+
+func (f *flakyFS) OpenRW(path string) (wal.File, error) {
+	file, err := f.FS.OpenRW(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f, path: path}, nil
+}
+
+type flakyFile struct {
+	wal.File
+	fs   *flakyFS
+	path string
+}
+
+func (ff *flakyFile) Sync() error {
+	if ff.fs.failing(ff.path) {
+		return errInjectedSync
+	}
+	return ff.File.Sync()
+}
+
+// TestDurableBoxDegradeAndRearm drives one box through the full quarantine
+// cycle: durable deliveries, a failing-disk window acked non-durably, the
+// background re-arm restoring durability, then more durable deliveries —
+// and checks the final on-disk history holds every message in mailbox
+// order, including the degraded window.
+func TestDurableBoxDegradeAndRearm(t *testing.T) {
+	dir := t.TempDir()
+	path := WALPath(dir, 0)
+	ffs := &flakyFS{FS: wal.OSFS()}
+	w, err := wal.CreateWith(path, wal.Options{FS: ffs, Mirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Cluster{recovery: &RecoveryConfig{
+		Dir: dir, Durability: Degrade,
+		RearmMin: time.Millisecond, RearmMax: 4 * time.Millisecond,
+	}}
+	mbox := newMailbox()
+	box := newDurableBox(c, 0, w, mbox, &atomic.Bool{})
+
+	msg := func(round int) dist.Message {
+		return dist.Message{From: 1, To: 0, Kind: "t", Round: round}
+	}
+	next := 0
+	send := func(k int) {
+		for i := 0; i < k; i++ {
+			if err := box.deliver(msg(next)); err != nil {
+				t.Fatalf("deliver %d: %v", next, err)
+			}
+			next++
+		}
+	}
+
+	send(3)
+	if box.isDegraded() {
+		t.Fatal("degraded on a healthy disk")
+	}
+	ffs.fail.Store(true)
+	send(4) // first one trips the quarantine; all acked non-durably
+	if !box.isDegraded() {
+		t.Fatal("not degraded after fsync failures")
+	}
+	if got := c.durability.stats(); got.Degraded != 1 || got.Faults == 0 {
+		t.Fatalf("durability stats after degrade: %+v", got)
+	}
+	ffs.fail.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for box.isDegraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("re-arm did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.durability.stats(); got.Rearms != 1 {
+		t.Fatalf("rearms = %d, want 1", got.Rearms)
+	}
+	send(3)
+	box.close()
+	c.bg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The re-armed log must replay the complete history — the degraded
+	// window included — in delivery order, from the published snapshot.
+	rep, err := wal.Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Snapshot {
+		t.Error("replay did not use the re-arm snapshot")
+	}
+	if len(rep.Delivered) != next {
+		t.Fatalf("journal has %d deliveries, want %d", len(rep.Delivered), next)
+	}
+	for i, m := range rep.Delivered {
+		if m.Round != i {
+			t.Fatalf("position %d: round %d (order not preserved)", i, m.Round)
+		}
+	}
+	// Mailbox order must equal journal order across the degrade boundary.
+	mbox.Close()
+	for i := 0; i < next; i++ {
+		got, err := mbox.Pop()
+		if err != nil {
+			t.Fatalf("mailbox drained at %d, journal has %d", i, next)
+		}
+		if got.Round != i {
+			t.Fatalf("mailbox position %d: round %d", i, got.Round)
+		}
+	}
+}
+
+// TestDurableBoxFailStop checks the default policy: a durability failure
+// crashes the incarnation (flag set, error surfaced so the link withholds
+// its ack) and counts as a fail-stop.
+func TestDurableBoxFailStop(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: wal.OSFS()}
+	w, err := wal.CreateWith(WALPath(dir, 0), wal.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+	c := newTestClusterShell(t, 1)
+	mbox := newMailbox()
+	c.inbox[0] = mbox // killNode tears down the registered mailbox
+	crashed := &atomic.Bool{}
+	box := newDurableBox(c, 0, w, mbox, crashed)
+	if err := box.deliver(dist.Message{From: 0, To: 0, Kind: "t"}); err != nil {
+		t.Fatalf("healthy deliver: %v", err)
+	}
+	ffs.fail.Store(true)
+	if err := box.deliver(dist.Message{From: 0, To: 0, Kind: "t", Round: 1}); err == nil {
+		t.Fatal("fail-stop deliver returned nil (ack would be sent)")
+	}
+	if !crashed.Load() {
+		t.Fatal("crash flag not set")
+	}
+	if got := c.durability.stats(); got.FailStops != 1 || got.Faults != 1 {
+		t.Fatalf("durability stats: %+v", got)
+	}
+	// The async teardown must close the mailbox (killNode path): the healthy
+	// delivery drains, then Pop unblocks with the closed error. The test
+	// timeout guards against the teardown never arriving.
+	if m, err := mbox.Pop(); err != nil || m.Round != 0 {
+		t.Fatalf("first Pop = %v, %v", m, err)
+	}
+	if _, err := mbox.Pop(); err == nil {
+		t.Fatal("mailbox yielded a message the failed journal never acked")
+	}
+}
+
+// newTestClusterShell builds a minimal cluster skeleton (slices sized, no
+// transports) so killNode has something coherent to tear down.
+func newTestClusterShell(t *testing.T, n int) *Cluster {
+	t.Helper()
+	procs := make([]dist.Process, n)
+	for i := range procs {
+		procs[i] = newGatherProc(n, nil)
+	}
+	c, err := newCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterFailStopBecomesCrashFault is the cluster-level fail-stop test:
+// one node's disk dies mid-run; that node fail-stops and the rest finish —
+// the storage failure consumed one of the f crash faults, nothing more.
+func TestClusterFailStopBecomesCrashFault(t *testing.T) {
+	const n = 5
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: wal.OSFS(), match: "node-001"}
+	procs := make([]dist.Process, n)
+	for i := range procs {
+		procs[i] = newGatherProc(n-1, nil)
+	}
+	c, err := NewChannelCluster(procs, WithRecovery(RecoveryConfig{
+		Dir: dir,
+		Factory: func(i int) dist.Process { return newGatherProc(n-1, nil) },
+		FS:      ffs,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.fail.Store(true) // node 1's first journaled delivery fails
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Net.FailStops == 0 || st.Net.DurabilityFaults == 0 {
+		t.Fatalf("no fail-stop recorded: %+v", st.Net)
+	}
+	decided := 0
+	for i, p := range c.Processes() {
+		if i == 1 {
+			continue
+		}
+		if p.Done() {
+			decided++
+		}
+	}
+	if decided != n-1 {
+		t.Fatalf("%d healthy nodes decided, want %d", decided, n-1)
+	}
+}
+
+// TestClusterDegradedNodeDecides is the cluster-level quarantine test: with
+// the Degrade policy a node whose disk fails keeps participating
+// non-durably, decides, and (here, since the disk heals) re-arms.
+func TestClusterDegradedNodeDecides(t *testing.T) {
+	const n = 5
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: wal.OSFS(), match: "node-001"}
+	procs := make([]dist.Process, n)
+	for i := range procs {
+		procs[i] = newGatherProc(n, nil)
+	}
+	c, err := NewChannelCluster(procs, WithRecovery(RecoveryConfig{
+		Dir: dir,
+		Factory: func(i int) dist.Process { return newGatherProc(n, nil) },
+		FS:      ffs, Durability: Degrade,
+		RearmMin: time.Millisecond, RearmMax: 4 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transient outage: node 1's disk fails exactly once — the delivery
+	// that trips the quarantine — then heals, so the first re-arm attempt
+	// succeeds. Whether the background loop or the shutdown flush lands it,
+	// durability is restored before Run returns.
+	ffs.budget.Store(1)
+	ffs.fail.Store(true)
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range c.Processes() {
+		if !p.Done() {
+			t.Fatalf("node %d did not decide (quorum requires the degraded node)", i)
+		}
+	}
+	st := c.Stats()
+	if st.Net.Degradations == 0 {
+		t.Fatalf("no degradation recorded: %+v", st.Net)
+	}
+	if st.Net.FailStops != 0 {
+		t.Fatalf("unexpected fail-stops under Degrade policy: %+v", st.Net)
+	}
+	// The disk healed mid-run, so durability must have been restored and
+	// the full history — degraded window included — must replay.
+	if st.Net.Rearms == 0 {
+		t.Fatalf("no re-arm recorded: %+v", st.Net)
+	}
+	if d := c.Degraded(); len(d) != 0 {
+		t.Fatalf("nodes still degraded after re-arm: %v", d)
+	}
+	rep, err := wal.Replay(WALPath(dir, dist.ProcID(1)))
+	if err != nil {
+		t.Fatalf("replay of re-armed log: %v", err)
+	}
+	if want := n - 1; len(rep.Delivered) < want {
+		t.Fatalf("re-armed log has %d deliveries, want >= %d", len(rep.Delivered), want)
+	}
+}
+
+// TestDurabilityPolicyString pins the flag spellings.
+func TestDurabilityPolicyString(t *testing.T) {
+	if got := fmt.Sprintf("%v/%v", FailStop, Degrade); got != "failstop/degrade" {
+		t.Fatalf("policy strings = %q", got)
+	}
+}

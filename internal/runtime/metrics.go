@@ -20,4 +20,12 @@ var (
 		"Successful TCP redials after a broken link.")
 	mLinkFaults = telemetry.Default().Counter("chc_tcp_link_faults_total",
 		"TCP link faults observed: write failures, mid-frame truncation, bad handshakes.")
+	mDurabilityFaults = telemetry.Default().Counter("chc_runtime_durability_faults_total",
+		"WAL write/fsync failures observed on the delivery path.")
+	mFailStops = telemetry.Default().Counter("chc_runtime_failstops_total",
+		"Nodes fail-stopped on durability failure (became crash faults).")
+	mDegradations = telemetry.Default().Counter("chc_runtime_degradations_total",
+		"Nodes quarantined into non-durable (degraded) mode.")
+	mRearms = telemetry.Default().Counter("chc_runtime_rearms_total",
+		"Degraded nodes whose WAL durability was successfully restored.")
 )

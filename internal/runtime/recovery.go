@@ -40,6 +40,17 @@ type RecoveryConfig struct {
 	// Inputs, when non-nil, are journaled per process for audit; replay
 	// itself relies on Factory embedding the input deterministically.
 	Inputs []geom.Point
+	// FS is the filesystem the logs write through (nil = host). Wrapping it
+	// with a diskfault.FS injects storage faults under the journals.
+	FS wal.FS
+	// Checkpoint enables periodic snapshot + segment rotation of every log.
+	Checkpoint wal.CheckpointPolicy
+	// Durability decides what a node does when its log stops accepting
+	// writes: FailStop (default) or Degrade.
+	Durability DurabilityPolicy
+	// RearmMin/RearmMax bound the exponential backoff between degraded-mode
+	// re-arm attempts (defaults 1ms/250ms).
+	RearmMin, RearmMax time.Duration
 }
 
 // WithRecovery enables WAL journaling and crash-recovery. It forces the
@@ -187,10 +198,11 @@ func (rs *runState) onSettled(i int, byCrash bool) {
 	}
 }
 
-// launch starts the goroutine driving one incarnation of node i.
-func (rs *runState) launch(i int, proc dist.Process, mbox *mailbox, alreadyInit bool) {
+// launch starts the goroutine driving one incarnation of node i. The crash
+// flag is the incarnation's own (cluster-held, so the durability machinery
+// created at install time shares it).
+func (rs *runState) launch(i int, proc dist.Process, mbox *mailbox, crashed *atomic.Bool, alreadyInit bool) {
 	rs.wg.Add(1)
-	crashed := &atomic.Bool{}
 	go rs.runProc(i, proc, mbox, crashed, alreadyInit)
 }
 
@@ -241,6 +253,13 @@ func (rs *runState) runProc(i int, proc dist.Process, mbox *mailbox, crashed *at
 	for {
 		msg, err := mbox.Pop()
 		if err != nil {
+			// The mailbox closed under us. If this incarnation crashed (a
+			// durability fail-stop closes the mailbox from the link callback)
+			// its settle slot must still be consumed; a plain shutdown close
+			// settles nothing.
+			if crashed.Load() {
+				settle(true)
+			}
 			return
 		}
 		if crashed.Load() {
@@ -267,19 +286,16 @@ type decidedRounder interface{ DecidedRound() int }
 // already reproducible from the journaled delivery sequence.
 func (c *Cluster) journalDecision(i int, proc dist.Process) {
 	c.stateMu.RLock()
-	w := c.wal[i]
+	b := c.box[i]
 	c.stateMu.RUnlock()
-	if w == nil {
+	if b == nil {
 		return
 	}
 	round := 0
 	if dr, ok := proc.(decidedRounder); ok {
 		round = dr.DecidedRound()
 	}
-	if err := w.AppendDecided(round); err != nil {
-		return
-	}
-	_ = w.Sync()
+	b.journalDecided(round)
 }
 
 // supervise handles one crash-restart cycle of node i: tear the dead
@@ -331,12 +347,17 @@ func (c *Cluster) killNode(i int) {
 	c.rel[i] = nil
 	w := c.wal[i]
 	c.wal[i] = nil
+	b := c.box[i]
+	c.box[i] = nil
 	c.deliver[i] = nil
 	mbox := c.inbox[i]
 	c.stateMu.Unlock()
 
 	if ep != nil {
 		_ = ep.Close()
+	}
+	if b != nil {
+		b.close()
 	}
 	mbox.Close()
 	var r dist.NetStats
@@ -353,6 +374,7 @@ func (c *Cluster) killNode(i int) {
 		s := w.Stats()
 		r.WALAppends = s.Appends
 		r.WALSyncs = s.Syncs
+		r.WALCheckpoints = s.Checkpoints
 		_ = w.Close()
 	}
 	c.retiredMu.Lock()
@@ -364,6 +386,7 @@ func (c *Cluster) killNode(i int) {
 	c.retired.Resumes += r.Resumes
 	c.retired.WALAppends += r.WALAppends
 	c.retired.WALSyncs += r.WALSyncs
+	c.retired.WALCheckpoints += r.WALCheckpoints
 	c.retiredMu.Unlock()
 	if t := c.tcp[i]; t != nil {
 		// Sever the dead node's live connections: peers must observe the
@@ -431,7 +454,7 @@ func (c *Cluster) replayNode(i int) (proc dist.Process, cc *captureContext, rep 
 			err = fmt.Errorf("panic during replay: %v", p)
 		}
 	}()
-	rep, err = wal.Replay(WALPath(c.recovery.Dir, dist.ProcID(i)))
+	rep, err = wal.ReplayWith(c.recovery.FS, WALPath(c.recovery.Dir, dist.ProcID(i)))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -471,7 +494,7 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	}
 	pendingSelf := cc.self[loggedSelf:]
 
-	w, err := wal.Open(WALPath(c.recovery.Dir, id))
+	w, err := wal.OpenWith(WALPath(c.recovery.Dir, id), c.walOptions())
 	if err != nil {
 		return err
 	}
@@ -480,12 +503,17 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 		return err
 	}
 	mbox := newMailbox()
-	deliver := journalingDeliver(w, mbox)
+	crashed := &atomic.Bool{}
+	box := newDurableBox(c, i, w, mbox, crashed)
+	deliver := box.deliver
 	for _, m := range pendingSelf {
 		// The cut-off self-sends must be durable before the incarnation runs:
-		// if the new log cannot be written, relaunching would diverge from the
-		// durable history, so fail the relaunch instead.
+		// under fail-stop, a log that cannot be written fails the relaunch
+		// (resuming would diverge from the durable history); under the
+		// degrade policy the box quarantines instead and the relaunch
+		// proceeds non-durably.
 		if err := deliver(m); err != nil {
+			box.close()
 			_ = w.Close()
 			return fmt.Errorf("journal pending self-send: %w", err)
 		}
@@ -508,6 +536,7 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	if c.stopping {
 		c.stateMu.Unlock()
 		_ = ep.Close()
+		box.close()
 		_ = w.Close()
 		return errRunStopped
 	}
@@ -515,6 +544,8 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	c.inbox[i] = mbox
 	c.rel[i] = ep
 	c.wal[i] = w
+	c.box[i] = box
+	c.crash[i] = crashed
 	c.deliver[i] = deliver
 	c.trans[i] = &endpointTransport{ep: ep}
 	c.stateMu.Unlock()
@@ -534,6 +565,6 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	// Tell every peer the new epoch and watermarks so they trim and rewind;
 	// then resume the protocol.
 	ep.Announce()
-	rs.launch(i, proc, mbox, true)
+	rs.launch(i, proc, mbox, crashed, true)
 	return nil
 }

@@ -88,13 +88,23 @@ func protocolStateBytes(t *testing.T, p dist.Process) []byte {
 // TestWALReplayByteIdentical is the acceptance-criteria replay test: after a
 // full consensus run with journaling enabled, replaying each node's WAL
 // through a fresh factory-built process must reconstruct byte-identical
-// protocol state (trace and decision polytope).
+// protocol state (trace and decision polytope). The checkpointed variant
+// runs the same assertion over a compacted snapshot+segments+tail layout:
+// recovery from a snapshot must be indistinguishable from a full log scan.
 func TestWALReplayByteIdentical(t *testing.T) {
+	t.Run("plain", func(t *testing.T) { testWALReplayByteIdentical(t, 0) })
+	t.Run("checkpointed", func(t *testing.T) { testWALReplayByteIdentical(t, 512) })
+}
+
+func testWALReplayByteIdentical(t *testing.T, ckptEveryBytes int64) {
 	fx := newCCFixture(t, 5, 1)
 	procs := fx.procs(t)
 	dir := t.TempDir()
 	c, err := runtime.NewChannelCluster(procs,
-		runtime.WithRecovery(runtime.RecoveryConfig{Dir: dir, Factory: fx.factory(t), Inputs: fx.inputs}))
+		runtime.WithRecovery(runtime.RecoveryConfig{
+			Dir: dir, Factory: fx.factory(t), Inputs: fx.inputs,
+			Checkpoint: wal.CheckpointPolicy{EveryBytes: ckptEveryBytes},
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +127,12 @@ func TestWALReplayByteIdentical(t *testing.T) {
 				i, len(got), len(want))
 		}
 	}
-	if st := c.Stats(); st.Net.WALAppends == 0 || st.Net.WALSyncs == 0 {
+	st := c.Stats()
+	if st.Net.WALAppends == 0 || st.Net.WALSyncs == 0 {
 		t.Errorf("WAL counters not reported: %+v", st.Net)
+	}
+	if ckptEveryBytes > 0 && st.Net.WALCheckpoints == 0 {
+		t.Errorf("no checkpoints published at EveryBytes=%d: %+v", ckptEveryBytes, st.Net)
 	}
 	// The decision must be journaled too: a decided node's log says so
 	// without re-executing the state machine.
@@ -132,6 +146,9 @@ func TestWALReplayByteIdentical(t *testing.T) {
 		}
 		if want := fx.params.TEnd(); rep.DecidedRound != want {
 			t.Errorf("node %d: decided round = %d, want t_end = %d", i, rep.DecidedRound, want)
+		}
+		if ckptEveryBytes > 0 && !rep.Snapshot {
+			t.Errorf("node %d: checkpointed log replayed without a snapshot base", i)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func TestJournalingDeliverOrderMatchesJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	mbox := newMailbox()
-	deliver := journalingDeliver(w, mbox)
+	deliver := newDurableBox(&Cluster{}, 0, w, mbox, &atomic.Bool{}).deliver
 
 	const senders, per = 4, 50
 	var wg sync.WaitGroup

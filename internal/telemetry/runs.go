@@ -32,18 +32,79 @@ type RunRecord struct {
 	DecidedRounds map[string]int `json:"decided_rounds,omitempty"`
 }
 
-// keepCompleted bounds the completed-run ring served by /runs.
-const keepCompleted = 64
+// DefaultRunRetention is the default capacity of the completed-run ring
+// served by /runs. SetRunRetention overrides it per process.
+const DefaultRunRetention = 64
 
 type runTracker struct {
 	nextID atomic.Int64
 
-	mu        sync.Mutex
-	active    map[int64]*RunRecord
-	completed []*RunRecord // most recent last
+	mu     sync.Mutex
+	active map[int64]*RunRecord
+	ring   runRing
 }
 
-var runs = &runTracker{active: make(map[int64]*RunRecord)}
+// runRing is a fixed-capacity ring of completed runs, oldest first. A true
+// ring (not a trimmed slice): each insertion past capacity overwrites the
+// oldest slot in place, so a long-lived exposition server does O(1) work and
+// zero allocation per completed run regardless of retention.
+type runRing struct {
+	buf   []*RunRecord
+	head  int // index of the oldest record
+	count int
+}
+
+func (r *runRing) push(rec *RunRecord) {
+	if len(r.buf) == 0 {
+		return // retention 0: keep nothing
+	}
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = rec
+		r.count++
+		return
+	}
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// snapshot appends copies of the retained records, oldest first.
+func (r *runRing) snapshot(dst []RunRecord) []RunRecord {
+	for i := 0; i < r.count; i++ {
+		dst = append(dst, *r.buf[(r.head+i)%len(r.buf)])
+	}
+	return dst
+}
+
+// resize rebuilds the ring at capacity n, keeping the most recent records.
+func (r *runRing) resize(n int) {
+	keep := r.count
+	if keep > n {
+		keep = n
+	}
+	buf := make([]*RunRecord, n)
+	for i := 0; i < keep; i++ {
+		// The newest `keep` records, preserved in order.
+		buf[i] = r.buf[(r.head+r.count-keep+i)%len(r.buf)]
+	}
+	r.buf, r.head, r.count = buf, 0, keep
+}
+
+var runs = &runTracker{
+	active: make(map[int64]*RunRecord),
+	ring:   runRing{buf: make([]*RunRecord, DefaultRunRetention)},
+}
+
+// SetRunRetention bounds how many completed runs the /runs endpoint retains.
+// Shrinking drops the oldest records; n <= 0 keeps completed runs out of the
+// snapshot entirely (active runs are always reported).
+func SetRunRetention(n int) {
+	if n < 0 {
+		n = 0
+	}
+	runs.mu.Lock()
+	defer runs.mu.Unlock()
+	runs.ring.resize(n)
+}
 
 // RunHandle tags one tracked run. A nil handle (telemetry disabled at run
 // start) is valid and inert.
@@ -86,10 +147,7 @@ func (h *RunHandle) Complete(status string, fill func(*RunRecord)) {
 	if fill != nil {
 		fill(h.rec)
 	}
-	runs.completed = append(runs.completed, h.rec)
-	if len(runs.completed) > keepCompleted {
-		runs.completed = runs.completed[len(runs.completed)-keepCompleted:]
-	}
+	runs.ring.push(h.rec)
 }
 
 // RunsSnapshot lists active runs first (by start time), then the retained
@@ -114,8 +172,6 @@ func SnapshotRuns() RunsSnapshot {
 			}
 		}
 	}
-	for _, rec := range runs.completed {
-		snap.Completed = append(snap.Completed, *rec)
-	}
+	snap.Completed = runs.ring.snapshot(snap.Completed)
 	return snap
 }

@@ -56,13 +56,23 @@ var DefBuckets = []float64{
 // sets lands well under a few hundred rounds.
 var RoundBuckets = []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 256, 512}
 
+// WideBuckets stretches the latency range up to a minute for instruments
+// watching pathological storage (injected fsync delays, sick disks) where
+// DefBuckets would pile everything into the overflow bucket. Values are
+// seconds.
+var WideBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
 // Registry holds a flat namespace of instruments. The zero value is not
 // usable; construct with NewRegistry or use the process-wide Default.
 type Registry struct {
 	on atomic.Bool
 
-	mu   sync.RWMutex
-	fams map[string]*family
+	mu      sync.RWMutex
+	fams    map[string]*family
+	hbounds map[string][]float64 // per-family histogram bucket overrides
 }
 
 // family is one named metric with its (possibly labeled) children.
@@ -75,6 +85,7 @@ type family struct {
 	mu       sync.RWMutex
 	children map[string]*cell // keyed by joined label values
 	order    []string         // registration order of children keys
+	bounds   []float64        // histogram families: bucket override (nil = caller's)
 
 	// collect, when non-nil, overrides the stored children at read time:
 	// the family is a pull-style collector (CounterFunc / GaugeFunc).
@@ -178,8 +189,60 @@ func (r *Registry) getFamily(name, help string, typ MetricType, labels []string)
 		labels:   clean,
 		children: make(map[string]*cell),
 	}
+	if typ == TypeHistogram {
+		f.bounds = r.hbounds[name] // override set before registration
+	}
 	r.fams[name] = f
 	return f
+}
+
+// effBounds resolves the bucket layout for a new histogram child: the family
+// override when one is set, else the caller's default. Called under f.mu
+// (from inside child's creation section).
+func (f *family) effBounds(def []float64) []float64 {
+	if f.bounds != nil {
+		return f.bounds
+	}
+	return def
+}
+
+// SetHistogramBuckets overrides the bucket upper bounds of one histogram
+// family, identified by metric name. Existing children are re-bucketed in
+// place — prior observations are discarded, since they were binned under the
+// old layout — and children created later inherit the override; call sites
+// that cached a child *Histogram need no re-wiring. Setting the override
+// before the family is registered is valid (it applies at registration), so
+// a main() can widen, say, fsync-latency buckets before any package-level
+// instrument observes. nil or empty bounds fall back to DefBuckets.
+//
+// Overrides are meant for startup configuration: observations racing a
+// re-bucket may land in the retiring state and be lost with it.
+func (r *Registry) SetHistogramBuckets(name string, bounds []float64) {
+	name = sanitizeName(name)
+	r.mu.Lock()
+	if r.hbounds == nil {
+		r.hbounds = make(map[string][]float64)
+	}
+	r.hbounds[name] = bounds
+	f := r.fams[name]
+	r.mu.Unlock()
+	if f == nil || f.typ != TypeHistogram {
+		return
+	}
+	f.mu.Lock()
+	f.bounds = bounds
+	for _, c := range f.children {
+		if h, ok := c.m.(*Histogram); ok {
+			h.rebucket(bounds)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// SetHistogramBuckets overrides a histogram family's buckets on the default
+// registry.
+func SetHistogramBuckets(name string, bounds []float64) {
+	defaultRegistry.SetHistogramBuckets(name, bounds)
 }
 
 // child returns the metric cell for the given label values, creating it
@@ -354,8 +417,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // Histogram counts observations into fixed buckets and tracks count, sum,
 // min and max. The hot path is lock-free: one enabled check, a bucket
 // search over a small sorted slice, and a handful of atomic updates.
+//
+// The whole mutable state lives behind one atomic pointer so a bucket-layout
+// override (SetHistogramBuckets) can swap it wholesale: call sites that
+// cached the *Histogram at init time pick up the new layout on their next
+// observation, and every observation lands consistently in exactly one
+// state — count, sum, min, max and buckets can never disagree about which
+// layout they describe.
 type Histogram struct {
-	on      *atomic.Bool
+	on *atomic.Bool
+	st atomic.Pointer[histState]
+}
+
+// histState is one immutable-layout generation of a histogram.
+type histState struct {
 	bounds  []float64 // upper bounds, sorted ascending; +Inf implicit
 	buckets []atomic.Uint64
 	count   atomic.Uint64
@@ -364,14 +439,32 @@ type Histogram struct {
 	maxBits atomic.Uint64 // float64 bits; initialised to -Inf
 }
 
+func newHistState(bounds []float64) *histState {
+	st := &histState{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	st.minBits.Store(math.Float64bits(math.Inf(1)))
+	st.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return st
+}
+
 func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = DefBuckets
 	}
-	h := &Histogram{on: on, bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
-	h.minBits.Store(math.Float64bits(math.Inf(1)))
-	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	h := &Histogram{on: on}
+	h.st.Store(newHistState(bounds))
 	return h
+}
+
+// rebucket swaps in a fresh state with the given bounds, discarding prior
+// observations (they were binned under the old layout and cannot be
+// re-binned). Observations racing the swap may land in the retiring state
+// and be lost with it — overrides are meant to run at startup, before the
+// instruments are hot.
+func (h *Histogram) rebucket(bounds []float64) {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h.st.Store(newHistState(bounds))
 }
 
 // Observe records one value.
@@ -379,31 +472,32 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil || !h.on.Load() || math.IsNaN(v) {
 		return
 	}
-	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-	casAdd(&h.sumBits, v)
-	casMin(&h.minBits, v)
-	casMax(&h.maxBits, v)
+	st := h.st.Load()
+	idx := sort.SearchFloat64s(st.bounds, v) // first bound >= v
+	st.buckets[idx].Add(1)
+	st.count.Add(1)
+	casAdd(&st.sumBits, v)
+	casMin(&st.minBits, v)
+	casMax(&st.maxBits, v)
 }
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+func (h *Histogram) Count() uint64 { return h.st.Load().count.Load() }
 
 // Max returns the largest observed value, or -Inf when empty. Exact maxima
 // matter here: experiment E19 asserts the observed rounds-to-decide never
 // exceed the paper's closed-form bound, and a bucket upper bound would be
 // too coarse for that comparison.
-func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.st.Load().maxBits.Load()) }
 
 // Min returns the smallest observed value, or +Inf when empty.
-func (h *Histogram) Min() float64 { return math.Float64frombits(h.minBits.Load()) }
+func (h *Histogram) Min() float64 { return math.Float64frombits(h.st.Load().minBits.Load()) }
 
 // Sum returns the sum of all observations.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.st.Load().sumBits.Load()) }
 
 func casAdd(bits *atomic.Uint64, v float64) {
 	for {
@@ -440,20 +534,22 @@ func casMax(bits *atomic.Uint64, v float64) {
 }
 
 func (h *Histogram) snapshotValue() Sample {
+	st := h.st.Load()
 	hs := &HistogramSample{
-		Count:   h.count.Load(),
-		Sum:     h.Sum(),
-		Buckets: make([]Bucket, 0, len(h.bounds)+1),
+		Count:   st.count.Load(),
+		Sum:     math.Float64frombits(st.sumBits.Load()),
+		Buckets: make([]Bucket, 0, len(st.bounds)+1),
 	}
 	if hs.Count > 0 {
-		hs.Min, hs.Max = h.Min(), h.Max()
+		hs.Min = math.Float64frombits(st.minBits.Load())
+		hs.Max = math.Float64frombits(st.maxBits.Load())
 	}
 	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.buckets[i].Load()
+	for i, b := range st.bounds {
+		cum += st.buckets[i].Load()
 		hs.Buckets = append(hs.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
 	}
-	cum += h.buckets[len(h.bounds)].Load()
+	cum += st.buckets[len(st.bounds)].Load()
 	hs.Buckets = append(hs.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
 	return Sample{Histogram: hs}
 }
@@ -462,7 +558,7 @@ func (h *Histogram) snapshotValue() Sample {
 // bucket upper bounds (nil means DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	f := r.getFamily(name, help, TypeHistogram, nil)
-	m := f.child(nil, func() metric { return newHistogram(&r.on, bounds) })
+	m := f.child(nil, func() metric { return newHistogram(&r.on, f.effBounds(bounds)) })
 	return m.(*Histogram)
 }
 
@@ -481,7 +577,7 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 // With returns the child histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	values = padValues(values, len(v.f.labels))
-	m := v.f.child(values, func() metric { return newHistogram(&v.r.on, v.bounds) })
+	m := v.f.child(values, func() metric { return newHistogram(&v.r.on, v.f.effBounds(v.bounds)) })
 	return m.(*Histogram)
 }
 

@@ -119,6 +119,62 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestSetHistogramBuckets covers the per-family bucket overrides: cached
+// children re-bucket in place, new children inherit, and an override set
+// before registration applies when the family appears.
+func TestSetHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+
+	// Override an already-registered family: the cached child must pick up
+	// the new layout without re-wiring, discarding old observations.
+	h := r.Histogram("fsync_seconds", "help", []float64{1, 2})
+	h.Observe(1.5)
+	r.SetHistogramBuckets("fsync_seconds", []float64{10, 20, 40})
+	if h.Count() != 0 {
+		t.Fatalf("re-bucket kept %d observations binned under the old layout", h.Count())
+	}
+	h.Observe(15)
+	s := h.snapshotValue().Histogram
+	if len(s.Buckets) != 4 { // 10, 20, 40, +Inf
+		t.Fatalf("got %d buckets, want 4", len(s.Buckets))
+	}
+	if s.Buckets[0].CumulativeCount != 0 || s.Buckets[1].CumulativeCount != 1 {
+		t.Fatalf("observation not binned under the override: %+v", s.Buckets)
+	}
+
+	// Labeled families: existing and future children both see the override.
+	vec := r.HistogramVec("lat_seconds", "help", []float64{1}, "kind")
+	old := vec.With("a")
+	r.SetHistogramBuckets("lat_seconds", []float64{5, 50})
+	fresh := vec.With("b")
+	for _, hh := range []*Histogram{old, fresh} {
+		hh.Observe(7)
+		ss := hh.snapshotValue().Histogram
+		if len(ss.Buckets) != 3 || ss.Buckets[1].CumulativeCount != 1 {
+			t.Fatalf("child missing override layout: %+v", ss.Buckets)
+		}
+	}
+
+	// An override set before registration applies at registration time.
+	r.SetHistogramBuckets("early_seconds", []float64{100})
+	pre := r.Histogram("early_seconds", "help", nil)
+	pre.Observe(99)
+	if ss := pre.snapshotValue().Histogram; len(ss.Buckets) != 2 || ss.Buckets[0].CumulativeCount != 1 {
+		t.Fatalf("pre-registration override ignored: %+v", ss.Buckets)
+	}
+
+	// Overriding a non-histogram name must be a no-op, not a panic.
+	r.Counter("not_a_histogram_total", "help")
+	r.SetHistogramBuckets("not_a_histogram_total", []float64{1})
+
+	// Empty bounds fall back to DefBuckets.
+	r.SetHistogramBuckets("fsync_seconds", nil)
+	if ss := h.snapshotValue().Histogram; len(ss.Buckets) != len(DefBuckets)+1 {
+		t.Fatalf("nil override gave %d buckets, want DefBuckets+Inf", len(ss.Buckets))
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	r.SetEnabled(true)
@@ -266,6 +322,58 @@ func TestRunTracker(t *testing.T) {
 	// Disabled → nil handle, and Complete on it must not panic.
 	Enable(false)
 	BeginRun(RunInfo{}).Complete("ok", nil)
+}
+
+// TestRunRetentionRing exercises the completed-run ring: a bound smaller
+// than the number of completed runs keeps exactly the most recent ones in
+// order, growing the bound keeps survivors, and retention 0 keeps none.
+func TestRunRetentionRing(t *testing.T) {
+	prev := Enable(true)
+	defer Enable(prev)
+	defer SetRunRetention(DefaultRunRetention)
+
+	SetRunRetention(3)
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		h := BeginRun(RunInfo{Transport: "sim", N: 3, Instances: 1})
+		ids = append(ids, h.rec.ID)
+		h.Complete("ok", nil)
+	}
+	got := SnapshotRuns().Completed
+	if len(got) != 3 {
+		t.Fatalf("retained %d runs, want 3", len(got))
+	}
+	for i, rec := range got {
+		if want := ids[len(ids)-3+i]; rec.ID != want {
+			t.Fatalf("slot %d: run %d, want %d (oldest-first order)", i, rec.ID, want)
+		}
+	}
+
+	// Growing the bound preserves the survivors and admits new runs.
+	SetRunRetention(5)
+	h := BeginRun(RunInfo{Transport: "sim", N: 3, Instances: 1})
+	h.Complete("ok", nil)
+	got = SnapshotRuns().Completed
+	if len(got) != 4 || got[0].ID != ids[5] || got[3].ID != h.rec.ID {
+		t.Fatalf("after grow: %d runs, first %d, last %d", len(got), got[0].ID, got[len(got)-1].ID)
+	}
+
+	// Shrinking drops the oldest; zero retains nothing but still reports
+	// active runs.
+	SetRunRetention(2)
+	if got = SnapshotRuns().Completed; len(got) != 2 || got[1].ID != h.rec.ID {
+		t.Fatalf("after shrink: %+v", got)
+	}
+	SetRunRetention(0)
+	running := BeginRun(RunInfo{Transport: "sim", N: 3, Instances: 1})
+	snap := SnapshotRuns()
+	if len(snap.Completed) != 0 {
+		t.Fatalf("retention 0 kept %d completed runs", len(snap.Completed))
+	}
+	if len(snap.Active) == 0 {
+		t.Fatal("retention 0 must not hide active runs")
+	}
+	running.Complete("ok", nil)
 }
 
 // TestSnapshotJSONRoundTrip covers the -telemetry-json dump format: a

@@ -22,6 +22,7 @@ import (
 	"chc/internal/engine"
 	"chc/internal/geom"
 	"chc/internal/stablevector"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
@@ -45,6 +46,10 @@ type Process struct {
 	decided bool
 	failure error
 	rounds  int
+
+	// traceInstance is the engine instance index stamped onto trace events,
+	// so multi-instance runs can attribute rounds to their agreement task.
+	traceInstance int
 }
 
 var _ dist.Process = (*Process)(nil)
@@ -144,6 +149,7 @@ func (p *Process) tryFinishRound0(ctx dist.Context) {
 		return
 	}
 	p.state = safe
+	p.emitRoundState(0)
 	p.enterRound(ctx, 1)
 	p.advance(ctx)
 }
@@ -153,6 +159,11 @@ func (p *Process) enterRound(ctx dist.Context, t int) {
 		p.decided = true
 		mDecided.Inc()
 		mDecidedRound.Observe(float64(p.tEnd))
+		if telemetry.TraceOn() {
+			telemetry.Emit("vc.decided", map[string]any{
+				"proc": int(p.id), "round": p.tEnd, "instance": p.traceInstance,
+			})
+		}
 		return
 	}
 	mRoundsStarted.Inc()
@@ -183,10 +194,31 @@ func (p *Process) advance(ctx dist.Context) {
 		}
 		p.state = avg
 		p.rounds++
+		p.emitRoundState(p.round)
 		delete(p.pending, p.round)
 		p.enterRound(ctx, p.round+1)
 	}
 }
+
+// emitRoundState publishes one per-round point state to the trace sink,
+// mirroring core's cc.round events: round 0 carries the safe point, round
+// t >= 1 the averaged state. WAL replay re-emits events for completed
+// rounds; consumers deduplicate by (proc, round, instance).
+func (p *Process) emitRoundState(round int) {
+	if !telemetry.TraceOn() {
+		return
+	}
+	telemetry.Emit("vc.round", map[string]any{
+		"proc":     int(p.id),
+		"round":    round,
+		"state":    p.state.Clone(),
+		"instance": p.traceInstance,
+	})
+}
+
+// SetTraceInstance stamps the engine instance index onto this process's
+// trace events (the engine calls it when building multi-instance nodes).
+func (p *Process) SetTraceInstance(k int) { p.traceInstance = k }
 
 // SafePoint computes the round-0 point state: the vertex centroid of the
 // intersection polytope of line 5 — guaranteed to lie in the convex hull of

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"chc/internal/dist"
+)
+
+// Checkpoint torture tests: the crash shapes specific to the snapshot +
+// segment layout — a torn checkpoint, a torn live tail behind a good
+// checkpoint, and a crash landing inside the rotation sequence — must all
+// recover the complete usable history, never a silently shortened one.
+
+// writeCheckpointedLog builds a log that has been through several
+// checkpoint rotations (EveryBytes: 1 rotates at every sync), so that both
+// P.ckpt and P.ckpt.prev exist and compaction has deleted early segments.
+// It returns the path and the number of journaled deliveries.
+func writeCheckpointedLog(t *testing.T, dir string) (string, int) {
+	t.Helper()
+	path := dir + "/node-0.wal"
+	w, err := CreateWith(path, Options{Checkpoint: CheckpointPolicy{EveryBytes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := w.AppendDelivered(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Checkpoints < 2 {
+		t.Fatalf("fixture produced %d checkpoints, want >= 2", st.Checkpoints)
+	}
+	return path, len(msgs)
+}
+
+// requireHistory asserts the replay recovered every delivery in order.
+func requireHistory(t *testing.T, rep *Replayed, want int) {
+	t.Helper()
+	if len(rep.Delivered) != want {
+		t.Fatalf("replayed %d deliveries, want %d", len(rep.Delivered), want)
+	}
+	for i, m := range rep.Delivered {
+		if m.Round != sampleMessages()[i].Round {
+			t.Fatalf("delivery %d out of order: round %d", i, m.Round)
+		}
+	}
+}
+
+func TestCheckpointReplayRoundTrip(t *testing.T) {
+	path, n := writeCheckpointedLog(t, t.TempDir())
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Snapshot || rep.SnapshotFallback {
+		t.Fatalf("Snapshot=%v Fallback=%v, want true/false", rep.Snapshot, rep.SnapshotFallback)
+	}
+	requireHistory(t, rep, n)
+}
+
+// TestTortureTornCheckpointFallsBack corrupts the current snapshot at every
+// possible truncation point: recovery must fall back to the previous
+// snapshot and reassemble the missing suffix from the segments compaction
+// deliberately left behind (only segments <= coverPrev are deleted).
+func TestTortureTornCheckpointFallsBack(t *testing.T) {
+	for _, mode := range []string{"truncate", "bitflip", "garbage"} {
+		t.Run(mode, func(t *testing.T) {
+			path, n := writeCheckpointedLog(t, t.TempDir())
+			ckpt := path + ckptSuffix
+			full, err := os.ReadFile(ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "truncate":
+				err = os.WriteFile(ckpt, full[:len(full)/2], 0o644)
+			case "bitflip":
+				full[len(full)/2] ^= 0x40
+				err = os.WriteFile(ckpt, full, 0o644)
+			case "garbage":
+				err = os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Replay(path)
+			if err != nil {
+				t.Fatalf("torn checkpoint must not fail replay: %v", err)
+			}
+			if !rep.Snapshot || !rep.SnapshotFallback {
+				t.Fatalf("Snapshot=%v Fallback=%v, want true/true", rep.Snapshot, rep.SnapshotFallback)
+			}
+			if rep.Segments == 0 {
+				t.Error("fallback replay used no segments (tail lost)")
+			}
+			requireHistory(t, rep, n)
+		})
+	}
+}
+
+// TestTortureCheckpointWithTornTail tears the live tail behind a healthy
+// checkpoint: the snapshot history plus the tail's intact prefix must
+// survive, with the damage reported.
+func TestTortureCheckpointWithTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path, n := writeCheckpointedLog(t, dir)
+	// Append one more delivery without rotating (huge threshold), then tear it.
+	w, err := OpenWith(path, Options{Checkpoint: CheckpointPolicy{EveryBytes: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEpoch(); err != nil { // the restart fence a reopen requires
+		t.Fatal(err)
+	}
+	if err := w.AppendDelivered(dist.Message{From: 2, To: 0, Kind: "t", Round: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, live[:len(live)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail replay: %v", err)
+	}
+	if !rep.Snapshot {
+		t.Error("snapshot base not used")
+	}
+	if !rep.TornTail {
+		t.Error("torn tail not reported")
+	}
+	// The tear ate the round-99 delivery and the reopen's epoch record sits
+	// between checkpoint history and the torn record, so the checkpointed
+	// prefix must be exactly intact.
+	requireHistory(t, rep, n)
+	if rep.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1 (reopen appended a new epoch)", rep.Epoch)
+	}
+}
+
+// TestTortureCrashMidRotation models a crash between the live-file rename
+// and the snapshot publish (and, separately, before the fresh live file is
+// created): the just-rotated segment plus the old checkpoint chain carry
+// the full history, and the missing live file is legal.
+func TestTortureCrashMidRotation(t *testing.T) {
+	path, n := writeCheckpointedLog(t, t.TempDir())
+	// Simulate the crash: the live file has been renamed to the next segment
+	// index, the snapshot covering it was never written, no new live file.
+	next := maxSegmentIndex(OSFS(), path) + 1
+	if err := os.Rename(path, segmentPath(path, next)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatalf("mid-rotation crash must not fail replay: %v", err)
+	}
+	if !rep.Snapshot {
+		t.Error("snapshot base not used")
+	}
+	if rep.TornTail {
+		t.Error("spurious torn tail on a clean mid-rotation crash")
+	}
+	requireHistory(t, rep, n)
+
+	// A fresh incarnation must also reopen across the same wreckage (the
+	// missing live file is recreated; the segments prove the log exists).
+	w, err := OpenWith(path, Options{Checkpoint: CheckpointPolicy{EveryBytes: 1}})
+	if err != nil {
+		t.Fatalf("reopen across mid-rotation crash: %v", err)
+	}
+	if err := w.AppendEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireHistory(t, rep2, n)
+	if rep2.Epoch != 1 {
+		t.Errorf("epoch after reopen = %d, want 1", rep2.Epoch)
+	}
+}
+
+// TestTortureDoubleTornCheckpoint documents the accepted loss mode: with
+// both snapshots torn the epoch record (compacted away with the early
+// segments) is gone, so the log is unrecoverable — replay must refuse with
+// ErrCorrupt rather than invent a history from the orphaned tail.
+func TestTortureDoubleTornCheckpoint(t *testing.T) {
+	path, _ := writeCheckpointedLog(t, t.TempDir())
+	for _, suffix := range []string{ckptSuffix, ckptPrevSuffix} {
+		if err := os.WriteFile(path+suffix, []byte("shredded"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Replay(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double-torn checkpoint replay = %v, want ErrCorrupt (loud refusal)", err)
+	}
+}
+
+// TestCompactionBoundsDiskUsage drives many rotations and checks compaction
+// keeps the segment count (and so the disk footprint) from growing with
+// history length: only segments in (coverPrev, coverCur] plus the live tail
+// may remain.
+func TestCompactionBoundsDiskUsage(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/node-0.wal"
+	w, err := CreateWith(path, Options{Checkpoint: CheckpointPolicy{EveryBytes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.AppendDelivered(dist.Message{From: 1, To: 0, Kind: "t", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := SegmentCount(nil, path); got > 2 {
+		t.Errorf("%d segments on disk after 50 rotations, want <= 2", got)
+	}
+	if st := w.Stats(); st.Checkpoints < 50 {
+		t.Errorf("checkpoints = %d, want >= 50", st.Checkpoints)
+	}
+	if usage := DiskUsage(nil, path); usage <= 0 {
+		t.Errorf("DiskUsage = %d", usage)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Delivered) != 50 {
+		t.Fatalf("replayed %d deliveries, want 50", len(rep.Delivered))
+	}
+}

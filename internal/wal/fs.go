@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle the write-ahead log writes through. It is the narrow
+// waist the storage-fault injector (package diskfault) implements: every
+// byte the WAL persists — records, snapshots, fsync barriers — crosses this
+// interface, so a fault plan wrapped around it exercises the exact I/O the
+// durability argument depends on.
+type File interface {
+	io.Writer
+	io.Reader
+	io.Seeker
+	// Sync flushes the file to stable storage (the fsync barrier of the
+	// durability contract).
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail repair on reopen).
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the WAL: file lifecycle, the
+// atomic rename used to publish checkpoints, and directory listing used to
+// discover rotated segments. The default implementation is the host
+// filesystem (OSFS); package diskfault wraps any FS with seeded fault
+// injection.
+type FS interface {
+	// Create truncates (or creates) the file at path for read/write.
+	Create(path string) (File, error)
+	// OpenRW opens an existing file for read/write (appending incarnations).
+	OpenRW(path string) (File, error)
+	// Open opens an existing file read-only (replay).
+	Open(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+	// List returns the base names of directory entries in dir, sorted.
+	List(dir string) ([]string, error)
+	// Size returns the byte length of the file at path.
+	Size(path string) (int64, error)
+}
+
+// osFS is the host filesystem.
+type osFS struct{}
+
+// OSFS returns the real filesystem. It is the default when no FS is
+// configured.
+func OSFS() FS { return osFS{} }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenRW(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644)
+}
+
+func (osFS) Open(path string) (File, error) {
+	return os.Open(path)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Size(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// fsOrOS returns fs, defaulting to the host filesystem.
+func fsOrOS(fs FS) FS {
+	if fs == nil {
+		return OSFS()
+	}
+	return fs
+}
+
+// dirOf is filepath.Dir, factored for symmetry with the FS path helpers.
+func dirOf(path string) string { return filepath.Dir(path) }

@@ -34,3 +34,30 @@ func FuzzReplay(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSnapshotDecode throws arbitrary bytes at the checkpoint decoder: it
+// must never panic, and anything it accepts must re-encode to the identical
+// byte string (the format has no redundant encodings), so a decoded
+// snapshot can always be re-published verbatim.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CHCKPT01"))
+	valid := encodeSnapshot(&snapshot{cover: 2, epochs: 1, bodies: [][]byte{
+		{recDecided, 0, 0, 0, 0, 0, 0, 0, 5},
+	}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(append(append([]byte{}, valid...), 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if s.epochs <= 0 || s.cover < 0 {
+			t.Fatalf("accepted invalid header: cover=%d epochs=%d", s.cover, s.epochs)
+		}
+		if enc := encodeSnapshot(s); !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not a fixpoint: %d bytes in, %d out", len(data), len(enc))
+		}
+	})
+}

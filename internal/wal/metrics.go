@@ -14,12 +14,20 @@ var (
 		"Records appended across all write-ahead logs.")
 	mSyncs = telemetry.Default().Counter("chc_wal_fsyncs_total",
 		"Group-commit fsyncs across all write-ahead logs.")
+	// Wide buckets: injected fsync delays and genuinely sick disks push
+	// group-commit latencies far past the default latency range.
 	mFsyncSeconds = telemetry.Default().Histogram("chc_wal_fsync_seconds",
-		"Latency of one flush+fsync group commit.", nil)
+		"Latency of one flush+fsync group commit.", telemetry.WideBuckets)
 	mReplayRecords = telemetry.Default().Counter("chc_wal_replay_records_total",
 		"Intact records decoded while replaying logs after a restart.")
 	mReplayTorn = telemetry.Default().Counter("chc_wal_replay_torn_tails_total",
 		"Replays that ended at a torn (truncated or CRC-corrupt) tail record.")
+	mCheckpoints = telemetry.Default().Counter("chc_wal_checkpoints_total",
+		"Snapshots published by checkpoint rotation and degraded-mode re-arm.")
+	mSegmentsDeleted = telemetry.Default().Counter("chc_wal_segments_deleted_total",
+		"Rotated segments deleted by compaction (covered by the previous snapshot).")
+	mCheckpointFallbacks = telemetry.Default().Counter("chc_wal_checkpoint_fallbacks_total",
+		"Replays that found the current checkpoint torn and fell back to the previous one.")
 )
 
 // observeFsync records one group commit; the duration is measured by the

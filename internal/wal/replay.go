@@ -35,62 +35,196 @@ type Replayed struct {
 	// Records counts intact records; TornTail is true when the scan ended
 	// at a truncated or corrupt record rather than a clean EOF (the
 	// expected shape after a crash mid-append), and TornOffset is the file
-	// offset of the damage.
+	// offset of the damage within the source where it was found.
 	Records    int
 	TornTail   bool
 	TornOffset int64
+	// Snapshot reports that the base history came from a checkpoint rather
+	// than a full log scan; SnapshotFallback that the current checkpoint
+	// was torn and the previous one was used instead (with its longer
+	// segment tail). Segments counts the rotated segment files replayed
+	// after the base.
+	Snapshot         bool
+	SnapshotFallback bool
+	Segments         int
 }
 
-// Replay scans the log at path and reconstructs the journaled history. A
-// torn tail (crash mid-append) is tolerated and reported via TornTail; an
-// unreadable file is an error.
-func Replay(path string) (*Replayed, error) {
-	f, err := os.Open(path)
+// replayState pairs the decoded history with the raw record bodies, which
+// seed the in-memory mirror when a log is reopened for a new incarnation.
+type replayState struct {
+	rep    *Replayed
+	epochs int
+	bodies [][]byte // non-epoch bodies in order
+}
+
+// Replay scans the log at path — checkpoint, rotated segments, then the
+// live tail — and reconstructs the journaled history. A torn tail (crash
+// mid-append) is tolerated and reported via TornTail; a torn checkpoint
+// falls back to the previous checkpoint plus the longer segment tail; an
+// unreadable live file is an error.
+func Replay(path string) (*Replayed, error) { return ReplayWith(nil, path) }
+
+// ReplayWith is Replay through an explicit filesystem (nil = host).
+func ReplayWith(fs FS, path string) (*Replayed, error) {
+	st, err := replayFS(fsOrOS(fs), path)
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = f.Close() }()
-	return replayReader(bufio.NewReader(f))
+	return st.rep, nil
 }
 
-// replayReader is the decoding core of Replay, factored out for tests and
-// fuzzing.
-func replayReader(r *bufio.Reader) (*Replayed, error) {
-	rep := &Replayed{}
-	epochs := 0
-	var off int64
-	for {
-		body, n, err := readRecord(r)
-		if errors.Is(err, io.EOF) {
-			break
+// replayFS is the full recovery scan: base snapshot (with fallback), then
+// segments above the snapshot's cover, then the live file. Damage anywhere
+// ends the usable history — corruption is never skipped past — and is
+// tolerated (reported via TornTail) rather than fatal.
+func replayFS(fs FS, path string) (*replayState, error) {
+	st := &replayState{rep: &Replayed{}}
+	rep := st.rep
+
+	cover := -1
+	if snap, fallback, ok := loadBase(fs, path, st); ok {
+		cover = snap.cover
+		rep.Snapshot = true
+		rep.SnapshotFallback = fallback
+		if fallback {
+			mCheckpointFallbacks.Inc()
 		}
-		if err != nil {
-			rep.TornTail = true
-			rep.TornOffset = off
-			break
-		}
-		off += n
-		if err := rep.apply(body); err != nil {
-			// Structurally invalid body behind a valid checksum: treat as
-			// the end of the usable prefix, like a torn tail.
-			rep.TornTail = true
-			rep.TornOffset = off - n
-			break
-		}
-		if body[0] == recEpoch {
-			epochs++
-		}
-		rep.Records++
 	}
+
+	damaged := false
+	for _, k := range listSegments(fs, path) {
+		if k <= cover || damaged {
+			continue
+		}
+		d, err := replayFile(fs, segmentPath(path, k), st)
+		if err != nil {
+			return nil, err
+		}
+		rep.Segments++
+		damaged = d
+	}
+	if !damaged {
+		if _, err := replayFile(fs, path, st); err != nil {
+			// A missing live file is legal mid-rotation (the crash landed
+			// between segment rename and live-file creation); anything else
+			// is a real I/O failure.
+			if !errors.Is(err, os.ErrNotExist) {
+				return nil, err
+			}
+		}
+	}
+
 	mReplayRecords.Add(int64(rep.Records))
 	if rep.TornTail {
 		mReplayTorn.Inc()
 	}
-	if epochs == 0 {
-		return rep, fmt.Errorf("%w: no epoch record (empty or foreign log)", ErrCorrupt)
+	if st.epochs == 0 {
+		return st, fmt.Errorf("%w: no epoch record (empty or foreign log)", ErrCorrupt)
 	}
-	rep.Epoch = uint64(epochs - 1)
-	return rep, nil
+	rep.Epoch = uint64(st.epochs - 1)
+	return st, nil
+}
+
+// loadBase loads the checkpoint history: the current snapshot, or — when it
+// is torn, structurally invalid or fails to apply — the previous one. ok is
+// false when no usable snapshot exists (including the ordinary
+// no-checkpoint single-file layout).
+func loadBase(fs FS, path string, st *replayState) (snap *snapshot, fallback, ok bool) {
+	for i, p := range []string{path + ckptSuffix, path + ckptPrevSuffix} {
+		s, err := readSnapshot(fs, p)
+		if err != nil {
+			continue
+		}
+		if applySnapshot(s, st) == nil {
+			return s, i == 1, true
+		}
+		// Applying mutated st; rebuild from scratch before the fallback.
+		*st = replayState{rep: &Replayed{}}
+	}
+	return nil, false, false
+}
+
+// applySnapshot folds a decoded snapshot into the replay state.
+func applySnapshot(s *snapshot, st *replayState) error {
+	for _, body := range s.bodies {
+		if len(body) == 0 || body[0] == recEpoch {
+			return fmt.Errorf("%w: epoch record inside snapshot body", ErrCorrupt)
+		}
+		if err := st.rep.apply(body); err != nil {
+			return err
+		}
+		st.bodies = append(st.bodies, body)
+		st.rep.Records++
+	}
+	st.epochs = s.epochs
+	st.rep.Records += s.epochs
+	return nil
+}
+
+// replayFile scans one log file into the state. It returns damaged = true
+// when the scan ended at a torn or corrupt record (recorded on the
+// Replayed); the error return is reserved for I/O failures.
+func replayFile(fs FS, path string, st *replayState) (damaged bool, err error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = f.Close() }()
+	return scanRecords(bufio.NewReader(f), st), nil
+}
+
+// scanRecords folds every intact record from r into the state, stopping at
+// damage (torn or corrupt record, or a structurally invalid body behind a
+// valid checksum).
+func scanRecords(r *bufio.Reader, st *replayState) (damaged bool) {
+	rep := st.rep
+	var off int64
+	for {
+		body, n, err := readRecord(r)
+		if errors.Is(err, io.EOF) {
+			return false
+		}
+		if err != nil {
+			rep.TornTail = true
+			rep.TornOffset = off
+			return true
+		}
+		off += n
+		if body[0] == recEpoch {
+			if len(body) != 1 {
+				rep.TornTail = true
+				rep.TornOffset = off - n
+				return true
+			}
+			st.epochs++
+		} else {
+			if err := rep.apply(body); err != nil {
+				// Structurally invalid body behind a valid checksum: treat as
+				// the end of the usable prefix, like a torn tail.
+				rep.TornTail = true
+				rep.TornOffset = off - n
+				return true
+			}
+			st.bodies = append(st.bodies, body)
+		}
+		rep.Records++
+	}
+}
+
+// replayReader decodes a single-file log from a reader (the pre-checkpoint
+// layout), factored out for tests and fuzzing.
+func replayReader(r *bufio.Reader) (*Replayed, error) {
+	st := &replayState{rep: &Replayed{}}
+	scanRecords(r, st)
+	mReplayRecords.Add(int64(st.rep.Records))
+	if st.rep.TornTail {
+		mReplayTorn.Inc()
+	}
+	if st.epochs == 0 {
+		return st.rep, fmt.Errorf("%w: no epoch record (empty or foreign log)", ErrCorrupt)
+	}
+	st.rep.Epoch = uint64(st.epochs - 1)
+	return st.rep, nil
 }
 
 // apply folds one record body into the replay state.

@@ -23,6 +23,14 @@
 // a torn tail — a crash mid-append leaves a truncated or CRC-corrupt final
 // record, which is reported, not fatal; corruption is never silently skipped
 // past, so a bad record ends the replayed prefix.
+//
+// All storage I/O goes through the FS/File interfaces (fs.go), so a fault
+// plan (package diskfault) can attack exactly the operations the contract
+// depends on. With a CheckpointPolicy the log additionally rotates its live
+// file into numbered segments and publishes CRC-framed full-history
+// snapshots (checkpoint.go), bounding on-disk size: recovery replays
+// snapshot + tail instead of the full history, and a torn checkpoint falls
+// back to the previous snapshot + a longer tail.
 package wal
 
 import (
@@ -34,6 +42,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,33 +79,84 @@ var ErrClosed = errors.New("wal: log closed")
 // ErrCorrupt marks a structurally invalid record during replay.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// CheckpointPolicy controls checkpoint/compaction. The zero value disables
+// it: the log stays a single append-only file, exactly as before.
+type CheckpointPolicy struct {
+	// EveryBytes rotates the live file into a numbered segment and publishes
+	// a full-history snapshot whenever the live file exceeds this size.
+	// Zero disables checkpointing.
+	EveryBytes int64
+}
+
+// Enabled reports whether the policy triggers checkpoints.
+func (p CheckpointPolicy) Enabled() bool { return p.EveryBytes > 0 }
+
+// Options configures a log beyond its path.
+type Options struct {
+	// FS is the filesystem the log writes through (nil = host filesystem).
+	FS FS
+	// Checkpoint enables periodic snapshot + segment rotation.
+	Checkpoint CheckpointPolicy
+	// Mirror keeps the full durable history in memory even without
+	// checkpointing — required for degraded-mode re-arm (Rearm), which
+	// re-persists the whole history as a fresh snapshot. Checkpointing
+	// implies a mirror.
+	Mirror bool
+}
+
 // WAL is an append-only, CRC-framed log bound to one process. It is safe
 // for concurrent use; appends are buffered until Sync (or an explicit
 // flush on Close).
 type WAL struct {
 	mu     sync.Mutex
-	f      *os.File
+	fs     FS
+	path   string
+	f      File
 	w      *bufio.Writer
 	dirty  bool // appended since the last fsync
 	closed bool
 
-	appends int64
-	syncs   int64
+	appends     int64
+	syncs       int64
+	checkpoints int64
+
+	ckpt   CheckpointPolicy
+	mirror bool
+
+	liveBytes int64 // framed bytes appended to the live file
+	nextSeg   int   // index the next rotated segment will take
+	coverCur  int   // highest segment covered by <path>.ckpt (-1 = none)
+	coverPrev int   // highest segment covered by <path>.ckpt.prev (-1 = none)
+
+	// Mirror of the durable history (mirror mode): epoch count plus every
+	// non-epoch record body in append order. unsynced holds bodies buffered
+	// but not yet fsynced; a successful Sync folds them in.
+	epochs   int
+	history  [][]byte
+	unsynced [][]byte
 }
 
 // Stats reports the I/O work a log performed.
 type Stats struct {
-	Appends int64 // records appended
-	Syncs   int64 // fsync batches issued (Sync calls with dirty data)
+	Appends     int64 // records appended
+	Syncs       int64 // fsync batches issued (Sync calls with dirty data)
+	Checkpoints int64 // snapshots published (rotations + re-arms)
 }
 
 // Create truncates (or creates) the log at path and starts epoch 0.
-func Create(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func Create(path string) (*WAL, error) { return CreateWith(path, Options{}) }
+
+// CreateWith is Create through explicit options. Stale segments and
+// checkpoints left at the path by a previous run are removed first, so the
+// new log's replay never sees foreign history.
+func CreateWith(path string, o Options) (*WAL, error) {
+	fs := fsOrOS(o.FS)
+	removeSiblings(fs, path)
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{f: f, w: bufio.NewWriter(f)}
+	w := newWAL(fs, path, f, o)
 	if err := w.AppendEpoch(); err != nil {
 		_ = f.Close()
 		return nil, err
@@ -105,10 +166,43 @@ func Create(path string) (*WAL, error) {
 
 // Open opens an existing log for appending a new incarnation. The caller is
 // expected to Replay first and then AppendEpoch to fence the restart.
-func Open(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func Open(path string) (*WAL, error) { return OpenWith(path, Options{}) }
+
+// OpenWith is Open through explicit options. In mirror/checkpoint mode the
+// full durable history (snapshot + segments + live tail) is replayed into
+// the in-memory mirror so later snapshots cover pre-restart records too.
+func OpenWith(path string, o Options) (*WAL, error) {
+	fs := fsOrOS(o.FS)
+	w := newWAL(fs, path, nil, o)
+	if w.mirror {
+		st, err := replayFS(fs, path)
+		if err != nil {
+			return nil, err
+		}
+		w.epochs = st.epochs
+		w.history = st.bodies
+	}
+	// Segment/checkpoint bookkeeping must survive the restart: new rotations
+	// take fresh indices and compaction still honours the fallback chain.
+	w.nextSeg = maxSegmentIndex(fs, path) + 1
+	if snap, err := readSnapshot(fs, path+ckptSuffix); err == nil {
+		w.coverCur = snap.cover
+	}
+	if snap, err := readSnapshot(fs, path+ckptPrevSuffix); err == nil {
+		w.coverPrev = snap.cover
+	}
+	f, err := fs.OpenRW(path)
 	if err != nil {
-		return nil, err
+		// A crash between segment rename and live-file creation (mid-rotation
+		// or mid-rearm) legally leaves no live file; the segments/checkpoints
+		// prove the log exists, so start a fresh live file. A bare missing
+		// path with no siblings stays an error — that log never existed.
+		if !errors.Is(err, os.ErrNotExist) || (w.nextSeg == 0 && w.coverCur < 0) {
+			return nil, err
+		}
+		if f, err = fs.Create(path); err != nil {
+			return nil, err
+		}
 	}
 	// A torn tail from the previous incarnation is dead weight: replay stops
 	// at it, and appending after it would hide the new records behind the
@@ -126,7 +220,41 @@ func Open(path string) (*WAL, error) {
 		_ = f.Close()
 		return nil, err
 	}
-	return &WAL{f: f, w: bufio.NewWriter(f)}, nil
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.liveBytes = valid
+	return w, nil
+}
+
+// newWAL builds the struct shared by the constructors.
+func newWAL(fs FS, path string, f File, o Options) *WAL {
+	w := &WAL{
+		fs:        fs,
+		path:      path,
+		ckpt:      o.Checkpoint,
+		mirror:    o.Mirror || o.Checkpoint.Enabled(),
+		coverCur:  -1,
+		coverPrev: -1,
+	}
+	if f != nil {
+		w.f = f
+		w.w = bufio.NewWriter(f)
+	}
+	return w
+}
+
+// removeSiblings deletes segments and checkpoints belonging to path.
+func removeSiblings(fs FS, path string) {
+	names, err := fs.List(dirOf(path))
+	if err != nil {
+		return
+	}
+	base := baseOf(path)
+	for _, name := range names {
+		if name != base && strings.HasPrefix(name, base+".") {
+			_ = fs.Remove(filepath.Join(dirOf(path), name))
+		}
+	}
 }
 
 // append frames and buffers one record.
@@ -136,8 +264,15 @@ func (w *WAL) append(body []byte) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(body)
+}
+
+func (w *WAL) appendLocked(body []byte) error {
 	if w.closed {
 		return ErrClosed
+	}
+	if w.f == nil {
+		return fmt.Errorf("wal: no live file (previous rotation failed)")
 	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
@@ -150,6 +285,10 @@ func (w *WAL) append(body []byte) error {
 	}
 	w.dirty = true
 	w.appends++
+	w.liveBytes += int64(8 + len(body))
+	if w.mirror {
+		w.unsynced = append(w.unsynced, append([]byte(nil), body...))
+	}
 	mAppends.Inc()
 	return nil
 }
@@ -165,6 +304,11 @@ func (w *WAL) AppendEpoch() error {
 
 // AppendInput journals the process identity and its protocol input.
 func (w *WAL) AppendInput(id dist.ProcID, input geom.Point) error {
+	return w.append(encodeInput(id, input))
+}
+
+// encodeInput builds the recInput body.
+func encodeInput(id dist.ProcID, input geom.Point) []byte {
 	body := make([]byte, 0, 16+8*len(input))
 	body = append(body, recInput)
 	body = binary.BigEndian.AppendUint32(body, uint32(int32(id)))
@@ -172,41 +316,73 @@ func (w *WAL) AppendInput(id dist.ProcID, input geom.Point) error {
 	for _, v := range input {
 		body = binary.BigEndian.AppendUint64(body, math.Float64bits(v))
 	}
-	return w.append(body)
+	return body
 }
 
 // AppendDelivered journals one delivered message. The caller must Sync
 // before acknowledging or acting on the delivery (see the package comment).
 func (w *WAL) AppendDelivered(msg dist.Message) error {
+	body, err := encodeDelivered(msg)
+	if err != nil {
+		return err
+	}
+	return w.append(body)
+}
+
+// encodeDelivered builds the recDelivered body.
+func encodeDelivered(msg dist.Message) ([]byte, error) {
 	enc, err := wire.EncodeMessage(msg)
 	if err != nil {
-		return fmt.Errorf("wal: encode delivered message: %w", err)
+		return nil, fmt.Errorf("wal: encode delivered message: %w", err)
 	}
 	body := make([]byte, 0, 1+len(enc))
 	body = append(body, recDelivered)
 	body = append(body, enc...)
-	return w.append(body)
+	return body, nil
 }
 
 // AppendDecided journals termination at the given round.
 func (w *WAL) AppendDecided(round int) error {
-	var body [9]byte
+	return w.append(encodeDecided(round))
+}
+
+// encodeDecided builds the recDecided body.
+func encodeDecided(round int) []byte {
+	body := make([]byte, 9)
 	body[0] = recDecided
 	binary.BigEndian.PutUint64(body[1:], uint64(int64(round)))
-	return w.append(body[:])
+	return body
 }
+
+// EncodeDelivered returns the record body AppendDelivered would journal for
+// the message. The degraded-mode runtime buffers these bodies while the
+// disk is failing and hands them to Rearm to restore durability.
+func EncodeDelivered(msg dist.Message) ([]byte, error) { return encodeDelivered(msg) }
+
+// EncodeDecided returns the record body AppendDecided would journal.
+func EncodeDecided(round int) []byte { return encodeDecided(round) }
 
 // Sync flushes buffered records and fsyncs them to stable storage. Appends
 // since the previous Sync share this one write+fsync (group commit); a Sync
-// with nothing buffered is a no-op.
+// with nothing buffered is a no-op. When the checkpoint policy's size
+// threshold is crossed, the now-durable live file is rotated into a segment
+// and a fresh snapshot is published before Sync returns (so a checkpoint
+// failure is surfaced as a durability failure, never absorbed silently).
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
 	if w.closed {
 		return ErrClosed
 	}
 	if !w.dirty {
 		return nil
+	}
+	if w.f == nil {
+		return fmt.Errorf("wal: no live file (previous rotation failed)")
 	}
 	var start time.Time
 	if timed := telemetry.Enabled() || telemetry.TraceOn(); timed {
@@ -220,19 +396,52 @@ func (w *WAL) Sync() error {
 	}
 	w.dirty = false
 	w.syncs++
+	if w.mirror {
+		w.foldUnsynced()
+	}
 	if !start.IsZero() {
 		observeFsync(time.Since(start))
 	} else {
 		mSyncs.Inc()
 	}
+	if w.ckpt.Enabled() && w.liveBytes >= w.ckpt.EveryBytes {
+		if err := w.rotateLocked(); err != nil {
+			return fmt.Errorf("wal: checkpoint: %w", err)
+		}
+	}
 	return nil
+}
+
+// foldUnsynced moves now-durable bodies into the mirror.
+func (w *WAL) foldUnsynced() {
+	for _, body := range w.unsynced {
+		if body[0] == recEpoch {
+			w.epochs++
+		} else {
+			w.history = append(w.history, body)
+		}
+	}
+	w.unsynced = nil
+}
+
+// DropUnsynced discards buffered-but-not-durable mirror entries. The
+// degraded-mode delivery path calls it after a journaling failure: the
+// affected records are tracked by the caller (as pending non-durable
+// deliveries) until a Rearm re-persists them, so keeping them in the mirror
+// would double-count them.
+func (w *WAL) DropUnsynced() {
+	w.mu.Lock()
+	w.unsynced = nil
+	w.w = bufio.NewWriter(w.f) // abandon any partially buffered frame
+	w.dirty = false
+	w.mu.Unlock()
 }
 
 // Stats returns a snapshot of the log's I/O counters.
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return Stats{Appends: w.appends, Syncs: w.syncs}
+	return Stats{Appends: w.appends, Syncs: w.syncs, Checkpoints: w.checkpoints}
 }
 
 // Close flushes, fsyncs and closes the log file.
@@ -243,6 +452,9 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.f == nil {
+		return nil
+	}
 	err := w.w.Flush()
 	if serr := w.f.Sync(); err == nil {
 		err = serr
@@ -255,7 +467,7 @@ func (w *WAL) Close() error {
 
 // validPrefixLen scans f from the start and returns the byte length of the
 // longest prefix of intact records.
-func validPrefixLen(f *os.File) (int64, error) {
+func validPrefixLen(f File) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}

@@ -6,10 +6,12 @@ import (
 
 	"chc/internal/chaos"
 	"chc/internal/core"
+	"chc/internal/diskfault"
 	"chc/internal/dist"
 	"chc/internal/engine"
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
+	"chc/internal/wal"
 )
 
 // TransportKind selects how RunNetworked connects the processes.
@@ -72,6 +74,9 @@ type networkOptions struct {
 	walDir      string
 	recover     bool
 	recoverWait time.Duration
+	diskPlan    *DiskFaultPlan
+	checkpoint  int64
+	durability  DurabilityPolicy
 }
 
 // WithNetworkChaos injects seeded network faults below the reliable-link
@@ -108,6 +113,70 @@ func WithCrashRecovery(downtime time.Duration) NetworkOption {
 	}
 }
 
+// DiskFaultPlan describes seeded, deterministic storage-fault injection
+// against the write-ahead logs: write errors, ENOSPC, torn writes, fsync
+// failures and latency spikes, and a power cut after a byte budget. The
+// fate of every I/O operation is a pure function of (seed, file, op kind,
+// op index), so a failing run replays exactly. See FlakyDisk, SickDisk and
+// ParseDiskFaultPlan.
+type DiskFaultPlan = diskfault.Plan
+
+// FlakyDisk returns a mild storage-fault plan (rare write/fsync errors,
+// occasional sub-millisecond fsync stalls).
+func FlakyDisk() DiskFaultPlan { return diskfault.Flaky() }
+
+// SickDisk returns an aggressive storage-fault plan (frequent write errors,
+// torn writes, failing and stalling fsyncs).
+func SickDisk() DiskFaultPlan { return diskfault.Sick() }
+
+// ParseDiskFaultPlan parses "off", "flaky", "sick", or a custom
+// "werr=0.05,torn=0.02,syncerr=0.1,slow=0.05:1ms-5ms,cut=65536,path=node-001,after=32"
+// specification (presets are refinable: "sick,syncerr=0.5").
+func ParseDiskFaultPlan(spec string) (DiskFaultPlan, error) { return diskfault.ParsePlan(spec) }
+
+// DurabilityPolicy decides what a node does when its write-ahead log stops
+// accepting writes. See FailStop and Degrade.
+type DurabilityPolicy = runtime.DurabilityPolicy
+
+// Durability policies for WithDurability.
+const (
+	// FailStop (default): a node that cannot journal crashes on the spot,
+	// consuming one of the f crash faults the protocol tolerates.
+	FailStop = runtime.FailStop
+	// Degrade: the node quarantines into non-durable mode, keeps
+	// participating, and a background loop re-arms the WAL with backoff;
+	// a successful re-arm restores full durability including the
+	// degraded-window deliveries.
+	Degrade = runtime.Degrade
+)
+
+// WithDiskFaults injects seeded storage faults into every WAL write path.
+// Requires WithWAL. Composable with WithNetworkChaos: network and storage
+// fault schedules are independent deterministic functions of their seeds.
+func WithDiskFaults(plan DiskFaultPlan) NetworkOption {
+	return func(o *networkOptions) {
+		p := plan
+		o.diskPlan = &p
+	}
+}
+
+// WithWALCheckpoint bounds on-disk WAL size: whenever a node's live log
+// exceeds everyBytes, it is rotated into a segment and a CRC-framed
+// full-history snapshot is published atomically; compaction then deletes
+// segments the previous snapshot already covers. Recovery replays snapshot +
+// tail, falling back to the previous snapshot if the current one is torn.
+// Requires WithWAL.
+func WithWALCheckpoint(everyBytes int64) NetworkOption {
+	return func(o *networkOptions) { o.checkpoint = everyBytes }
+}
+
+// WithDurability selects the degradation policy applied when a node's
+// journal fails mid-run (default FailStop). Requires WithWAL. Nodes still
+// quarantined when the run ends are listed in RunResult.Degraded.
+func WithDurability(policy DurabilityPolicy) NetworkOption {
+	return func(o *networkOptions) { o.durability = policy }
+}
+
 // RunNetworked executes a convex hull consensus instance under real
 // concurrency — one goroutine per process — over the selected transport
 // (via the unified engine). Unlike Run, delivery order comes from actual
@@ -126,6 +195,16 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	}
 	if netOpts.recover && netOpts.walDir == "" {
 		return nil, fmt.Errorf("chc: WithCrashRecovery requires WithWAL")
+	}
+	if netOpts.walDir == "" {
+		switch {
+		case netOpts.diskPlan != nil:
+			return nil, fmt.Errorf("chc: WithDiskFaults requires WithWAL")
+		case netOpts.checkpoint > 0:
+			return nil, fmt.Errorf("chc: WithWALCheckpoint requires WithWAL")
+		case netOpts.durability != FailStop:
+			return nil, fmt.Errorf("chc: WithDurability requires WithWAL")
+		}
 	}
 	engTransport, err := transport.engineTransport()
 	if err != nil {
@@ -160,6 +239,13 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 		WALDir:    netOpts.walDir,
 		Inputs:    cfg.Inputs,
 	}
+	if netOpts.diskPlan != nil {
+		engOpts.WALFS = diskfault.New(wal.OSFS(), *netOpts.diskPlan)
+	}
+	if netOpts.checkpoint > 0 {
+		engOpts.Checkpoint = wal.CheckpointPolicy{EveryBytes: netOpts.checkpoint}
+	}
+	engOpts.Durability = netOpts.durability
 	if netOpts.recover {
 		plans := make([]runtime.RestartPlan, 0, len(restartCrashes))
 		for _, cp := range restartCrashes {
@@ -179,12 +265,13 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 		return nil, err
 	}
 	result := &RunResult{
-		Params:  params,
-		Outputs: make(map[ProcID]*Polytope),
-		Crashed: make(map[ProcID]bool),
-		Faulty:  make(map[ProcID]bool),
-		Traces:  make(map[ProcID]Trace),
-		Stats:   res.Stats,
+		Params:   params,
+		Outputs:  make(map[ProcID]*Polytope),
+		Crashed:  make(map[ProcID]bool),
+		Faulty:   make(map[ProcID]bool),
+		Traces:   make(map[ProcID]Trace),
+		Stats:    res.Stats,
+		Degraded: res.Degraded,
 	}
 	if telemetry.Enabled() {
 		result.Telemetry = telemetry.Default().Snapshot()

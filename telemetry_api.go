@@ -75,6 +75,28 @@ func ServeTelemetry(addr string) (resolved string, close func() error, err error
 	return s.Addr(), func() error { telemetry.ShutdownServer(); return nil }, nil
 }
 
+// SetRunRetention bounds how many completed runs the /runs endpoint retains
+// (default 64). The store is a fixed ring: each completed run past the bound
+// overwrites the oldest, so a long-lived exposition server holds steady
+// memory. n <= 0 retains no completed runs (active runs are still listed).
+func SetRunRetention(n int) { telemetry.SetRunRetention(n) }
+
+// SetHistogramBuckets overrides the bucket upper bounds of one histogram
+// family in the process-wide registry, by metric name (e.g.
+// "chc_wal_fsync_seconds"). Existing instruments re-bucket in place,
+// discarding prior observations; call it at startup, before runs observe.
+// Nil or empty bounds restore the default latency buckets.
+func SetHistogramBuckets(name string, bounds []float64) {
+	telemetry.SetHistogramBuckets(name, bounds)
+}
+
+// WideLatencyBuckets returns bucket bounds stretching to a minute, suited to
+// instruments watching pathological storage (fsync latencies under injected
+// delays) where the default range would overflow.
+func WideLatencyBuckets() []float64 {
+	return append([]float64(nil), telemetry.WideBuckets...)
+}
+
 // SetTraceSink installs the process-wide trace sink and returns the previous
 // one. Instrumented layers emit structured events (cc.round, cc.decided,
 // wal.fsync, rlink.retransmit, runtime.recovery, ...) while a sink is
