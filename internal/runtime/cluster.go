@@ -63,6 +63,7 @@ type Cluster struct {
 	tcp     []*tcpTransport            // TCP transports (nil entries for channel clusters)
 	wal     []*wal.WAL                 // write-ahead logs (recovery mode only)
 	box     []*durableBox              // durability state machines (recovery mode only)
+	diedDeg []bool                     // node died degraded: journal incomplete, relaunch forbidden
 	crash   []*atomic.Bool             // per-incarnation crash flags (fresh on relaunch)
 	deliver []func(dist.Message) error // per-incarnation mailbox delivery (recovery mode only)
 	sender  []rlink.Sender             // frame sender under each endpoint (incl. chaos), for rebuilds
@@ -203,6 +204,7 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		tcp:     make([]*tcpTransport, len(procs)),
 		wal:     make([]*wal.WAL, len(procs)),
 		box:     make([]*durableBox, len(procs)),
+		diedDeg: make([]bool, len(procs)),
 		crash:   make([]*atomic.Bool, len(procs)),
 		deliver: make([]func(dist.Message) error, len(procs)),
 		sender:  make([]rlink.Sender, len(procs)),

@@ -28,7 +28,9 @@ const (
 	// successful re-arm publishes the full history — including the
 	// degraded-window deliveries — as a fresh snapshot, restoring
 	// durability; a degraded node that crashes before then is a full crash
-	// fault and must not be relaunched.
+	// fault and must not be relaunched (the supervisor enforces this: its
+	// journal is missing acked deliveries, so a relaunch is refused with a
+	// recovery error rather than resuming divergent state).
 	Degrade
 )
 
@@ -64,10 +66,10 @@ var errFailStopped = errors.New("runtime: node fail-stopped on durability failur
 // already-transmitted (link, seq) pairs — equivocation across the restart
 // boundary.
 type durableBox struct {
-	c       *Cluster
-	i       int
-	crashed *atomic.Bool // the incarnation's crash flag (shared with runProc)
-	policy  DurabilityPolicy
+	c                  *Cluster
+	i                  int
+	crashed            *atomic.Bool // the incarnation's crash flag (shared with runProc)
+	policy             DurabilityPolicy
 	rearmMin, rearmMax time.Duration
 
 	mu       sync.Mutex
@@ -131,7 +133,11 @@ func (b *durableBox) deliver(m dist.Message) error {
 		})
 	}
 	if b.policy == Degrade {
-		b.enterDegraded(m)
+		// A checkpoint failure (wal.ErrCheckpoint) means the fsync itself
+		// succeeded: the delivery is already durable and folded into the
+		// mirror, and only the snapshot rotation failed. Re-owning it in
+		// pending would double-journal it at the next re-arm.
+		b.enterDegraded(m, !errors.Is(err, wal.ErrCheckpoint))
 		return nil
 	}
 	b.failStop()
@@ -177,14 +183,22 @@ func (b *durableBox) failStop() {
 	go b.c.killNode(b.i)
 }
 
-// enterDegraded quarantines the node into non-durable mode (under b.mu):
-// the failed delivery is the first pending entry, any bodies the WAL had
-// buffered-but-not-fsynced are dropped from its mirror (they are exactly
-// the failed delivery, which pending now owns), and the re-arm loop starts.
-func (b *durableBox) enterDegraded(m dist.Message) {
+// enterDegraded quarantines the node into non-durable mode (under b.mu) and
+// starts the re-arm loop. With lost=true (fsync failure) the failed delivery
+// never reached stable storage: it becomes the first pending entry, and any
+// bodies the WAL had buffered-but-not-fsynced are dropped from its mirror
+// (they are exactly the failed delivery, which pending now owns). With
+// lost=false (post-fsync checkpoint failure) the delivery is already in the
+// durable history and the mirror; it is only made visible to the process —
+// adding it to pending too would journal it twice on re-arm.
+func (b *durableBox) enterDegraded(m dist.Message, lost bool) {
 	b.degraded = true
 	b.w.DropUnsynced()
-	b.bufferDegraded(m)
+	if lost {
+		b.bufferDegraded(m)
+	} else {
+		b.mbox.Push(m)
+	}
 	b.c.durability.degraded.Add(1)
 	mDegradations.Inc()
 	if telemetry.TraceOn() {
@@ -255,9 +269,11 @@ func (b *durableBox) isDegraded() bool {
 // attempt: if the disk has healed by shutdown, the degraded-window history
 // is persisted rather than abandoned (so post-run replay sees it). A disk
 // that is still failing fails the attempt immediately and the node's
-// durability ends where the failure left it. Idempotent; called from
-// killNode and Run shutdown.
-func (b *durableBox) close() {
+// durability ends where the failure left it. It reports whether the box
+// ended degraded — i.e. the journal is missing deliveries the node already
+// acked, so the supervisor must never relaunch from it. Idempotent; called
+// from killNode and Run shutdown.
+func (b *durableBox) close() (endedDegraded bool) {
 	b.mu.Lock()
 	if !b.closed {
 		if b.degraded {
@@ -266,7 +282,9 @@ func (b *durableBox) close() {
 		b.closed = true
 		close(b.closedCh)
 	}
+	endedDegraded = b.degraded
 	b.mu.Unlock()
+	return endedDegraded
 }
 
 // durabilityCounters aggregates storage-failure handling across a cluster's

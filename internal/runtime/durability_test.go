@@ -12,23 +12,40 @@ import (
 	"chc/internal/wal"
 )
 
-var errInjectedSync = errors.New("injected fsync failure")
+var (
+	errInjectedSync   = errors.New("injected fsync failure")
+	errInjectedCreate = errors.New("injected create failure")
+)
 
 // flakyFS fails fsyncs on matching paths while the fail flag is set — a
 // switchable sick disk for exercising the degradation policy without
 // probabilistic schedules. A positive budget heals the disk automatically
 // after that many injected failures (a deterministic transient outage).
+// With createMatch set, Create calls on matching paths fail instead (for
+// attacking the checkpoint rotation rather than the fsync).
 type flakyFS struct {
 	wal.FS
-	fail   atomic.Bool
-	budget atomic.Int64 // >0: remaining failures before auto-heal
-	match  string       // path substring; empty matches all
+	fail        atomic.Bool
+	budget      atomic.Int64 // >0: remaining failures before auto-heal
+	match       string       // fsync path substring; empty matches all
+	createMatch string       // Create path substring; empty disables
 }
 
 func (f *flakyFS) failing(path string) bool {
 	if !f.fail.Load() || (f.match != "" && !strings.Contains(path, f.match)) {
 		return false
 	}
+	return f.spendBudget()
+}
+
+func (f *flakyFS) failingCreate(path string) bool {
+	if !f.fail.Load() || f.createMatch == "" || !strings.Contains(path, f.createMatch) {
+		return false
+	}
+	return f.spendBudget()
+}
+
+func (f *flakyFS) spendBudget() bool {
 	if f.budget.Load() > 0 && f.budget.Add(-1) <= 0 {
 		f.fail.Store(false)
 	}
@@ -36,6 +53,9 @@ func (f *flakyFS) failing(path string) bool {
 }
 
 func (f *flakyFS) Create(path string) (wal.File, error) {
+	if f.failingCreate(path) {
+		return nil, errInjectedCreate
+	}
 	file, err := f.FS.Create(path)
 	if err != nil {
 		return nil, err
@@ -157,6 +177,117 @@ func TestDurableBoxDegradeAndRearm(t *testing.T) {
 	}
 }
 
+// TestDurableBoxCheckpointFailureNoDoubleJournal regresses the
+// post-fsync-failure case: the delivery's fsync succeeds (so the record is
+// durable and folded into the mirror) but the checkpoint rotation that the
+// same Sync triggers fails. The Degrade policy must quarantine without
+// re-owning the delivery in pending — otherwise the re-arm snapshot holds it
+// twice and a recovered node replays a divergent (equivocating) history.
+func TestDurableBoxCheckpointFailureNoDoubleJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := WALPath(dir, 0)
+	// Fsyncs never fail (match can't occur in any path); only the Create of
+	// the in-flight snapshot does, exactly once — so the failure lands after
+	// the delivery is already durable, inside the rotation.
+	ffs := &flakyFS{FS: wal.OSFS(), match: "\x00", createMatch: ".ckpt.tmp"}
+	// EveryBytes 20: the epoch record (9 framed bytes) stays under the
+	// threshold, the first delivered record crosses it and triggers rotation.
+	w, err := wal.CreateWith(path, wal.Options{FS: ffs, Checkpoint: wal.CheckpointPolicy{EveryBytes: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Cluster{recovery: &RecoveryConfig{
+		Dir: dir, Durability: Degrade,
+		RearmMin: time.Millisecond, RearmMax: 4 * time.Millisecond,
+	}}
+	mbox := newMailbox()
+	box := newDurableBox(c, 0, w, mbox, &atomic.Bool{})
+
+	ffs.budget.Store(1)
+	ffs.fail.Store(true)
+	m := dist.Message{From: 1, To: 0, Kind: "t", Round: 0}
+	if err := box.deliver(m); err != nil {
+		t.Fatalf("deliver under Degrade: %v", err)
+	}
+	if !box.isDegraded() {
+		t.Fatal("not degraded after checkpoint failure")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for box.isDegraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("re-arm did not complete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	box.close()
+	c.bg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := wal.Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Delivered) != 1 {
+		t.Fatalf("journal replays %d deliveries, want exactly 1 (no double-journaling)", len(rep.Delivered))
+	}
+	// The process must see the delivery exactly once, too.
+	mbox.Close()
+	if got, err := mbox.Pop(); err != nil || got.Round != 0 {
+		t.Fatalf("first Pop = %v, %v", got, err)
+	}
+	if _, err := mbox.Pop(); err == nil {
+		t.Fatal("delivery pushed to the mailbox twice")
+	}
+}
+
+// TestDegradedDeathRefusesRelaunch pins the Degrade contract's enforcement:
+// a node killed while degraded (its last-chance re-arm failing on the still
+// sick disk) has a journal missing acked deliveries, so the supervisor must
+// refuse to relaunch it rather than resume from the incomplete history.
+func TestDegradedDeathRefusesRelaunch(t *testing.T) {
+	const n = 3
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: wal.OSFS(), match: "node-001"}
+	procs := make([]dist.Process, n)
+	for i := range procs {
+		procs[i] = newGatherProc(n, nil)
+	}
+	// Re-arm backoff far beyond the test: the only restoration attempt is
+	// close()'s last-chance one, which the still-failing disk rejects.
+	c, err := NewChannelCluster(procs, WithRecovery(RecoveryConfig{
+		Dir:     dir,
+		Factory: func(i int) dist.Process { return newGatherProc(n, nil) },
+		FS:      ffs, Durability: Degrade,
+		RearmMin: time.Minute, RearmMax: time.Minute,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.fail.Store(true)
+	if err := c.box[1].deliver(dist.Message{From: 0, To: 1, Kind: "t"}); err != nil {
+		t.Fatalf("deliver under Degrade: %v", err)
+	}
+	if !c.box[1].isDegraded() {
+		t.Fatal("node 1 not degraded")
+	}
+	c.killNode(1)
+	c.stateMu.RLock()
+	died := c.diedDeg[1]
+	c.stateMu.RUnlock()
+	if !died {
+		t.Fatal("degraded death not recorded")
+	}
+	rs := &runState{c: c, n: n, queues: make([][]RestartPlan, n)}
+	err = c.relaunch(rs, 1)
+	if err == nil || !strings.Contains(err.Error(), "died degraded") {
+		t.Fatalf("relaunch of a degraded-dead node = %v, want refusal", err)
+	}
+	c.bg.Wait()
+	c.closeWALs()
+}
+
 // TestDurableBoxFailStop checks the default policy: a durability failure
 // crashes the incarnation (flag set, error surfaced so the link withholds
 // its ack) and counts as a fail-stop.
@@ -224,7 +355,7 @@ func TestClusterFailStopBecomesCrashFault(t *testing.T) {
 		procs[i] = newGatherProc(n-1, nil)
 	}
 	c, err := NewChannelCluster(procs, WithRecovery(RecoveryConfig{
-		Dir: dir,
+		Dir:     dir,
 		Factory: func(i int) dist.Process { return newGatherProc(n-1, nil) },
 		FS:      ffs,
 	}))
@@ -265,7 +396,7 @@ func TestClusterDegradedNodeDecides(t *testing.T) {
 		procs[i] = newGatherProc(n, nil)
 	}
 	c, err := NewChannelCluster(procs, WithRecovery(RecoveryConfig{
-		Dir: dir,
+		Dir:     dir,
 		Factory: func(i int) dist.Process { return newGatherProc(n, nil) },
 		FS:      ffs, Durability: Degrade,
 		RearmMin: time.Millisecond, RearmMax: 4 * time.Millisecond,

@@ -356,8 +356,14 @@ func (c *Cluster) killNode(i int) {
 	if ep != nil {
 		_ = ep.Close()
 	}
-	if b != nil {
-		b.close()
+	if b != nil && b.close() {
+		// The box died degraded: the last-chance re-arm failed, so the WAL is
+		// missing deliveries this incarnation already acked (peers may have
+		// trimmed them). Mark the node so relaunch refuses to resume from the
+		// incomplete journal.
+		c.stateMu.Lock()
+		c.diedDeg[i] = true
+		c.stateMu.Unlock()
 	}
 	mbox.Close()
 	var r dist.NetStats
@@ -476,6 +482,16 @@ func (c *Cluster) replayNode(i int) (proc dist.Process, cc *captureContext, rep 
 // the cluster: replayed process, new epoch in the log, resumed reliable-link
 // endpoint, fresh mailbox, and the pending self-sends the crash cut off.
 func (c *Cluster) relaunch(rs *runState, i int) error {
+	c.stateMu.RLock()
+	diedDegraded := c.diedDeg[i]
+	c.stateMu.RUnlock()
+	if diedDegraded {
+		// The Degrade policy's contract: a node that dies while degraded is a
+		// full crash fault. Its journal is missing deliveries it acked
+		// non-durably (peers may already have trimmed them), so replaying it
+		// would silently lose them — refuse instead of resuming.
+		return errors.New("node died degraded (non-durable deliveries not re-armed); refusing relaunch from an incomplete journal")
+	}
 	proc, cc, rep, err := c.replayNode(i)
 	if err != nil {
 		return err

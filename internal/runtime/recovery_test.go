@@ -77,6 +77,19 @@ func (panicOnReplayProc) Deliver(dist.Context, dist.Message) {
 }
 func (panicOnReplayProc) Done() bool { return false }
 
+// echoOnDeliverProc is a gatherProc that answers every delivery with one
+// extra send. Sends are the only thing that spends the kill budget, so a
+// node running this type with a budget larger than its Init broadcast can
+// only crash *inside* a Deliver — i.e. strictly after that delivery was
+// journaled. That makes "the journal holds at least one delivery at
+// relaunch" deterministic instead of a race against the Init-broadcast kill.
+type echoOnDeliverProc struct{ *gatherProc }
+
+func (p echoOnDeliverProc) Deliver(ctx dist.Context, msg dist.Message) {
+	p.gatherProc.Deliver(ctx, msg)
+	ctx.Send(msg.From, "echo", msg.Round, nil)
+}
+
 // TestRecoveryPanicIsDistinctError asserts the satellite requirement: a
 // process panicking during replay surfaces as ErrRecovery, not as a plain
 // crash or a timeout.
@@ -87,12 +100,19 @@ func TestRecoveryPanicIsDistinctError(t *testing.T) {
 		// Quorum n-1: the three surviving nodes can finish without node 0.
 		procs[i] = newGatherProc(n-1, nil)
 	}
+	// Node 0 echoes deliveries; budget n: Init consumes n-1 sends, the first
+	// delivery's echo consumes the last, the second delivery's echo trips the
+	// crash — so at relaunch the journal provably holds deliveries, and the
+	// replaying panicOnReplayProc panics inside replayNode (where the
+	// recovery machinery must catch it), never in the live delivery loop.
+	// Its quorum is unreachable so it cannot decide before the crash fires.
+	procs[0] = echoOnDeliverProc{newGatherProc(n+1, nil)}
 	c, err := NewChannelCluster(procs,
 		WithRecovery(RecoveryConfig{
 			Dir:     t.TempDir(),
 			Factory: func(int) dist.Process { return panicOnReplayProc{} },
 		}),
-		WithRestarts(RestartPlan{Proc: 0, KillAfterSends: 1, Downtime: time.Millisecond}))
+		WithRestarts(RestartPlan{Proc: 0, KillAfterSends: n, Downtime: time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}

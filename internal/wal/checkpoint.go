@@ -277,7 +277,12 @@ func (w *WAL) Checkpoint() error {
 	if err := w.syncLockedNoRotate(); err != nil {
 		return err
 	}
-	return w.rotateLocked()
+	if err := w.rotateLocked(); err != nil {
+		// As in syncLocked: everything appended so far is durable, only the
+		// snapshot cycle failed.
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
+	}
+	return nil
 }
 
 // syncLockedNoRotate is syncLocked without the threshold check (used by the
@@ -355,14 +360,18 @@ func (w *WAL) Rearm(pending [][]byte) error {
 	if err := w.writeSnapshot(&snapshot{cover: cover, epochs: epochs, bodies: merged}); err != nil {
 		return err
 	}
-	w.history = merged
-	w.epochs = epochs
-	w.unsynced = nil
 	w.compactLocked()
 	f, err := w.fs.Create(w.path)
 	if err != nil {
+		// The snapshot published but the fresh live file did not: the attempt
+		// failed, so the caller keeps pending. The mirror must stay unmerged —
+		// committing it here would make the retry fold pending a second time.
+		// Re-publishing the same merged set on retry is harmless (idempotent).
 		return err
 	}
+	w.history = merged
+	w.epochs = epochs
+	w.unsynced = nil
 	w.f = f
 	w.w = bufio.NewWriter(f)
 	w.liveBytes = 0

@@ -215,6 +215,112 @@ func TestTortureDoubleTornCheckpoint(t *testing.T) {
 	}
 }
 
+// createFailFS fails Create calls for one exact path while budget > 0 — for
+// attacking the specific file creation inside a multi-step sequence.
+type createFailFS struct {
+	FS
+	exact  string
+	budget int
+}
+
+func (f *createFailFS) Create(path string) (File, error) {
+	if f.budget > 0 && path == f.exact {
+		f.budget--
+		return nil, errors.New("injected create failure")
+	}
+	return f.FS.Create(path)
+}
+
+// TestRearmRetryDoesNotDoubleCount regresses the re-arm commit order: when
+// the snapshot publishes but the fresh live-file creation fails, the caller
+// keeps its pending list and retries — the retry must not fold pending into
+// the mirror a second time (the first, failed attempt must not have
+// committed the merge).
+func TestRearmRetryDoesNotDoubleCount(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/node-0.wal"
+	ffs := &createFailFS{FS: OSFS(), exact: path}
+	w, err := CreateWith(path, Options{FS: ffs, Mirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := sampleMessages()
+	if err := w.AppendDelivered(msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var pending [][]byte
+	for _, m := range msgs[1:] {
+		body, err := EncodeDelivered(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, body)
+	}
+	// First attempt: snapshot publishes, then the live-file Create fails.
+	ffs.budget = 1
+	if err := w.Rearm(pending); err == nil {
+		t.Fatal("Rearm with a failing live-file create returned nil")
+	}
+	// The caller still owns pending; the healed retry must succeed and the
+	// replayed history must hold each delivery exactly once.
+	if err := w.Rearm(pending); err != nil {
+		t.Fatalf("Rearm retry: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireHistory(t, rep, len(msgs))
+}
+
+// TestSnapshotApplyFailureFallsBack regresses the replay aliasing bug: a
+// CRC-valid checkpoint whose body fails to apply (here: an unknown record
+// type) forces loadBase to rebuild the state for the fallback snapshot, and
+// the returned Replayed must still carry the post-fallback Snapshot,
+// Segments and Epoch fields — not a stale zero-valued view.
+func TestSnapshotApplyFailureFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	path, n := writeCheckpointedLog(t, dir)
+	// A second incarnation appends its epoch fence to the live tail, so the
+	// correct replayed Epoch (1) is distinguishable from the zero value.
+	w, err := OpenWith(path, Options{Checkpoint: CheckpointPolicy{EveryBytes: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the current checkpoint with a well-framed snapshot whose
+	// body cannot apply: decode succeeds, apply fails, fallback required.
+	bad := encodeSnapshot(&snapshot{cover: 0, epochs: 1, bodies: [][]byte{{0xEE}}})
+	if err := os.WriteFile(path+ckptSuffix, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatalf("apply-failed checkpoint must fall back, not fail: %v", err)
+	}
+	if !rep.Snapshot || !rep.SnapshotFallback {
+		t.Fatalf("Snapshot=%v Fallback=%v, want true/true", rep.Snapshot, rep.SnapshotFallback)
+	}
+	if rep.Segments == 0 {
+		t.Error("fallback replay used no segments (tail lost)")
+	}
+	if rep.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1 (stale replay state returned)", rep.Epoch)
+	}
+	requireHistory(t, rep, n)
+}
+
 // TestCompactionBoundsDiskUsage drives many rotations and checks compaction
 // keeps the segment count (and so the disk footprint) from growing with
 // history length: only segments in (coverPrev, coverCur] plus the live tail

@@ -138,8 +138,13 @@ func loadBase(fs FS, path string, st *replayState) (snap *snapshot, fallback, ok
 		if applySnapshot(s, st) == nil {
 			return s, i == 1, true
 		}
-		// Applying mutated st; rebuild from scratch before the fallback.
-		*st = replayState{rep: &Replayed{}}
+		// Applying mutated st; reset it in place before the fallback. The
+		// Replayed must be cleared through the existing pointer — replayFS
+		// holds an alias to it, and swapping in a fresh struct would strand
+		// the Snapshot/Segments/Epoch fields it writes afterwards.
+		*st.rep = Replayed{}
+		st.epochs = 0
+		st.bodies = nil
 	}
 	return nil, false, false
 }

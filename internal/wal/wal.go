@@ -79,6 +79,13 @@ var ErrClosed = errors.New("wal: log closed")
 // ErrCorrupt marks a structurally invalid record during replay.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrCheckpoint marks a Sync that made its records durable (the fsync
+// succeeded and the bodies are folded into the mirror) but failed in the
+// checkpoint rotation that followed. Callers handling durability failures
+// must distinguish it from a plain fsync failure: the records are NOT lost,
+// so re-journaling them (e.g. via Rearm pending) would double-count them.
+var ErrCheckpoint = errors.New("wal: checkpoint failed after durable sync")
+
 // CheckpointPolicy controls checkpoint/compaction. The zero value disables
 // it: the log stays a single append-only file, exactly as before.
 type CheckpointPolicy struct {
@@ -406,7 +413,10 @@ func (w *WAL) syncLocked() error {
 	}
 	if w.ckpt.Enabled() && w.liveBytes >= w.ckpt.EveryBytes {
 		if err := w.rotateLocked(); err != nil {
-			return fmt.Errorf("wal: checkpoint: %w", err)
+			// The records themselves are durable (fsynced and folded above);
+			// only the rotation failed. The sentinel lets the durability
+			// policy avoid re-journaling what is already in the mirror.
+			return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 		}
 	}
 	return nil
