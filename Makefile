@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak disk-torture bench bench-json bench-check bench-telemetry experiments
+.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke bench bench-json bench-check bench-telemetry experiments
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,23 @@ soak:
 disk-torture: build
 	$(GO) test -race -timeout 10m ./internal/diskfault/ ./internal/wal/
 	$(GO) test -race -timeout 10m -run 'Durab|FailStop|Degrad|DiskFault|WALReplay' ./internal/runtime/
+
+# wire-torture is the adversarial-wire gate: the deterministic byte-stream
+# fault injector, the hardened frame codec (CRC, caps, resync), the bounded
+# reliable-link buffers, and the live-TCP netfault matrix (corruption,
+# quarantine/readmit, handshake-under-corruption), all under the race
+# detector.
+wire-torture: build
+	$(GO) test -race -timeout 10m ./internal/netfault/ ./internal/wire/
+	$(GO) test -race -timeout 10m -run 'Bound|Inflight|Reorder' ./internal/rlink/
+	$(GO) test -race -timeout 10m -run 'NetFault|Wire|Quarantine|Handshake' ./internal/runtime/
+
+# fuzz-smoke runs each codec fuzzer briefly — long enough to shake out
+# shallow decoder regressions on every commit; deep fuzzing stays offline.
+FUZZ_TIME ?= 30s
+fuzz-smoke: build
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime $(FUZZ_TIME) ./internal/wire/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

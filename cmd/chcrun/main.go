@@ -61,6 +61,8 @@ func run(args []string, w io.Writer) (err error) {
 		downtime      = fs.Duration("recover-downtime", 10*time.Millisecond, "how long a killed process stays down before its WAL relaunch")
 		diskFaults    = fs.String("disk-faults", "off", "storage fault plan against the WALs: off|flaky|sick or werr=P,nospc=P,torn=P,syncerr=P,slow=P:LO-HI,cut=N,path=SUBSTR,after=K (requires -wal-dir)")
 		diskSeed      = fs.Int64("disk-seed", 1, "seed for the deterministic storage fault schedule")
+		netFaults     = fs.String("net-faults", "off", "byte-stream corruption against the TCP links: off|flaky|hostile or flip=P,garbage=P,lenmut=P,trunc=P,reset=P,stall=P:LO-HI,window=N,link=SUBSTR,after=K (requires -transport tcp)")
+		netSeed       = fs.Int64("net-seed", 1, "seed for the deterministic wire fault schedule")
 		walCheckpoint = fs.Int64("wal-checkpoint", 0, "rotate each WAL into segments and publish a full-history snapshot whenever its live file exceeds this many bytes; 0 disables (requires -wal-dir)")
 		durability    = fs.String("durability", "failstop", "policy when a WAL stops accepting writes: failstop (node becomes a crash fault) | degrade (node quarantines non-durably and re-arms with backoff)")
 		metricsAddr   = fs.String("metrics-addr", "", "enable telemetry and serve /metrics, /runs and /debug/pprof on this address (host:port; port 0 picks a free port)")
@@ -93,6 +95,14 @@ func run(args []string, w io.Writer) (err error) {
 		return fmt.Errorf("-disk-faults: %w", err)
 	}
 	diskPlan.Seed = *diskSeed
+	netPlan, err := chc.ParseNetFaultPlan(*netFaults)
+	if err != nil {
+		return fmt.Errorf("-net-faults: %w", err)
+	}
+	netPlan.Seed = *netSeed
+	if netPlan.Enabled() && *transport != "tcp" {
+		return fmt.Errorf("-net-faults requires -transport tcp (only TCP links carry byte streams)")
+	}
 	var durabilityPolicy chc.DurabilityPolicy
 	switch *durability {
 	case "failstop":
@@ -214,7 +224,8 @@ func run(args []string, w io.Writer) (err error) {
 			seed: *seed, rng: rng, faulty: cfg.Faulty, crashes: cfg.Crashes,
 			scheduler: cfg.Scheduler, chaos: chaosProfile, chaosSeed: *chaosSeed,
 			walDir: *walDir, recoverWAL: *recoverWAL, downtime: *downtime,
-			diskPlan: diskPlan, checkpoint: *walCheckpoint, durability: durabilityPolicy,
+			diskPlan: diskPlan, netPlan: netPlan, netSeed: *netSeed,
+			checkpoint: *walCheckpoint, durability: durabilityPolicy,
 		})
 	}
 
@@ -237,6 +248,9 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if diskPlan.Enabled() {
 		netOpts = append(netOpts, chc.WithDiskFaults(diskPlan))
+	}
+	if netPlan.Enabled() {
+		netOpts = append(netOpts, chc.WithNetFaults(netPlan))
 	}
 	if *walCheckpoint > 0 {
 		netOpts = append(netOpts, chc.WithWALCheckpoint(*walCheckpoint))
@@ -317,6 +331,10 @@ func run(args []string, w io.Writer) (err error) {
 				fmt.Fprintf(w, "storage     : %d durability faults, %d fail-stops, %d degradations, %d re-arms, %d checkpoints\n",
 					net.DurabilityFaults, net.FailStops, net.Degradations, net.Rearms, net.WALCheckpoints)
 			}
+			if netPlan.Enabled() {
+				fmt.Fprintf(w, "wire        : %s seed=%d: %d faults injected, %d corrupt frames rejected, %d quarantines, %d readmits\n",
+					netPlan.String(), *netSeed, net.InjectedWire, net.CorruptFrames, net.PeerQuarantines, net.PeerReadmits)
+			}
 		}
 	}
 	if len(result.Degraded) > 0 {
@@ -357,6 +375,8 @@ type batchMode struct {
 	recoverWAL bool
 	downtime   time.Duration
 	diskPlan   chc.DiskFaultPlan
+	netPlan    chc.NetFaultPlan
+	netSeed    int64
 	checkpoint int64
 	durability chc.DurabilityPolicy
 }
@@ -445,6 +465,10 @@ func runBatchMode(w io.Writer, m batchMode) error {
 	if m.diskPlan.Enabled() {
 		cfg.WALFS = chc.DiskFaultFS(m.diskPlan)
 	}
+	if m.netPlan.Enabled() {
+		p := m.netPlan
+		cfg.NetFaults = &p
+	}
 	if m.checkpoint > 0 {
 		cfg.Checkpoint = chc.WALCheckpointPolicy{EveryBytes: m.checkpoint}
 	}
@@ -511,6 +535,10 @@ func runBatchMode(w io.Writer, m batchMode) error {
 			if m.diskPlan.Enabled() || m.checkpoint > 0 {
 				fmt.Fprintf(w, "storage     : %d durability faults, %d fail-stops, %d degradations, %d re-arms, %d checkpoints\n",
 					net.DurabilityFaults, net.FailStops, net.Degradations, net.Rearms, net.WALCheckpoints)
+			}
+			if m.netPlan.Enabled() {
+				fmt.Fprintf(w, "wire        : %s seed=%d: %d faults injected, %d corrupt frames rejected, %d quarantines, %d readmits\n",
+					m.netPlan.String(), m.netSeed, net.InjectedWire, net.CorruptFrames, net.PeerQuarantines, net.PeerReadmits)
 			}
 		}
 	}

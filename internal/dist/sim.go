@@ -113,6 +113,13 @@ type NetStats struct {
 	Reconnects int64 // TCP links re-established after a failure
 	LinkFaults int64 // TCP link errors (mid-frame truncation, write failures)
 
+	CorruptFrames   int64 // frames rejected by the wire decoder (CRC, framing, oversize)
+	PeerQuarantines int64 // peers quarantined for exceeding the corruption strike budget
+	PeerReadmits    int64 // quarantined peers readmitted on a clean handshake
+	WindowWithheld  int64 // sends deferred past the per-link transmission window
+	ReorderDrops    int64 // frames dropped beyond the receive reorder bound
+	InjectedWire    int64 // byte-stream faults injected by netfault (corrupting kinds)
+
 	Resumes    int64 // epoch-increase handshakes processed (peer restarts seen)
 	WALAppends int64 // records appended to write-ahead logs
 	WALSyncs   int64 // fsync batches issued by write-ahead logs

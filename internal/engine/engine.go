@@ -23,6 +23,7 @@ import (
 	"chc/internal/chaos"
 	"chc/internal/dist"
 	"chc/internal/geom"
+	"chc/internal/netfault"
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
 	"chc/internal/wal"
@@ -118,6 +119,12 @@ type Options struct {
 	// (networked transports only).
 	Chaos     *chaos.Profile
 	ChaosSeed int64
+
+	// NetFaults corrupts the raw byte streams under the wire codec: bit
+	// flips, garbage, length-prefix mutation, truncation, mid-frame resets
+	// and stalls, deterministic per (seed, link, byte window). TCP only —
+	// the other transports exchange structured messages, not bytes.
+	NetFaults *netfault.Plan
 
 	// WALDir enables write-ahead logging: every node journals its delivered
 	// messages (each carrying its instance field) before acknowledging them,
@@ -229,9 +236,15 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
 			return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy need a networked transport with WALDir")
 		}
+		if opts.NetFaults != nil {
+			return nil, errors.New("engine: byte-stream fault injection needs the TCP transport (the simulator has no byte streams)")
+		}
 	case TransportChannel, TransportTCP:
 		if opts.Scheduler != nil {
 			return nil, errors.New("engine: schedulers only drive the simulator; networked delivery order is real concurrency")
+		}
+		if opts.NetFaults != nil && opts.Transport != TransportTCP {
+			return nil, errors.New("engine: byte-stream fault injection needs the TCP transport (channel clusters have no byte streams)")
 		}
 	default:
 		return nil, fmt.Errorf("engine: unknown transport %d", int(opts.Transport))
@@ -363,6 +376,9 @@ func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*
 	}
 	if opts.Chaos != nil {
 		runOpts = append(runOpts, runtime.WithChaos(*opts.Chaos, opts.ChaosSeed))
+	}
+	if opts.NetFaults != nil {
+		runOpts = append(runOpts, runtime.WithNetFaults(*opts.NetFaults))
 	}
 	var (
 		cluster *runtime.Cluster

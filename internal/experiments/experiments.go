@@ -26,6 +26,7 @@
 //	E18 the batch matrix: heterogeneous instances multiplexed over one TCP net
 //	E19 the telemetry audit: eq. (19) and Lemma 3 measured from trace events
 //	E20 the storage-fault matrix: disk faults × durability policy × compaction
+//	E21 the adversarial-wire matrix: byte-stream corruption × chaos × restarts
 package experiments
 
 import (
@@ -151,6 +152,7 @@ func All() []Experiment {
 		{"E18", "Batch matrix: heterogeneous instances over one TCP network", E18BatchMatrix},
 		{"E19", "Telemetry audit: round bound and contraction from trace events", E19TelemetryAudit},
 		{"E20", "Storage-fault matrix: disk faults, durability policies and compaction", E20StorageFaults},
+		{"E21", "Adversarial-wire matrix: byte-stream corruption, quarantine and readmission over TCP", E21WireFaults},
 	}
 }
 

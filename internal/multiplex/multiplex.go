@@ -23,6 +23,7 @@ import (
 	"chc/internal/dist"
 	"chc/internal/engine"
 	"chc/internal/geom"
+	"chc/internal/netfault"
 	"chc/internal/polytope"
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
@@ -102,6 +103,10 @@ type BatchConfig struct {
 	// Chaos injects seeded link faults (networked transports only).
 	Chaos     *chaos.Profile
 	ChaosSeed int64
+
+	// NetFaults corrupts the raw byte streams under the wire codec (TCP
+	// transport only).
+	NetFaults *netfault.Plan
 
 	// WALDir enables write-ahead logging; every journaled delivery carries
 	// its instance, so a restarted node replays the whole batch it hosts.
@@ -212,13 +217,14 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		}
 	}
 	opts := engine.Options{
-		Transport: cfg.Transport,
-		Seed:      cfg.Seed,
-		Scheduler: cfg.Scheduler,
-		Crashes:   cfg.Crashes,
-		Timeout:   cfg.Timeout,
-		Chaos:     cfg.Chaos,
-		ChaosSeed: cfg.ChaosSeed,
+		Transport:  cfg.Transport,
+		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
+		Crashes:    cfg.Crashes,
+		Timeout:    cfg.Timeout,
+		Chaos:      cfg.Chaos,
+		ChaosSeed:  cfg.ChaosSeed,
+		NetFaults:  cfg.NetFaults,
 		WALDir:     cfg.WALDir,
 		WALFS:      cfg.WALFS,
 		Checkpoint: cfg.Checkpoint,

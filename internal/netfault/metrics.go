@@ -1,0 +1,16 @@
+package netfault
+
+import "chc/internal/telemetry"
+
+// Process-wide injection counters, one series per fault kind — the
+// wire-side twin of chc_diskfault_injected_total.
+var (
+	injected = telemetry.Default().CounterVec("chc_netfault_injected_total",
+		"Wire faults injected, by kind.", "kind")
+	mFlips   = injected.With("flip")
+	mGarbage = injected.With("garbage")
+	mLenMuts = injected.With("lenmut")
+	mTruncs  = injected.With("trunc")
+	mResets  = injected.With("reset")
+	mStalls  = injected.With("stall")
+)

@@ -1,0 +1,316 @@
+// Package netfault injects deterministic byte-stream faults into network
+// connections: bit flips, garbage runs, mutated length prefixes, truncated
+// writes, mid-frame connection resets, and read/write stalls. It is the
+// wire-level twin of internal/diskfault — the adversary the hardened frame
+// codec (CRC-32C, resynchronizing StreamDecoder) and the peer-quarantine
+// machinery are tested against.
+//
+// Determinism contract: the stream position of every fault is a pure
+// function of (plan seed, link label, byte-window index). Per-link byte
+// offsets are cumulative across reconnects — a redialed connection resumes
+// the stream where the previous one left off, so a link that resets inside
+// window k proceeds to window k+1 after the redial and eventually reaches
+// clean windows. Two runs with the same seed, links, and traffic corrupt
+// the same offsets.
+package netfault
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts faults injected so far, by kind.
+type Stats struct {
+	Flips     uint64 // windows with one bit flipped
+	Garbage   uint64 // windows with a garbage run overwritten
+	LenMuts   uint64 // windows with a 0xFFFFFFFF length-prefix overwrite
+	Truncs    uint64 // writes silently cut short
+	Resets    uint64 // connections closed mid-write
+	Stalls    uint64 // I/O calls delayed
+	BytesSeen uint64 // total bytes offered for writing across all links
+}
+
+// Total sums the corrupting faults (stalls excluded: they delay, not damage).
+func (s Stats) Total() uint64 {
+	return s.Flips + s.Garbage + s.LenMuts + s.Truncs + s.Resets
+}
+
+// Injector applies a Plan to connections. One Injector serves a whole
+// cluster: per-link state (cumulative stream offsets) lives here, not in
+// the conn wrappers, so reconnects continue the same fault schedule.
+type Injector struct {
+	plan     Plan
+	disarmed atomic.Bool
+
+	mu    sync.Mutex
+	links map[string]*linkState
+
+	flips   atomic.Uint64
+	garbage atomic.Uint64
+	lenMuts atomic.Uint64
+	truncs  atomic.Uint64
+	resets  atomic.Uint64
+	stalls  atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// linkState is the cumulative position of one directed link's byte stream.
+type linkState struct {
+	mu       sync.Mutex
+	writeOff int64 // bytes offered for writing since the injector was built
+	readOff  int64 // bytes read, tracked separately for read-side stalls
+}
+
+// New builds an injector for the plan. A disabled plan yields a nil
+// injector; callers treat nil as "no faults".
+func New(plan Plan) *Injector {
+	if !plan.Enabled() {
+		return nil
+	}
+	return &Injector{plan: plan.withDefaults(), links: make(map[string]*linkState)}
+}
+
+// Plan returns the (defaulted) plan this injector applies.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Disarm permanently stops fault injection; wrapped connections become
+// transparent. Used when a run's fault phase ends ("corruption stops") and
+// during cluster shutdown so teardown traffic flows cleanly.
+func (inj *Injector) Disarm() {
+	if inj != nil {
+		inj.disarmed.Store(true)
+	}
+}
+
+// Armed reports whether the injector still injects faults.
+func (inj *Injector) Armed() bool { return inj != nil && !inj.disarmed.Load() }
+
+// Stats snapshots the injection counters. Safe on a nil injector.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return Stats{
+		Flips:     inj.flips.Load(),
+		Garbage:   inj.garbage.Load(),
+		LenMuts:   inj.lenMuts.Load(),
+		Truncs:    inj.truncs.Load(),
+		Resets:    inj.resets.Load(),
+		Stalls:    inj.stalls.Load(),
+		BytesSeen: inj.bytes.Load(),
+	}
+}
+
+// link returns (creating on first use) the cumulative state for a link.
+func (inj *Injector) link(label string) *linkState {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	ls := inj.links[label]
+	if ls == nil {
+		ls = &linkState{}
+		inj.links[label] = ls
+	}
+	return ls
+}
+
+// WrapConn wraps c so that writes (and read timing) on the link labeled
+// label suffer the plan's faults. A nil injector, a disarmed one, or a link
+// the plan does not match returns c unchanged.
+func (inj *Injector) WrapConn(label string, c net.Conn) net.Conn {
+	if inj == nil || !inj.plan.matches(label) {
+		return c
+	}
+	return &faultConn{Conn: c, inj: inj, label: label, ls: inj.link(label)}
+}
+
+// errReset mimics the error a peer-initiated reset surfaces to the writer.
+type resetError struct{}
+
+func (resetError) Error() string   { return "netfault: injected connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return true }
+
+// ErrInjectedReset is the error returned by a write interrupted by an
+// injected connection reset.
+var ErrInjectedReset error = resetError{}
+
+// faultConn is the corrupting net.Conn wrapper.
+type faultConn struct {
+	net.Conn
+	inj   *Injector
+	label string
+	ls    *linkState
+}
+
+// Write corrupts the outgoing stream per the plan. The link's stream offset
+// always advances by len(p) — even for truncated or reset writes — so the
+// fault schedule depends only on bytes offered, never on faults already
+// taken, keeping replays aligned.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	inj := fc.inj
+	if !inj.Armed() {
+		return fc.Conn.Write(p)
+	}
+	plan := inj.plan
+	w := int64(plan.WindowBytes)
+
+	fc.ls.mu.Lock()
+	off := fc.ls.writeOff
+	fc.ls.writeOff += int64(len(p))
+	fc.ls.mu.Unlock()
+	inj.bytes.Add(uint64(len(p)))
+
+	var buf []byte // lazily copied; nil means p is still clean
+	mutable := func() []byte {
+		if buf == nil {
+			buf = append([]byte(nil), p...)
+		}
+		return buf
+	}
+
+	// Mutation fates (flip, garbage, lenmut) target absolute stream offsets
+	// inside their window, so every write overlapping the window applies
+	// its share of the damage and the corrupted stream is independent of
+	// how the writer chunks its calls. Write-interrupting fates (trunc,
+	// reset, stall) fire on the write that emits the window's first byte.
+	end := off + int64(len(p))
+	for k := off / w; k*w < end; k++ {
+		start := k * w
+		if start < plan.AfterBytes {
+			continue // grace prefix: connection setup passes untouched
+		}
+		kind, raw := plan.fate(fc.label, k)
+		// smear mutates the absolute stream range [lo, lo+n) with bytes
+		// drawn from a seeded generator, clamped to this write; the fault
+		// is counted by the write carrying the range's first byte.
+		smear := func(lo, n int64, gen func(i int64) byte, hits *atomic.Uint64, m interface{ Inc() }) {
+			hi := lo + n
+			if lo < off {
+				lo = off
+			} else if lo < hi && lo < end {
+				hits.Add(1)
+				m.Inc()
+			}
+			if hi > end {
+				hi = end
+			}
+			for o := lo; o < hi; o++ {
+				mutable()[o-off] = gen(o - (k * w))
+			}
+		}
+		switch kind {
+		case fateFlip:
+			tgt := start + int64(raw%uint64(w))
+			if tgt >= off && tgt < end {
+				mutable()[tgt-off] ^= 1 << ((raw >> 17) % 8)
+				inj.flips.Add(1)
+				mFlips.Inc()
+			}
+		case fateGarbage:
+			// Overwrite a short run with seeded pseudo-random garbage.
+			run := 4 + int64(raw%29)
+			if run > w {
+				run = w
+			}
+			rng := rand.New(rand.NewSource(int64(raw)))
+			noise := make([]byte, run)
+			rng.Read(noise)
+			smear(start, run, func(i int64) byte { return noise[i] }, &inj.garbage, mGarbage)
+		case fateLenMut:
+			// The classic length-prefix attack: 0xFFFFFFFF where a u32 length
+			// may sit. The decoder's pre-allocation cap must absorb it.
+			smear(start, 4, func(int64) byte { return 0xFF }, &inj.lenMuts, mLenMuts)
+		case fateTrunc:
+			if start < off {
+				continue // cut already taken by the write that opened the window
+			}
+			// Deliver the prefix, silently drop the rest, report success:
+			// the sender believes the bytes went out, the receiver's stream
+			// desynchronizes at the cut.
+			inj.truncs.Add(1)
+			mTruncs.Inc()
+			pre := p[:start-off]
+			if buf != nil {
+				pre = buf[:start-off]
+			}
+			if len(pre) > 0 {
+				if _, err := fc.Conn.Write(pre); err != nil {
+					return 0, err
+				}
+			}
+			return len(p), nil
+		case fateReset:
+			if start < off {
+				continue
+			}
+			// Deliver the prefix then kill the connection mid-frame.
+			inj.resets.Add(1)
+			mResets.Inc()
+			pre := p[:start-off]
+			if buf != nil {
+				pre = buf[:start-off]
+			}
+			if len(pre) > 0 {
+				_, _ = fc.Conn.Write(pre)
+			}
+			_ = fc.Conn.Close()
+			return len(pre), ErrInjectedReset
+		case fateStall:
+			if start < off {
+				continue
+			}
+			inj.stalls.Add(1)
+			mStalls.Inc()
+			time.Sleep(plan.stall(raw))
+		}
+	}
+	out := p
+	if buf != nil {
+		out = buf
+	}
+	n, err := fc.Conn.Write(out)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
+// Read passes bytes through untouched (corruption is injected on the write
+// side of each simplex link) but honors stall fates on the read stream, so
+// both directions of a connection can experience latency faults.
+func (fc *faultConn) Read(p []byte) (int, error) {
+	n, err := fc.Conn.Read(p)
+	inj := fc.inj
+	if n > 0 && inj.Armed() && inj.plan.StallProb > 0 {
+		plan := inj.plan
+		w := int64(plan.WindowBytes)
+		fc.ls.mu.Lock()
+		off := fc.ls.readOff
+		fc.ls.readOff += int64(n)
+		fc.ls.mu.Unlock()
+		firstK := off / w
+		if off%w != 0 {
+			firstK++
+		}
+		for k := firstK; k <= (off+int64(n)-1)/w; k++ {
+			if k*w < plan.AfterBytes {
+				continue
+			}
+			// A distinct discriminator keeps read fates independent of the
+			// write schedule at the same window index.
+			kind, raw := plan.fate(fc.label+"/read", k)
+			if kind == fateStall {
+				inj.stalls.Add(1)
+				mStalls.Inc()
+				time.Sleep(plan.stall(raw))
+			}
+		}
+	}
+	return n, err
+}
+
+var _ io.ReadWriter = (*faultConn)(nil)

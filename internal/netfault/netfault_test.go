@@ -1,0 +1,267 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// recorder is a net.Conn that records everything written to it.
+type recorder struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (r *recorder) Write(p []byte) (int, error)      { return r.buf.Write(p) }
+func (r *recorder) Read(p []byte) (int, error)       { return 0, net.ErrClosed }
+func (r *recorder) Close() error                     { r.closed = true; return nil }
+func (r *recorder) LocalAddr() net.Addr              { return nil }
+func (r *recorder) RemoteAddr() net.Addr             { return nil }
+func (r *recorder) SetDeadline(time.Time) error      { return nil }
+func (r *recorder) SetReadDeadline(time.Time) error  { return nil }
+func (r *recorder) SetWriteDeadline(time.Time) error { return nil }
+
+func pattern(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	return p
+}
+
+// writeAll pushes data through the conn in the given chunk size.
+func writeAll(t *testing.T, c net.Conn, data []byte, chunk int) {
+	t.Helper()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.Write(data[off:end]); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+}
+
+// TestDeterministicCorruption: for mutation-only faults, the corrupted
+// output is a pure function of (seed, link, stream) — independent of how
+// the writer chunks its writes.
+func TestDeterministicCorruption(t *testing.T) {
+	plan := Plan{Seed: 42, FlipProb: 0.2, GarbageProb: 0.1, LenMutProb: 0.1, WindowBytes: 64}
+	data := pattern(8192)
+
+	outputs := make([][]byte, 0, 3)
+	for _, chunk := range []int{8192, 100, 7} {
+		rec := &recorder{}
+		c := New(plan).WrapConn("0->1", rec)
+		writeAll(t, c, data, chunk)
+		outputs = append(outputs, append([]byte(nil), rec.buf.Bytes()...))
+	}
+	if bytes.Equal(outputs[0], data) {
+		t.Fatal("aggressive plan corrupted nothing")
+	}
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0], outputs[i]) {
+			t.Errorf("chunking %d changed the corruption schedule", i)
+		}
+	}
+
+	// A different seed must yield a different schedule.
+	rec := &recorder{}
+	other := plan
+	other.Seed = 43
+	writeAll(t, New(other).WrapConn("0->1", rec), data, 8192)
+	if bytes.Equal(outputs[0], rec.buf.Bytes()) {
+		t.Error("different seeds produced identical corruption")
+	}
+
+	// And a different link label likewise.
+	rec = &recorder{}
+	writeAll(t, New(plan).WrapConn("1->0", rec), data, 8192)
+	if bytes.Equal(outputs[0], rec.buf.Bytes()) {
+		t.Error("different links produced identical corruption")
+	}
+}
+
+// TestGracePrefix: the first AfterBytes of each link pass untouched.
+func TestGracePrefix(t *testing.T) {
+	plan := Plan{Seed: 1, FlipProb: 0.5, GarbageProb: 0.4, WindowBytes: 32, AfterBytes: 1024}
+	rec := &recorder{}
+	c := New(plan).WrapConn("0->1", rec)
+	data := pattern(1024)
+	writeAll(t, c, data, 96)
+	if !bytes.Equal(rec.buf.Bytes(), data) {
+		t.Error("grace prefix was corrupted")
+	}
+	// Beyond the grace the faults arm.
+	writeAll(t, c, data, 96)
+	if bytes.Equal(rec.buf.Bytes()[1024:], data) {
+		t.Error("faults never armed after the grace prefix")
+	}
+}
+
+// TestOffsetsSurviveReconnect: a fresh conn on the same link resumes the
+// stream offset, so the grace prefix is not re-granted after a redial.
+func TestOffsetsSurviveReconnect(t *testing.T) {
+	plan := Plan{Seed: 1, FlipProb: 0.5, WindowBytes: 32, AfterBytes: 256}
+	inj := New(plan)
+	data := pattern(256)
+
+	rec1 := &recorder{}
+	writeAll(t, inj.WrapConn("0->1", rec1), data, 64)
+	if !bytes.Equal(rec1.buf.Bytes(), data) {
+		t.Fatal("grace prefix corrupted on first conn")
+	}
+	rec2 := &recorder{}
+	writeAll(t, inj.WrapConn("0->1", rec2), data, 64)
+	if bytes.Equal(rec2.buf.Bytes(), data) {
+		t.Error("redialed conn restarted the grace prefix instead of resuming the stream")
+	}
+}
+
+// TestResetClosesConn: a reset fate closes the conn and surfaces an error.
+func TestResetClosesConn(t *testing.T) {
+	plan := Plan{Seed: 3, ResetProb: 0.5, WindowBytes: 16}
+	rec := &recorder{}
+	c := New(plan).WrapConn("0->1", rec)
+	var sawReset bool
+	for i := 0; i < 64 && !sawReset; i++ {
+		if _, err := c.Write(pattern(64)); err != nil {
+			if !errors.Is(err, ErrInjectedReset) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			sawReset = true
+		}
+	}
+	if !sawReset {
+		t.Fatal("reset plan with p=0.5 never reset in 64 writes")
+	}
+	if !rec.closed {
+		t.Error("injected reset did not close the underlying conn")
+	}
+}
+
+// TestTruncationLosesTail: a trunc fate reports full success while writing
+// only a prefix.
+func TestTruncationLosesTail(t *testing.T) {
+	plan := Plan{Seed: 5, TruncProb: 0.5, WindowBytes: 16}
+	rec := &recorder{}
+	inj := New(plan)
+	c := inj.WrapConn("0->1", rec)
+	offered := 0
+	for i := 0; i < 32; i++ {
+		n, err := c.Write(pattern(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 64 {
+			t.Fatalf("trunc write reported %d, want 64 (silent loss)", n)
+		}
+		offered += n
+	}
+	if rec.buf.Len() >= offered {
+		t.Fatalf("no bytes lost: wrote %d of %d offered", rec.buf.Len(), offered)
+	}
+	if inj.Stats().Truncs == 0 {
+		t.Error("no truncations counted")
+	}
+}
+
+// TestDisarm: a disarmed injector is transparent.
+func TestDisarm(t *testing.T) {
+	plan := Plan{Seed: 7, FlipProb: 0.9, WindowBytes: 16}
+	inj := New(plan)
+	rec := &recorder{}
+	c := inj.WrapConn("0->1", rec)
+	inj.Disarm()
+	data := pattern(4096)
+	writeAll(t, c, data, 128)
+	if !bytes.Equal(rec.buf.Bytes(), data) {
+		t.Error("disarmed injector still corrupted the stream")
+	}
+	if inj.Armed() {
+		t.Error("Armed() true after Disarm")
+	}
+}
+
+// TestLinkConfinement: a plan scoped by link substring leaves other links
+// untouched (and unwrapped).
+func TestLinkConfinement(t *testing.T) {
+	plan := Plan{Seed: 9, FlipProb: 0.9, WindowBytes: 16, LinkSubstr: "1->0"}
+	inj := New(plan)
+	rec := &recorder{}
+	if c := inj.WrapConn("0->1", rec); c != net.Conn(rec) {
+		t.Error("non-matching link was wrapped")
+	}
+	if c := inj.WrapConn("1->0", rec); c == net.Conn(rec) {
+		t.Error("matching link was not wrapped")
+	}
+}
+
+// TestNilInjector: a disabled plan yields a nil injector that is safe to
+// use everywhere.
+func TestNilInjector(t *testing.T) {
+	inj := New(Plan{})
+	if inj != nil {
+		t.Fatal("disabled plan built a non-nil injector")
+	}
+	rec := &recorder{}
+	if c := inj.WrapConn("0->1", rec); c != net.Conn(rec) {
+		t.Error("nil injector wrapped a conn")
+	}
+	inj.Disarm() // must not panic
+	if s := inj.Stats(); s.Total() != 0 {
+		t.Error("nil injector has non-zero stats")
+	}
+}
+
+// TestParsePlanRoundTrip: String() output re-parses to the same plan, and
+// presets with refinements work.
+func TestParsePlanRoundTrip(t *testing.T) {
+	for _, p := range []Plan{Flaky(), Hostile(), {FlipProb: 0.1, WindowBytes: 128, LinkSubstr: "2->", AfterBytes: 100}} {
+		got, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", p.String(), err)
+		}
+		if got.String() != p.String() {
+			t.Errorf("round trip: %q -> %q", p.String(), got.String())
+		}
+	}
+	for _, spec := range []string{"off", "none", ""} {
+		p, err := ParsePlan(spec)
+		if err != nil || p.Enabled() {
+			t.Errorf("ParsePlan(%q) = %+v, %v; want disabled plan", spec, p, err)
+		}
+	}
+	p, err := ParsePlan("hostile,reset=0.25,link=0->1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ResetProb != 0.25 || p.LinkSubstr != "0->1" || p.FlipProb != Hostile().FlipProb {
+		t.Errorf("preset refinement broken: %+v", p)
+	}
+	for _, bad := range []string{"flip=2", "bogus=1", "stall=0.1:zzz", "off,flip=0.1", "window=-1", "flip"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFateDistribution sanity-checks the dice: fault rates land near the
+// configured probabilities.
+func TestFateDistribution(t *testing.T) {
+	plan := Plan{Seed: 11, FlipProb: 0.1, WindowBytes: 1}
+	hits := 0
+	const n = 20000
+	for k := int64(0); k < n; k++ {
+		if kind, _ := plan.fate("0->1", k); kind == fateFlip {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("flip rate %.4f, want ~0.10", rate)
+	}
+}

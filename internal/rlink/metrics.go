@@ -25,4 +25,8 @@ var (
 		"Deliveries rejected (journaling failure) that stalled the ack cursor.")
 	mResumes = telemetry.Default().Counter("chc_rlink_resumes_total",
 		"Epoch handshakes that resynchronized a link across a peer restart.")
+	mWindowWithheld = telemetry.Default().Counter("chc_rlink_window_withheld_total",
+		"Sends queued past the per-link transmission window (deferred to the retransmission loop, never lost).")
+	mReorderDrops = telemetry.Default().Counter("chc_rlink_reorder_drops_total",
+		"Received data frames dropped beyond the reorder bound (re-offered by retransmission).")
 )

@@ -48,6 +48,19 @@ type Config struct {
 	Tick time.Duration
 	// Seed drives retransmission jitter (default 1).
 	Seed int64
+	// MaxInflight caps the transmission window of each directed link: at
+	// most this many unacked frames are on the wire at once (default 512).
+	// Frames sent beyond the window stay queued but are withheld from the
+	// transport until acks open the window, so Send never blocks and no
+	// frame is ever lost — the bound trades wire pressure, not correctness.
+	MaxInflight int
+	// MaxReorder caps the receive-side reorder buffer of each directed
+	// link: a data frame more than this many sequence numbers ahead of the
+	// delivery cursor is dropped instead of buffered (default 1024). The
+	// sender's retransmission re-offers it once the gap closes, preserving
+	// exactly-once FIFO delivery under a hostile or wildly reordering wire
+	// without unbounded memory.
+	MaxReorder int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,17 +76,25 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+	if c.MaxReorder <= 0 {
+		c.MaxReorder = 1024
+	}
 	return c
 }
 
 // Stats counts the reliability work an endpoint performed.
 type Stats struct {
-	FramesSent    int64 // first transmissions of data frames
-	Retransmits   int64 // additional transmissions of data frames
-	DupSuppressed int64 // received data frames discarded as duplicates
-	OutOfOrder    int64 // received data frames buffered ahead of a gap
-	AcksSent      int64 // ack frames emitted
-	Resumes       int64 // epoch-increase handshakes processed (peer restarts seen)
+	FramesSent     int64 // first transmissions of data frames
+	Retransmits    int64 // additional transmissions of data frames
+	DupSuppressed  int64 // received data frames discarded as duplicates
+	OutOfOrder     int64 // received data frames buffered ahead of a gap
+	AcksSent       int64 // ack frames emitted
+	Resumes        int64 // epoch-increase handshakes processed (peer restarts seen)
+	WindowWithheld int64 // sends queued past the transmission window (deferred, not lost)
+	ReorderDrops   int64 // received frames dropped beyond the reorder bound (re-offered later)
 }
 
 // Endpoint provides reliable exactly-once FIFO links from one node to all
@@ -91,12 +112,14 @@ type Endpoint struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	framesSent    atomic.Int64
-	retransmits   atomic.Int64
-	dupSuppressed atomic.Int64
-	outOfOrder    atomic.Int64
-	acksSent      atomic.Int64
-	resumes       atomic.Int64
+	framesSent     atomic.Int64
+	retransmits    atomic.Int64
+	dupSuppressed  atomic.Int64
+	outOfOrder     atomic.Int64
+	acksSent       atomic.Int64
+	resumes        atomic.Int64
+	windowWithheld atomic.Int64
+	reorderDrops   atomic.Int64
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -182,15 +205,28 @@ func (e *Endpoint) Send(msg dist.Message) error {
 	l.mu.Lock()
 	f := wire.Frame{Type: wire.FrameData, From: e.self, Seq: l.nextSeq, Msg: msg}
 	l.nextSeq++
-	l.queue = append(l.queue, pending{
-		frame:     f,
-		attempts:  1,
-		nextRetry: time.Now().Add(e.backoff(1)),
-	})
+	inWindow := len(l.queue) < e.cfg.MaxInflight
+	if inWindow {
+		l.queue = append(l.queue, pending{
+			frame:     f,
+			attempts:  1,
+			nextRetry: time.Now().Add(e.backoff(1)),
+		})
+	} else {
+		// Transmission window full: keep the frame queued but off the wire.
+		// attempts=0 with a zero deadline makes the retransmission loop send
+		// it the moment acks trim the queue and the frame enters the window
+		// (the same path that drains WAL-reseeded frames after a restart).
+		l.queue = append(l.queue, pending{frame: f})
+		e.windowWithheld.Add(1)
+		mWindowWithheld.Inc()
+	}
 	l.mu.Unlock()
-	e.framesSent.Add(1)
-	mFramesSent.Inc()
-	_ = e.sender.SendFrame(msg.To, f)
+	if inWindow {
+		e.framesSent.Add(1)
+		mFramesSent.Inc()
+		_ = e.sender.SendFrame(msg.To, f)
+	}
 	return nil
 }
 
@@ -226,6 +262,13 @@ func (e *Endpoint) OnFrame(f wire.Frame) {
 		case f.Seq < il.next:
 			e.dupSuppressed.Add(1)
 			mDupSuppressed.Inc()
+		case f.Seq >= il.next+uint64(e.cfg.MaxReorder):
+			// Beyond the reorder bound: drop instead of buffering. The frame
+			// is not covered by our cumulative ack, so the sender's
+			// retransmission re-offers it once the gap closes — bounded
+			// memory without giving up exactly-once FIFO delivery.
+			e.reorderDrops.Add(1)
+			mReorderDrops.Inc()
 		default:
 			if _, dup := il.buffered[f.Seq]; dup {
 				e.dupSuppressed.Add(1)
@@ -290,8 +333,14 @@ func (e *Endpoint) retransmitLoop() {
 				var resend []wire.Frame
 				l.mu.Lock()
 				var firsts int64
-				for i := range l.queue {
-					p := &l.queue[i]
+				// Only the transmission window touches the wire; withheld
+				// frames past it wait for acks to advance the queue.
+				window := l.queue
+				if len(window) > e.cfg.MaxInflight {
+					window = window[:e.cfg.MaxInflight]
+				}
+				for i := range window {
+					p := &window[i]
 					if now.After(p.nextRetry) {
 						resend = append(resend, p.frame)
 						if p.attempts == 0 {
@@ -358,12 +407,14 @@ func (e *Endpoint) Pending() int {
 // Stats returns a snapshot of the endpoint's reliability counters.
 func (e *Endpoint) Stats() Stats {
 	return Stats{
-		FramesSent:    e.framesSent.Load(),
-		Retransmits:   e.retransmits.Load(),
-		DupSuppressed: e.dupSuppressed.Load(),
-		OutOfOrder:    e.outOfOrder.Load(),
-		AcksSent:      e.acksSent.Load(),
-		Resumes:       e.resumes.Load(),
+		FramesSent:     e.framesSent.Load(),
+		Retransmits:    e.retransmits.Load(),
+		DupSuppressed:  e.dupSuppressed.Load(),
+		OutOfOrder:     e.outOfOrder.Load(),
+		AcksSent:       e.acksSent.Load(),
+		Resumes:        e.resumes.Load(),
+		WindowWithheld: e.windowWithheld.Load(),
+		ReorderDrops:   e.reorderDrops.Load(),
 	}
 }
 

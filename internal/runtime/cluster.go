@@ -9,6 +9,7 @@ import (
 
 	"chc/internal/chaos"
 	"chc/internal/dist"
+	"chc/internal/netfault"
 	"chc/internal/rlink"
 	"chc/internal/wal"
 	"chc/internal/wire"
@@ -72,6 +73,9 @@ type Cluster struct {
 	chaosSeed    int64
 	reliable     bool
 	rlinkCfg     rlink.Config
+
+	netPlan *netfault.Plan     // wire-fault plan (TCP clusters only)
+	nfault  *netfault.Injector // shared byte-stream fault injector
 
 	recovery *RecoveryConfig
 	restarts []RestartPlan
@@ -159,6 +163,22 @@ func WithReliableLinks(cfg rlink.Config) Option {
 	return reliableOption{cfg: cfg}
 }
 
+type netFaultOption struct{ plan netfault.Plan }
+
+func (o netFaultOption) apply(c *Cluster) {
+	p := o.plan
+	c.netPlan = &p
+}
+
+// WithNetFaults injects seeded byte-stream faults (bit flips, garbage runs,
+// mutated length prefixes, truncated writes, mid-frame resets, stalls) into
+// the TCP mesh, below even the frame codec. Only NewTCPCluster honors it —
+// channel clusters have no byte streams to corrupt and reject the option.
+// Composable with WithChaos (frame-level faults) and WithCrashes.
+func WithNetFaults(plan netfault.Plan) Option {
+	return netFaultOption{plan: plan}
+}
+
 // NewChannelCluster builds a cluster connected by in-process mailboxes.
 // Without chaos the mailboxes are already reliable FIFO channels and
 // messages take the direct path; WithChaos (or WithReliableLinks) inserts
@@ -167,6 +187,9 @@ func NewChannelCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	c, err := newCluster(procs, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if c.netPlan != nil {
+		return nil, errors.New("runtime: WithNetFaults requires a TCP cluster (channel clusters have no byte streams)")
 	}
 	if c.reliable {
 		for i := range procs {
@@ -328,6 +351,8 @@ func (c *Cluster) Stats() ClusterStats {
 		st.Net.OutOfOrder += s.OutOfOrder
 		st.Net.AcksSent += s.AcksSent
 		st.Net.Resumes += s.Resumes
+		st.Net.WindowWithheld += s.WindowWithheld
+		st.Net.ReorderDrops += s.ReorderDrops
 	}
 	for _, w := range wals {
 		if w == nil {
@@ -354,6 +379,12 @@ func (c *Cluster) Stats() ClusterStats {
 		}
 		st.Net.Reconnects += t.reconnects.Load()
 		st.Net.LinkFaults += t.linkFaults.Load()
+		st.Net.CorruptFrames += t.corruptFrames.Load()
+		st.Net.PeerQuarantines += t.quarantines.Load()
+		st.Net.PeerReadmits += t.readmits.Load()
+	}
+	if c.nfault != nil {
+		st.Net.InjectedWire = int64(c.nfault.Stats().Total())
 	}
 	c.retiredMu.Lock()
 	r := c.retired
@@ -364,6 +395,8 @@ func (c *Cluster) Stats() ClusterStats {
 	st.Net.OutOfOrder += r.OutOfOrder
 	st.Net.AcksSent += r.AcksSent
 	st.Net.Resumes += r.Resumes
+	st.Net.WindowWithheld += r.WindowWithheld
+	st.Net.ReorderDrops += r.ReorderDrops
 	st.Net.WALAppends += r.WALAppends
 	st.Net.WALSyncs += r.WALSyncs
 	st.Net.WALCheckpoints += r.WALCheckpoints
@@ -467,6 +500,9 @@ func (c *Cluster) Run(timeout time.Duration) error {
 			_ = inj.Close()
 		}
 	}
+	// Disarm wire corruption before tearing transports down, so shutdown
+	// traffic (final acks, closes) is not re-broken mid-teardown.
+	c.nfault.Disarm()
 	for _, tr := range trans {
 		if tr != nil {
 			_ = tr.Close()

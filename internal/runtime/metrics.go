@@ -28,4 +28,17 @@ var (
 		"Nodes quarantined into non-durable (degraded) mode.")
 	mRearms = telemetry.Default().Counter("chc_runtime_rearms_total",
 		"Degraded nodes whose WAL durability was successfully restored.")
+	mWireCorruptFrames = telemetry.Default().CounterVec("chc_wire_corrupt_frames_total",
+		"Frames rejected by the wire decoder, by directed link and fault class.", "link", "class")
+	mPeerQuarantines = telemetry.Default().Counter("chc_peer_quarantines_total",
+		"Peers quarantined for exceeding the corrupt-frame strike budget.")
+	mPeerReadmits = telemetry.Default().Counter("chc_peer_readmits_total",
+		"Quarantined peers readmitted after a clean handshake.")
 )
+
+func init() {
+	// Link×class is unbounded in principle (links scale with n²); cap the
+	// family so a hostile wire cannot blow up the registry — the tail
+	// collapses into the all-"other" series.
+	telemetry.SetLabelCardinality("chc_wire_corrupt_frames_total", 128)
+}

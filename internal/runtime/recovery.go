@@ -375,6 +375,8 @@ func (c *Cluster) killNode(i int) {
 		r.OutOfOrder = s.OutOfOrder
 		r.AcksSent = s.AcksSent
 		r.Resumes = s.Resumes
+		r.WindowWithheld = s.WindowWithheld
+		r.ReorderDrops = s.ReorderDrops
 	}
 	if w != nil {
 		s := w.Stats()
@@ -390,6 +392,8 @@ func (c *Cluster) killNode(i int) {
 	c.retired.OutOfOrder += r.OutOfOrder
 	c.retired.AcksSent += r.AcksSent
 	c.retired.Resumes += r.Resumes
+	c.retired.WindowWithheld += r.WindowWithheld
+	c.retired.ReorderDrops += r.ReorderDrops
 	c.retired.WALAppends += r.WALAppends
 	c.retired.WALSyncs += r.WALSyncs
 	c.retired.WALCheckpoints += r.WALCheckpoints

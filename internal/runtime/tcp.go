@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"chc/internal/dist"
+	"chc/internal/netfault"
 	"chc/internal/rlink"
 	"chc/internal/wire"
 )
@@ -23,6 +25,25 @@ var errLinkDown = errors.New("runtime: tcp link down, reconnecting")
 const (
 	redialInitial = 2 * time.Millisecond
 	redialMax     = 100 * time.Millisecond
+)
+
+// Peer-health policy: a peer whose streams keep producing corrupt frames is
+// quarantined — its connections are torn down and fresh ones rejected at
+// the handshake until a jittered backoff expires, after which the next
+// clean handshake readmits it. Strikes leak away while frames decode
+// cleanly, so the sporadic corruption of a merely flaky wire never
+// accumulates to the threshold; only a stream that is corrupt in bulk does.
+const (
+	// quarantineStrikes is the strike budget: corrupt frames and mid-frame
+	// resets add a strike, each strikeDecayEvery cleanly decoded frames
+	// remove one.
+	quarantineStrikes = 8
+	strikeDecayEvery  = 4
+	quarantineBase    = 5 * time.Millisecond
+	quarantineMax     = 250 * time.Millisecond
+	// connGarbageBudget caps the corrupt bytes one accepted connection may
+	// emit before it is torn down outright (the StreamDecoder budget).
+	connGarbageBudget = 256 << 10
 )
 
 // NewTCPCluster builds a cluster whose processes communicate over real TCP
@@ -59,16 +80,25 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 		listeners[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	// One shared fault injector serves the whole mesh, so per-link byte
+	// offsets survive reconnects and the corruption schedule is a pure
+	// function of the plan seed.
+	if c.netPlan != nil {
+		c.nfault = netfault.New(*c.netPlan)
+	}
 	transports := make([]*tcpTransport, n)
 	for i := 0; i < n; i++ {
 		t := &tcpTransport{
-			self:  dist.ProcID(i),
-			ln:    listeners[i],
-			addrs: addrs,
-			peers: make([]*tcpPeer, n),
+			self:   dist.ProcID(i),
+			ln:     listeners[i],
+			addrs:  addrs,
+			peers:  make([]*tcpPeer, n),
+			health: make([]*peerHealth, n),
+			nfault: c.nfault,
 		}
 		for j := range t.peers {
 			t.peers[j] = &tcpPeer{}
+			t.health[j] = &peerHealth{}
 		}
 		transports[i] = t
 	}
@@ -147,13 +177,21 @@ type tcpTransport struct {
 	// drops the frame — the peer's retransmission queue re-offers it.
 	ep atomic.Pointer[rlink.Endpoint]
 
-	peers []*tcpPeer
+	peers  []*tcpPeer
+	health []*peerHealth // inbound stream health, indexed by peer
+
+	// nfault, when non-nil, corrupts the write side of dialed connections
+	// per the cluster's wire-fault plan.
+	nfault *netfault.Injector
 
 	mu       sync.Mutex // guards accepted
 	accepted []net.Conn
 
-	reconnects atomic.Int64
-	linkFaults atomic.Int64
+	reconnects    atomic.Int64
+	linkFaults    atomic.Int64
+	corruptFrames atomic.Int64
+	quarantines   atomic.Int64
+	readmits      atomic.Int64
 
 	// closeMu serializes Close's closed-flag swap against ensureRedial's
 	// closed-check + wg.Add, so no goroutine is added to wg after Close has
@@ -171,6 +209,97 @@ type tcpPeer struct {
 	dialing bool
 }
 
+// peerHealth is the inbound-stream health of one peer: a strike budget fed
+// by corrupt frames and mid-frame resets, a quarantine window with jittered
+// exponential backoff, and readmission on the first clean handshake after
+// expiry. Quarantine is strictly receive-side — it rejects what the peer
+// sends here and never touches this node's outbound links — so a corrupt
+// wire is confined to the link layer instead of spreading as crash faults.
+type peerHealth struct {
+	mu      sync.Mutex
+	strikes int
+	good    int       // cleanly decoded frames since the last decay
+	until   time.Time // non-zero while quarantined
+	cycles  int       // quarantine episodes taken, drives the backoff
+}
+
+// admit gates a freshly handshaken connection: rejected while the peer's
+// quarantine backoff runs, readmitted (strikes forgiven) on the first clean
+// handshake after it expires.
+func (h *peerHealth) admit(t *tcpTransport) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.until.IsZero() {
+		return true
+	}
+	if time.Now().Before(h.until) {
+		return false
+	}
+	h.until = time.Time{}
+	h.strikes = 0
+	h.good = 0
+	t.readmits.Add(1)
+	mPeerReadmits.Inc()
+	return true
+}
+
+// strike charges one fault; crossing the budget quarantines the peer.
+func (h *peerHealth) strike(t *tcpTransport) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.until.IsZero() {
+		return // already quarantined; the stream is being torn down
+	}
+	h.good = 0
+	if h.strikes++; h.strikes >= quarantineStrikes {
+		h.quarantineLocked(t)
+	}
+}
+
+// quarantineNow quarantines immediately (garbage budget exhausted).
+func (h *peerHealth) quarantineNow(t *tcpTransport) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.until.IsZero() {
+		h.quarantineLocked(t)
+	}
+}
+
+func (h *peerHealth) quarantineLocked(t *tcpTransport) {
+	d := quarantineBase << uint(h.cycles)
+	if d > quarantineMax || d <= 0 {
+		d = quarantineMax
+	}
+	// Jitter in [d/2, d] so a mesh of quarantines does not readmit in
+	// lockstep and re-collapse together.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	h.until = time.Now().Add(d)
+	h.cycles++
+	t.quarantines.Add(1)
+	mPeerQuarantines.Inc()
+}
+
+// quarantined reports whether the backoff window is currently running.
+func (h *peerHealth) quarantined() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.until.IsZero() && time.Now().Before(h.until)
+}
+
+// goodFrame leaks one strike per strikeDecayEvery clean frames, so the
+// background corruption of a flaky (not hostile) wire never accumulates to
+// the quarantine threshold.
+func (h *peerHealth) goodFrame() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.strikes > 0 {
+		if h.good++; h.good >= strikeDecayEvery {
+			h.good = 0
+			h.strikes--
+		}
+	}
+}
+
 var _ rlink.Sender = (*tcpTransport)(nil)
 
 // dial (re)establishes the outgoing connection to peer to and sends the
@@ -181,6 +310,13 @@ func (t *tcpTransport) dial(to dist.ProcID) error {
 	conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
 	if err != nil {
 		return err
+	}
+	if t.nfault != nil {
+		// Each mesh connection is simplex (the dialer writes, the acceptor
+		// reads), so wrapping the write side here attacks every byte the
+		// link carries. The injector keys offsets by link label, not conn,
+		// so a redial resumes the fault schedule where the old conn died.
+		conn = t.nfault.WrapConn(fmt.Sprintf("%d->%d", t.self, to), conn)
 	}
 	w := bufio.NewWriter(conn)
 	hs := wire.Frame{Type: wire.FrameHandshake, From: t.self}
@@ -314,21 +450,40 @@ func (t *tcpTransport) startAccepting() {
 	}()
 }
 
-// readLoop consumes one accepted connection: handshake first, then data and
-// ack frames until the stream ends. A clean EOF at a frame boundary is an
-// orderly close (peer shutdown or replaced connection); anything else —
-// mid-frame truncation, corrupt framing — is counted as a link fault.
+// readLoop consumes one accepted connection: a strict handshake first, then
+// data and ack frames through a resynchronizing stream decoder until the
+// stream ends. A clean EOF at a frame boundary is an orderly close (peer
+// shutdown or replaced connection); a mid-frame cut is a link fault and a
+// strike. Corrupt frames inside the stream are classified, counted per link
+// and class, charged against the connection's garbage budget, and fed to
+// the peer's quarantine state machine — but do not, individually, kill the
+// connection: the decoder rescans for the next frame boundary and the
+// reliable-link layer retransmits whatever was damaged.
 func (t *tcpTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() { _ = conn.Close() }()
 	r := bufio.NewReader(conn)
 	hs, err := wire.ReadFrame(r)
 	if err != nil || hs.Type != wire.FrameHandshake {
+		// The handshake is read strictly: a corrupted hello leaves the
+		// stream unidentified (its From cannot be trusted), so no resume
+		// state is touched and no peer is struck — the connection is simply
+		// rejected. The dialer redials with a clean handshake carrying the
+		// correct seq/ack watermarks.
 		if !t.closed.Load() {
 			t.linkFaults.Add(1) // garbage before identification
 			mLinkFaults.Inc()
 		}
 		return
+	}
+	if hs.From < 0 || int(hs.From) >= len(t.health) {
+		t.linkFaults.Add(1)
+		mLinkFaults.Inc()
+		return
+	}
+	h := t.health[hs.From]
+	if !h.admit(t) {
+		return // quarantine backoff running: reject the connection
 	}
 	// The handshake is forwarded to the endpoint too: it carries the peer's
 	// incarnation epoch and ack watermark, which drive queue trimming and
@@ -336,19 +491,36 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	if ep := t.ep.Load(); ep != nil {
 		ep.OnFrame(hs)
 	}
+	link := fmt.Sprintf("%d->%d", hs.From, t.self)
+	dec := wire.NewStreamDecoder(r, connGarbageBudget)
+	dec.OnFault = func(class string, _ int64) {
+		t.corruptFrames.Add(1)
+		mWireCorruptFrames.With(link, class).Inc()
+		h.strike(t)
+	}
 	for {
-		f, err := wire.ReadFrame(r)
+		f, err := dec.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) || t.closed.Load() {
 				return // orderly close (or our own shutdown races the read)
 			}
-			// Mid-frame truncation or corruption: the peer's dialer will
-			// redial and the reliable-link layer retransmits whatever was
-			// cut off.
 			t.linkFaults.Add(1)
 			mLinkFaults.Inc()
+			if errors.Is(err, wire.ErrGarbageBudget) {
+				// The connection exhausted its inbound corruption budget:
+				// quarantine without waiting for the strike counter.
+				h.quarantineNow(t)
+			} else {
+				// Mid-frame cut (connection reset or truncation): a strike,
+				// and the peer's dialer redials.
+				h.strike(t)
+			}
 			return
 		}
+		if h.quarantined() {
+			return // strike budget crossed mid-stream: tear the conn down
+		}
+		h.goodFrame()
 		if ep := t.ep.Load(); ep != nil {
 			ep.OnFrame(f)
 		}

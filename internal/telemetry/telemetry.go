@@ -73,6 +73,7 @@ type Registry struct {
 	mu      sync.RWMutex
 	fams    map[string]*family
 	hbounds map[string][]float64 // per-family histogram bucket overrides
+	lcaps   map[string]int       // per-family label-cardinality caps
 }
 
 // family is one named metric with its (possibly labeled) children.
@@ -86,6 +87,8 @@ type family struct {
 	children map[string]*cell // keyed by joined label values
 	order    []string         // registration order of children keys
 	bounds   []float64        // histogram families: bucket override (nil = caller's)
+	lcap     int              // max distinct label sets; 0 = unlimited
+	lcount   int              // label sets created, excluding the overflow child
 
 	// collect, when non-nil, overrides the stored children at read time:
 	// the family is a pull-style collector (CounterFunc / GaugeFunc).
@@ -192,8 +195,47 @@ func (r *Registry) getFamily(name, help string, typ MetricType, labels []string)
 	if typ == TypeHistogram {
 		f.bounds = r.hbounds[name] // override set before registration
 	}
+	f.lcap = r.lcaps[name] // cardinality cap set before registration
 	r.fams[name] = f
 	return f
+}
+
+// overflowLabel is the label value new series collapse into once a family's
+// cardinality cap is reached.
+const overflowLabel = "other"
+
+// SetLabelCardinality caps the number of distinct label sets a labeled
+// family may create, identified by metric name. Once limit live series
+// exist, further label combinations are routed into a single overflow
+// series whose every label value is "other" (the overflow series itself
+// does not count against the cap). Like SetHistogramBuckets, the cap may be
+// set before or after the family is registered; series that already exist
+// are never evicted. limit <= 0 removes the cap.
+//
+// This guards families labeled by unbounded runtime values — per-link,
+// per-peer, per-path series under fault injection — from growing without
+// bound while keeping the aggregate count observable.
+func (r *Registry) SetLabelCardinality(name string, limit int) {
+	name = sanitizeName(name)
+	r.mu.Lock()
+	if r.lcaps == nil {
+		r.lcaps = make(map[string]int)
+	}
+	r.lcaps[name] = limit
+	f := r.fams[name]
+	r.mu.Unlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.lcap = limit
+	f.mu.Unlock()
+}
+
+// SetLabelCardinality caps a labeled family's series count on the default
+// registry.
+func SetLabelCardinality(name string, limit int) {
+	defaultRegistry.SetLabelCardinality(name, limit)
 }
 
 // effBounds resolves the bucket layout for a new histogram child: the family
@@ -260,9 +302,26 @@ func (f *family) child(values []string, mk func() metric) metric {
 	if c, ok := f.children[key]; ok {
 		return c.m
 	}
+	overflow := false
+	if f.lcap > 0 && f.lcount >= f.lcap {
+		// Cardinality cap reached: collapse this new label set into the
+		// shared overflow series instead of growing the family.
+		overflow = true
+		values = make([]string, len(f.labels))
+		for i := range values {
+			values[i] = overflowLabel
+		}
+		key = labelKey(values)
+		if c, ok := f.children[key]; ok {
+			return c.m
+		}
+	}
 	c = &cell{values: append([]string(nil), values...), m: mk()}
 	f.children[key] = c
 	f.order = append(f.order, key)
+	if !overflow {
+		f.lcount++
+	}
 	return c.m
 }
 

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -410,5 +411,61 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	last := hs.Buckets[len(hs.Buckets)-1]
 	if !math.IsInf(last.UpperBound, 1) || last.CumulativeCount != 2 {
 		t.Errorf("overflow bucket = %+v, want le=+Inf count=2", last)
+	}
+}
+
+// TestLabelCardinalityCap overflows a capped family: the first N label sets
+// get their own series, everything after collapses into the "other" series,
+// and no update is lost in the collapse.
+func TestLabelCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.SetLabelCardinality("capped_total", 3)
+	v := r.CounterVec("capped_total", "help", "link", "class")
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("0->%d", i), "bad_crc").Inc()
+	}
+	snap := r.Snapshot()
+	f := snap.Find("capped_total")
+	if f == nil {
+		t.Fatal("family missing from snapshot")
+	}
+	// 3 real series + 1 overflow series.
+	if len(f.Samples) != 4 {
+		t.Fatalf("series count = %d, want 4 (cap 3 + overflow)", len(f.Samples))
+	}
+	if got := f.Total(); got != 10 {
+		t.Errorf("Total = %v, want 10 (no update lost in overflow)", got)
+	}
+	var other float64
+	for _, s := range f.Samples {
+		if s.Labels["link"] == "other" && s.Labels["class"] == "other" {
+			other = s.Value
+		}
+	}
+	if other != 7 {
+		t.Errorf("overflow series = %v, want 7", other)
+	}
+	// A label set that already has a series keeps updating it, not overflow.
+	v.With("0->1", "bad_crc").Inc()
+	if got := r.Snapshot().Find("capped_total").Total(); got != 11 {
+		t.Errorf("Total after existing-series update = %v, want 11", got)
+	}
+
+	// Setting the cap after registration works too (the SetHistogramBuckets
+	// calling convention), and lifting it stops the collapse.
+	r2 := NewRegistry()
+	r2.SetEnabled(true)
+	v2 := r2.CounterVec("late_total", "help", "k")
+	r2.SetLabelCardinality("late_total", 1)
+	v2.With("a").Inc()
+	v2.With("b").Inc() // overflow
+	if n := len(r2.Snapshot().Find("late_total").Samples); n != 2 {
+		t.Errorf("late cap: series = %d, want 2", n)
+	}
+	r2.SetLabelCardinality("late_total", 0)
+	v2.With("c").Inc()
+	if n := len(r2.Snapshot().Find("late_total").Samples); n != 3 {
+		t.Errorf("cap lifted: series = %d, want 3", n)
 	}
 }

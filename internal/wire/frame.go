@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"chc/internal/dist"
@@ -30,6 +31,33 @@ const (
 	FrameHandshake byte = 3
 )
 
+// Frame header layout. Every frame opens with a fixed 10-byte header:
+//
+//	u8 magic (0xC7) | u8 version (1) | u32 bodyLen | u32 crc32c(body)
+//
+// The magic byte lets a stream decoder hunt for the next plausible frame
+// boundary after corruption desynchronizes the byte stream; the version
+// byte reserves room for codec evolution; the CRC-32C (Castagnoli, same
+// polynomial the write-ahead log uses) detects any body corruption the
+// framing itself cannot, so a bit-flipped frame is rejected instead of
+// being delivered as a forged message.
+const (
+	// FrameMagic is the first byte of every frame.
+	FrameMagic byte = 0xC7
+	// FrameVersion is the codec version this package encodes and accepts.
+	FrameVersion byte = 1
+	// FrameHeaderLen is the fixed header size preceding every frame body.
+	FrameHeaderLen = 10
+	// MaxFrameLen is the hard cap on a frame body. It is enforced before
+	// any allocation on the read path, so a corrupted or hostile length
+	// prefix cannot force a large allocation, and on the encode path, so a
+	// sender fails loudly instead of producing a frame its peers reject.
+	MaxFrameLen = 8 << 20
+)
+
+// castagnoli is the CRC-32C table shared by all frame coding.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Frame is the unit of transmission between runtime nodes once the
 // reliable-link layer is active.
 type Frame struct {
@@ -51,7 +79,7 @@ type Frame struct {
 
 // EncodeFrame serialises a frame. The layout is:
 //
-//	u32 frameLen (bytes after this field)
+//	u8 magic | u8 version | u32 bodyLen | u32 crc32c(body)
 //	u8 type | i32 from | u64 seq
 //	  | [u64 epoch | u64 ack, FrameHandshake only]
 //	  | [encoded message, FrameData only]
@@ -71,24 +99,40 @@ func EncodeFrame(f Frame) ([]byte, error) {
 		}
 		body = append(body, enc...)
 	}
-	out := make([]byte, 0, 4+len(body))
+	if len(body) > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame body is %d bytes (cap %d)", ErrTooLarge, len(body), MaxFrameLen)
+	}
+	out := make([]byte, 0, FrameHeaderLen+len(body))
+	out = append(out, FrameMagic, FrameVersion)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
 	return append(out, body...), nil
 }
 
-// DecodeFrame parses a frame produced by EncodeFrame.
-func DecodeFrame(frame []byte) (Frame, error) {
+// checkHeader validates the fixed header fields (magic, version, length cap)
+// without touching the body. It returns the body length on success.
+func checkHeader(hdr []byte) (int, error) {
+	if len(hdr) < FrameHeaderLen {
+		return 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(hdr))
+	}
+	if hdr[0] != FrameMagic {
+		return 0, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
+	}
+	if hdr[1] != FrameVersion {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > MaxFrameLen {
+		return 0, fmt.Errorf("%w: frame body of %d bytes (cap %d)", ErrTooLarge, n, MaxFrameLen)
+	}
+	return int(n), nil
+}
+
+// decodeBody parses a frame body whose CRC has already been verified.
+func decodeBody(body []byte) (Frame, error) {
 	var f Frame
-	if len(frame) < 4 {
-		return f, fmt.Errorf("%w: frame shorter than its length prefix", ErrCorrupt)
-	}
-	flen := binary.BigEndian.Uint32(frame)
-	if int(flen) != len(frame)-4 {
-		return f, fmt.Errorf("%w: frame length %d but %d bytes follow", ErrCorrupt, flen, len(frame)-4)
-	}
-	body := frame[4:]
 	if len(body) < 13 { // type + from + seq
-		return f, fmt.Errorf("%w: frame header truncated", ErrCorrupt)
+		return f, fmt.Errorf("%w: frame body of %d bytes", ErrTruncated, len(body))
 	}
 	f.Type = body[0]
 	f.From = dist.ProcID(int32(binary.BigEndian.Uint32(body[1:])))
@@ -112,9 +156,26 @@ func DecodeFrame(frame []byte) (Frame, error) {
 			return f, fmt.Errorf("%w: %d trailing bytes after control frame", ErrCorrupt, len(rest))
 		}
 	default:
-		return f, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, f.Type)
+		return f, fmt.Errorf("%w: %d", ErrUnknownType, f.Type)
 	}
 	return f, nil
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame: header validation,
+// CRC check, then body decode. Failures are classified — see Classify.
+func DecodeFrame(frame []byte) (Frame, error) {
+	n, err := checkHeader(frame)
+	if err != nil {
+		return Frame{}, err
+	}
+	if len(frame)-FrameHeaderLen != n {
+		return Frame{}, fmt.Errorf("%w: frame length %d but %d bytes follow", ErrTruncated, n, len(frame)-FrameHeaderLen)
+	}
+	body := frame[FrameHeaderLen:]
+	if want := binary.BigEndian.Uint32(frame[6:]); crc32.Checksum(body, castagnoli) != want {
+		return Frame{}, fmt.Errorf("%w: body of %d bytes", ErrBadCRC, n)
+	}
+	return decodeBody(body)
 }
 
 // FrameSize returns the encoded size of f in bytes (0 if unencodable).
@@ -139,19 +200,22 @@ func WriteFrame(w io.Writer, f Frame) error {
 // ReadFrame reads one frame from r. A clean io.EOF before the first header
 // byte is returned verbatim so callers can distinguish an orderly connection
 // close from mid-frame truncation (reported as io.ErrUnexpectedEOF or a
-// corruption error).
+// corruption error). The body length is validated against MaxFrameLen
+// before any allocation. ReadFrame is strict: the first corrupt byte fails
+// the read — transports that want to survive corruption mid-stream use
+// StreamDecoder, which resynchronizes on the frame magic.
 func ReadFrame(r *bufio.Reader) (Frame, error) {
-	var hdr [4]byte
+	var hdr [FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF at the boundary, ErrUnexpectedEOF mid-header
+	}
+	n, err := checkHeader(hdr[:])
+	if err != nil {
 		return Frame{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxWireLen {
-		return Frame{}, ErrTooLarge
-	}
-	frame := make([]byte, 4+n)
+	frame := make([]byte, FrameHeaderLen+n)
 	copy(frame, hdr[:])
-	if _, err := io.ReadFull(r, frame[4:]); err != nil {
+	if _, err := io.ReadFull(r, frame[FrameHeaderLen:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}

@@ -3,7 +3,9 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 
@@ -88,28 +90,109 @@ func TestFrameTruncationIsNotEOF(t *testing.T) {
 	}
 }
 
+// reframe rebuilds a valid header (magic, version, length, CRC) around body,
+// so tests can corrupt body content without tripping the envelope checks.
+func reframe(body []byte) []byte {
+	out := make([]byte, 0, FrameHeaderLen+len(body))
+	out = append(out, FrameMagic, FrameVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	return append(out, body...)
+}
+
 func TestFrameCorruption(t *testing.T) {
-	cases := [][]byte{
-		{0, 0, 0, 1, 99},             // unknown type, truncated header
-		{0, 0, 0, 13, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown frame type
+	ack, _ := EncodeFrame(Frame{Type: FrameAck, From: 0, Seq: 1})
+	hs, _ := EncodeFrame(Frame{Type: FrameHandshake, From: 2, Seq: 5, Epoch: 1, Ack: 3})
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+		class string
+	}{
+		{"short header", ack[:FrameHeaderLen-1], ErrTruncated, ClassTruncated},
+		{"bad magic", append([]byte{0x00}, ack[1:]...), ErrBadMagic, ClassBadMagic},
+		{"bad version", reversion(ack, 99), ErrBadVersion, ClassBadVersion},
+		{"unknown type", reframe(append([]byte{99}, ack[FrameHeaderLen+1:]...)), ErrUnknownType, ClassUnknownType},
+		{"trailing bytes after ack", reframe(append(append([]byte(nil), ack[FrameHeaderLen:]...), 0xff)), ErrCorrupt, ClassCorrupt},
+		{"truncated handshake body", reframe(hs[FrameHeaderLen : len(hs)-8]), ErrCorrupt, ClassCorrupt},
+		{"flipped body byte", flipBody(ack), ErrBadCRC, ClassBadCRC},
+		{"length beyond bytes", append(append([]byte(nil), ack...), 0xaa), ErrTruncated, ClassTruncated},
 	}
-	for i, b := range cases {
-		if _, err := DecodeFrame(b); err == nil {
-			t.Errorf("case %d: corrupt frame decoded without error", i)
+	for _, tc := range cases {
+		_, err := DecodeFrame(tc.frame)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if got := Classify(err); got != tc.class {
+			t.Errorf("%s: Classify = %q, want %q", tc.name, got, tc.class)
 		}
 	}
-	// Trailing garbage after a control frame.
-	b, _ := EncodeFrame(Frame{Type: FrameAck, From: 0, Seq: 1})
-	b = append(b, 0xff)
-	b[3] += 1 // fix the length prefix (len < 256 here)
-	if _, err := DecodeFrame(b); err == nil {
-		t.Error("ack frame with trailing bytes decoded without error")
+}
+
+// reversion returns a copy of frame with the version byte replaced and the
+// rest untouched.
+func reversion(frame []byte, v byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[1] = v
+	return out
+}
+
+// flipBody returns a copy of frame with one body bit flipped (CRC intact).
+func flipBody(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[FrameHeaderLen] ^= 0x10
+	return out
+}
+
+// TestHugeLengthPrefixRejectedBeforeAllocation is the regression test for
+// the uncapped-allocation bug: a header whose length field is 0xFFFFFFFF
+// (or anything above MaxFrameLen) must be rejected with ErrTooLarge before
+// any body allocation — both by the strict reader and the decoder.
+func TestHugeLengthPrefixRejectedBeforeAllocation(t *testing.T) {
+	for _, n := range []uint32{0xFFFFFFFF, MaxFrameLen + 1} {
+		hdr := make([]byte, 0, FrameHeaderLen)
+		hdr = append(hdr, FrameMagic, FrameVersion)
+		hdr = binary.BigEndian.AppendUint32(hdr, n)
+		hdr = binary.BigEndian.AppendUint32(hdr, 0) // CRC never reached
+		if _, err := DecodeFrame(hdr); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("DecodeFrame(len=%#x): err = %v, want ErrTooLarge", n, err)
+		}
+		if got := Classify(func() error { _, err := DecodeFrame(hdr); return err }()); got != ClassTooLarge {
+			t.Errorf("Classify(len=%#x) = %q, want %q", n, got, ClassTooLarge)
+		}
+		// The streaming reader must reject from the header alone: no body
+		// bytes exist to read, so success here proves no allocation+read of
+		// the advertised length was attempted.
+		r := bufio.NewReader(bytes.NewReader(hdr))
+		if _, err := ReadFrame(r); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("ReadFrame(len=%#x): err = %v, want ErrTooLarge", n, err)
+		}
 	}
-	// A handshake cut short of its epoch/watermark state.
-	b, _ = EncodeFrame(Frame{Type: FrameHandshake, From: 2, Seq: 5, Epoch: 1, Ack: 3})
-	b = b[:len(b)-8]
-	b[3] -= 8
-	if _, err := DecodeFrame(b); err == nil {
-		t.Error("truncated handshake decoded without error")
+	// The message reader shares the cap: a 0xFFFFFFFF length prefix is
+	// rejected before make([]byte, ...).
+	msg := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(msg))); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("ReadMessage(len=0xFFFFFFFF): err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestFrameCRCDetectsEveryByte flips every single byte of an encoded data
+// frame in turn: the decoder must reject all of them (header checks or CRC),
+// never silently accept a corrupted frame.
+func TestFrameCRCDetectsEveryByte(t *testing.T) {
+	f := Frame{Type: FrameData, From: 1, Seq: 3, Msg: dist.Message{
+		From: 1, To: 2, Kind: "val", Round: 1,
+		Payload: PointPayload{Value: geom.NewPoint(3.5, -1.25)},
+	}}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x40
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("byte %d: corrupted frame decoded without error", i)
+		}
 	}
 }

@@ -28,14 +28,72 @@ const (
 	tagRBC      = 6
 )
 
-// maxWireLen caps a single message frame (defensive bound for the reader).
-const maxWireLen = 64 << 20
-
-// ErrTooLarge is returned when a frame exceeds maxWireLen.
+// ErrTooLarge is returned when a frame or message body exceeds MaxFrameLen.
+// It is checked before any length-driven allocation, so a corrupted or
+// hostile length prefix cannot exhaust memory.
 var ErrTooLarge = errors.New("wire: frame too large")
 
-// ErrCorrupt is returned for structurally invalid frames.
+// ErrCorrupt is the umbrella error for structurally invalid frames. The
+// classified decode errors below wrap it, so errors.Is(err, ErrCorrupt)
+// matches any corruption while the transport can still react per class.
 var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// Classified decode failures. Each wraps ErrCorrupt; Classify maps them
+// (and any other decode error) onto stable class strings for telemetry
+// labels and per-class transport reactions.
+var (
+	// ErrBadMagic: the first header byte is not FrameMagic — the stream is
+	// desynchronized or carries garbage.
+	ErrBadMagic = fmt.Errorf("%w: bad frame magic", ErrCorrupt)
+	// ErrBadVersion: an unsupported codec version byte.
+	ErrBadVersion = fmt.Errorf("%w: unsupported frame version", ErrCorrupt)
+	// ErrBadCRC: the body failed its CRC-32C — at least one byte was
+	// corrupted in flight.
+	ErrBadCRC = fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	// ErrTruncated: fewer bytes than the header or length prefix promised.
+	ErrTruncated = fmt.Errorf("%w: frame truncated", ErrCorrupt)
+	// ErrUnknownType: a well-framed body with an unknown frame type byte.
+	ErrUnknownType = fmt.Errorf("%w: unknown frame type", ErrCorrupt)
+)
+
+// Fault classes returned by Classify: stable strings, usable directly as
+// telemetry label values.
+const (
+	ClassNone        = ""
+	ClassTooLarge    = "too_large"
+	ClassBadMagic    = "bad_magic"
+	ClassBadVersion  = "bad_version"
+	ClassBadCRC      = "bad_crc"
+	ClassTruncated   = "truncated"
+	ClassUnknownType = "unknown_type"
+	ClassCorrupt     = "corrupt" // structurally invalid in any other way
+)
+
+// Classify maps a decode error onto its fault class. Transport errors and
+// clean stream ends (nil, io.EOF) classify as ClassNone: they are not
+// decoder verdicts about the bytes.
+func Classify(err error) string {
+	switch {
+	case err == nil, errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF):
+		return ClassNone
+	case errors.Is(err, ErrTooLarge):
+		return ClassTooLarge
+	case errors.Is(err, ErrBadMagic):
+		return ClassBadMagic
+	case errors.Is(err, ErrBadVersion):
+		return ClassBadVersion
+	case errors.Is(err, ErrBadCRC):
+		return ClassBadCRC
+	case errors.Is(err, ErrTruncated), errors.Is(err, io.ErrUnexpectedEOF):
+		return ClassTruncated
+	case errors.Is(err, ErrUnknownType):
+		return ClassUnknownType
+	case errors.Is(err, ErrCorrupt):
+		return ClassCorrupt
+	default:
+		return ClassNone
+	}
+}
 
 // PointPayload carries a single d-dimensional point (e.g. a round-0 input
 // or a vector-consensus state).
@@ -110,6 +168,9 @@ func EncodeMessage(m dist.Message) ([]byte, error) {
 	body, err = appendPayload(body, m.Payload)
 	if err != nil {
 		return nil, err
+	}
+	if len(body) > MaxFrameLen {
+		return nil, fmt.Errorf("%w: message body is %d bytes (cap %d)", ErrTooLarge, len(body), MaxFrameLen)
 	}
 	out := make([]byte, 0, 4+len(body))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
@@ -254,8 +315,10 @@ func ReadMessage(r *bufio.Reader) (dist.Message, error) {
 		return dist.Message{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxWireLen {
-		return dist.Message{}, ErrTooLarge
+	// Reject before allocating: a corrupted or hostile length prefix (e.g.
+	// 0xFFFFFFFF) must not size a buffer.
+	if n > MaxFrameLen {
+		return dist.Message{}, fmt.Errorf("%w: message body of %d bytes (cap %d)", ErrTooLarge, n, MaxFrameLen)
 	}
 	frame := make([]byte, 4+n)
 	copy(frame, hdr[:])
@@ -273,7 +336,7 @@ type reader struct {
 
 func (r *reader) need(n int) error {
 	if r.pos+n > len(r.buf) {
-		return fmt.Errorf("%w: truncated at byte %d", ErrCorrupt, r.pos)
+		return fmt.Errorf("%w: at byte %d", ErrTruncated, r.pos)
 	}
 	return nil
 }
@@ -331,6 +394,11 @@ func (r *reader) point() (geom.Point, error) {
 	d, err := r.u16()
 	if err != nil {
 		return nil, err
+	}
+	// The dimension sizes an allocation: bound it by the bytes actually
+	// present (8 per coordinate) before making the slice.
+	if int(d)*8 > len(r.buf)-r.pos {
+		return nil, fmt.Errorf("%w: point dimension %d exceeds remaining bytes", ErrCorrupt, d)
 	}
 	p := make(geom.Point, d)
 	for i := range p {

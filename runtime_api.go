@@ -9,6 +9,7 @@ import (
 	"chc/internal/diskfault"
 	"chc/internal/dist"
 	"chc/internal/engine"
+	"chc/internal/netfault"
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
 	"chc/internal/wal"
@@ -75,6 +76,7 @@ type networkOptions struct {
 	recover     bool
 	recoverWait time.Duration
 	diskPlan    *DiskFaultPlan
+	netPlan     *NetFaultPlan
 	checkpoint  int64
 	durability  DurabilityPolicy
 }
@@ -150,6 +152,39 @@ const (
 	Degrade = runtime.Degrade
 )
 
+// NetFaultPlan describes seeded, deterministic byte-stream corruption
+// against the TCP links: bit flips, garbage injection, length-prefix
+// mutation, truncation, mid-frame connection resets and read/write stalls.
+// The fate of every byte window on a link is a pure function of
+// (seed, link, window index), so a failing run replays exactly. See
+// FlakyNet, HostileNet and ParseNetFaultPlan.
+type NetFaultPlan = netfault.Plan
+
+// FlakyNet returns a mild wire-fault plan (rare bit flips, occasional lost
+// tails and sub-millisecond stalls).
+func FlakyNet() NetFaultPlan { return netfault.Flaky() }
+
+// HostileNet returns an aggressive wire-fault plan (frequent flips, garbage
+// injection, length-prefix mutation, truncations and mid-frame resets).
+func HostileNet() NetFaultPlan { return netfault.Hostile() }
+
+// ParseNetFaultPlan parses "off", "flaky", "hostile", or a custom
+// "flip=0.05,garbage=0.02,lenmut=0.01,trunc=0.02,reset=0.005,stall=0.02:100us-2ms,window=256,link=0->1,after=2048"
+// specification (presets are refinable: "hostile,reset=0.1").
+func ParseNetFaultPlan(spec string) (NetFaultPlan, error) { return netfault.ParsePlan(spec) }
+
+// WithNetFaults corrupts the raw byte streams under the wire codec with the
+// given seeded plan. Requires the TCP transport — the other transports
+// exchange structured messages, not bytes. Composable with WithNetworkChaos
+// and WithDiskFaults: wire, link and storage fault schedules are independent
+// deterministic functions of their seeds.
+func WithNetFaults(plan NetFaultPlan) NetworkOption {
+	return func(o *networkOptions) {
+		p := plan
+		o.netPlan = &p
+	}
+}
+
 // WithDiskFaults injects seeded storage faults into every WAL write path.
 // Requires WithWAL. Composable with WithNetworkChaos: network and storage
 // fault schedules are independent deterministic functions of their seeds.
@@ -195,6 +230,9 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	}
 	if netOpts.recover && netOpts.walDir == "" {
 		return nil, fmt.Errorf("chc: WithCrashRecovery requires WithWAL")
+	}
+	if netOpts.netPlan != nil && transport != TCP {
+		return nil, fmt.Errorf("chc: WithNetFaults requires the TCP transport")
 	}
 	if netOpts.walDir == "" {
 		switch {
@@ -242,6 +280,7 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	if netOpts.diskPlan != nil {
 		engOpts.WALFS = diskfault.New(wal.OSFS(), *netOpts.diskPlan)
 	}
+	engOpts.NetFaults = netOpts.netPlan
 	if netOpts.checkpoint > 0 {
 		engOpts.Checkpoint = wal.CheckpointPolicy{EveryBytes: netOpts.checkpoint}
 	}
