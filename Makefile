@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke bench bench-json bench-check bench-telemetry experiments
+.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke bench bench-json bench-check bench-telemetry bench-transport experiments
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,7 @@ disk-torture: build
 wire-torture: build
 	$(GO) test -race -timeout 10m ./internal/netfault/ ./internal/wire/
 	$(GO) test -race -timeout 10m -run 'Bound|Inflight|Reorder' ./internal/rlink/
-	$(GO) test -race -timeout 10m -run 'NetFault|Wire|Quarantine|Handshake' ./internal/runtime/
+	$(GO) test -race -timeout 10m -run 'NetFault|Wire|Quarantine|Handshake|Coalesce' ./internal/runtime/
 
 # fuzz-smoke runs each codec fuzzer briefly — long enough to shake out
 # shallow decoder regressions on every commit; deep fuzzing stays offline.
@@ -49,6 +49,7 @@ FUZZ_TIME ?= 30s
 fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZ_TIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime $(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzStreamDecoder -fuzztime $(FUZZ_TIME) ./internal/wire/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -59,14 +60,17 @@ bench:
 bench-json: build
 	$(GO) run ./cmd/chcbench -benchjson BENCH_$$(git rev-parse --short HEAD).json
 
-# bench-check is the regression gate: re-measure the suite and fail when any
-# case is more than 25% slower (ns/op) than the committed seed baseline.
-bench-check: build
-	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-check.json -baseline BENCH_seed.json
-
 # The newest committed benchmark baseline; bump when a fresh BENCH_<sha>.json
 # lands.
-BENCH_BASELINE ?= BENCH_53c28f4.json
+BENCH_BASELINE ?= BENCH_b605b65.json
+
+# bench-check is the regression gate: re-measure the suite and fail when any
+# case is more than 25% slower (ns/op) — or, for cases reporting msgs/sec,
+# more than 25% below — the committed baseline. The baseline defaults to the
+# newest committed BENCH_<sha>.json so the transport throughput cases (absent
+# from the original seed file) are gated too.
+bench-check: build
+	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-check.json -baseline $(BENCH_BASELINE)
 # Allowed ns/op regression of the telemetry-disabled consensus case. 2% is
 # the overhead budget of DESIGN.md §9 (every instrument's disabled path is a
 # single atomic load); CI overrides this with a coarser bound because shared
@@ -81,6 +85,20 @@ bench-telemetry: build
 	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-telemetry.json \
 		-bench ConsensusN10F2D3,ConsensusN10F2D3Telemetry \
 		-baseline $(BENCH_BASELINE) -max-regress $(TELEMETRY_MAX_REGRESS)
+
+# Allowed msgs/sec regression of the saturated-link transport cases. Loopback
+# TCP throughput is noisier than in-process microbenchmarks, so the bound is
+# coarse; the structural claim (coalesced >> single-frame) is asserted by the
+# committed BENCH_*.json trajectory.
+TRANSPORT_MAX_REGRESS ?= 0.25
+
+# bench-transport is the wire throughput gate: the three saturated-link cases
+# (coalesced default, legacy single-frame, compressed batches) must hold
+# their msgs/sec against the committed baseline.
+bench-transport: build
+	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-transport.json \
+		-bench TransportSaturatedLink,TransportSaturatedLinkSingleFrame,TransportSaturatedLinkCompressed \
+		-baseline $(BENCH_BASELINE) -max-regress $(TRANSPORT_MAX_REGRESS)
 
 experiments:
 	$(GO) run ./cmd/chcbench -quick

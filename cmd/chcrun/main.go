@@ -63,6 +63,8 @@ func run(args []string, w io.Writer) (err error) {
 		diskSeed      = fs.Int64("disk-seed", 1, "seed for the deterministic storage fault schedule")
 		netFaults     = fs.String("net-faults", "off", "byte-stream corruption against the TCP links: off|flaky|hostile or flip=P,garbage=P,lenmut=P,trunc=P,reset=P,stall=P:LO-HI,window=N,link=SUBSTR,after=K (requires -transport tcp)")
 		netSeed       = fs.Int64("net-seed", 1, "seed for the deterministic wire fault schedule")
+		wireCoalesce  = fs.String("wire-coalesce", "on", "TCP frame coalescing: on (flush immediately per writer wakeup) | off (write+flush per frame) | a flush-deadline duration like 200us that lets batches accumulate (requires -transport tcp when not \"on\")")
+		wireCompress  = fs.Bool("wire-compress", false, "negotiate flate compression of coalesced frame batches on the TCP links (requires -transport tcp)")
 		walCheckpoint = fs.Int64("wal-checkpoint", 0, "rotate each WAL into segments and publish a full-history snapshot whenever its live file exceeds this many bytes; 0 disables (requires -wal-dir)")
 		durability    = fs.String("durability", "failstop", "policy when a WAL stops accepting writes: failstop (node becomes a crash fault) | degrade (node quarantines non-durably and re-arms with backoff)")
 		metricsAddr   = fs.String("metrics-addr", "", "enable telemetry and serve /metrics, /runs and /debug/pprof on this address (host:port; port 0 picks a free port)")
@@ -102,6 +104,28 @@ func run(args []string, w io.Writer) (err error) {
 	netPlan.Seed = *netSeed
 	if netPlan.Enabled() && *transport != "tcp" {
 		return fmt.Errorf("-net-faults requires -transport tcp (only TCP links carry byte streams)")
+	}
+	var wireCfg *chc.WireConfig
+	{
+		var wc chc.WireConfig
+		switch *wireCoalesce {
+		case "on":
+		case "off":
+			wc.SingleFrame = true
+		default:
+			dl, derr := time.ParseDuration(*wireCoalesce)
+			if derr != nil || dl < 0 {
+				return fmt.Errorf("-wire-coalesce: want on, off or a flush-deadline duration, got %q", *wireCoalesce)
+			}
+			wc.FlushDeadline = dl
+		}
+		wc.Compress = *wireCompress
+		if wc != (chc.WireConfig{}) {
+			wireCfg = &wc
+		}
+	}
+	if wireCfg != nil && *transport != "tcp" {
+		return fmt.Errorf("-wire-coalesce/-wire-compress require -transport tcp (only TCP links have a framed write path)")
 	}
 	var durabilityPolicy chc.DurabilityPolicy
 	switch *durability {
@@ -226,6 +250,7 @@ func run(args []string, w io.Writer) (err error) {
 			walDir: *walDir, recoverWAL: *recoverWAL, downtime: *downtime,
 			diskPlan: diskPlan, netPlan: netPlan, netSeed: *netSeed,
 			checkpoint: *walCheckpoint, durability: durabilityPolicy,
+			wire: wireCfg,
 		})
 	}
 
@@ -251,6 +276,9 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if netPlan.Enabled() {
 		netOpts = append(netOpts, chc.WithNetFaults(netPlan))
+	}
+	if wireCfg != nil {
+		netOpts = append(netOpts, chc.WithWire(*wireCfg))
 	}
 	if *walCheckpoint > 0 {
 		netOpts = append(netOpts, chc.WithWALCheckpoint(*walCheckpoint))
@@ -379,6 +407,7 @@ type batchMode struct {
 	netSeed    int64
 	checkpoint int64
 	durability chc.DurabilityPolicy
+	wire       *chc.WireConfig
 }
 
 // runBatchMode executes -batch instances of -protocol as one batch
@@ -469,6 +498,7 @@ func runBatchMode(w io.Writer, m batchMode) error {
 		p := m.netPlan
 		cfg.NetFaults = &p
 	}
+	cfg.Wire = m.wire
 	if m.checkpoint > 0 {
 		cfg.Checkpoint = chc.WALCheckpointPolicy{EveryBytes: m.checkpoint}
 	}

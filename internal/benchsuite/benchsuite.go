@@ -22,6 +22,7 @@ import (
 	"chc/internal/lp"
 	"chc/internal/multiplex"
 	"chc/internal/polytope"
+	chcruntime "chc/internal/runtime"
 	"chc/internal/telemetry"
 )
 
@@ -38,6 +39,9 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// Metrics holds the case's custom b.ReportMetric series (msgs/sec,
+	// p99-latency-ns, instances/sec, ...); absent when a case reports none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the JSON document written to BENCH_<rev>.json files.
@@ -67,6 +71,9 @@ func Cases() []Case {
 		{"Intersect3D", benchIntersect3D},
 		{"Average3D", benchAverage3D},
 		{"Hausdorff3DWolfe", benchHausdorff3D},
+		{"TransportSaturatedLink", benchTransportSaturatedLink},
+		{"TransportSaturatedLinkSingleFrame", benchTransportSaturatedLinkSingleFrame},
+		{"TransportSaturatedLinkCompressed", benchTransportSaturatedLinkCompressed},
 	}
 }
 
@@ -87,13 +94,20 @@ func Run(names map[string]bool) []Result {
 		polytope.SetHullCaching(true)
 		runtime.GC()
 		r := testing.Benchmark(c.Fn)
-		out = append(out, Result{
+		res := Result{
 			Name:        c.Name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: int64(r.AllocsPerOp()),
 			BytesPerOp:  int64(r.AllocedBytesPerOp()),
 			Iterations:  r.N,
-		})
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		out = append(out, res)
 	}
 	return out
 }
@@ -111,9 +125,16 @@ func NewReport(revision string, results []Result) Report {
 	}
 }
 
+// higherIsBetter lists the custom metrics gated by Compare in the opposite
+// direction from ns/op: falling below baseline/(1+maxRegress) is a
+// regression. p99-latency-ns is recorded but not gated — single-run tail
+// latency on a shared CI host is too noisy to block merges on.
+var higherIsBetter = []string{"msgs/sec"}
+
 // Compare checks results against a baseline: any case whose ns/op exceeds
-// baseline*(1+maxRegress) is a regression. Cases absent from either side are
-// skipped (the suite may grow over time).
+// baseline*(1+maxRegress), or whose gated throughput metric (msgs/sec) falls
+// below baseline/(1+maxRegress), is a regression. Cases — and metrics —
+// absent from either side are skipped (the suite may grow over time).
 func Compare(baseline, current []Result, maxRegress float64) []error {
 	base := make(map[string]Result, len(baseline))
 	for _, r := range baseline {
@@ -128,6 +149,16 @@ func Compare(baseline, current []Result, maxRegress float64) []error {
 		if ratio := r.NsPerOp / b.NsPerOp; ratio > 1+maxRegress {
 			errs = append(errs, fmt.Errorf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > allowed %.2fx)",
 				r.Name, r.NsPerOp, b.NsPerOp, ratio, 1+maxRegress))
+		}
+		for _, m := range higherIsBetter {
+			bv, cv := b.Metrics[m], r.Metrics[m]
+			if bv <= 0 || cv <= 0 {
+				continue
+			}
+			if ratio := cv / bv; ratio < 1/(1+maxRegress) {
+				errs = append(errs, fmt.Errorf("%s: %.0f %s vs baseline %.0f (%.2fx < allowed %.2fx)",
+					r.Name, cv, m, bv, ratio, 1/(1+maxRegress)))
+			}
 		}
 	}
 	return errs
@@ -358,6 +389,33 @@ func benchAverage3D(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTransportSaturatedLink saturates one directed link of a real two-node
+// TCP pair through the full production stack (rlink, coalescing writer, wire
+// codec, loopback TCP, stream decoder). One op = one message delivered
+// exactly-once FIFO, so ns/op is the per-message cost and the reported
+// msgs/sec is the link's sustained throughput. The SingleFrame twin below
+// runs the identical workload over the pre-coalescing write+flush-per-frame
+// path, keeping the coalescing win (and any regression of it) visible in
+// every BENCH_*.json.
+func benchTransportSaturatedLink(b *testing.B) {
+	chcruntime.BenchSaturatedLink(b, chcruntime.LinkBenchConfig{})
+}
+
+func benchTransportSaturatedLinkSingleFrame(b *testing.B) {
+	chcruntime.BenchSaturatedLink(b, chcruntime.LinkBenchConfig{
+		Wire: chcruntime.WireConfig{SingleFrame: true},
+	})
+}
+
+// benchTransportSaturatedLinkCompressed negotiates FlagCompress, so batches
+// travel as flate FrameBatch envelopes: it tracks the compression tax (CPU
+// per message) against the coalesced plain path.
+func benchTransportSaturatedLinkCompressed(b *testing.B) {
+	chcruntime.BenchSaturatedLink(b, chcruntime.LinkBenchConfig{
+		Wire: chcruntime.WireConfig{Compress: true},
+	})
 }
 
 func benchHausdorff3D(b *testing.B) {

@@ -126,6 +126,11 @@ type Options struct {
 	// the other transports exchange structured messages, not bytes.
 	NetFaults *netfault.Plan
 
+	// Wire tunes the TCP transport's write path: frame coalescing (the
+	// default), the flush-deadline batching window, and optional per-batch
+	// compression. TCP only; nil keeps the defaults.
+	Wire *runtime.WireConfig
+
 	// WALDir enables write-ahead logging: every node journals its delivered
 	// messages (each carrying its instance field) before acknowledging them,
 	// so any node can be reconstructed mid-protocol. Networked only.
@@ -239,12 +244,18 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		if opts.NetFaults != nil {
 			return nil, errors.New("engine: byte-stream fault injection needs the TCP transport (the simulator has no byte streams)")
 		}
+		if opts.Wire != nil {
+			return nil, errors.New("engine: wire write-path tuning needs the TCP transport (the simulator has no wire)")
+		}
 	case TransportChannel, TransportTCP:
 		if opts.Scheduler != nil {
 			return nil, errors.New("engine: schedulers only drive the simulator; networked delivery order is real concurrency")
 		}
 		if opts.NetFaults != nil && opts.Transport != TransportTCP {
 			return nil, errors.New("engine: byte-stream fault injection needs the TCP transport (channel clusters have no byte streams)")
+		}
+		if opts.Wire != nil && opts.Transport != TransportTCP {
+			return nil, errors.New("engine: wire write-path tuning needs the TCP transport (channel clusters have no wire)")
 		}
 	default:
 		return nil, fmt.Errorf("engine: unknown transport %d", int(opts.Transport))
@@ -379,6 +390,9 @@ func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*
 	}
 	if opts.NetFaults != nil {
 		runOpts = append(runOpts, runtime.WithNetFaults(*opts.NetFaults))
+	}
+	if opts.Wire != nil {
+		runOpts = append(runOpts, runtime.WithWire(*opts.Wire))
 	}
 	var (
 		cluster *runtime.Cluster

@@ -108,6 +108,10 @@ type BatchConfig struct {
 	// transport only).
 	NetFaults *netfault.Plan
 
+	// Wire tunes the TCP transport's write path (coalescing, flush
+	// deadline, compression); nil keeps the defaults. TCP transport only.
+	Wire *runtime.WireConfig
+
 	// WALDir enables write-ahead logging; every journaled delivery carries
 	// its instance, so a restarted node replays the whole batch it hosts.
 	WALDir string
@@ -225,6 +229,7 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		Chaos:      cfg.Chaos,
 		ChaosSeed:  cfg.ChaosSeed,
 		NetFaults:  cfg.NetFaults,
+		Wire:       cfg.Wire,
 		WALDir:     cfg.WALDir,
 		WALFS:      cfg.WALFS,
 		Checkpoint: cfg.Checkpoint,

@@ -76,6 +76,7 @@ type Cluster struct {
 
 	netPlan *netfault.Plan     // wire-fault plan (TCP clusters only)
 	nfault  *netfault.Injector // shared byte-stream fault injector
+	wireCfg WireConfig         // TCP write-path tuning (coalescing, compression)
 
 	recovery *RecoveryConfig
 	restarts []RestartPlan
@@ -177,6 +178,18 @@ func (o netFaultOption) apply(c *Cluster) {
 // Composable with WithChaos (frame-level faults) and WithCrashes.
 func WithNetFaults(plan netfault.Plan) Option {
 	return netFaultOption{plan: plan}
+}
+
+type wireOption struct{ cfg WireConfig }
+
+func (o wireOption) apply(c *Cluster) { c.wireCfg = o.cfg }
+
+// WithWire tunes the TCP transport's write path: frame coalescing (on by
+// default; WireConfig.SingleFrame restores the write+flush-per-frame
+// behavior), the flush-deadline batching window, and optional per-batch
+// compression. Channel clusters have no wire and ignore the option.
+func WithWire(cfg WireConfig) Option {
+	return wireOption{cfg: cfg}
 }
 
 // NewChannelCluster builds a cluster connected by in-process mailboxes.

@@ -34,11 +34,22 @@ var (
 		"Peers quarantined for exceeding the corrupt-frame strike budget.")
 	mPeerReadmits = telemetry.Default().Counter("chc_peer_readmits_total",
 		"Quarantined peers readmitted after a clean handshake.")
+	mWireBatchFrames = telemetry.Default().HistogramVec("chc_wire_batch_frames",
+		"Frames per coalesced wire batch, by directed link.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, "link")
+	mWireBatchBytes = telemetry.Default().HistogramVec("chc_wire_batch_bytes",
+		"Bytes per coalesced wire batch before compression, by directed link.",
+		[]float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, "link")
+	mWireCompressedBytes = telemetry.Default().CounterVec("chc_wire_compressed_bytes_total",
+		"Bytes written inside flate-compressed batch envelopes, by directed link.", "link")
 )
 
 func init() {
 	// Link×class is unbounded in principle (links scale with n²); cap the
-	// family so a hostile wire cannot blow up the registry — the tail
+	// families so a hostile wire cannot blow up the registry — the tail
 	// collapses into the all-"other" series.
 	telemetry.SetLabelCardinality("chc_wire_corrupt_frames_total", 128)
+	telemetry.SetLabelCardinality("chc_wire_batch_frames", 128)
+	telemetry.SetLabelCardinality("chc_wire_batch_bytes", 128)
+	telemetry.SetLabelCardinality("chc_wire_compressed_bytes_total", 128)
 }

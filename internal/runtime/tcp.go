@@ -14,12 +14,49 @@ import (
 	"chc/internal/dist"
 	"chc/internal/netfault"
 	"chc/internal/rlink"
+	"chc/internal/telemetry"
 	"chc/internal/wire"
 )
 
 // errLinkDown is returned by SendFrame while a peer link is being redialed;
 // the reliable-link layer keeps the frame queued and retries.
 var errLinkDown = errors.New("runtime: tcp link down, reconnecting")
+
+// errSendQueueFull is returned by SendFrame when a peer's pending batch has
+// hit maxPendBytes: the frame is dropped and the reliable-link layer's
+// retransmission re-offers it once the writer drains.
+var errSendQueueFull = errors.New("runtime: tcp send queue full, frame dropped")
+
+// WireConfig tunes the TCP transport's write path. The zero value is the
+// default: frame coalescing on, flush immediately on wakeup, compression off.
+type WireConfig struct {
+	// SingleFrame disables coalescing: every frame is encoded, written and
+	// flushed individually on the sender's goroutine — the pre-coalescing
+	// write path, kept both as an escape hatch and as the measurable
+	// baseline for the TransportSaturatedLink benchmark twin.
+	SingleFrame bool
+	// FlushDeadline is how long the peer writer lingers after a wakeup for
+	// more frames to accumulate before flushing the batch. Zero flushes
+	// immediately: under light load a lone frame still goes out in one
+	// write with no added latency, while a burst naturally group-commits
+	// because frames arriving during the in-flight write join the next
+	// batch. Setting a deadline trades that first-frame latency for larger
+	// batches under sustained load.
+	FlushDeadline time.Duration
+	// Compress announces FlagCompress in the connection handshake and wraps
+	// batches of at least compressMinBytes in flate FrameBatch envelopes
+	// when that actually shrinks them. Off by default.
+	Compress bool
+}
+
+// Coalescing bounds.
+const (
+	// maxPendBytes caps a peer's pending batch; past it SendFrame drops
+	// (retransmission recovers) so a stalled link cannot buffer unboundedly.
+	maxPendBytes = 8 << 20
+	// compressMinBytes is the smallest batch worth offering to flate.
+	compressMinBytes = 512
+)
 
 // Redial backoff bounds for broken links.
 const (
@@ -95,9 +132,18 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 			peers:  make([]*tcpPeer, n),
 			health: make([]*peerHealth, n),
 			nfault: c.nfault,
+			cfg:    c.wireCfg,
+			stop:   make(chan struct{}),
 		}
 		for j := range t.peers {
-			t.peers[j] = &tcpPeer{}
+			link := fmt.Sprintf("%d->%d", i, j)
+			t.peers[j] = &tcpPeer{
+				to:          dist.ProcID(j),
+				wake:        make(chan struct{}, 1),
+				batchFrames: mWireBatchFrames.With(link),
+				batchBytes:  mWireBatchBytes.With(link),
+				compBytes:   mWireCompressedBytes.With(link),
+			}
 			t.health[j] = &peerHealth{}
 		}
 		transports[i] = t
@@ -123,6 +169,7 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	}
 	for i := 0; i < n; i++ {
 		transports[i].startAccepting()
+		transports[i].startWriters()
 	}
 	// Dial the full mesh up front; later failures are repaired by redial.
 	// The n·(n-1) dials are independent network operations, so each node
@@ -184,6 +231,11 @@ type tcpTransport struct {
 	// per the cluster's wire-fault plan.
 	nfault *netfault.Injector
 
+	// cfg is the write-path tuning (coalescing, flush deadline, compression).
+	cfg WireConfig
+	// stop, closed by Close, wakes the per-peer writer goroutines.
+	stop chan struct{}
+
 	mu       sync.Mutex // guards accepted
 	accepted []net.Conn
 
@@ -201,12 +253,29 @@ type tcpTransport struct {
 	wg      sync.WaitGroup
 }
 
-// tcpPeer is the outgoing half of one link.
+// tcpPeer is the outgoing half of one link. In the default coalescing mode
+// senders append encoded frames to pend under mu and nudge the peer's writer
+// goroutine, which swaps the batch out and hands it to the kernel in a single
+// vectored write — so a burst of frames costs one syscall, not one per frame,
+// and frames arriving during the in-flight write group-commit into the next
+// batch.
 type tcpPeer struct {
+	to dist.ProcID
+
 	mu      sync.Mutex
 	conn    net.Conn
 	w       *bufio.Writer
 	dialing bool
+
+	pend    []byte // encoded frames awaiting the writer (pooled; nil when empty)
+	nframes int    // frame count in pend
+	wake    chan struct{}
+
+	// Per-link telemetry handles, resolved once (vec lookups are off the
+	// hot path).
+	batchFrames *telemetry.Histogram
+	batchBytes  *telemetry.Histogram
+	compBytes   *telemetry.Counter
 }
 
 // peerHealth is the inbound-stream health of one peer: a strike budget fed
@@ -323,6 +392,11 @@ func (t *tcpTransport) dial(to dist.ProcID) error {
 	if ep := t.ep.Load(); ep != nil {
 		hs = ep.HelloFrame(to)
 	}
+	if t.cfg.Compress {
+		hs.Flags |= wire.FlagCompress
+	}
+	// The handshake is written synchronously on the still-unpublished conn,
+	// so it precedes every batched frame the writer goroutine will emit.
 	if err := wire.WriteFrame(w, hs); err == nil {
 		err = w.Flush()
 	}
@@ -341,10 +415,14 @@ func (t *tcpTransport) dial(to dist.ProcID) error {
 	return nil
 }
 
-// SendFrame writes one frame on the link to its target. A write failure
-// marks the link down, kicks off an asynchronous redial with capped
-// backoff, and reports the error — the caller's retransmission queue owns
-// recovery, so no frame is silently dropped.
+// SendFrame hands one frame to the link's writer. In the default coalescing
+// mode the frame is encoded into the peer's pending batch and the writer
+// goroutine is nudged; a full batch buffer drops the frame (retransmission
+// re-offers it). In SingleFrame mode the frame is written and flushed inline,
+// the pre-coalescing behavior. Either way a link fault marks the link down,
+// kicks off an asynchronous redial with capped backoff, and reports the
+// error — the caller's retransmission queue owns recovery, so no frame is
+// silently dropped.
 func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
 	if t.closed.Load() {
 		return net.ErrClosed
@@ -353,6 +431,33 @@ func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
 		return fmt.Errorf("runtime: send to unknown node %d", to)
 	}
 	p := t.peers[to]
+	if !t.cfg.SingleFrame {
+		p.mu.Lock()
+		if p.conn == nil && !p.dialing {
+			p.mu.Unlock()
+			t.ensureRedial(to)
+			return errLinkDown
+		}
+		if len(p.pend) >= maxPendBytes {
+			p.mu.Unlock()
+			return errSendQueueFull
+		}
+		if p.pend == nil {
+			p.pend = wire.GetBuf()
+		}
+		var err error
+		if p.pend, err = wire.AppendFrame(p.pend, f); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		p.nframes++
+		p.mu.Unlock()
+		select {
+		case p.wake <- struct{}{}:
+		default: // writer already signalled
+		}
+		return nil
+	}
 	p.mu.Lock()
 	if p.conn == nil {
 		p.mu.Unlock()
@@ -377,6 +482,111 @@ func (t *tcpTransport) SendFrame(to dist.ProcID, f wire.Frame) error {
 	}
 	p.mu.Unlock()
 	return nil
+}
+
+// startWriters launches one writer goroutine per outgoing link (coalescing
+// mode only). Writers idle on their wake channel, so links that never carry
+// traffic cost one parked goroutine each.
+func (t *tcpTransport) startWriters() {
+	if t.cfg.SingleFrame {
+		return
+	}
+	for j, p := range t.peers {
+		if dist.ProcID(j) == t.self {
+			continue
+		}
+		t.wg.Add(1)
+		go t.writeLoop(p)
+	}
+}
+
+// writeLoop drains one peer's pending batch: it sleeps until a sender nudges
+// it, optionally lingers for FlushDeadline so a burst accumulates, then
+// flushes whatever is pending in one write. Wakeups cannot be lost: the wake
+// channel holds one token, and a sender that finds it full knows the writer
+// will observe its frame on the pass the token already guarantees (the batch
+// is swapped out under the same lock the sender appended under).
+func (t *tcpTransport) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-p.wake:
+		}
+		if d := t.cfg.FlushDeadline; d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-t.stop:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		t.flushPeer(p)
+	}
+}
+
+// flushPeer swaps the peer's pending batch out and writes it to the live
+// connection as one vectored write. When the link is down the batch is
+// dropped — the reliable-link layer's retransmission queue re-offers every
+// un-acked frame once the redial lands, so dropping here costs latency, not
+// delivery. With compression negotiated, batches big enough to plausibly
+// profit are wrapped in a flate FrameBatch envelope when that actually
+// shrinks them.
+func (t *tcpTransport) flushPeer(p *tcpPeer) {
+	p.mu.Lock()
+	if len(p.pend) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	raw, nframes := p.pend, p.nframes
+	p.pend, p.nframes = nil, 0
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		wire.PutBuf(raw)
+		if !t.closed.Load() {
+			t.ensureRedial(p.to)
+		}
+		return
+	}
+	p.batchFrames.Observe(float64(nframes))
+	p.batchBytes.Observe(float64(len(raw)))
+	out := raw
+	var comp []byte
+	if t.cfg.Compress && len(raw) >= compressMinBytes {
+		comp = wire.GetBuf()
+		if b, err := wire.AppendBatchFrame(comp, raw); err == nil && len(b) < len(raw) {
+			comp = b
+			out = comp
+			p.compBytes.Add(int64(len(comp)))
+		}
+	}
+	bufs := net.Buffers{out}
+	_, err := bufs.WriteTo(conn)
+	wire.PutBuf(raw)
+	if comp != nil {
+		wire.PutBuf(comp)
+	}
+	if err == nil {
+		return
+	}
+	// Tear the link down only if it is still the conn we wrote to — a
+	// concurrent redial may already have published a fresh one, which this
+	// stale failure must not kill.
+	p.mu.Lock()
+	if p.conn == conn {
+		_ = conn.Close()
+		p.conn = nil
+		p.w = nil
+	}
+	p.mu.Unlock()
+	if !t.closed.Load() {
+		t.linkFaults.Add(1)
+		mLinkFaults.Inc()
+		t.ensureRedial(p.to)
+	}
 }
 
 // ensureRedial starts (at most one) background redial loop for the link.
@@ -493,6 +703,10 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	}
 	link := fmt.Sprintf("%d->%d", hs.From, t.self)
 	dec := wire.NewStreamDecoder(r, connGarbageBudget)
+	// Compression is receiver-gated by the peer's announcement: a FrameBatch
+	// envelope on a connection that never announced FlagCompress is treated
+	// as corruption.
+	dec.SetCompressed(hs.Flags&wire.FlagCompress != 0)
 	dec.OnFault = func(class string, _ int64) {
 		t.corruptFrames.Add(1)
 		mWireCorruptFrames.With(link, class).Inc()
@@ -559,6 +773,7 @@ func (t *tcpTransport) Close() error {
 	if already {
 		return nil
 	}
+	close(t.stop) // parks every per-peer writer
 	_ = t.ln.Close()
 	for _, p := range t.peers {
 		p.mu.Lock()

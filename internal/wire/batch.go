@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Compressed batch envelopes. The TCP peer writer coalesces a wakeup's worth
+// of frames into one contiguous buffer; when compression was negotiated in
+// the connection handshake (FlagCompress) and the batch is large enough to
+// plausibly profit, the writer wraps that buffer in a FrameBatch envelope:
+//
+//	u8 magic | u8 version | u32 bodyLen | u32 crc32c(body)
+//	u8 FrameBatch | u32 rawLen | flate(raw)
+//
+// where raw is the concatenation of complete encoded frames. The outer CRC
+// covers the compressed bytes, so corruption is detected before inflation;
+// rawLen bounds the decompressed size before any allocation, so a hostile
+// envelope cannot decompress into unbounded memory (the classic zip-bomb
+// guard — rawLen itself is capped at MaxFrameLen and the inflater is
+// hard-stopped at that many bytes regardless of what the field claims).
+
+// ErrBatchNotNegotiated is returned (and classified as corruption) when a
+// FrameBatch envelope arrives on a connection whose handshake did not
+// announce FlagCompress: an unannounced batch is indistinguishable from a
+// forged frame type.
+var ErrBatchNotNegotiated = fmt.Errorf("%w: compressed batch on a connection that did not negotiate compression", ErrCorrupt)
+
+// flateWriters pools flate compressors (they hold ~64 KiB of window state
+// each, far too expensive to build per batch).
+var flateWriters = sync.Pool{
+	New: func() any {
+		// BestSpeed: the writer sits on the latency path of every batch;
+		// link bandwidth, not ratio, is what compression is buying here.
+		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // only fires for an invalid level constant
+		}
+		return w
+	},
+}
+
+// flateReaders pools inflaters; flate.Resetter re-arms them per batch.
+var flateReaders = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// sliceWriter adapts append-style encoding to the io.Writer the flate
+// compressor wants.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// AppendBatchFrame wraps raw — a concatenation of complete encoded frames —
+// in a flate-compressed FrameBatch envelope appended to dst. On error dst is
+// returned truncated to its original length. The caller decides whether the
+// envelope is worth it: a batch that compresses poorly is longer than raw
+// (flate stores incompressible data with ~0.03% framing overhead), so
+// writers compare lengths and fall back to the raw bytes.
+func AppendBatchFrame(dst []byte, raw []byte) ([]byte, error) {
+	start := len(dst)
+	if len(raw) > MaxFrameLen {
+		return dst, fmt.Errorf("%w: batch of %d raw bytes (cap %d)", ErrTooLarge, len(raw), MaxFrameLen)
+	}
+	dst = append(dst, FrameMagic, FrameVersion, 0, 0, 0, 0, 0, 0, 0, 0)
+	bodyStart := len(dst)
+	dst = append(dst, FrameBatch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(raw)))
+	fw := flateWriters.Get().(*flate.Writer)
+	sw := &sliceWriter{buf: dst}
+	fw.Reset(sw)
+	if _, err := fw.Write(raw); err == nil {
+		err = fw.Close()
+		if err != nil {
+			flateWriters.Put(fw)
+			return dst[:start], err
+		}
+	} else {
+		flateWriters.Put(fw)
+		return dst[:start], err
+	}
+	flateWriters.Put(fw)
+	dst = sw.buf
+	n := len(dst) - bodyStart
+	if n > MaxFrameLen {
+		return dst[:start], fmt.Errorf("%w: compressed batch body is %d bytes (cap %d)", ErrTooLarge, n, MaxFrameLen)
+	}
+	binary.BigEndian.PutUint32(dst[start+2:], uint32(n))
+	binary.BigEndian.PutUint32(dst[start+6:], crc32.Checksum(dst[bodyStart:], castagnoli))
+	return dst, nil
+}
+
+// decodeBatchBody unwraps a CRC-verified FrameBatch body (rest is the body
+// after the type byte): it inflates the payload into scratch (reused across
+// batches) and strictly decodes the inner frames. frames is appended to dst
+// so the caller's slice is recycled too. Any inner inconsistency fails the
+// whole batch — the envelope CRC already passed, so an undecodable interior
+// means a malformed (or forged) batch, not line noise.
+func decodeBatchBody(rest []byte, dst []Frame, scratch []byte) ([]Frame, []byte, error) {
+	if len(rest) < 4 {
+		return dst, scratch, fmt.Errorf("%w: batch body of %d bytes", ErrTruncated, len(rest))
+	}
+	rawLen := binary.BigEndian.Uint32(rest)
+	if rawLen > MaxFrameLen {
+		return dst, scratch, fmt.Errorf("%w: batch claims %d raw bytes (cap %d)", ErrTooLarge, rawLen, MaxFrameLen)
+	}
+	fr := flateReaders.Get().(io.ReadCloser)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(rest[4:]), nil); err != nil {
+		flateReaders.Put(fr)
+		return dst, scratch, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if cap(scratch) < int(rawLen) {
+		scratch = make([]byte, rawLen)
+	}
+	raw := scratch[:rawLen]
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		flateReaders.Put(fr)
+		return dst, scratch, fmt.Errorf("%w: batch inflate: %v", ErrCorrupt, err)
+	}
+	// The stream must end exactly at rawLen: trailing compressed data means
+	// the length field lies.
+	var one [1]byte
+	if n, err := fr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
+		flateReaders.Put(fr)
+		return dst, scratch, fmt.Errorf("%w: batch longer than its declared %d bytes", ErrCorrupt, rawLen)
+	}
+	flateReaders.Put(fr)
+	for pos := 0; pos < len(raw); {
+		n, err := checkHeader(raw[pos:])
+		if err != nil {
+			return dst, scratch, err
+		}
+		if len(raw)-pos-FrameHeaderLen < n {
+			return dst, scratch, fmt.Errorf("%w: inner frame of %d bytes overruns batch", ErrTruncated, n)
+		}
+		body := raw[pos+FrameHeaderLen : pos+FrameHeaderLen+n]
+		if want := binary.BigEndian.Uint32(raw[pos+6:]); crc32.Checksum(body, castagnoli) != want {
+			return dst, scratch, fmt.Errorf("%w: inner frame body of %d bytes", ErrBadCRC, n)
+		}
+		f, err := decodeBody(body) // rejects nested FrameBatch itself
+		if err != nil {
+			return dst, scratch, err
+		}
+		dst = append(dst, f)
+		pos += FrameHeaderLen + n
+	}
+	return dst, scratch, nil
+}

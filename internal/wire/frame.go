@@ -27,8 +27,23 @@ const (
 	// frame on every connection, so the accepting side can associate the
 	// byte stream with a peer, replace stale connections after a reconnect,
 	// and resume the link without duplicate or lost delivery after the
-	// peer restarts from its write-ahead log.
+	// peer restarts from its write-ahead log. It also carries the sender's
+	// feature flags (see FlagCompress) that negotiate optional codec
+	// behaviour for the connection.
 	FrameHandshake byte = 3
+	// FrameBatch is a compressed envelope: its body is a flate-compressed
+	// concatenation of complete encoded frames. It is only valid on
+	// connections whose opening handshake announced FlagCompress; see
+	// AppendBatchFrame and StreamDecoder.SetCompressed.
+	FrameBatch byte = 4
+)
+
+// Handshake feature flags (Frame.Flags, FrameHandshake only).
+const (
+	// FlagCompress announces that the sender may wrap coalesced frame
+	// batches in flate-compressed FrameBatch envelopes on this connection.
+	// A receiver that did not see the flag treats FrameBatch as corruption.
+	FlagCompress byte = 1 << 0
 )
 
 // Frame header layout. Every frame opens with a fixed 10-byte header:
@@ -74,39 +89,57 @@ type Frame struct {
 	// sequence number it expects from the peer (everything below it has
 	// been durably delivered and acknowledged).
 	Ack uint64
-	Msg dist.Message // payload; meaningful for FrameData only
+	// Flags carries handshake feature bits (FlagCompress); zero elsewhere.
+	Flags byte
+	Msg   dist.Message // payload; meaningful for FrameData only
 }
 
-// EncodeFrame serialises a frame. The layout is:
+// AppendFrame serialises a frame by appending it to dst and returning the
+// extended slice, exactly like the append built-in. The layout is:
 //
 //	u8 magic | u8 version | u32 bodyLen | u32 crc32c(body)
 //	u8 type | i32 from | u64 seq
-//	  | [u64 epoch | u64 ack, FrameHandshake only]
+//	  | [u64 epoch | u64 ack | u8 flags, FrameHandshake only]
 //	  | [encoded message, FrameData only]
-func EncodeFrame(f Frame) ([]byte, error) {
-	body := make([]byte, 0, 32)
-	body = append(body, f.Type)
-	body = binary.BigEndian.AppendUint32(body, uint32(int32(f.From)))
-	body = binary.BigEndian.AppendUint64(body, f.Seq)
+//
+// The frame is encoded in place — header reserved up front, body appended
+// directly, length and CRC backfilled — so a caller that reuses dst (its own
+// buffer or one from GetBuf) encodes with zero allocations in steady state.
+// On error dst is returned truncated to its original length, with nothing
+// appended.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, FrameMagic, FrameVersion, 0, 0, 0, 0, 0, 0, 0, 0)
+	bodyStart := len(dst)
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(f.From)))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
 	switch f.Type {
 	case FrameHandshake:
-		body = binary.BigEndian.AppendUint64(body, f.Epoch)
-		body = binary.BigEndian.AppendUint64(body, f.Ack)
+		dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, f.Ack)
+		dst = append(dst, f.Flags)
 	case FrameData:
-		enc, err := EncodeMessage(f.Msg)
+		var err error
+		dst, err = AppendMessage(dst, f.Msg)
 		if err != nil {
-			return nil, err
+			return dst[:start], err
 		}
-		body = append(body, enc...)
 	}
-	if len(body) > MaxFrameLen {
-		return nil, fmt.Errorf("%w: frame body is %d bytes (cap %d)", ErrTooLarge, len(body), MaxFrameLen)
+	n := len(dst) - bodyStart
+	if n > MaxFrameLen {
+		return dst[:start], fmt.Errorf("%w: frame body is %d bytes (cap %d)", ErrTooLarge, n, MaxFrameLen)
 	}
-	out := make([]byte, 0, FrameHeaderLen+len(body))
-	out = append(out, FrameMagic, FrameVersion)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
-	return append(out, body...), nil
+	binary.BigEndian.PutUint32(dst[start+2:], uint32(n))
+	binary.BigEndian.PutUint32(dst[start+6:], crc32.Checksum(dst[bodyStart:], castagnoli))
+	return dst, nil
+}
+
+// EncodeFrame serialises a frame into a fresh slice. It is the
+// compatibility shim over AppendFrame; hot paths should append into a
+// reused buffer instead.
+func EncodeFrame(f Frame) ([]byte, error) {
+	return AppendFrame(nil, f)
 }
 
 // checkHeader validates the fixed header fields (magic, version, length cap)
@@ -146,15 +179,25 @@ func decodeBody(body []byte) (Frame, error) {
 		}
 		f.Msg = msg
 	case FrameHandshake:
-		if len(rest) != 16 {
-			return f, fmt.Errorf("%w: handshake body is %d bytes, want 16", ErrCorrupt, len(rest))
+		// 17 bytes since the feature-flag byte was added; 16-byte bodies
+		// (pre-flags encodings) are still accepted with Flags = 0.
+		if len(rest) != 16 && len(rest) != 17 {
+			return f, fmt.Errorf("%w: handshake body is %d bytes, want 16 or 17", ErrCorrupt, len(rest))
 		}
 		f.Epoch = binary.BigEndian.Uint64(rest)
 		f.Ack = binary.BigEndian.Uint64(rest[8:])
+		if len(rest) == 17 {
+			f.Flags = rest[16]
+		}
 	case FrameAck:
 		if len(rest) != 0 {
 			return f, fmt.Errorf("%w: %d trailing bytes after control frame", ErrCorrupt, len(rest))
 		}
+	case FrameBatch:
+		// Batches are containers, not frames: they are unwrapped by the
+		// stream decoder (after compression was negotiated) and must never
+		// appear in a single-frame context — including nested in a batch.
+		return f, fmt.Errorf("%w: compressed batch frame in single-frame context", ErrCorrupt)
 	default:
 		return f, fmt.Errorf("%w: %d", ErrUnknownType, f.Type)
 	}
@@ -187,13 +230,16 @@ func FrameSize(f Frame) int {
 	return len(b)
 }
 
-// WriteFrame writes one frame to w.
+// WriteFrame writes one frame to w, encoding through the buffer pool so no
+// per-frame garbage is produced.
 func WriteFrame(w io.Writer, f Frame) error {
-	b, err := EncodeFrame(f)
-	if err != nil {
-		return err
+	buf := GetBuf()
+	b, err := AppendFrame(buf, f)
+	if err == nil {
+		_, err = w.Write(b)
+		buf = b
 	}
-	_, err = w.Write(b)
+	PutBuf(buf)
 	return err
 }
 
@@ -201,9 +247,13 @@ func WriteFrame(w io.Writer, f Frame) error {
 // byte is returned verbatim so callers can distinguish an orderly connection
 // close from mid-frame truncation (reported as io.ErrUnexpectedEOF or a
 // corruption error). The body length is validated against MaxFrameLen
-// before any allocation. ReadFrame is strict: the first corrupt byte fails
-// the read — transports that want to survive corruption mid-stream use
-// StreamDecoder, which resynchronizes on the frame magic.
+// before the body is read, and the body itself is staged in a pooled
+// scratch buffer — decoding copies out everything the returned Frame keeps
+// (message kinds, coordinates), so the Frame owns its memory and the
+// scratch is recycled with no per-frame allocation. ReadFrame is strict:
+// the first corrupt byte fails the read — transports that want to survive
+// corruption mid-stream use StreamDecoder, which resynchronizes on the
+// frame magic.
 func ReadFrame(r *bufio.Reader) (Frame, error) {
 	var hdr [FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -213,13 +263,20 @@ func ReadFrame(r *bufio.Reader) (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
-	frame := make([]byte, FrameHeaderLen+n)
-	copy(frame, hdr[:])
-	if _, err := io.ReadFull(r, frame[FrameHeaderLen:]); err != nil {
+	buf := GetBuf()
+	defer PutBuf(buf)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return Frame{}, err
 	}
-	return DecodeFrame(frame)
+	if want := binary.BigEndian.Uint32(hdr[6:]); crc32.Checksum(body, castagnoli) != want {
+		return Frame{}, fmt.Errorf("%w: body of %d bytes", ErrBadCRC, n)
+	}
+	return decodeBody(body)
 }

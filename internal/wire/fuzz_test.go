@@ -85,6 +85,65 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzStreamDecoder throws arbitrary byte streams at the resynchronizing
+// decoder, in both single-frame and compressed-batch mode: it must never
+// panic, every frame it yields must survive a strict encode/decode round
+// trip, and the garbage budget must bound the total work — Next may not
+// iterate forever on a finite hostile stream.
+func FuzzStreamDecoder(f *testing.F) {
+	var clean []byte
+	for _, fr := range streamFrames() {
+		b, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		clean = append(clean, b...)
+	}
+	batch, err := AppendBatchFrame(nil, clean)
+	if err != nil {
+		f.Fatal(err)
+	}
+	corruptBatch := append([]byte(nil), batch...)
+	corruptBatch[len(corruptBatch)/2] ^= 0x20
+	f.Add(clean, true)
+	f.Add(clean, false)
+	f.Add(batch, true)
+	f.Add(batch, false) // un-negotiated batch: must fault, not deliver
+	f.Add(append(append([]byte{0xC7, 0x01, 0xFF}, batch...), clean...), true)
+	f.Add(append(corruptBatch, clean...), true)
+	f.Add(bytes.Repeat([]byte{0xC7}, 64), true)
+	f.Fuzz(func(t *testing.T, data []byte, compressed bool) {
+		d := NewStreamDecoder(bytes.NewReader(data), 4<<10)
+		d.SetCompressed(compressed)
+		var faulted int64
+		d.OnFault = func(class string, n int64) {
+			if class == "" || n <= 0 {
+				t.Fatalf("fault report class=%q bytes=%d", class, n)
+			}
+			faulted += n
+		}
+		// A finite input with a finite budget terminates: every iteration
+		// either consumes stream bytes or spends budget. Bound generously.
+		for i := 0; i <= len(data)+8<<10; i++ {
+			fr, err := d.Next()
+			if err != nil {
+				return // any terminal error is acceptable; panics are not
+			}
+			re, err := EncodeFrame(fr)
+			if err != nil {
+				t.Fatalf("stream yielded an unencodable frame: %+v: %v", fr, err)
+			}
+			if _, err := DecodeFrame(re); err != nil {
+				t.Fatalf("stream-decoded frame failed strict decode: %v", err)
+			}
+			if fr.Type == FrameBatch {
+				t.Fatal("stream decoder leaked a raw batch envelope")
+			}
+		}
+		t.Fatalf("decoder did not terminate on %d input bytes (faulted=%d)", len(data), faulted)
+	})
+}
+
 // sampleMessages returns representative messages for the fuzz corpus.
 func sampleMessages() []dist.Message {
 	return []dist.Message{

@@ -1,0 +1,41 @@
+package wire
+
+import "sync"
+
+// maxPooledBuf caps the capacity of buffers retained by the pool. Encoding
+// occasionally produces a huge buffer (a near-MaxFrameLen polytope payload,
+// a large coalesced batch); returning it to the pool would pin megabytes per
+// pooled slot long after the burst, so oversized buffers are dropped and the
+// pool re-equilibrates at the steady-state working size.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles encode/decode scratch buffers across frames, batches and
+// connections. The pool stores slice pointers so Get/Put do not themselves
+// allocate slice headers on every cycle beyond the one boxing per Put.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length scratch buffer from the process-wide pool.
+// Callers append into it (AppendFrame, batch assembly) and hand it back with
+// PutBuf once the bytes have been consumed. The steady-state encode path
+// therefore performs no per-frame allocations: frames are appended into a
+// recycled buffer whose capacity converges on the workload's high-water
+// mark.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. The buffer must
+// not be used after the call. Buffers grown past maxPooledBuf are dropped so
+// one burst cannot pin its peak allocation forever.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

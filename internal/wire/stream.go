@@ -23,12 +23,24 @@ var ErrGarbageBudget = errors.New("wire: connection garbage budget exhausted")
 // into resource exhaustion: frame bodies are capped at MaxFrameLen before
 // any allocation, and the total bytes discarded during resynchronization
 // are capped by the per-connection garbage budget.
+//
+// The decode path is zero-copy: the stream is read directly into the
+// decoder's internal ring, frames are parsed from slices of that ring, and
+// only the data a Frame actually keeps (message kind, point coordinates) is
+// copied out by decodeBody. No per-read chunk and no per-frame body buffer
+// are allocated in steady state; the ring's capacity converges on the
+// largest frame the connection carries.
 type StreamDecoder struct {
 	r      io.Reader
-	buf    []byte // unconsumed window: buf[pos:] is live
+	buf    []byte // unconsumed window: buf[pos:] is live, buf[len:cap] is free
 	pos    int
 	budget int64 // remaining discardable bytes; < 0 = exhausted
 	eof    bool  // underlying reader returned EOF
+
+	compressed bool    // handshake negotiated FlagCompress; FrameBatch allowed
+	queue      []Frame // decoded frames from the current batch, pending delivery
+	qpos       int
+	scratch    []byte // batch inflation buffer, reused across batches
 
 	// OnFault, when non-nil, is invoked once per classified decode fault
 	// with the fault class and the number of stream bytes charged to the
@@ -44,6 +56,14 @@ func NewStreamDecoder(r io.Reader, budget int64) *StreamDecoder {
 		budget = 256 << 10
 	}
 	return &StreamDecoder{r: r, budget: budget}
+}
+
+// SetCompressed declares whether the connection's opening handshake
+// negotiated FlagCompress. Until it is set true, FrameBatch envelopes are
+// rejected as corruption — an unannounced batch is indistinguishable from a
+// forged frame type.
+func (d *StreamDecoder) SetCompressed(on bool) {
+	d.compressed = on
 }
 
 // Budget returns the remaining garbage budget.
@@ -62,9 +82,10 @@ func (d *StreamDecoder) fault(class string, n int64) {
 	}
 }
 
-// fill grows the window to at least want live bytes. It returns io.EOF only
-// when the stream ended exactly at a frame boundary (no live bytes at all);
-// a partial tail is reported as io.ErrUnexpectedEOF.
+// fill grows the window to at least want live bytes, reading from the stream
+// directly into the ring's free tail — no intermediate chunk buffer. It
+// returns io.EOF only when the stream ended exactly at a frame boundary (no
+// live bytes at all); a partial tail is reported as io.ErrUnexpectedEOF.
 func (d *StreamDecoder) fill(want int) error {
 	for len(d.buf)-d.pos < want {
 		if d.eof {
@@ -73,16 +94,20 @@ func (d *StreamDecoder) fill(want int) error {
 			}
 			return io.ErrUnexpectedEOF
 		}
-		// Compact before growing: discarded prefix bytes are dead.
+		// Compact before growing: discarded prefix bytes are dead, and
+		// sliding the live window to the front reopens tail capacity.
 		if d.pos > 0 {
-			d.buf = append(d.buf[:0], d.buf[d.pos:]...)
+			n := copy(d.buf, d.buf[d.pos:])
+			d.buf = d.buf[:n]
 			d.pos = 0
 		}
-		chunk := make([]byte, 32<<10)
-		n, err := d.r.Read(chunk)
-		if n > 0 {
-			d.buf = append(d.buf, chunk[:n]...)
+		if cap(d.buf)-len(d.buf) < 1<<10 || cap(d.buf) < want {
+			grown := make([]byte, len(d.buf), max(2*cap(d.buf), max(want, 32<<10)))
+			copy(grown, d.buf)
+			d.buf = grown
 		}
+		n, err := d.r.Read(d.buf[len(d.buf):cap(d.buf)])
+		d.buf = d.buf[:len(d.buf)+n]
 		if err != nil {
 			if err == io.EOF {
 				d.eof = true
@@ -102,12 +127,20 @@ func (d *StreamDecoder) discard(n int) {
 // Next returns the next valid frame. On corruption it resynchronizes: the
 // offending byte (or, for a frame that framed correctly but failed body
 // decode, the whole frame) is discarded and charged to the garbage budget,
-// and scanning resumes at the next byte. Terminal returns: io.EOF at a
-// clean boundary, io.ErrUnexpectedEOF for a stream cut mid-frame,
-// ErrGarbageBudget once the connection has produced more corrupt bytes
-// than allowed, and any underlying transport error.
+// and scanning resumes at the next byte. Compressed FrameBatch envelopes
+// (when negotiated — see SetCompressed) are unwrapped transparently: the
+// inner frames are queued and delivered one per call, in order. Terminal
+// returns: io.EOF at a clean boundary, io.ErrUnexpectedEOF for a stream cut
+// mid-frame, ErrGarbageBudget once the connection has produced more corrupt
+// bytes than allowed, and any underlying transport error.
 func (d *StreamDecoder) Next() (Frame, error) {
 	for {
+		if d.qpos < len(d.queue) {
+			f := d.queue[d.qpos]
+			d.queue[d.qpos] = Frame{} // drop payload references promptly
+			d.qpos++
+			return f, nil
+		}
 		if d.budget < 0 {
 			return Frame{}, ErrGarbageBudget
 		}
@@ -132,6 +165,25 @@ func (d *StreamDecoder) Next() (Frame, error) {
 			d.fault(ClassBadCRC, 1)
 			d.discard(1)
 			continue
+		}
+		if n > 0 && body[0] == FrameBatch {
+			if !d.compressed {
+				d.fault(Classify(ErrBatchNotNegotiated), int64(FrameHeaderLen+n))
+				d.discard(FrameHeaderLen + n)
+				continue
+			}
+			d.queue, d.qpos = d.queue[:0], 0
+			d.queue, d.scratch, err = decodeBatchBody(body[1:], d.queue, d.scratch)
+			if err != nil {
+				// The envelope CRC passed, so the boundary is trustworthy:
+				// charge and skip the whole batch frame.
+				d.queue, d.qpos = d.queue[:0], 0
+				d.fault(Classify(err), int64(FrameHeaderLen+n))
+				d.discard(FrameHeaderLen + n)
+				continue
+			}
+			d.discard(FrameHeaderLen + n)
+			continue // deliver from the queue (empty batch: read on)
 		}
 		f, err := decodeBody(body)
 		if err != nil {

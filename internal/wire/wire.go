@@ -143,8 +143,8 @@ type RBCPayload struct {
 	Inner  any
 }
 
-// EncodeMessage serialises a message (envelope + payload) to bytes.
-// The frame layout is:
+// AppendMessage serialises a message (envelope + payload) by appending it
+// to dst and returning the extended slice. The frame layout is:
 //
 //	u32 frameLen (bytes after this field)
 //	i32 from | i32 to | i32 round | i32 instance | u8 kindLen | kind | u8 tag | payload
@@ -153,28 +153,41 @@ type RBCPayload struct {
 // which protocol instance of a batch the message belongs to, so the kind
 // string is carried byte-for-byte with no namespacing conventions imposed
 // on it.
-func EncodeMessage(m dist.Message) ([]byte, error) {
+//
+// The message is encoded in place — the length prefix is reserved up front
+// and backfilled once the body size is known — so a caller that reuses dst
+// encodes with zero allocations in steady state. On error dst is returned
+// truncated to its original length.
+func AppendMessage(dst []byte, m dist.Message) ([]byte, error) {
 	if len(m.Kind) > 255 {
-		return nil, fmt.Errorf("wire: kind %q too long", m.Kind)
+		return dst, fmt.Errorf("wire: kind %q too long", m.Kind)
 	}
-	body := make([]byte, 0, 64)
-	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.From)))
-	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.To)))
-	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.Round)))
-	body = binary.BigEndian.AppendUint32(body, uint32(int32(m.Instance)))
-	body = append(body, byte(len(m.Kind)))
-	body = append(body, m.Kind...)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, backfilled below
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.From)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.To)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.Round)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.Instance)))
+	dst = append(dst, byte(len(m.Kind)))
+	dst = append(dst, m.Kind...)
 	var err error
-	body, err = appendPayload(body, m.Payload)
+	dst, err = appendPayload(dst, m.Payload)
 	if err != nil {
-		return nil, err
+		return dst[:start], err
 	}
-	if len(body) > MaxFrameLen {
-		return nil, fmt.Errorf("%w: message body is %d bytes (cap %d)", ErrTooLarge, len(body), MaxFrameLen)
+	n := len(dst) - start - 4
+	if n > MaxFrameLen {
+		return dst[:start], fmt.Errorf("%w: message body is %d bytes (cap %d)", ErrTooLarge, n, MaxFrameLen)
 	}
-	out := make([]byte, 0, 4+len(body))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	return append(out, body...), nil
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// EncodeMessage serialises a message into a fresh slice. It is the
+// compatibility shim over AppendMessage; hot paths should append into a
+// reused buffer instead.
+func EncodeMessage(m dist.Message) ([]byte, error) {
+	return AppendMessage(nil, m)
 }
 
 func appendPayload(b []byte, payload any) ([]byte, error) {

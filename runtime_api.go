@@ -79,6 +79,25 @@ type networkOptions struct {
 	netPlan     *NetFaultPlan
 	checkpoint  int64
 	durability  DurabilityPolicy
+	wire        *WireConfig
+}
+
+// WireConfig tunes the TCP transport's write path: frame coalescing (on by
+// default; SingleFrame restores the write+flush-per-frame path), the
+// flush-deadline batching window, and optional per-batch flate compression
+// negotiated in the connection handshake. The zero value is the default
+// production configuration. Usable both with WithWire and as
+// BatchConfig.Wire.
+type WireConfig = runtime.WireConfig
+
+// WithWire applies a wire write-path configuration to the TCP transport.
+// Requires the TCP transport — the other transports exchange structured
+// messages, not framed bytes.
+func WithWire(cfg WireConfig) NetworkOption {
+	return func(o *networkOptions) {
+		c := cfg
+		o.wire = &c
+	}
 }
 
 // WithNetworkChaos injects seeded network faults below the reliable-link
@@ -234,6 +253,9 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	if netOpts.netPlan != nil && transport != TCP {
 		return nil, fmt.Errorf("chc: WithNetFaults requires the TCP transport")
 	}
+	if netOpts.wire != nil && transport != TCP {
+		return nil, fmt.Errorf("chc: WithWire requires the TCP transport")
+	}
 	if netOpts.walDir == "" {
 		switch {
 		case netOpts.diskPlan != nil:
@@ -281,6 +303,7 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 		engOpts.WALFS = diskfault.New(wal.OSFS(), *netOpts.diskPlan)
 	}
 	engOpts.NetFaults = netOpts.netPlan
+	engOpts.Wire = netOpts.wire
 	if netOpts.checkpoint > 0 {
 		engOpts.Checkpoint = wal.CheckpointPolicy{EveryBytes: netOpts.checkpoint}
 	}
