@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke bench bench-json bench-check bench-telemetry bench-transport experiments
+.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke serve-smoke bench bench-json bench-check bench-telemetry bench-transport experiments
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,15 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime $(FUZZ_TIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzStreamDecoder -fuzztime $(FUZZ_TIME) ./internal/wire/
 
+# serve-smoke is the resident-service gate: the resident engine (dynamic
+# instance lifecycle over a live cluster, including the WAL-relaunch-mid-
+# stream scenario), the session/ticket layer, the service daemon (admission
+# control, retention eviction, HTTP API, auth) and the chcd smoke test
+# (submit over HTTP, SIGTERM, graceful drain), all under the race detector.
+serve-smoke: build
+	$(GO) test -race -timeout 10m -run 'Resident|Session' ./internal/engine/ ./internal/multiplex/
+	$(GO) test -race -timeout 10m ./internal/service/ ./cmd/chcd/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
@@ -62,7 +71,7 @@ bench-json: build
 
 # The newest committed benchmark baseline; bump when a fresh BENCH_<sha>.json
 # lands.
-BENCH_BASELINE ?= BENCH_b605b65.json
+BENCH_BASELINE ?= BENCH_8af5106.json
 
 # bench-check is the regression gate: re-measure the suite and fail when any
 # case is more than 25% slower (ns/op) — or, for cases reporting msgs/sec,

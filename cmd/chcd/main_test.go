@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonServeSubmitDrain is the daemon smoke test: start chcd on a free
+// port, submit an instance over the HTTP API, send ourselves SIGTERM, and
+// assert the daemon drains (instance decided) and exits cleanly.
+func TestDaemonServeSubmitDrain(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-n", "4", "-addr", "127.0.0.1:0", "-transport", "inproc",
+			"-drain-timeout", "60s",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon not ready after 30s")
+	}
+	base := "http://" + addr
+
+	body := `{"f":1,"d":1,"epsilon":0.05,"input_upper":12,"inputs":[[1],[4],[7],[10]]}`
+	resp, err := http.Post(base+"/v1/instances", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var accepted struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+
+	// SIGTERM with the instance possibly still in flight: the drain must
+	// finish it before the daemon exits.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("daemon did not drain and exit\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Fatalf("missing drain farewell:\n%s", out.String())
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transport", "bogus"}, &out, nil); err == nil {
+		t.Fatal("accepted bogus transport")
+	}
+	if err := run([]string{"-wal-checkpoint", "4096"}, &out, nil); err == nil {
+		t.Fatal("accepted -wal-checkpoint without -wal-dir")
+	}
+	if err := run([]string{"-chaos", "drop=banana"}, &out, nil); err == nil {
+		t.Fatal("accepted malformed chaos spec")
+	}
+}
+
+// TestDaemonRejectsSecondSignalMessage exercises the usage text path.
+func TestDaemonUsageError(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-definitely-not-a-flag"}, &out, nil)
+	if err == nil {
+		t.Fatal("accepted unknown flag")
+	}
+	if !strings.Contains(fmt.Sprint(err), "definitely-not-a-flag") {
+		t.Fatalf("unhelpful flag error: %v", err)
+	}
+}

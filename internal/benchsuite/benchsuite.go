@@ -23,6 +23,7 @@ import (
 	"chc/internal/multiplex"
 	"chc/internal/polytope"
 	chcruntime "chc/internal/runtime"
+	"chc/internal/service"
 	"chc/internal/telemetry"
 )
 
@@ -63,6 +64,7 @@ func Cases() []Case {
 		{"ConsensusN10F2D3Telemetry", benchConsensusN10F2D3Telemetry},
 		{"ConsensusN9F2D2", benchConsensusN9F2D2},
 		{"BatchSim8Instances", benchBatchSim8Instances},
+		{"ServiceSubmitDecide", benchServiceSubmitDecide},
 		{"InitialPolytopeN12F2D3", benchInitialPolytope},
 		{"LPChebyshev3D", benchLPChebyshev},
 		{"LPConvexWeights3D", benchLPConvexWeights},
@@ -264,6 +266,44 @@ func benchBatchSim8Instances(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
+}
+
+// benchServiceSubmitDecide measures the resident-service hot path: one op
+// is a single instance submitted against an already-warm cluster and
+// watched to its decision — the submit→decide latency a consensus-as-a-
+// service tenant observes. The daemon (cluster, goroutines, mailboxes) is
+// built once outside the timer, so the figure isolates instance lifecycle
+// cost from cluster startup, which is exactly what distinguishes the
+// resident engine from a per-run engine.Run. Reports instances/sec.
+func benchServiceSubmitDecide(b *testing.B) {
+	const n, d = 5, 2
+	params := core.Params{
+		N: n, F: 1, D: d,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	srv, err := service.New(service.Config{N: n, Retention: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := multiplex.Instance{Params: params, Inputs: randPoints(n, d, int64(i+1))}
+		id, _, err := srv.Submit(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, terminal, err := srv.Watch(id, 120*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !terminal || st.State != service.StateDecided {
+			b.Fatalf("instance %d: state %v err %v", id, st.State, st.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
 }
 
 // benchInitialPolytope exercises the exponential round-0 hot loop of the

@@ -1,0 +1,30 @@
+package dist
+
+import "strings"
+
+// Control messages are in-band, self-addressed lifecycle commands of the
+// resident engine: opening or closing a consensus instance on a live node.
+// They travel the node's own journaling path (never the network), so on a
+// WAL-enabled cluster every lifecycle change is a durable record with a
+// definite position in the node's delivery order — which is exactly what
+// makes dynamic instance lifecycle replayable: a relaunched node re-applies
+// its opens and closes at the same positions and therefore regenerates the
+// same sends.
+//
+// The kinds are prefixed with a NUL byte, which no protocol kind string
+// uses, so controls can never collide with protocol traffic.
+const (
+	// KindOpenInstance opens instance Message.Instance on the receiving
+	// node: the node builds and initialises its participant.
+	KindOpenInstance = "\x00chc/open"
+	// KindCloseInstance retires instance Message.Instance on the receiving
+	// node: the participant is dropped and later traffic for the instance
+	// is discarded.
+	KindCloseInstance = "\x00chc/close"
+)
+
+// IsControl reports whether kind names an in-band lifecycle control rather
+// than a protocol message.
+func IsControl(kind string) bool {
+	return strings.HasPrefix(kind, "\x00")
+}

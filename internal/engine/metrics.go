@@ -14,3 +14,17 @@ var (
 	mRunSeconds = telemetry.Default().HistogramVec("chc_engine_run_seconds",
 		"Wall-clock duration of one engine run.", nil, "transport")
 )
+
+// Resident-engine lifecycle accounting: instances admitted against a warm
+// cluster, instances currently live, and instances retired (participant
+// state released on every node).
+var (
+	mResidentEngines = telemetry.Default().Gauge("chc_engine_resident_engines",
+		"Resident engines currently running.")
+	mResidentOpened = telemetry.Default().Counter("chc_engine_resident_instances_opened_total",
+		"Instances admitted to resident engines.")
+	mResidentRetired = telemetry.Default().Counter("chc_engine_resident_instances_retired_total",
+		"Instances retired (decided or failed) from resident engines.")
+	mResidentActive = telemetry.Default().Gauge("chc_engine_resident_instances_active",
+		"Instances currently live on resident engines.")
+)

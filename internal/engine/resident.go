@@ -1,0 +1,532 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chc/internal/chaos"
+	"chc/internal/dist"
+	"chc/internal/netfault"
+	"chc/internal/runtime"
+	"chc/internal/wal"
+	"chc/internal/wire"
+)
+
+// ErrEngineClosed is returned by Open once the resident engine has begun
+// draining or shutting down.
+var ErrEngineClosed = errors.New("engine: resident engine is closed to new instances")
+
+// ErrDrainTimeout is returned by Drain when instances are still running at
+// the deadline.
+var ErrDrainTimeout = errors.New("engine: drain timed out")
+
+// ResidentOptions configures a resident engine. The fault stack mirrors
+// Options, minus the simulator-only fields: a resident engine is a live
+// cluster, so it only runs on the networked transports.
+type ResidentOptions struct {
+	// Transport selects the executor: TransportChannel or TransportTCP.
+	// The simulator cannot host a resident cluster (it has no notion of
+	// time passing without work), so TransportSim is rejected.
+	Transport Transport
+
+	// Sizer estimates per-message bytes for Stats (default wire.MessageSize).
+	Sizer func(dist.Message) int
+
+	// Chaos injects seeded link faults below the reliable-link layer.
+	Chaos     *chaos.Profile
+	ChaosSeed int64
+
+	// NetFaults corrupts the raw byte streams under the wire codec (TCP only).
+	NetFaults *netfault.Plan
+
+	// Wire tunes the TCP transport's write path (TCP only).
+	Wire *runtime.WireConfig
+
+	// WALDir enables write-ahead logging. Instance lifecycle (opens and
+	// closes) is journaled in-band, so a relaunched node recovers not just
+	// its protocol state but which instances it was hosting.
+	WALDir string
+	// WALFS is the filesystem the journals write through (nil = host).
+	WALFS wal.FS
+	// Checkpoint enables WAL snapshot + segment rotation (requires WALDir).
+	Checkpoint wal.CheckpointPolicy
+	// Durability selects the policy applied when a node's journal fails
+	// (requires WALDir; default fail-stop).
+	Durability runtime.DurabilityPolicy
+
+	// Restarts schedules crash-recovery faults against the resident
+	// cluster: kill after a send budget, relaunch from the WAL mid-stream.
+	// Requires WALDir.
+	Restarts []runtime.RestartPlan
+}
+
+// InstanceState is the lifecycle state of one resident instance.
+type InstanceState int
+
+// Lifecycle states. Running instances become Decided when every process
+// reported a decision, or Failed when construction failed or the engine
+// aborted them; both transitions retire the instance's participants.
+const (
+	InstanceRunning InstanceState = iota
+	InstanceDecided
+	InstanceFailed
+)
+
+// String names the state.
+func (s InstanceState) String() string {
+	switch s {
+	case InstanceRunning:
+		return "running"
+	case InstanceDecided:
+		return "decided"
+	case InstanceFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// InstanceSink receives the lifecycle callbacks of one instance. Callbacks
+// fire from engine goroutines and must not block for long; they must not
+// call back into the Resident engine.
+type InstanceSink struct {
+	// OnProcDecided fires once per process, as soon as that process's
+	// participant terminates, with the participant itself — the callback
+	// extracts the typed decision. It runs on the goroutine that drives the
+	// participant, so reading the participant's state is race-free.
+	OnProcDecided func(id dist.ProcID, sub dist.Process)
+	// OnDecided fires once, when every process has reported. It may fire
+	// concurrently with the final OnProcDecided's caller returning; result
+	// collectors should count OnProcDecided calls rather than rely on
+	// ordering between the two callbacks.
+	OnDecided func()
+	// OnFailed fires once if the instance fails (participant construction
+	// error or engine-side abort). Mutually exclusive with OnDecided.
+	OnFailed func(err error)
+}
+
+// residentInstance is one registry row. The spec (construction closure,
+// which embeds the inputs) is retained for the engine's lifetime — WAL
+// replay of a relaunched node may need to rebuild any instance the node
+// ever hosted — but everything heavyweight (participant state machines,
+// the per-process decided set, the sink) is released at retirement.
+type residentInstance struct {
+	spec    InstanceSpec
+	sink    InstanceSink
+	state   InstanceState
+	retired bool
+	err     error
+
+	decided      map[dist.ProcID]bool
+	decidedCount int
+}
+
+// Resident is a long-lived multi-tenant engine: one warm cluster over which
+// consensus instances are opened, decided, and retired dynamically. It is
+// the service-shaped counterpart of Run — instead of a fixed Spec executed
+// to completion, instances are admitted against a running mesh and their
+// decisions are delivered through per-instance callbacks.
+//
+// Lifecycle changes are propagated as in-band self-addressed control
+// messages (dist.KindOpenInstance / dist.KindCloseInstance) through each
+// node's journaling path, so on a WAL-enabled cluster the dynamic lifecycle
+// is crash-recoverable: a relaunched node replays its opens, deliveries and
+// closes in their original order and regenerates exactly the original
+// sends, which the resumed reliable links require.
+type Resident struct {
+	n         int
+	transport Transport
+	cluster   *runtime.Cluster
+
+	mu        sync.Mutex
+	instances []*residentInstance
+	running   int
+	closed    bool
+	stopped   bool
+	// changed is closed and replaced on every instance state transition;
+	// Drain waits on it.
+	changed chan struct{}
+}
+
+// StartResident builds an n-process cluster of lifecycle nodes and starts
+// it resident. The returned engine accepts Open until Drain/Close.
+func StartResident(n int, opts ResidentOptions) (*Resident, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: N = %d", n)
+	}
+	switch opts.Transport {
+	case TransportChannel, TransportTCP:
+	case TransportSim:
+		return nil, errors.New("engine: a resident engine needs a networked transport (the simulator cannot host a live cluster)")
+	default:
+		return nil, fmt.Errorf("engine: unknown transport %d", int(opts.Transport))
+	}
+	if opts.NetFaults != nil && opts.Transport != TransportTCP {
+		return nil, errors.New("engine: byte-stream fault injection needs the TCP transport (channel clusters have no byte streams)")
+	}
+	if opts.Wire != nil && opts.Transport != TransportTCP {
+		return nil, errors.New("engine: wire write-path tuning needs the TCP transport (channel clusters have no wire)")
+	}
+	if opts.WALDir == "" {
+		if len(opts.Restarts) > 0 {
+			return nil, errors.New("engine: restarts require WALDir")
+		}
+		if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
+			return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy require WALDir")
+		}
+	}
+	if opts.Sizer == nil {
+		opts.Sizer = wire.MessageSize
+	}
+	r := &Resident{n: n, transport: opts.Transport, changed: make(chan struct{})}
+	procs := make([]dist.Process, n)
+	for i := range procs {
+		procs[i] = newResidentNode(r, dist.ProcID(i))
+	}
+	runOpts := []runtime.Option{runtime.WithSizer(opts.Sizer)}
+	if opts.WALDir != "" {
+		runOpts = append(runOpts, runtime.WithRecovery(runtime.RecoveryConfig{
+			Dir: opts.WALDir,
+			// A fresh lifecycle node over the same registry: replaying the
+			// journaled controls and deliveries rebuilds every instance the
+			// node hosted, in the original order.
+			Factory: func(i int) dist.Process {
+				return newResidentNode(r, dist.ProcID(i))
+			},
+			FS:         opts.WALFS,
+			Checkpoint: opts.Checkpoint,
+			Durability: opts.Durability,
+			OnRelaunch: r.reconcile,
+		}))
+	}
+	if len(opts.Restarts) > 0 {
+		runOpts = append(runOpts, runtime.WithRestarts(opts.Restarts...))
+	}
+	if opts.Chaos != nil {
+		runOpts = append(runOpts, runtime.WithChaos(*opts.Chaos, opts.ChaosSeed))
+	}
+	if opts.NetFaults != nil {
+		runOpts = append(runOpts, runtime.WithNetFaults(*opts.NetFaults))
+	}
+	if opts.Wire != nil {
+		runOpts = append(runOpts, runtime.WithWire(*opts.Wire))
+	}
+	var (
+		cluster *runtime.Cluster
+		err     error
+	)
+	switch opts.Transport {
+	case TransportChannel:
+		cluster, err = runtime.NewChannelCluster(procs, runOpts...)
+	case TransportTCP:
+		cluster, err = runtime.NewTCPCluster(procs, runOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.Start(); err != nil {
+		return nil, err
+	}
+	r.cluster = cluster
+	mResidentEngines.Add(1)
+	return r, nil
+}
+
+// N returns the process count of the resident cluster.
+func (r *Resident) N() int { return r.n }
+
+// Transport returns the executor the cluster runs on.
+func (r *Resident) Transport() Transport { return r.transport }
+
+// Open admits one instance: the spec is registered and every node is told —
+// via its journaled control path — to build and initialise its participant.
+// It returns the engine-assigned instance id. Decisions arrive through the
+// sink. Opens are rejected after Drain or Close.
+func (r *Resident) Open(spec InstanceSpec, sink InstanceSink) (int, error) {
+	if spec.New == nil {
+		return 0, errors.New("engine: instance has no constructor")
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0, ErrEngineClosed
+	}
+	k := len(r.instances)
+	r.instances = append(r.instances, &residentInstance{
+		spec:    spec,
+		sink:    sink,
+		decided: make(map[dist.ProcID]bool, r.n),
+	})
+	r.running++
+	// The registry append and the control fan-out share the critical
+	// section: instance ids are dense and every node sees opens in id
+	// order. A node that is down misses its control and gets it again from
+	// reconcile when it relaunches.
+	for i := 0; i < r.n; i++ {
+		_ = r.cluster.EnqueueControl(dist.ProcID(i), controlMsg(dist.ProcID(i), dist.KindOpenInstance, k))
+	}
+	r.mu.Unlock()
+	mResidentOpened.Inc()
+	mResidentActive.Add(1)
+	return k, nil
+}
+
+// controlMsg builds a self-addressed lifecycle control.
+func controlMsg(id dist.ProcID, kind string, k int) dist.Message {
+	return dist.Message{From: id, To: id, Kind: kind, Instance: k}
+}
+
+// State reports the lifecycle state of instance k and how many processes
+// have decided it.
+func (r *Resident) State(k int) (state InstanceState, decided int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 0 || k >= len(r.instances) {
+		return 0, 0, fmt.Errorf("engine: unknown instance %d", k)
+	}
+	ins := r.instances[k]
+	return ins.state, ins.decidedCount, nil
+}
+
+// Running returns the number of admitted-but-unfinished instances.
+func (r *Resident) Running() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Instances returns the total number of instances ever admitted.
+func (r *Resident) Instances() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.instances)
+}
+
+// Stats reports the cluster's aggregate transport counters.
+func (r *Resident) Stats() runtime.ClusterStats { return r.cluster.Stats() }
+
+// LiveParticipants sums the participant state machines currently held
+// across all nodes — the number retirement is meant to keep bounded: after
+// every admitted instance has decided and its closes have been processed,
+// it returns to zero no matter how many instances the engine has served.
+func (r *Resident) LiveParticipants() int {
+	total := 0
+	for _, p := range r.cluster.Processes() {
+		if nd, ok := p.(*residentNode); ok {
+			total += nd.OpenCount()
+		}
+	}
+	return total
+}
+
+// Abort fails a running instance: its participants are retired on every
+// node and its sink's OnFailed fires. Used by the service layer to evict
+// instances that can no longer decide (e.g. a dead node with no restart
+// plan).
+func (r *Resident) Abort(k int, reason error) error {
+	if reason == nil {
+		reason = errors.New("engine: instance aborted")
+	}
+	r.mu.Lock()
+	if k < 0 || k >= len(r.instances) {
+		r.mu.Unlock()
+		return fmt.Errorf("engine: unknown instance %d", k)
+	}
+	ins := r.instances[k]
+	if ins.state != InstanceRunning {
+		r.mu.Unlock()
+		return nil
+	}
+	cb := r.failLocked(k, ins, reason)
+	r.mu.Unlock()
+	if cb != nil {
+		cb(reason)
+	}
+	return nil
+}
+
+// Drain closes admission and waits until no instance is running (each one
+// decided or failed), or the timeout elapses.
+func (r *Resident) Drain(timeout time.Duration) error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		r.mu.Lock()
+		running := r.running
+		ch := r.changed
+		r.mu.Unlock()
+		if running == 0 {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return fmt.Errorf("%w: %d instances still running", ErrDrainTimeout, running)
+		}
+	}
+}
+
+// Close shuts the engine down: admission closes immediately and the cluster
+// is torn down, running instances or not (call Drain first for a graceful
+// stop). Idempotent.
+func (r *Resident) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	first := !r.stopped
+	r.stopped = true
+	r.mu.Unlock()
+	err := r.cluster.Shutdown()
+	if first {
+		mResidentEngines.Add(-1)
+	}
+	return err
+}
+
+// instanceSpec is the registry lookup nodes use when applying an open
+// control (live or during WAL replay).
+func (r *Resident) instanceSpec(k int) (InstanceSpec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 0 || k >= len(r.instances) {
+		return InstanceSpec{}, false
+	}
+	return r.instances[k].spec, true
+}
+
+// signal wakes Drain waiters. Callers hold r.mu.
+func (r *Resident) signal() {
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// retireLocked drops instance k's participants on every node by enqueuing
+// journaled close controls, and releases the registry row's heavyweight
+// state. The spec survives: a node relaunched later may replay the open.
+// Callers hold r.mu — the critical section serializes retirement against
+// Open fan-outs and relaunch reconciliation, so a close can never overtake
+// its open on any node's delivery path.
+func (r *Resident) retireLocked(k int, ins *residentInstance) {
+	if ins.retired {
+		return
+	}
+	ins.retired = true
+	ins.sink = InstanceSink{}
+	ins.decided = nil
+	for i := 0; i < r.n; i++ {
+		_ = r.cluster.EnqueueControl(dist.ProcID(i), controlMsg(dist.ProcID(i), dist.KindCloseInstance, k))
+	}
+	mResidentRetired.Inc()
+	mResidentActive.Add(-1)
+}
+
+// failLocked moves a running instance to Failed and retires it, returning
+// the OnFailed callback for the caller to fire after unlocking.
+func (r *Resident) failLocked(k int, ins *residentInstance, err error) func(error) {
+	cb := ins.sink.OnFailed
+	ins.state = InstanceFailed
+	ins.err = err
+	r.running--
+	r.retireLocked(k, ins)
+	r.signal()
+	return cb
+}
+
+// noteDecided records that process id's participant of instance k
+// terminated. The nth process completes the instance: it becomes Decided
+// and is retired everywhere. Called from the goroutine driving the
+// participant (live delivery or WAL replay); replays of already-counted
+// processes are deduplicated here.
+func (r *Resident) noteDecided(k int, id dist.ProcID, sub dist.Process) {
+	r.mu.Lock()
+	if k < 0 || k >= len(r.instances) {
+		r.mu.Unlock()
+		return
+	}
+	ins := r.instances[k]
+	if ins.state != InstanceRunning || ins.decided[id] {
+		r.mu.Unlock()
+		return
+	}
+	ins.decided[id] = true
+	ins.decidedCount++
+	procCb := ins.sink.OnProcDecided
+	var decidedCb func()
+	if ins.decidedCount == r.n {
+		ins.state = InstanceDecided
+		r.running--
+		decidedCb = ins.sink.OnDecided
+		r.retireLocked(k, ins)
+		r.signal()
+	}
+	r.mu.Unlock()
+	if procCb != nil {
+		procCb(id, sub)
+	}
+	if decidedCb != nil {
+		decidedCb()
+	}
+}
+
+// noteOpenFailure records that process id could not construct its
+// participant of instance k. The whole instance fails: without all n
+// participants it can never decide.
+func (r *Resident) noteOpenFailure(k int, id dist.ProcID, err error) {
+	r.mu.Lock()
+	if k < 0 || k >= len(r.instances) {
+		r.mu.Unlock()
+		return
+	}
+	ins := r.instances[k]
+	if ins.state != InstanceRunning {
+		r.mu.Unlock()
+		return
+	}
+	cb := r.failLocked(k, ins, err)
+	r.mu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+}
+
+// reconcile is the RecoveryConfig.OnRelaunch hook: controls enqueued while
+// node id was down were rejected, so re-derive them from the relaunched
+// node's journaled watermark. Runs under r.mu so it serializes against
+// concurrent Opens and retirements: every lifecycle change lands on the new
+// incarnation exactly once — either from the original enqueue (it raced
+// ahead of this hook, and the node's watermark dedups the repeat) or from
+// here.
+func (r *Resident) reconcile(id dist.ProcID) {
+	procs := r.cluster.Processes()
+	if int(id) >= len(procs) {
+		return
+	}
+	nd, ok := procs[id].(*residentNode)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := nd.Highest()
+	for k := h + 1; k < len(r.instances); k++ {
+		kind := dist.KindOpenInstance
+		if r.instances[k].retired {
+			// Never opened here and already retired everywhere else: a close
+			// control alone advances the node's watermark past k, so stray
+			// retransmitted frames for k are dropped instead of buffered.
+			kind = dist.KindCloseInstance
+		}
+		_ = r.cluster.EnqueueControl(id, controlMsg(id, kind, k))
+	}
+	// Instances the journal reopened but the engine retired while the node
+	// was down: close them again.
+	for _, k := range nd.OpenInstances() {
+		if k < len(r.instances) && r.instances[k].retired {
+			_ = r.cluster.EnqueueControl(id, controlMsg(id, dist.KindCloseInstance, k))
+		}
+	}
+}

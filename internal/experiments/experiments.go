@@ -27,6 +27,7 @@
 //	E19 the telemetry audit: eq. (19) and Lemma 3 measured from trace events
 //	E20 the storage-fault matrix: disk faults × durability policy × compaction
 //	E21 the adversarial-wire matrix: byte-stream corruption × chaos × restarts
+//	E22 the resident-service matrix: a daemon serving an instance stream
 package experiments
 
 import (
@@ -153,6 +154,7 @@ func All() []Experiment {
 		{"E19", "Telemetry audit: round bound and contraction from trace events", E19TelemetryAudit},
 		{"E20", "Storage-fault matrix: disk faults, durability policies and compaction", E20StorageFaults},
 		{"E21", "Adversarial-wire matrix: byte-stream corruption, quarantine and readmission over TCP", E21WireFaults},
+		{"E22", "Resident-service matrix: heterogeneous instance stream over one warm cluster", E22ResidentService},
 	}
 }
 

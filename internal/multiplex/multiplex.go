@@ -160,6 +160,50 @@ type BatchResult struct {
 	Telemetry *telemetry.Snapshot
 }
 
+// specForInstance validates one instance against the shared process count
+// and translates it into an engine spec. Shared by batch construction and
+// resident-session submission.
+func specForInstance(n int, inst Instance) (engine.InstanceSpec, error) {
+	params := inst.Params.WithDefaults()
+	if params.N != n {
+		return engine.InstanceSpec{}, fmt.Errorf("has n=%d, cluster runs on n=%d", params.N, n)
+	}
+	if err := params.Validate(); err != nil {
+		return engine.InstanceSpec{}, err
+	}
+	if len(inst.Inputs) != n {
+		return engine.InstanceSpec{}, fmt.Errorf("has %d inputs for n=%d", len(inst.Inputs), n)
+	}
+	if len(inst.Faults) > 0 && inst.Protocol != ProtocolByzantine {
+		return engine.InstanceSpec{}, fmt.Errorf("Faults require ProtocolByzantine, got %v", inst.Protocol)
+	}
+	switch inst.Protocol {
+	case ProtocolCC:
+		ccCfg := core.RunConfig{Params: params, Inputs: inst.Inputs}
+		return ccCfg.Spec(), nil
+	case ProtocolVector:
+		return vectorconsensus.Spec(core.RunConfig{Params: params, Inputs: inst.Inputs}), nil
+	case ProtocolByzantine:
+		bzCfg := byzantine.RunConfig{Params: params, Inputs: inst.Inputs, Faults: inst.Faults}
+		if err := byzantine.Validate(bzCfg); err != nil {
+			return engine.InstanceSpec{}, err
+		}
+		return byzantine.Spec(bzCfg), nil
+	default:
+		return engine.InstanceSpec{}, fmt.Errorf("unknown protocol %d", int(inst.Protocol))
+	}
+}
+
+// ValidateInstance checks one instance against the shared process count
+// without building it, so admission layers can reject malformed submissions
+// synchronously.
+func ValidateInstance(n int, inst Instance) error {
+	if _, err := specForInstance(n, inst); err != nil {
+		return fmt.Errorf("multiplex: instance %w", err)
+	}
+	return nil
+}
+
 // buildSpec validates the batch and translates it into an engine spec.
 func buildSpec(cfg BatchConfig) (engine.Spec, error) {
 	if cfg.N <= 0 {
@@ -170,34 +214,11 @@ func buildSpec(cfg BatchConfig) (engine.Spec, error) {
 	}
 	spec := engine.Spec{N: cfg.N, Instances: make([]engine.InstanceSpec, len(cfg.Instances))}
 	for k, inst := range cfg.Instances {
-		params := inst.Params.WithDefaults()
-		if params.N != cfg.N {
-			return engine.Spec{}, fmt.Errorf("multiplex: instance %d has n=%d, batch runs on n=%d", k, params.N, cfg.N)
+		is, err := specForInstance(cfg.N, inst)
+		if err != nil {
+			return engine.Spec{}, fmt.Errorf("multiplex: instance %d %w", k, err)
 		}
-		if err := params.Validate(); err != nil {
-			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: %w", k, err)
-		}
-		if len(inst.Inputs) != cfg.N {
-			return engine.Spec{}, fmt.Errorf("multiplex: instance %d has %d inputs for n=%d", k, len(inst.Inputs), cfg.N)
-		}
-		if len(inst.Faults) > 0 && inst.Protocol != ProtocolByzantine {
-			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: Faults require ProtocolByzantine, got %v", k, inst.Protocol)
-		}
-		switch inst.Protocol {
-		case ProtocolCC:
-			ccCfg := core.RunConfig{Params: params, Inputs: inst.Inputs}
-			spec.Instances[k] = ccCfg.Spec()
-		case ProtocolVector:
-			spec.Instances[k] = vectorconsensus.Spec(core.RunConfig{Params: params, Inputs: inst.Inputs})
-		case ProtocolByzantine:
-			bzCfg := byzantine.RunConfig{Params: params, Inputs: inst.Inputs, Faults: inst.Faults}
-			if err := byzantine.Validate(bzCfg); err != nil {
-				return engine.Spec{}, fmt.Errorf("multiplex: instance %d: %w", k, err)
-			}
-			spec.Instances[k] = byzantine.Spec(bzCfg)
-		default:
-			return engine.Spec{}, fmt.Errorf("multiplex: instance %d: unknown protocol %d", k, int(inst.Protocol))
-		}
+		spec.Instances[k] = is
 	}
 	return spec, nil
 }

@@ -1,0 +1,197 @@
+// Session tests: heterogeneous instances submitted one ticket at a time
+// against a resident cluster, instead of as a pre-declared batch.
+package multiplex
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"chc/internal/byzantine"
+	"chc/internal/core"
+	"chc/internal/engine"
+	"chc/internal/geom"
+	"chc/internal/polytope"
+)
+
+// sessionInstances builds a heterogeneous submission set for n processes:
+// CC, vector, and (when n allows) Byzantine instances with varied inputs.
+func sessionInstances(t *testing.T, n, count int) []Instance {
+	t.Helper()
+	out := make([]Instance, 0, count)
+	for k := 0; k < count; k++ {
+		d := 2
+		if n < 5 {
+			d = 1
+		}
+		inst := Instance{
+			Params: core.Params{N: n, F: 1, D: d, Epsilon: 0.05, InputLower: 0, InputUpper: 16},
+			Inputs: sessionInputs(n, d, int64(k+1)),
+		}
+		switch k % 3 {
+		case 1:
+			inst.Protocol = ProtocolVector
+		case 2:
+			if n >= 3*1+1 {
+				inst.Protocol = ProtocolByzantine
+				inst.Faults = []byzantine.Fault{{Proc: 0, Behavior: byzantine.Silent}}
+			}
+		}
+		out = append(out, inst)
+	}
+	return out
+}
+
+// sessionInputs spreads n deterministic points in [1, 11]^d.
+func sessionInputs(n, d int, seed int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			v := (seed*7 + int64(i*3+j*5)) % 11
+			p[j] = float64(v) + 1
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestSessionHeterogeneousStream(t *testing.T) {
+	const n = 5
+	s, err := OpenSession(SessionConfig{N: n})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+
+	insts := sessionInstances(t, n, 9)
+	tickets := make([]*Ticket, len(insts))
+	for k, inst := range insts {
+		tk, err := s.Submit(inst)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", k, err)
+		}
+		if tk.ID != k {
+			t.Fatalf("ticket %d has ID %d", k, tk.ID)
+		}
+		tickets[k] = tk
+	}
+	for k, tk := range tickets {
+		res, err := tk.Wait(60 * time.Second)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		inst := insts[k]
+		switch inst.Protocol {
+		case ProtocolCC:
+			if len(res.Outputs) != n {
+				t.Fatalf("instance %d: %d polytope decisions, want %d", k, len(res.Outputs), n)
+			}
+			hull, herr := polytope.New(inst.Inputs, 0)
+			if herr != nil {
+				t.Fatalf("hull: %v", herr)
+			}
+			for id, out := range res.Outputs {
+				for _, v := range out.Vertices() {
+					inside, cerr := hull.Contains(v, 1e-7)
+					if cerr != nil {
+						t.Fatalf("contains: %v", cerr)
+					}
+					if !inside {
+						t.Fatalf("instance %d proc %d: vertex %v outside input hull", k, id, v)
+					}
+				}
+			}
+		case ProtocolVector:
+			if len(res.Points) != n {
+				t.Fatalf("instance %d: %d point decisions, want %d", k, len(res.Points), n)
+			}
+		case ProtocolByzantine:
+			// The adversary (proc 0) reports nothing; the n-1 correct
+			// participants all decide.
+			if len(res.Outputs) != n-1 {
+				t.Fatalf("instance %d: %d decisions, want %d", k, len(res.Outputs), n-1)
+			}
+			if _, ok := res.Outputs[0]; ok {
+				t.Fatalf("instance %d: Byzantine adversary reported a decision", k)
+			}
+		}
+		if len(res.Rounds) == 0 {
+			t.Fatalf("instance %d: no decided rounds recorded", k)
+		}
+	}
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if s.Running() != 0 {
+		t.Fatalf("Running = %d after drain", s.Running())
+	}
+}
+
+func TestSessionConcurrentSubmit(t *testing.T) {
+	const n = 4
+	s, err := OpenSession(SessionConfig{N: n})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+
+	insts := sessionInstances(t, n, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(insts))
+	for _, inst := range insts {
+		wg.Add(1)
+		go func(inst Instance) {
+			defer wg.Done()
+			tk, err := s.Submit(inst)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := tk.Wait(60 * time.Second); err != nil {
+				errs <- err
+			}
+		}(inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent session: %v", err)
+	}
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s, err := OpenSession(SessionConfig{N: 4})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+
+	// Instance-level validation happens before admission.
+	if _, err := s.Submit(Instance{
+		Params: core.Params{N: 7, F: 1, D: 1, Epsilon: 0.05},
+		Inputs: sessionInputs(7, 1, 1),
+	}); err == nil {
+		t.Fatal("Submit accepted an instance with mismatched n")
+	}
+	if s.Running() != 0 {
+		t.Fatalf("Running = %d after rejected submit", s.Running())
+	}
+
+	// Submissions after drain are refused with the engine sentinel.
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	insts := sessionInstances(t, 4, 1)
+	if _, err := s.Submit(insts[0]); !errors.Is(err, engine.ErrEngineClosed) {
+		t.Fatalf("Submit after drain: err = %v, want ErrEngineClosed", err)
+	}
+
+	if _, err := OpenSession(SessionConfig{N: 0}); err == nil {
+		t.Fatal("OpenSession accepted N=0")
+	}
+}

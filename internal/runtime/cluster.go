@@ -19,6 +19,15 @@ import (
 // the deadline.
 var ErrTimeout = errors.New("runtime: protocol did not complete before the deadline")
 
+// ErrStopped is returned by EnqueueControl once cluster shutdown has begun.
+var ErrStopped = errors.New("runtime: cluster is shutting down")
+
+// ErrNodeDown is returned by EnqueueControl while the target node is dead
+// (killed by a restart plan and not yet relaunched). The control is not
+// lost information: the caller's relaunch hook (RecoveryConfig.OnRelaunch)
+// re-derives and re-enqueues whatever the node missed.
+var ErrNodeDown = errors.New("runtime: node is down")
+
 // transport moves protocol messages between nodes. In the plain channel
 // cluster it must itself preserve per-sender FIFO order and exactly-once
 // delivery; in reliable-link mode those guarantees come from the rlink
@@ -80,6 +89,12 @@ type Cluster struct {
 
 	recovery *RecoveryConfig
 	restarts []RestartPlan
+
+	// residentMu guards the resident-mode lifecycle (Start/Shutdown).
+	residentMu   sync.Mutex
+	resident     *runState
+	residentDone bool
+	residentErr  error
 
 	retiredMu sync.Mutex
 	retired   dist.NetStats // counters from endpoints/logs of killed incarnations
@@ -456,25 +471,14 @@ func (c *Cluster) Processes() []dist.Process {
 // reports the partial counters accumulated up to the timeout. A failed
 // relaunch surfaces as an error wrapping ErrRecovery.
 func (c *Cluster) Run(timeout time.Duration) error {
-	n := len(c.procs)
-	rs := &runState{
-		c:          c,
-		n:          n,
-		done:       make([]atomic.Bool, n),
-		allSettled: make(chan struct{}),
-		queues:     make([][]RestartPlan, n),
+	c.residentMu.Lock()
+	started := c.resident != nil
+	c.residentMu.Unlock()
+	if started {
+		return errors.New("runtime: cluster is resident (started with Start); use Shutdown")
 	}
 	// One settle slot per initial incarnation plus one per planned restart.
-	rs.unsettled.Store(int64(n + len(c.restarts)))
-	for _, rp := range c.restarts {
-		rs.queues[rp.Proc] = append(rs.queues[rp.Proc], rp)
-	}
-
-	c.stateMu.RLock()
-	for i := range c.procs {
-		rs.launch(i, c.procs[i], c.inbox[i], c.crash[i], false)
-	}
-	c.stateMu.RUnlock()
+	rs := c.newRunState(int64(len(c.procs) + len(c.restarts)))
 
 	var runErr error
 	timer := time.NewTimer(timeout)
@@ -484,9 +488,116 @@ func (c *Cluster) Run(timeout time.Duration) error {
 	case <-timer.C:
 		runErr = ErrTimeout
 	}
+	if recErr := c.teardown(rs); recErr != nil {
+		return recErr
+	}
+	return runErr
+}
 
-	// Shutdown order: block further relaunches, wake the process goroutines,
-	// stop retransmissions, disarm chaos, then tear the transports down.
+// residentSlots keeps a resident run's settle accounting from ever reaching
+// zero: a resident cluster ends by Shutdown, never by "everyone decided".
+const residentSlots = int64(1) << 62
+
+// Start launches the cluster resident: every process goroutine starts
+// delivering, restart plans stay armed (killed nodes are relaunched from
+// their WALs), and the cluster keeps running until Shutdown. Unlike Run,
+// completion of the hosted state machines settles nothing — resident
+// processes (the engine's lifecycle nodes) are never Done; work arrives and
+// retires dynamically via EnqueueControl.
+func (c *Cluster) Start() error {
+	c.residentMu.Lock()
+	defer c.residentMu.Unlock()
+	if c.resident != nil {
+		return errors.New("runtime: cluster already started")
+	}
+	c.stateMu.RLock()
+	stopping := c.stopping
+	c.stateMu.RUnlock()
+	if stopping {
+		return ErrStopped
+	}
+	c.resident = c.newRunState(residentSlots)
+	return nil
+}
+
+// Shutdown tears a resident cluster down: further control enqueues fail,
+// process goroutines drain, links stop retransmitting, transports and WALs
+// close. It is idempotent and returns any recovery failure accumulated over
+// the cluster's lifetime.
+func (c *Cluster) Shutdown() error {
+	c.residentMu.Lock()
+	defer c.residentMu.Unlock()
+	if c.resident == nil {
+		return errors.New("runtime: cluster not started")
+	}
+	if c.residentDone {
+		return c.residentErr
+	}
+	c.residentDone = true
+	c.residentErr = c.teardown(c.resident)
+	return c.residentErr
+}
+
+// EnqueueControl places an in-band control message (dist.KindOpenInstance /
+// dist.KindCloseInstance) on node id's delivery path. On a WAL-enabled
+// cluster the control goes through the node's journaling path, so it is a
+// durable record ordered exactly where the node will process it — replay
+// re-applies it at the same position. The message must be self-addressed
+// (From == To == id): controls are local lifecycle commands, not traffic.
+func (c *Cluster) EnqueueControl(id dist.ProcID, msg dist.Message) error {
+	if id < 0 || int(id) >= len(c.inbox) {
+		return fmt.Errorf("runtime: control for unknown node %d", id)
+	}
+	if msg.From != id || msg.To != id {
+		return fmt.Errorf("runtime: control for node %d must be self-addressed (from=%d to=%d)", id, msg.From, msg.To)
+	}
+	c.stateMu.RLock()
+	stopping := c.stopping
+	d := c.deliver[id]
+	mbox := c.inbox[id]
+	c.stateMu.RUnlock()
+	if stopping {
+		return ErrStopped
+	}
+	if d != nil {
+		return d(msg)
+	}
+	if c.recovery != nil {
+		// Recovery mode always installs a journaling deliver func; its
+		// absence means the node is dead between kill and relaunch.
+		return ErrNodeDown
+	}
+	mbox.Push(msg)
+	return nil
+}
+
+// newRunState builds the settle bookkeeping with the given number of slots
+// and launches every initial incarnation.
+func (c *Cluster) newRunState(slots int64) *runState {
+	n := len(c.procs)
+	rs := &runState{
+		c:          c,
+		n:          n,
+		done:       make([]atomic.Bool, n),
+		allSettled: make(chan struct{}),
+		queues:     make([][]RestartPlan, n),
+	}
+	rs.unsettled.Store(slots)
+	for _, rp := range c.restarts {
+		rs.queues[rp.Proc] = append(rs.queues[rp.Proc], rp)
+	}
+	c.stateMu.RLock()
+	for i := range c.procs {
+		rs.launch(i, c.procs[i], c.inbox[i], c.crash[i], false)
+	}
+	c.stateMu.RUnlock()
+	return rs
+}
+
+// teardown shuts the cluster down. Order: block further relaunches, wake
+// the process goroutines, stop retransmissions, disarm chaos, then tear the
+// transports down.
+func (c *Cluster) teardown(rs *runState) error {
 	c.stateMu.Lock()
 	c.stopping = true
 	inboxes := append([]*mailbox(nil), c.inbox...)
@@ -533,10 +644,7 @@ func (c *Cluster) Run(timeout time.Duration) error {
 	}
 	rs.wg.Wait()
 	c.bg.Wait()
-	if recErr := rs.recoveryErr(); recErr != nil {
-		return recErr
-	}
-	return runErr
+	return rs.recoveryErr()
 }
 
 // deliverLocal routes a message into the target's mailbox (channel transport

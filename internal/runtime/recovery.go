@@ -51,6 +51,13 @@ type RecoveryConfig struct {
 	// RearmMin/RearmMax bound the exponential backoff between degraded-mode
 	// re-arm attempts (defaults 1ms/250ms).
 	RearmMin, RearmMax time.Duration
+	// OnRelaunch, when non-nil, is called after a killed node has been
+	// relaunched from its WAL and its delivery loop restarted. The resident
+	// engine uses it to reconcile the node's instance lifecycle: controls
+	// enqueued while the node was down were rejected with ErrNodeDown, and
+	// this hook re-derives and re-enqueues them from the node's journaled
+	// watermark.
+	OnRelaunch func(id dist.ProcID)
 }
 
 // WithRecovery enables WAL journaling and crash-recovery. It forces the
@@ -507,7 +514,15 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	// the prefix was generated but never pushed durably and must be pushed
 	// now. A longer journal than the regeneration means Factory is not
 	// deterministic — fail loudly rather than resume divergent state.
-	loggedSelf := rep.DeliveredFrom(id)
+	// Journaled lifecycle controls are also self-addressed but are injected
+	// by the engine, not generated by the state machine, so replay does not
+	// regenerate them — they are excluded from the comparison.
+	var loggedSelf uint64
+	for _, m := range rep.Delivered {
+		if m.From == id && !dist.IsControl(m.Kind) {
+			loggedSelf++
+		}
+	}
 	if int(loggedSelf) > len(cc.self) {
 		return fmt.Errorf("nondeterministic replay: journal has %d self-deliveries, replay regenerated %d",
 			loggedSelf, len(cc.self))
@@ -586,5 +601,12 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	// then resume the protocol.
 	ep.Announce()
 	rs.launch(i, proc, mbox, crashed, true)
+	if c.recovery.OnRelaunch != nil {
+		// After the swap: the hook's control enqueues land on the new
+		// incarnation's journaling path. Frames for instances the node has
+		// not yet (re-)opened buffer inside the resident node until the
+		// re-enqueued opens are processed.
+		c.recovery.OnRelaunch(id)
+	}
 	return nil
 }

@@ -1,0 +1,330 @@
+package service
+
+import (
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"chc/internal/byzantine"
+	"chc/internal/core"
+	"chc/internal/dist"
+	"chc/internal/geom"
+	"chc/internal/multiplex"
+	"chc/internal/telemetry"
+)
+
+// APIConfig tunes the HTTP front end.
+type APIConfig struct {
+	// Addr is the host:port to bind; port 0 picks a free port.
+	Addr string
+	// Token, when non-empty, requires `Authorization: Bearer <token>` on
+	// every request (constant-time compare, 401 on mismatch).
+	Token string
+	// CertFile/KeyFile, when both set, serve TLS with that key pair.
+	CertFile string
+	KeyFile  string
+}
+
+// submitRequest is the POST /v1/instances body.
+type submitRequest struct {
+	Protocol   string         `json:"protocol,omitempty"` // cc (default) | vector | byzantine
+	F          int            `json:"f"`
+	D          int            `json:"d"`
+	Epsilon    float64        `json:"epsilon"`
+	InputLower float64        `json:"input_lower"`
+	InputUpper float64        `json:"input_upper"`
+	Inputs     [][]float64    `json:"inputs"`
+	Faults     []faultRequest `json:"faults,omitempty"`
+}
+
+// faultRequest configures one Byzantine adversary.
+type faultRequest struct {
+	Proc     int       `json:"proc"`
+	Behavior string    `json:"behavior"` // silent | incorrect-input | equivocator | garbler
+	Input    []float64 `json:"input,omitempty"`
+}
+
+// statusResponse is the JSON shape of one instance's status.
+type statusResponse struct {
+	ID        int                    `json:"id"`
+	State     string                 `json:"state"`
+	Protocol  string                 `json:"protocol"`
+	Submitted time.Time              `json:"submitted"`
+	Finished  *time.Time             `json:"finished,omitempty"`
+	Error     string                 `json:"error,omitempty"`
+	Outputs   map[string][][]float64 `json:"outputs,omitempty"`
+	Points    map[string][]float64   `json:"points,omitempty"`
+	Rounds    map[string]int         `json:"rounds,omitempty"`
+}
+
+// parseInstance translates the wire DTO into a multiplex instance.
+func parseInstance(n int, req submitRequest) (multiplex.Instance, error) {
+	inst := multiplex.Instance{
+		Params: core.Params{
+			N: n, F: req.F, D: req.D, Epsilon: req.Epsilon,
+			InputLower: req.InputLower, InputUpper: req.InputUpper,
+		},
+	}
+	switch req.Protocol {
+	case "", "cc":
+		inst.Protocol = multiplex.ProtocolCC
+	case "vector":
+		inst.Protocol = multiplex.ProtocolVector
+	case "byzantine":
+		inst.Protocol = multiplex.ProtocolByzantine
+	default:
+		return multiplex.Instance{}, fmt.Errorf("unknown protocol %q", req.Protocol)
+	}
+	inst.Inputs = make([]geom.Point, len(req.Inputs))
+	for i, in := range req.Inputs {
+		inst.Inputs[i] = geom.Point(in)
+	}
+	for _, f := range req.Faults {
+		var b byzantine.Behavior
+		switch f.Behavior {
+		case "silent":
+			b = byzantine.Silent
+		case "incorrect-input":
+			b = byzantine.IncorrectInput
+		case "equivocator":
+			b = byzantine.Equivocator
+		case "garbler":
+			b = byzantine.Garbler
+		default:
+			return multiplex.Instance{}, fmt.Errorf("unknown behavior %q", f.Behavior)
+		}
+		inst.Faults = append(inst.Faults, byzantine.Fault{
+			Proc: dist.ProcID(f.Proc), Behavior: b, Input: geom.Point(f.Input),
+		})
+	}
+	return inst, nil
+}
+
+// statusJSON builds the wire status for st.
+func statusJSON(st Status) statusResponse {
+	resp := statusResponse{
+		ID:        st.ID,
+		State:     st.State.String(),
+		Protocol:  st.Protocol.String(),
+		Submitted: st.Submitted,
+	}
+	if !st.Finished.IsZero() {
+		f := st.Finished
+		resp.Finished = &f
+	}
+	if st.Err != nil {
+		resp.Error = st.Err.Error()
+	}
+	if len(st.Result.Outputs) > 0 {
+		resp.Outputs = make(map[string][][]float64, len(st.Result.Outputs))
+		for id, poly := range st.Result.Outputs {
+			verts := poly.Vertices()
+			vv := make([][]float64, len(verts))
+			for i, v := range verts {
+				vv[i] = []float64(v)
+			}
+			resp.Outputs[strconv.Itoa(int(id))] = vv
+		}
+	}
+	if len(st.Result.Points) > 0 {
+		resp.Points = make(map[string][]float64, len(st.Result.Points))
+		for id, p := range st.Result.Points {
+			resp.Points[strconv.Itoa(int(id))] = []float64(p)
+		}
+	}
+	if len(st.Result.Rounds) > 0 {
+		resp.Rounds = make(map[string]int, len(st.Result.Rounds))
+		for id, r := range st.Result.Rounds {
+			resp.Rounds[strconv.Itoa(int(id))] = r
+		}
+	}
+	return resp
+}
+
+// Handler builds the service API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/instances", s.handleInstances)
+	mux.HandleFunc("/v1/instances/", s.handleInstance)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleInstances serves POST /v1/instances.
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	inst, err := parseInstance(s.cfg.N, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, state, err := s.Submit(inst)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": state.String()})
+}
+
+// handleInstance serves GET /v1/instances/{id} and /v1/instances/{id}/watch.
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/instances/")
+	watch := false
+	if tail, ok := strings.CutSuffix(rest, "/watch"); ok {
+		watch = true
+		rest = tail
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad instance id %q", rest))
+		return
+	}
+	var st Status
+	if watch {
+		timeout := 30 * time.Second
+		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+			v, perr := strconv.Atoi(ms)
+			if perr != nil || v <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", ms))
+				return
+			}
+			timeout = time.Duration(v) * time.Millisecond
+		}
+		st, _, err = s.Watch(id, timeout)
+	} else {
+		st, err = s.Status(id)
+	}
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusJSON(st))
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total, queued, active, finished := s.Counts()
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"n":         s.cfg.N,
+		"instances": total,
+		"queued":    queued,
+		"active":    active,
+		"finished":  finished,
+	})
+}
+
+// API is the bound HTTP front end of a Server.
+type API struct {
+	ln   net.Listener
+	srv  *http.Server
+	tls  bool
+	done chan struct{}
+}
+
+// ServeAPI binds the service API on cfg.Addr and serves until Close.
+func (s *Server) ServeAPI(cfg APIConfig) (*API, error) {
+	if (cfg.CertFile == "") != (cfg.KeyFile == "") {
+		return nil, errors.New("service: CertFile and KeyFile must be set together")
+	}
+	var tlsCfg *tls.Config
+	if cfg.CertFile != "" {
+		cert, err := tls.LoadX509KeyPair(cfg.CertFile, cfg.KeyFile)
+		if err != nil {
+			return nil, fmt.Errorf("service: load key pair: %w", err)
+		}
+		tlsCfg = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
+	}
+	a := &API{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           telemetry.RequireBearer(cfg.Token, s.Handler()),
+			ReadHeaderTimeout: 5 * time.Second,
+			TLSConfig:         tlsCfg,
+		},
+		tls:  tlsCfg != nil,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		if a.tls {
+			_ = a.srv.ServeTLS(ln, "", "")
+		} else {
+			_ = a.srv.Serve(ln)
+		}
+	}()
+	return a, nil
+}
+
+// Addr returns the bound address (with the resolved port).
+func (a *API) Addr() string { return a.ln.Addr().String() }
+
+// URL returns the base URL of the API.
+func (a *API) URL() string {
+	if a.tls {
+		return "https://" + a.Addr()
+	}
+	return "http://" + a.Addr()
+}
+
+// Close stops the HTTP front end (the service itself keeps running). Long
+// polls in flight are severed after a short grace period.
+func (a *API) Close() error {
+	err := a.srv.Close()
+	<-a.done
+	return err
+}

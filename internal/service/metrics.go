@@ -1,0 +1,23 @@
+package service
+
+import "chc/internal/telemetry"
+
+// Service-level accounting: the admission funnel (submitted → queued →
+// running → decided/failed → evicted), rejects at the front door, and how
+// long graceful drains take.
+var (
+	mSubmitted = telemetry.Default().Counter("chc_service_instances_submitted_total",
+		"Instances accepted by the service (admitted or queued).")
+	mRejects = telemetry.Default().Counter("chc_service_admission_rejects_total",
+		"Submissions rejected by admission control (queue full or draining).")
+	mActive = telemetry.Default().Gauge("chc_service_instances_active",
+		"Instances currently running on the service's cluster.")
+	mQueued = telemetry.Default().Gauge("chc_service_instances_queued",
+		"Instances admitted but waiting for a running slot.")
+	mDecided = telemetry.Default().CounterVec("chc_service_instances_finished_total",
+		"Instances finished, by outcome (decided, failed).", "outcome")
+	mEvicted = telemetry.Default().Counter("chc_service_instances_evicted_total",
+		"Finished instance records evicted after their retention period.")
+	mDrainSeconds = telemetry.Default().Histogram("chc_service_drain_seconds",
+		"Wall-clock duration of graceful drains.", nil)
+)
