@@ -15,7 +15,7 @@
 //	POST /v1/instances             submit an instance (JSON body), 202 with {id}
 //	GET  /v1/instances/{id}        current status (+ result once decided)
 //	GET  /v1/instances/{id}/watch  long-poll until terminal (timeout_ms=N)
-//	GET  /v1/healthz               admission funnel counters
+//	GET  /v1/healthz               admission funnel counters (503 while draining)
 //
 // On SIGTERM/SIGINT the daemon stops admitting (503), finishes queued and
 // running instances, closes the cluster's instance stream — checkpointing

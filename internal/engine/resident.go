@@ -199,6 +199,11 @@ func StartResident(n int, opts ResidentOptions) (*Resident, error) {
 			Checkpoint: opts.Checkpoint,
 			Durability: opts.Durability,
 			OnRelaunch: r.reconcile,
+			// The engine's own mutex gates the relaunch swap: Open and
+			// retirement fan-outs hold it around their control enqueues, so a
+			// relaunched incarnation becomes reachable and is reconciled in
+			// one critical section — no enqueue can slip between the two.
+			RelaunchGate: &r.mu,
 		}))
 	}
 	if len(opts.Restarts) > 0 {
@@ -371,15 +376,31 @@ func (r *Resident) Drain(timeout time.Duration) error {
 	}
 }
 
-// Close shuts the engine down: admission closes immediately and the cluster
-// is torn down, running instances or not (call Drain first for a graceful
-// stop). Idempotent.
+// Close shuts the engine down: admission closes immediately, any instance
+// still running is failed — its OnFailed fires with ErrEngineClosed, so
+// waiters holding tickets unblock instead of hanging on a torn-down cluster
+// — and the cluster is shut down (call Drain first for a graceful stop).
+// Idempotent.
 func (r *Resident) Close() error {
 	r.mu.Lock()
 	r.closed = true
 	first := !r.stopped
 	r.stopped = true
+	var cbs []func(error)
+	closeErr := fmt.Errorf("%w: instance aborted by Close before deciding", ErrEngineClosed)
+	if first {
+		for k, ins := range r.instances {
+			if ins.state == InstanceRunning {
+				if cb := r.failLocked(k, ins, closeErr); cb != nil {
+					cbs = append(cbs, cb)
+				}
+			}
+		}
+	}
 	r.mu.Unlock()
+	for _, cb := range cbs {
+		cb(closeErr)
+	}
 	err := r.cluster.Shutdown()
 	if first {
 		mResidentEngines.Add(-1)
@@ -495,11 +516,13 @@ func (r *Resident) noteOpenFailure(k int, id dist.ProcID, err error) {
 
 // reconcile is the RecoveryConfig.OnRelaunch hook: controls enqueued while
 // node id was down were rejected, so re-derive them from the relaunched
-// node's journaled watermark. Runs under r.mu so it serializes against
-// concurrent Opens and retirements: every lifecycle change lands on the new
-// incarnation exactly once — either from the original enqueue (it raced
-// ahead of this hook, and the node's watermark dedups the repeat) or from
-// here.
+// node's journaled watermark. The runtime calls it with r.mu already held
+// (RelaunchGate) and before the new incarnation's delivery loop starts, so
+// it is atomic with the swap that made the node reachable: a concurrent
+// Open either ran before the swap (rejected with ErrNodeDown, and the
+// watermark gap below re-derives it) or is blocked on r.mu until the
+// re-enqueued controls are already queued ahead of it. Every lifecycle
+// change therefore lands on the new incarnation exactly once, in id order.
 func (r *Resident) reconcile(id dist.ProcID) {
 	procs := r.cluster.Processes()
 	if int(id) >= len(procs) {
@@ -509,8 +532,6 @@ func (r *Resident) reconcile(id dist.ProcID) {
 	if !ok {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	h := nd.Highest()
 	for k := h + 1; k < len(r.instances); k++ {
 		kind := dist.KindOpenInstance

@@ -233,6 +233,40 @@ func (stuckProc) Init(dist.Context)                  {}
 func (stuckProc) Deliver(dist.Context, dist.Message) {}
 func (stuckProc) Done() bool                         { return false }
 
+// TestResidentCloseFailsRunning: Close without a prior Drain must not
+// abandon running instances silently — their sinks fire OnFailed with
+// ErrEngineClosed so ticket holders unblock.
+func TestResidentCloseFailsRunning(t *testing.T) {
+	r, err := engine.StartResident(4, engine.ResidentOptions{Transport: engine.TransportChannel})
+	if err != nil {
+		t.Fatalf("StartResident: %v", err)
+	}
+	w := newWatcher(4)
+	spec := engine.InstanceSpec{New: func(id dist.ProcID) (dist.Process, error) {
+		return stuckProc{}, nil
+	}}
+	if _, err := r.Open(spec, w.sink()); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w.wait(t, 30*time.Second)
+	w.mu.Lock()
+	werr := w.err
+	w.mu.Unlock()
+	if !errors.Is(werr, engine.ErrEngineClosed) {
+		t.Fatalf("OnFailed err = %v, want ErrEngineClosed", werr)
+	}
+	state, _, err := r.State(0)
+	if err != nil || state != engine.InstanceFailed {
+		t.Fatalf("state = %v, err = %v, want InstanceFailed", state, err)
+	}
+	if r.Running() != 0 {
+		t.Fatalf("Running = %d, want 0", r.Running())
+	}
+}
+
 // TestResidentRestartFromWALMidStream is the headline recovery scenario: a
 // TCP cluster with WAL journaling and seeded chaos serves a stream of
 // instances while one node is killed mid-stream and relaunched from its
@@ -304,6 +338,79 @@ func TestResidentRestartFromWALMidStream(t *testing.T) {
 	st := r.Stats()
 	if st.Net.Resumes == 0 {
 		t.Fatalf("expected at least one link resume after the restart, got %+v", st.Net)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestResidentConcurrentOpensAcrossRestart hammers Open from several
+// goroutines while a node is killed and relaunched from its WAL, so opens
+// race the relaunch window itself. The relaunch gate makes the swap and the
+// reconcile hook atomic with respect to the open fan-outs: without it, an
+// open enqueued between the two could overtake a missed earlier open on the
+// returning node, whose watermark would then drop the earlier open forever
+// and leave that instance one participant short. Every instance must decide
+// on all n processes.
+func TestResidentConcurrentOpensAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP + restart")
+	}
+	const n = 4
+	dir := t.TempDir()
+	r, err := engine.StartResident(n, engine.ResidentOptions{
+		Transport: engine.TransportTCP,
+		WALDir:    dir,
+		Restarts: []runtime.RestartPlan{
+			{Proc: 1, KillAfterSends: 60, Downtime: 40 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartResident: %v", err)
+	}
+	defer r.Close()
+
+	const submitters = 3
+	const perSubmitter = 6
+	watchers := make([]*watcher, 0, submitters*perSubmitter)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perSubmitter; k++ {
+				spec, _ := ccSpec(t, n, int64(g*100+k+1))
+				w := newWatcher(n)
+				mu.Lock()
+				watchers = append(watchers, w)
+				mu.Unlock()
+				if _, err := r.Open(spec, w.sink()); err != nil {
+					t.Errorf("Open %d/%d: %v", g, k, err)
+					return
+				}
+				// Spread opens across the kill + downtime + relaunch window.
+				time.Sleep(15 * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k, w := range watchers {
+		w.wait(t, 120*time.Second)
+		w.mu.Lock()
+		if w.err != nil {
+			t.Fatalf("instance %d failed: %v", k, w.err)
+		}
+		if len(w.decided) != n {
+			t.Fatalf("instance %d: %d decisions, want %d", k, len(w.decided), n)
+		}
+		w.mu.Unlock()
+	}
+	if err := r.Drain(60 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
 	}
 	if err := r.Close(); err != nil {
 		t.Fatalf("Close: %v", err)

@@ -51,13 +51,23 @@ type RecoveryConfig struct {
 	// RearmMin/RearmMax bound the exponential backoff between degraded-mode
 	// re-arm attempts (defaults 1ms/250ms).
 	RearmMin, RearmMax time.Duration
-	// OnRelaunch, when non-nil, is called after a killed node has been
-	// relaunched from its WAL and its delivery loop restarted. The resident
-	// engine uses it to reconcile the node's instance lifecycle: controls
-	// enqueued while the node was down were rejected with ErrNodeDown, and
-	// this hook re-derives and re-enqueues them from the node's journaled
-	// watermark.
+	// OnRelaunch, when non-nil, is called after a killed node's replayed
+	// incarnation has been swapped into the cluster but before its delivery
+	// loop starts. The resident engine uses it to reconcile the node's
+	// instance lifecycle: controls enqueued while the node was down were
+	// rejected with ErrNodeDown, and this hook re-derives and re-enqueues
+	// them from the node's journaled watermark. It runs with RelaunchGate
+	// held (when one is configured), so the hook must not acquire that lock
+	// itself.
 	OnRelaunch func(id dist.ProcID)
+	// RelaunchGate, when non-nil, is locked around the swap that makes a
+	// relaunched incarnation reachable by EnqueueControl and the OnRelaunch
+	// hook. A caller that serializes its own control enqueues on the same
+	// lock therefore observes "node down, then reconciled" atomically:
+	// there is no window in which a fresh control can land on the new
+	// incarnation ahead of the controls OnRelaunch re-enqueues, which the
+	// resident engine's id-ordered lifecycle watermark requires.
+	RelaunchGate sync.Locker
 }
 
 // WithRecovery enables WAL journaling and crash-recovery. It forces the
@@ -567,9 +577,24 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 		return err
 	}
 
+	// The gate covers publishing the new deliver func through the
+	// reconciliation hook: controls enqueued by other gate holders either
+	// ran before the swap (rejected with ErrNodeDown, so the hook sees them
+	// as missed and re-enqueues them) or run after the hook (landing behind
+	// the re-enqueued ones). Without it, a control enqueued between the swap
+	// and the hook would reach the new incarnation ahead of earlier missed
+	// controls and the node's id-ordered watermark would drop those as
+	// duplicates.
+	gate := c.recovery.RelaunchGate
+	if gate != nil {
+		gate.Lock()
+	}
 	c.stateMu.Lock()
 	if c.stopping {
 		c.stateMu.Unlock()
+		if gate != nil {
+			gate.Unlock()
+		}
 		_ = ep.Close()
 		box.close()
 		_ = w.Close()
@@ -587,6 +612,19 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	if t := c.tcp[i]; t != nil {
 		t.ep.Store(ep)
 	}
+	if c.recovery.OnRelaunch != nil {
+		// Before the delivery loop starts: the hook's control enqueues are
+		// journaled and queued on the fresh mailbox, so the incarnation
+		// processes them ahead of any live traffic. Frames for instances the
+		// node has not (re-)opened yet buffer inside the resident node until
+		// the re-enqueued opens are applied.
+		c.recovery.OnRelaunch(id)
+	}
+	if gate != nil {
+		// Released before Announce: handshake frames can block on TCP dials
+		// and must not stall the callers serialized on the gate.
+		gate.Unlock()
+	}
 
 	// Arm the next restart plan's kill budget, or lift the limit.
 	next := int64(-1)
@@ -601,12 +639,5 @@ func (c *Cluster) relaunch(rs *runState, i int) error {
 	// then resume the protocol.
 	ep.Announce()
 	rs.launch(i, proc, mbox, crashed, true)
-	if c.recovery.OnRelaunch != nil {
-		// After the swap: the hook's control enqueues land on the new
-		// incarnation's journaling path. Frames for instances the node has
-		// not yet (re-)opened buffer inside the resident node until the
-		// re-enqueued opens are processed.
-		c.recovery.OnRelaunch(id)
-	}
 	return nil
 }

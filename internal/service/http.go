@@ -223,6 +223,9 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	}
 	var st Status
 	if watch {
+		// The clamp bounds how long one request can hold a server goroutine;
+		// r.Context() frees it earlier when the client disconnects.
+		const maxWatch = 5 * time.Minute
 		timeout := 30 * time.Second
 		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
 			v, perr := strconv.Atoi(ms)
@@ -232,7 +235,10 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 			}
 			timeout = time.Duration(v) * time.Millisecond
 		}
-		st, _, err = s.Watch(id, timeout)
+		if timeout > maxWatch {
+			timeout = maxWatch
+		}
+		st, _, err = s.WatchContext(r.Context(), id, timeout)
 	} else {
 		st, err = s.Status(id)
 	}
@@ -247,14 +253,17 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusJSON(st))
 }
 
-// handleHealthz serves GET /v1/healthz.
+// handleHealthz serves GET /v1/healthz. While draining it answers 503 so
+// load balancers and readiness probes stop routing traffic to a node that
+// rejects every submission anyway; the body still carries the funnel
+// counters for operators watching the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	total, queued, active, finished := s.Counts()
-	status := "ok"
+	status, code := "ok", http.StatusOK
 	if s.Draining() {
-		status = "draining"
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, code, map[string]any{
 		"status":    status,
 		"n":         s.cfg.N,
 		"instances": total,

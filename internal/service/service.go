@@ -11,6 +11,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,6 +31,8 @@ var (
 	ErrOverloaded = errors.New("service: admission queue full")
 	ErrDraining   = errors.New("service: draining, not accepting instances")
 	ErrNotFound   = errors.New("service: no such instance")
+	// ErrClosed fails records abandoned by Close before they could run.
+	ErrClosed = errors.New("service: server closed")
 )
 
 // Config describes a service instance.
@@ -147,6 +150,10 @@ type Server struct {
 	// settled signals the drain loop whenever active+queued shrinks.
 	settled chan struct{}
 
+	// watchers covers the per-ticket goroutines; Close waits for them so
+	// every record is terminal by the time it returns.
+	watchers sync.WaitGroup
+
 	evictStop chan struct{}
 	evictDone chan struct{}
 }
@@ -245,7 +252,9 @@ func (s *Server) start(rec *record) {
 		s.finish(rec, multiplex.InstanceResult{}, err)
 		return
 	}
+	s.watchers.Add(1)
 	go func() {
+		defer s.watchers.Done()
 		<-ticket.Done()
 		res, terr := ticket.Result()
 		s.finish(rec, res, terr)
@@ -321,8 +330,15 @@ func (s *Server) Status(id int) (Status, error) {
 }
 
 // Watch blocks until instance id reaches a terminal state or the timeout
-// elapses, then returns its status (with Done reporting which happened).
-func (s *Server) Watch(id int, timeout time.Duration) (st Status, terminal bool, err error) {
+// elapses, then returns its status (with terminal reporting which happened).
+func (s *Server) Watch(id int, timeout time.Duration) (Status, bool, error) {
+	return s.WatchContext(context.Background(), id, timeout)
+}
+
+// WatchContext is Watch with cancellation: it additionally returns early
+// (non-terminal) when ctx is done, so a severed HTTP client frees its
+// long-poll goroutine instead of pinning it for the full timeout.
+func (s *Server) WatchContext(ctx context.Context, id int, timeout time.Duration) (st Status, terminal bool, err error) {
 	s.mu.Lock()
 	if id < 0 || id >= len(s.records) {
 		s.mu.Unlock()
@@ -330,10 +346,13 @@ func (s *Server) Watch(id int, timeout time.Duration) (st Status, terminal bool,
 	}
 	done := s.records[id].done
 	s.mu.Unlock()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	select {
 	case <-done:
 		terminal = true
-	case <-time.After(timeout):
+	case <-deadline.C:
+	case <-ctx.Done():
 	}
 	st, err = s.Status(id)
 	return st, terminal, err
@@ -444,8 +463,12 @@ func (s *Server) Drain(timeout time.Duration) error {
 	return nil
 }
 
-// Close tears the service down. Call Drain first for a graceful stop;
-// Close alone abandons queued instances.
+// Close tears the service down. Call Drain first for a graceful stop; Close
+// alone abandons in-flight work, but never silently: queued records are
+// failed with ErrClosed here, running ones are failed by the session close
+// (the engine aborts every still-running instance, completing its ticket),
+// and Close waits for the ticket watchers — when it returns, every record
+// is terminal and no watcher goroutine remains.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -454,8 +477,23 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	now := time.Now()
+	for _, rec := range queued {
+		rec.state = StateFailed
+		rec.err = ErrClosed
+		rec.finished = now
+		mDecided.With("failed").Inc()
+	}
+	mQueued.Set(0)
 	s.mu.Unlock()
+	for _, rec := range queued {
+		close(rec.done)
+	}
 	close(s.evictStop)
 	<-s.evictDone
-	return s.session.Close()
+	err := s.session.Close()
+	s.watchers.Wait()
+	return err
 }

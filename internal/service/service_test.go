@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -169,6 +170,81 @@ func TestServiceDrainFinishesInFlight(t *testing.T) {
 	}
 	if !s.Draining() {
 		t.Fatal("Draining() = false after Drain")
+	}
+}
+
+// TestServiceCloseFailsInFlight: Close without a prior Drain must leave
+// every record terminal — queued ones failed with ErrClosed, the running one
+// failed by the engine shutdown — so Watch callers unblock instead of
+// hanging for their full timeout on a torn-down cluster.
+func TestServiceCloseFailsInFlight(t *testing.T) {
+	s := slowService(t, 4, 1, 8, 300*time.Millisecond)
+
+	const count = 3
+	for k := 0; k < count; k++ {
+		if _, _, err := s.Submit(testInstance(4, int64(k+1))); err != nil {
+			t.Fatalf("Submit %d: %v", k, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sawClosed := false
+	for k := 0; k < count; k++ {
+		// Terminal already: a long watch timeout must not block.
+		start := time.Now()
+		st, terminal, err := s.Watch(k, 60*time.Second)
+		if err != nil {
+			t.Fatalf("Watch %d: %v", k, err)
+		}
+		if !terminal {
+			t.Fatalf("instance %d not terminal after Close (state %v)", k, st.State)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("Watch %d took %v on a closed server", k, d)
+		}
+		if st.State == StateRunning || st.State == StateQueued {
+			t.Fatalf("instance %d state %v after Close", k, st.State)
+		}
+		if st.State == StateDecided {
+			continue // a fast instance may legitimately have finished
+		}
+		if st.Err == nil {
+			t.Fatalf("instance %d failed without an error", k)
+		}
+		if errors.Is(st.Err, ErrClosed) {
+			sawClosed = true
+		}
+	}
+	if !sawClosed {
+		t.Fatal("no queued record was failed with ErrClosed")
+	}
+}
+
+// TestServiceWatchContextCancel: a severed client (cancelled request
+// context) frees its long-poll instead of pinning it for the full timeout.
+func TestServiceWatchContextCancel(t *testing.T) {
+	s := slowService(t, 4, 1, 8, 300*time.Millisecond)
+	defer s.Close()
+	id, _, err := s.Submit(testInstance(4, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, terminal, err := s.WatchContext(ctx, id, 60*time.Second)
+	if err != nil {
+		t.Fatalf("WatchContext: %v", err)
+	}
+	if terminal {
+		t.Fatal("watch reported terminal on a cancelled context")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("WatchContext held for %v after cancellation", d)
 	}
 }
 
@@ -370,8 +446,10 @@ func TestServiceHTTPOverloadAndDrain(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain status %d: %v", code, body)
 	}
+	// A draining node is not ready: probes must see 503 so traffic stops
+	// being routed to it, while the body still reports the drain.
 	code, body = getJSON(t, client, api.URL()+"/v1/healthz", "")
-	if code != http.StatusOK || body["status"] != "draining" {
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" {
 		t.Fatalf("healthz after drain %d: %v", code, body)
 	}
 }
