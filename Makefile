@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race soak disk-torture wire-torture fuzz-smoke serve-smoke bench bench-json bench-check bench-telemetry bench-transport experiments
+.PHONY: build test check race soak soak-smoke disk-torture wire-torture fuzz-smoke serve-smoke bench bench-json bench-check bench-telemetry bench-transport bench-wan experiments
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ race:
 # plans) under the race detector. Opt-in: it is too slow for tier-1.
 soak:
 	CHC_CHAOS_SOAK=1 $(GO) test -race -v -run TestChaosSoak -timeout 20m ./internal/runtime/
+
+# soak-smoke is the WAN/soak gate: the WAN model and scheduler suites, the
+# chcsoak harness tests, and a short bounded chcsoak against an in-process
+# daemon under a geo topology — preceded by the 64-process sim-mesh gate
+# (full delivery + bitwise-reproduced schedule) and followed by a drain that
+# must leave zero undecided instances — all under the race detector.
+soak-smoke: build
+	$(GO) test -race -timeout 10m ./internal/wan/ ./cmd/chcsoak/
+	$(GO) run -race ./cmd/chcsoak -self -n 5 -duration 5s -rate 8 \
+		-wan 3-regions,delay=0.002 -wan-seed 3 -mesh 64 -instance-deadline 2m
 
 # disk-torture is the storage-fault gate: the deterministic fault injector,
 # the full WAL suite (torn checkpoints, mid-rotation crashes, compaction
@@ -108,6 +118,19 @@ bench-transport: build
 	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-transport.json \
 		-bench TransportSaturatedLink,TransportSaturatedLinkSingleFrame,TransportSaturatedLinkCompressed \
 		-baseline $(BENCH_BASELINE) -max-regress $(TRANSPORT_MAX_REGRESS)
+
+# Allowed instances/sec regression of the WAN/soak service cases. These go
+# through a live multi-goroutine daemon, so the bound matches the transport
+# gate's coarseness.
+WAN_MAX_REGRESS ?= 0.25
+
+# bench-wan is the WAN throughput gate: the shaped submit→decide case and the
+# steady-state soak-burst case must hold their instances/sec against the
+# committed baseline (skipped silently against baselines that predate them).
+bench-wan: build
+	$(GO) run ./cmd/chcbench -benchjson /tmp/chc-bench-wan.json \
+		-bench WANRegionalDecide,SoakSteadyState \
+		-baseline $(BENCH_BASELINE) -max-regress $(WAN_MAX_REGRESS)
 
 experiments:
 	$(GO) run ./cmd/chcbench -quick

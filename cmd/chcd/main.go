@@ -9,6 +9,7 @@
 //	chcd -n 5 -transport tcp -wal-dir /var/lib/chc -addr :8080
 //	chcd -n 5 -addr :8443 -cert server.pem -key server.key -token $TOKEN
 //	chcd -n 5 -addr :8080 -metrics-addr :9100 -max-active 32 -max-queue 128
+//	chcd -n 6 -addr :8080 -wan us-eu-ap -wan-seed 3 -instance-deadline 2m
 //
 // The API:
 //
@@ -62,8 +63,12 @@ func run(args []string, w io.Writer, ready chan<- string) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
 		walDir       = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory")
 		walCkpt      = fs.Int64("wal-checkpoint", 0, "rotate each WAL and snapshot whenever its live file exceeds this many bytes; 0 disables (requires -wal-dir)")
+		walRetire    = fs.Int("wal-retire", 64, "WAL retention horizon: checkpoint and compact every journal after this many retired instances; 0 disables (requires -wal-dir)")
 		chaosSpec    = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI (testing)")
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
+		wanSpec      = fs.String("wan", "off", "wide-area link model: off, a topology (3-regions|us-eu-ap|star|clos), or topo,regions=R,delay=S,jitter=J,bw=RATE,cut=us->eu@LO-HI")
+		wanSeed      = fs.Int64("wan-seed", 1, "seed for the deterministic WAN delay schedule")
+		deadline     = fs.Duration("instance-deadline", 0, "abort instances still undecided after this long (outcome \"deadline\"); 0 disables")
 		metricsAddr  = fs.String("metrics-addr", "", "enable telemetry and serve /metrics, /runs, /debug/pprof on this address")
 		metricsToken = fs.String("metrics-token", "", "bearer token for the telemetry server (defaults to -token)")
 	)
@@ -72,13 +77,17 @@ func run(args []string, w io.Writer, ready chan<- string) error {
 	}
 
 	cfg := service.Config{
-		N:            *n,
-		MaxActive:    *maxActive,
-		MaxQueue:     *maxQueue,
-		Retention:    *retention,
-		DrainTimeout: *drainTimeout,
-		WALDir:       *walDir,
-		ChaosSeed:    *chaosSeed,
+		N:                *n,
+		MaxActive:        *maxActive,
+		MaxQueue:         *maxQueue,
+		Retention:        *retention,
+		DrainTimeout:     *drainTimeout,
+		WALDir:           *walDir,
+		ChaosSeed:        *chaosSeed,
+		InstanceDeadline: *deadline,
+	}
+	if *walDir != "" {
+		cfg.WALRetire = *walRetire
 	}
 	switch *transport {
 	case "inproc":
@@ -94,6 +103,14 @@ func run(args []string, w io.Writer, ready chan<- string) error {
 	}
 	if prof.Enabled() {
 		cfg.Chaos = &prof
+	}
+	wanPlan, err := chc.ParseWANPlan(*wanSpec)
+	if err != nil {
+		return fmt.Errorf("-wan: %w", err)
+	}
+	if wanPlan.Enabled() {
+		cfg.WAN = &wanPlan
+		cfg.WANSeed = *wanSeed
 	}
 	if *walCkpt > 0 {
 		if *walDir == "" {
@@ -138,6 +155,9 @@ func run(args []string, w io.Writer, ready chan<- string) error {
 	defer api.Close()
 
 	fmt.Fprintf(w, "chcd: n=%d transport=%s serving on %s\n", *n, *transport, api.URL())
+	if wanPlan.Enabled() {
+		fmt.Fprintf(w, "chcd: wan model %s seed=%d\n", wanPlan.String(), *wanSeed)
+	}
 	if ready != nil {
 		ready <- api.Addr()
 	}

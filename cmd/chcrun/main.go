@@ -11,6 +11,8 @@
 //	chcrun -n 5 -f 1 -transport inproc -chaos heavy -chaos-seed 3
 //	chcrun -n 5 -f 1 -transport tcp -chaos 'drop=0.2,dup=0.1,delay=100us-2ms'
 //	chcrun -n 5 -f 1 -transport inproc -wal-dir /tmp/chc-wal -crash 2:9 -recover
+//	chcrun -n 5 -f 1 -transport sim -wan us-eu-ap -wan-seed 3   # geo-modeled virtual time
+//	chcrun -n 5 -f 1 -transport tcp -wan '3-regions,delay=0.01' # wall-clock link shaping
 //	chcrun -n 5 -f 1 -batch 4 -transport tcp          # four CC instances, one network
 //	chcrun -n 5 -f 1 -batch 3 -protocol vector        # vector-consensus batch
 //	chcrun -n 5 -f 1 -protocol byzantine -faulty 4    # Byzantine batch, adversary at p4
@@ -54,6 +56,8 @@ func run(args []string, w io.Writer) (err error) {
 		protocol      = fs.String("protocol", "cc", "protocol for batch instances: cc|vector|byzantine (implies batch mode when not cc)")
 		byz           = fs.String("byz", "", "run the Byzantine transformation with this adversary at the first faulty process: silent|incorrect|equivocator|garbler")
 		traceFile     = fs.String("tracefile", "", "write the full execution trace (per-round states) as JSON to this file")
+		wanSpec       = fs.String("wan", "off", "wide-area link model: off, a topology (3-regions|us-eu-ap|star|clos), or topo,regions=R,delay=S,jitter=J,tail=P,bw=RATE,cut=us->eu@LO-HI (sim: deterministic virtual-time schedule; inproc/tcp: wall-clock shaping)")
+		wanSeed       = fs.Int64("wan-seed", 1, "seed for the deterministic WAN delay schedule")
 		chaosSpec     = fs.String("chaos", "off", "network fault profile: off|light|heavy or drop=P,dup=P,delay=LO-HI,part=LO-HI:ID+ID (inproc/tcp only)")
 		chaosSeed     = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos fault plan")
 		walDir        = fs.String("wal-dir", "", "journal protocol state to per-process write-ahead logs in this directory (inproc/tcp only)")
@@ -77,6 +81,10 @@ func run(args []string, w io.Writer) (err error) {
 	chaosProfile, err := chc.ParseChaosProfile(*chaosSpec)
 	if err != nil {
 		return fmt.Errorf("-chaos: %w", err)
+	}
+	wanPlan, err := chc.ParseWANPlan(*wanSpec)
+	if err != nil {
+		return fmt.Errorf("-wan: %w", err)
 	}
 	if chaosProfile.Enabled() && *transport == "sim" {
 		return fmt.Errorf("-chaos requires a networked transport (-transport inproc or tcp); the simulator has no link layer")
@@ -231,6 +239,16 @@ func run(args []string, w io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown scheduler %q", *sched)
 	}
+	if wanPlan.Enabled() && *transport == "sim" {
+		if *sched != "random" {
+			return fmt.Errorf("-wan drives the simulator's delivery order itself; drop -sched %s", *sched)
+		}
+		ws, werr := chc.NewWANScheduler(wanPlan, *n, *wanSeed)
+		if werr != nil {
+			return fmt.Errorf("-wan: %w", werr)
+		}
+		cfg.Scheduler = ws
+	}
 
 	if *batch > 0 || *protocol != "cc" {
 		if *byz != "" {
@@ -243,15 +261,21 @@ func run(args []string, w io.Writer) (err error) {
 		if k <= 0 {
 			k = 1
 		}
-		return runBatchMode(w, batchMode{
+		bm := batchMode{
 			params: params, protocol: *protocol, k: k, transport: *transport,
 			seed: *seed, rng: rng, faulty: cfg.Faulty, crashes: cfg.Crashes,
 			scheduler: cfg.Scheduler, chaos: chaosProfile, chaosSeed: *chaosSeed,
 			walDir: *walDir, recoverWAL: *recoverWAL, downtime: *downtime,
 			diskPlan: diskPlan, netPlan: netPlan, netSeed: *netSeed,
 			checkpoint: *walCheckpoint, durability: durabilityPolicy,
-			wire: wireCfg,
-		})
+			wire: wireCfg, wan: wanPlan, wanSeed: *wanSeed,
+		}
+		if bm.wan.Enabled() && *transport == "sim" {
+			// The engine builds the virtual-time scheduler itself in batch
+			// mode; the one built above was the single-instance path's.
+			bm.scheduler = nil
+		}
+		return runBatchMode(w, bm)
 	}
 
 	if *byz != "" {
@@ -285,6 +309,9 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if durabilityPolicy != chc.FailStop {
 		netOpts = append(netOpts, chc.WithDurability(durabilityPolicy))
+	}
+	if wanPlan.Enabled() && *transport != "sim" {
+		netOpts = append(netOpts, chc.WithWAN(wanPlan, *wanSeed))
 	}
 	var result *chc.RunResult
 	start := time.Now()
@@ -363,6 +390,20 @@ func run(args []string, w io.Writer) (err error) {
 				fmt.Fprintf(w, "wire        : %s seed=%d: %d faults injected, %d corrupt frames rejected, %d quarantines, %d readmits\n",
 					netPlan.String(), *netSeed, net.InjectedWire, net.CorruptFrames, net.PeerQuarantines, net.PeerReadmits)
 			}
+			if wanPlan.Enabled() {
+				fmt.Fprintf(w, "wan         : %s seed=%d: %d frames delayed, %d writes shaped, %d cut-held\n",
+					wanPlan.String(), *wanSeed, net.WANDelayedFrames, net.WANShapedWrites, net.WANCutHeld)
+			}
+		}
+	}
+	if wanPlan.Enabled() && *transport == "sim" {
+		if ws, ok := cfg.Scheduler.(interface {
+			Delivered() int64
+			Held() int64
+			Elapsed() time.Duration
+		}); ok {
+			fmt.Fprintf(w, "wan         : %s seed=%d: %d delivered in %v virtual time, %d cut-held\n",
+				wanPlan.String(), *wanSeed, ws.Delivered(), ws.Elapsed().Round(time.Microsecond), ws.Held())
 		}
 	}
 	if len(result.Degraded) > 0 {
@@ -408,6 +449,8 @@ type batchMode struct {
 	checkpoint int64
 	durability chc.DurabilityPolicy
 	wire       *chc.WireConfig
+	wan        chc.WANPlan
+	wanSeed    int64
 }
 
 // runBatchMode executes -batch instances of -protocol as one batch
@@ -503,6 +546,11 @@ func runBatchMode(w io.Writer, m batchMode) error {
 		cfg.Checkpoint = chc.WALCheckpointPolicy{EveryBytes: m.checkpoint}
 	}
 	cfg.Durability = m.durability
+	if m.wan.Enabled() {
+		p := m.wan
+		cfg.WAN = &p
+		cfg.WANSeed = m.wanSeed
+	}
 
 	start := time.Now()
 	result, err := chc.RunBatch(cfg)
@@ -569,6 +617,10 @@ func runBatchMode(w io.Writer, m batchMode) error {
 			if m.netPlan.Enabled() {
 				fmt.Fprintf(w, "wire        : %s seed=%d: %d faults injected, %d corrupt frames rejected, %d quarantines, %d readmits\n",
 					m.netPlan.String(), m.netSeed, net.InjectedWire, net.CorruptFrames, net.PeerQuarantines, net.PeerReadmits)
+			}
+			if m.wan.Enabled() {
+				fmt.Fprintf(w, "wan         : %s seed=%d: %d frames delayed, %d writes shaped, %d cut-held\n",
+					m.wan.String(), m.wanSeed, net.WANDelayedFrames, net.WANShapedWrites, net.WANCutHeld)
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	chcruntime "chc/internal/runtime"
 	"chc/internal/service"
 	"chc/internal/telemetry"
+	"chc/internal/wan"
 )
 
 // Case is one named benchmark of the suite.
@@ -76,6 +78,8 @@ func Cases() []Case {
 		{"TransportSaturatedLink", benchTransportSaturatedLink},
 		{"TransportSaturatedLinkSingleFrame", benchTransportSaturatedLinkSingleFrame},
 		{"TransportSaturatedLinkCompressed", benchTransportSaturatedLinkCompressed},
+		{"WANRegionalDecide", benchWANRegionalDecide},
+		{"SoakSteadyState", benchSoakSteadyState},
 	}
 }
 
@@ -131,7 +135,7 @@ func NewReport(revision string, results []Result) Report {
 // direction from ns/op: falling below baseline/(1+maxRegress) is a
 // regression. p99-latency-ns is recorded but not gated — single-run tail
 // latency on a shared CI host is too noisy to block merges on.
-var higherIsBetter = []string{"msgs/sec"}
+var higherIsBetter = []string{"msgs/sec", "instances/sec"}
 
 // Compare checks results against a baseline: any case whose ns/op exceeds
 // baseline*(1+maxRegress), or whose gated throughput metric (msgs/sec) falls
@@ -474,4 +478,101 @@ func benchHausdorff3D(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchWANRegionalDecide measures the submit→decide path with every link of
+// the warm cluster shaped through the WAN model: a 3-region geo topology at
+// scaled delays, so the figure tracks the cost of the shaping machinery
+// (per-frame release scheduling, region attribution of the decide) rather
+// than transcontinental physics. One op is one instance watched to its
+// decision; reports instances/sec.
+func benchWANRegionalDecide(b *testing.B) {
+	const n, d = 5, 2
+	params := core.Params{
+		N: n, F: 1, D: d,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	plan, err := wan.ParsePlan("3-regions,delay=0.002")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		N: n, Retention: 50 * time.Millisecond,
+		WAN: &plan, WANSeed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := multiplex.Instance{Params: params, Inputs: randPoints(n, d, int64(i+1))}
+		id, _, err := srv.Submit(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, terminal, err := srv.Watch(id, 120*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !terminal || st.State != service.StateDecided {
+			b.Fatalf("instance %d: state %v err %v", id, st.State, st.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
+}
+
+// benchSoakSteadyState measures the soak harness's figure of merit: the
+// steady-state decided-instance throughput of a warm daemon with a full
+// pipeline in flight. One op is a burst of eight concurrent mixed CC/vector
+// instances all watched to their decisions — the same admission, scheduling
+// and retire machinery a chcsoak run saturates. Reports instances/sec.
+func benchSoakSteadyState(b *testing.B) {
+	const n, d, burst = 5, 2, 8
+	params := core.Params{
+		N: n, F: 1, D: d,
+		Epsilon:    0.1,
+		InputLower: 0, InputUpper: 10,
+	}
+	srv, err := service.New(service.Config{N: n, Retention: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, burst)
+		for j := 0; j < burst; j++ {
+			inst := multiplex.Instance{Params: params, Inputs: randPoints(n, d, int64(i*burst+j+1))}
+			if j%2 == 1 {
+				inst.Protocol = multiplex.ProtocolVector
+			}
+			id, _, err := srv.Submit(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				st, terminal, err := srv.Watch(id, 120*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !terminal || st.State != service.StateDecided {
+					errs <- fmt.Errorf("instance %d: state %v err %v", id, st.State, st.Err)
+				}
+			}(id)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(burst)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
 }

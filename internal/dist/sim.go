@@ -120,6 +120,10 @@ type NetStats struct {
 	ReorderDrops    int64 // frames dropped beyond the receive reorder bound
 	InjectedWire    int64 // byte-stream faults injected by netfault (corrupting kinds)
 
+	WANDelayedFrames int64 // in-process frames released late by the WAN shaper
+	WANShapedWrites  int64 // TCP writes released late by the WAN conn shaper
+	WANCutHeld       int64 // departures held by a one-way WAN partition window
+
 	Resumes    int64 // epoch-increase handshakes processed (peer restarts seen)
 	WALAppends int64 // records appended to write-ahead logs
 	WALSyncs   int64 // fsync batches issued by write-ahead logs

@@ -27,6 +27,7 @@ import (
 	"chc/internal/runtime"
 	"chc/internal/telemetry"
 	"chc/internal/wal"
+	"chc/internal/wan"
 	"chc/internal/wire"
 )
 
@@ -130,6 +131,16 @@ type Options struct {
 	// default), the flush-deadline batching window, and optional per-batch
 	// compression. TCP only; nil keeps the defaults.
 	Wire *runtime.WireConfig
+
+	// WAN shapes every link through a wide-area model (geo-topology delay
+	// matrix, jitter and heavy tails, bandwidth-derived queueing delay,
+	// one-way partition windows). All transports: the simulator runs it as a
+	// virtual-time scheduler (bitwise-deterministic per WANSeed, exclusive
+	// with Scheduler), the networked runtimes shape frames/connections on
+	// the wall clock. Delay-only — it never drops, so it composes with every
+	// fault option without consuming crash budget.
+	WAN     *wan.Plan
+	WANSeed int64
 
 	// WALDir enables write-ahead logging: every node journals its delivered
 	// messages (each carrying its instance field) before acknowledging them,
@@ -238,6 +249,9 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		if opts.Chaos != nil || opts.WALDir != "" || len(opts.Restarts) > 0 {
 			return nil, errors.New("engine: chaos, WAL and restarts need a networked transport (the simulator has no link layer)")
 		}
+		if opts.WAN != nil && opts.WAN.Enabled() && opts.Scheduler != nil {
+			return nil, errors.New("engine: WAN and Scheduler both drive simulator delivery order; set one")
+		}
 		if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
 			return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy need a networked transport with WALDir")
 		}
@@ -324,6 +338,13 @@ func Run(spec Spec, opts Options) (*Result, error) {
 
 // runSim drives the nodes with the deterministic simulator.
 func runSim(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*Result, error) {
+	if opts.WAN != nil && opts.WAN.Enabled() {
+		sched, err := wan.NewSimScheduler(*opts.WAN, spec.N, opts.WANSeed)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		opts.Scheduler = sched
+	}
 	sim, err := dist.NewSim(dist.Config{
 		N:             spec.N,
 		Seed:          opts.Seed,
@@ -393,6 +414,9 @@ func runCluster(spec Spec, opts Options, nodes []*Node, procs []dist.Process) (*
 	}
 	if opts.Wire != nil {
 		runOpts = append(runOpts, runtime.WithWire(*opts.Wire))
+	}
+	if opts.WAN != nil && opts.WAN.Enabled() {
+		runOpts = append(runOpts, runtime.WithWAN(*opts.WAN, opts.WANSeed))
 	}
 	var (
 		cluster *runtime.Cluster

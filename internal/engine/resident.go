@@ -11,6 +11,7 @@ import (
 	"chc/internal/netfault"
 	"chc/internal/runtime"
 	"chc/internal/wal"
+	"chc/internal/wan"
 	"chc/internal/wire"
 )
 
@@ -44,6 +45,20 @@ type ResidentOptions struct {
 	// Wire tunes the TCP transport's write path (TCP only).
 	Wire *runtime.WireConfig
 
+	// WAN shapes every link through a wide-area model (geo-topology delay
+	// matrix, jitter/tails, bandwidth queueing, one-way partition windows).
+	// Delay-only, so it composes with the whole fault stack. When set, the
+	// engine also attributes each instance's open-to-decide latency to the
+	// deciding process's region (chc_wan_region_decide_seconds).
+	WAN     *wan.Plan
+	WANSeed int64
+
+	// Crashes schedules crash-stop faults against the resident cluster:
+	// each process stops sending after its budget, without the relaunch a
+	// RestartPlan would provide. Service tests use this to create instances
+	// that can never decide.
+	Crashes []dist.CrashPlan
+
 	// WALDir enables write-ahead logging. Instance lifecycle (opens and
 	// closes) is journaled in-band, so a relaunched node recovers not just
 	// its protocol state but which instances it was hosting.
@@ -60,6 +75,12 @@ type ResidentOptions struct {
 	// cluster: kill after a send budget, relaunch from the WAL mid-stream.
 	// Requires WALDir.
 	Restarts []runtime.RestartPlan
+
+	// RetireEvery is the WAL retention horizon: after every RetireEvery
+	// retired instances, the engine checkpoints and compacts every node's
+	// journal, so a long-lived service replays (and stores) recent history
+	// instead of its whole lifetime. Requires WALDir; 0 disables.
+	RetireEvery int
 }
 
 // InstanceState is the lifecycle state of one resident instance.
@@ -119,6 +140,7 @@ type residentInstance struct {
 	retired bool
 	err     error
 
+	opened       time.Time // admission time, for decide-latency attribution
 	decided      map[dist.ProcID]bool
 	decidedCount int
 }
@@ -140,11 +162,13 @@ type Resident struct {
 	transport Transport
 	cluster   *runtime.Cluster
 
-	mu        sync.Mutex
-	instances []*residentInstance
-	running   int
-	closed    bool
-	stopped   bool
+	mu          sync.Mutex
+	instances   []*residentInstance
+	running     int
+	closed      bool
+	stopped     bool
+	retireEvery int // checkpoint WALs after this many retirements (0 = off)
+	retirements int // retirements since the last checkpoint
 	// changed is closed and replaced on every instance state transition;
 	// Drain waits on it.
 	changed chan struct{}
@@ -176,11 +200,14 @@ func StartResident(n int, opts ResidentOptions) (*Resident, error) {
 		if opts.WALFS != nil || opts.Checkpoint.Enabled() || opts.Durability != runtime.FailStop {
 			return nil, errors.New("engine: WAL filesystem, checkpointing and durability policy require WALDir")
 		}
+		if opts.RetireEvery > 0 {
+			return nil, errors.New("engine: the WAL retention horizon (RetireEvery) requires WALDir")
+		}
 	}
 	if opts.Sizer == nil {
 		opts.Sizer = wire.MessageSize
 	}
-	r := &Resident{n: n, transport: opts.Transport, changed: make(chan struct{})}
+	r := &Resident{n: n, transport: opts.Transport, changed: make(chan struct{}), retireEvery: opts.RetireEvery}
 	procs := make([]dist.Process, n)
 	for i := range procs {
 		procs[i] = newResidentNode(r, dist.ProcID(i))
@@ -198,6 +225,9 @@ func StartResident(n int, opts ResidentOptions) (*Resident, error) {
 			FS:         opts.WALFS,
 			Checkpoint: opts.Checkpoint,
 			Durability: opts.Durability,
+			// The retention horizon compacts on demand, which needs the
+			// in-memory state mirror even without a periodic policy.
+			Mirror:     opts.RetireEvery > 0,
 			OnRelaunch: r.reconcile,
 			// The engine's own mutex gates the relaunch swap: Open and
 			// retirement fan-outs hold it around their control enqueues, so a
@@ -209,6 +239,9 @@ func StartResident(n int, opts ResidentOptions) (*Resident, error) {
 	if len(opts.Restarts) > 0 {
 		runOpts = append(runOpts, runtime.WithRestarts(opts.Restarts...))
 	}
+	if len(opts.Crashes) > 0 {
+		runOpts = append(runOpts, runtime.WithCrashes(opts.Crashes...))
+	}
 	if opts.Chaos != nil {
 		runOpts = append(runOpts, runtime.WithChaos(*opts.Chaos, opts.ChaosSeed))
 	}
@@ -217,6 +250,9 @@ func StartResident(n int, opts ResidentOptions) (*Resident, error) {
 	}
 	if opts.Wire != nil {
 		runOpts = append(runOpts, runtime.WithWire(*opts.Wire))
+	}
+	if opts.WAN != nil && opts.WAN.Enabled() {
+		runOpts = append(runOpts, runtime.WithWAN(*opts.WAN, opts.WANSeed))
 	}
 	var (
 		cluster *runtime.Cluster
@@ -262,6 +298,7 @@ func (r *Resident) Open(spec InstanceSpec, sink InstanceSink) (int, error) {
 	r.instances = append(r.instances, &residentInstance{
 		spec:    spec,
 		sink:    sink,
+		opened:  time.Now(),
 		decided: make(map[dist.ProcID]bool, r.n),
 	})
 	r.running++
@@ -443,6 +480,13 @@ func (r *Resident) retireLocked(k int, ins *residentInstance) {
 	}
 	mResidentRetired.Inc()
 	mResidentActive.Add(-1)
+	if r.retireEvery > 0 {
+		if r.retirements++; r.retirements >= r.retireEvery {
+			r.retirements = 0
+			// Off the critical section: compaction fsyncs every node's log.
+			go func() { _ = r.cluster.CheckpointWALs() }()
+		}
+	}
 }
 
 // failLocked moves a running instance to Failed and retires it, returning
@@ -475,6 +519,7 @@ func (r *Resident) noteDecided(k int, id dist.ProcID, sub dist.Process) {
 	}
 	ins.decided[id] = true
 	ins.decidedCount++
+	opened := ins.opened
 	procCb := ins.sink.OnProcDecided
 	var decidedCb func()
 	if ins.decidedCount == r.n {
@@ -485,6 +530,9 @@ func (r *Resident) noteDecided(k int, id dist.ProcID, sub dist.Process) {
 		r.signal()
 	}
 	r.mu.Unlock()
+	if m := r.cluster.WANModel(); m != nil && !opened.IsZero() {
+		m.ObserveRegionDecide(int(id), time.Since(opened).Seconds())
+	}
 	if procCb != nil {
 		procCb(id, sub)
 	}

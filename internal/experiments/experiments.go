@@ -28,6 +28,7 @@
 //	E20 the storage-fault matrix: disk faults × durability policy × compaction
 //	E21 the adversarial-wire matrix: byte-stream corruption × chaos × restarts
 //	E22 the resident-service matrix: a daemon serving an instance stream
+//	E23 the WAN matrix: geo-topologies, asymmetric partitions and chaos
 package experiments
 
 import (
@@ -155,6 +156,7 @@ func All() []Experiment {
 		{"E20", "Storage-fault matrix: disk faults, durability policies and compaction", E20StorageFaults},
 		{"E21", "Adversarial-wire matrix: byte-stream corruption, quarantine and readmission over TCP", E21WireFaults},
 		{"E22", "Resident-service matrix: heterogeneous instance stream over one warm cluster", E22ResidentService},
+		{"E23", "WAN matrix: geo-topologies, asymmetric partitions, chaos and restarts over shaped TCP", E23WANMatrix},
 	}
 }
 

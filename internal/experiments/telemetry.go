@@ -174,7 +174,14 @@ func runTelemetryCell(params core.Params, profile *chaos.Profile, crashes []dist
 	if _, err := multiplex.RunBatch(cfg); err != nil {
 		return telemetryCell{}, err
 	}
+	return auditTelemetryEvents(sink, params, omega, tEnd)
+}
 
+// auditTelemetryEvents checks the paper's bounds purely from a captured
+// event stream: equation (19) on the cc.decided events, the Lemma 3 /
+// equation (18) envelope and Theorem 2 agreement on states reconstructed
+// from the cc.round events. E19 and the WAN matrix E23 share it.
+func auditTelemetryEvents(sink *telemetry.MemorySink, params core.Params, omega float64, tEnd int) (telemetryCell, error) {
 	// Reconstruct h_i[t] and the decided rounds from the event stream,
 	// deduplicating by (proc, round): WAL replay re-emits identical events.
 	type key struct{ proc, round int }

@@ -29,6 +29,7 @@ import (
 	"chc/internal/telemetry"
 	"chc/internal/vectorconsensus"
 	"chc/internal/wal"
+	"chc/internal/wan"
 )
 
 // ProtocolKind selects the state machine an instance runs.
@@ -111,6 +112,13 @@ type BatchConfig struct {
 	// Wire tunes the TCP transport's write path (coalescing, flush
 	// deadline, compression); nil keeps the defaults. TCP transport only.
 	Wire *runtime.WireConfig
+
+	// WAN shapes every link through a wide-area model (all transports: a
+	// virtual-time scheduler on the simulator, wall-clock shaping on the
+	// networked transports). Delay-only, so it composes with Chaos and
+	// NetFaults without consuming crash budgets.
+	WAN     *wan.Plan
+	WANSeed int64
 
 	// WALDir enables write-ahead logging; every journaled delivery carries
 	// its instance, so a restarted node replays the whole batch it hosts.
@@ -251,6 +259,8 @@ func RunBatch(cfg BatchConfig) (*BatchResult, error) {
 		ChaosSeed:  cfg.ChaosSeed,
 		NetFaults:  cfg.NetFaults,
 		Wire:       cfg.Wire,
+		WAN:        cfg.WAN,
+		WANSeed:    cfg.WANSeed,
 		WALDir:     cfg.WALDir,
 		WALFS:      cfg.WALFS,
 		Checkpoint: cfg.Checkpoint,

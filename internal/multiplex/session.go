@@ -17,6 +17,7 @@ import (
 	"chc/internal/runtime"
 	"chc/internal/vectorconsensus"
 	"chc/internal/wal"
+	"chc/internal/wan"
 )
 
 // SessionConfig describes a resident session: one warm cluster over which
@@ -39,6 +40,17 @@ type SessionConfig struct {
 	// Wire tunes the TCP transport's write path (TCP only).
 	Wire *runtime.WireConfig
 
+	// WAN shapes every link through a wide-area model (delay-only; composes
+	// with the whole fault stack). Decide latencies are attributed to the
+	// deciding process's region.
+	WAN     *wan.Plan
+	WANSeed int64
+
+	// Crashes schedules crash-stop faults against the session's cluster:
+	// the process stops mid-protocol and never returns, so instances that
+	// depend on it can only finish via an abort or deadline.
+	Crashes []dist.CrashPlan
+
 	// WALDir enables write-ahead logging; the dynamic instance lifecycle is
 	// journaled in-band, so restarted nodes recover mid-stream.
 	WALDir string
@@ -52,6 +64,11 @@ type SessionConfig struct {
 	// Restarts schedules crash-recovery faults against the session's
 	// cluster (requires WALDir).
 	Restarts []runtime.RestartPlan
+
+	// RetireCheckpoint is the WAL retention horizon: checkpoint + compact
+	// every journal after this many retired instances, bounding replay work
+	// and on-disk history for a long-lived session (requires WALDir; 0 off).
+	RetireCheckpoint int
 }
 
 // InstanceResult carries the typed decisions of one session instance, in
@@ -199,16 +216,20 @@ func OpenSession(cfg SessionConfig) (*Session, error) {
 		tr = engine.TransportChannel
 	}
 	eng, err := engine.StartResident(cfg.N, engine.ResidentOptions{
-		Transport:  tr,
-		Chaos:      cfg.Chaos,
-		ChaosSeed:  cfg.ChaosSeed,
-		NetFaults:  cfg.NetFaults,
-		Wire:       cfg.Wire,
-		WALDir:     cfg.WALDir,
-		WALFS:      cfg.WALFS,
-		Checkpoint: cfg.Checkpoint,
-		Durability: cfg.Durability,
-		Restarts:   cfg.Restarts,
+		Transport:   tr,
+		Chaos:       cfg.Chaos,
+		ChaosSeed:   cfg.ChaosSeed,
+		NetFaults:   cfg.NetFaults,
+		Wire:        cfg.Wire,
+		WALDir:      cfg.WALDir,
+		WALFS:       cfg.WALFS,
+		Checkpoint:  cfg.Checkpoint,
+		Durability:  cfg.Durability,
+		Restarts:    cfg.Restarts,
+		WAN:         cfg.WAN,
+		WANSeed:     cfg.WANSeed,
+		Crashes:     cfg.Crashes,
+		RetireEvery: cfg.RetireCheckpoint,
 	})
 	if err != nil {
 		return nil, err

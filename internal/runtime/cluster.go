@@ -12,6 +12,7 @@ import (
 	"chc/internal/netfault"
 	"chc/internal/rlink"
 	"chc/internal/wal"
+	"chc/internal/wan"
 	"chc/internal/wire"
 )
 
@@ -82,6 +83,12 @@ type Cluster struct {
 	chaosSeed    int64
 	reliable     bool
 	rlinkCfg     rlink.Config
+
+	wanPlan  *wan.Plan     // WAN link model (nil when disabled)
+	wanSeed  int64         // seed of the WAN delay/jitter stream
+	wanModel *wan.Model    // plan resolved against n (nil when disabled)
+	wanShape []*wan.Shaper // per-node frame shapers (channel clusters)
+	wanInj   *wan.Injector // shared conn shaper (TCP clusters)
 
 	netPlan *netfault.Plan     // wire-fault plan (TCP clusters only)
 	nfault  *netfault.Injector // shared byte-stream fault injector
@@ -165,6 +172,31 @@ func WithChaos(profile chaos.Profile, seed int64) Option {
 	return chaosOption{profile: profile, seed: seed}
 }
 
+type wanOption struct {
+	plan wan.Plan
+	seed int64
+}
+
+func (o wanOption) apply(c *Cluster) {
+	p := o.plan
+	c.wanPlan = &p
+	c.wanSeed = o.seed
+	c.reliable = true // shaping lives at the frame layer, under rlink
+}
+
+// WithWAN shapes every link through a wide-area model: per-edge propagation
+// delay (jitter, heavy tails), bandwidth-derived queueing delay, and one-way
+// partition windows, per the plan's geo-topology. The model is pure delay —
+// it never drops or corrupts, so it consumes no crash budget and cannot trip
+// the wire-level quarantine machinery. Channel clusters shape at the frame
+// layer (the reliable-link stack is enabled automatically); TCP clusters
+// shape the connections' write paths. Composable with WithChaos (chaos
+// decides a frame's fate first; survivors ride the shaped link) and
+// WithNetFaults.
+func WithWAN(plan wan.Plan, seed int64) Option {
+	return wanOption{plan: plan, seed: seed}
+}
+
 type reliableOption struct{ cfg rlink.Config }
 
 func (o reliableOption) apply(c *Cluster) {
@@ -222,6 +254,7 @@ func NewChannelCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	if c.reliable {
 		for i := range procs {
 			var s rlink.Sender = &chanFrameSender{cluster: c}
+			s = c.maybeInjectWAN(i, s)
 			s = c.maybeInjectChaos(i, s)
 			if err := c.installEndpoint(i, s); err != nil {
 				for _, ep := range c.rel {
@@ -268,11 +301,35 @@ func newCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	for _, o := range opts {
 		o.apply(c)
 	}
+	if c.wanPlan != nil && c.wanPlan.Enabled() {
+		m, err := wan.NewModel(*c.wanPlan, len(procs), c.wanSeed)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		c.wanModel = m
+	}
 	if err := c.validateRecovery(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// maybeInjectWAN wraps a frame sender with the node's WAN shaper (channel
+// clusters; TCP clusters shape at the conn layer instead). It sits below
+// chaos in the chain, so only frames that survive fault injection are
+// charged against the modeled link.
+func (c *Cluster) maybeInjectWAN(i int, s rlink.Sender) rlink.Sender {
+	if c.wanModel == nil {
+		return s
+	}
+	sh := wan.NewShaper(dist.ProcID(i), c.wanModel, s)
+	c.wanShape = append(c.wanShape, sh)
+	return sh
+}
+
+// WANModel exposes the resolved WAN model (nil when WithWAN is absent); the
+// resident engine uses it for per-region decide-latency attribution.
+func (c *Cluster) WANModel() *wan.Model { return c.wanModel }
 
 // maybeInjectChaos wraps a frame sender with the configured chaos injector.
 func (c *Cluster) maybeInjectChaos(i int, s rlink.Sender) rlink.Sender {
@@ -327,15 +384,39 @@ func (c *Cluster) closeWALs() {
 
 // walOptions builds the log options from the recovery configuration: the
 // (possibly fault-injecting) filesystem, the checkpoint policy, and mirror
-// mode when the degrade policy may need to re-arm.
+// mode when the degrade policy may need to re-arm or the caller plans
+// on-demand checkpoints (retention compaction needs the state mirror).
 func (c *Cluster) walOptions() wal.Options {
 	o := wal.Options{}
 	if c.recovery != nil {
 		o.FS = c.recovery.FS
 		o.Checkpoint = c.recovery.Checkpoint
-		o.Mirror = c.recovery.Durability == Degrade
+		o.Mirror = c.recovery.Durability == Degrade || c.recovery.Mirror
 	}
 	return o
+}
+
+// CheckpointWALs snapshots and compacts every live write-ahead log: each
+// log's mirrored state becomes a fresh checkpoint segment and the replayed
+// history behind it is dropped. The resident engine calls this on a WAL
+// retention horizon (every N retired instances) so long-lived services do
+// not accumulate unbounded journal; logs must run with RecoveryConfig.Mirror
+// (or the Degrade policy, which mirrors anyway). Nodes that are down between
+// kill and relaunch are skipped; the first real error is returned.
+func (c *Cluster) CheckpointWALs() error {
+	c.stateMu.RLock()
+	wals := append([]*wal.WAL(nil), c.wal...)
+	c.stateMu.RUnlock()
+	var first error
+	for _, w := range wals {
+		if w == nil {
+			continue
+		}
+		if err := w.Checkpoint(); err != nil && !errors.Is(err, wal.ErrClosed) && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // routeFrame delivers a frame to the target node's reliable-link endpoint
@@ -413,6 +494,14 @@ func (c *Cluster) Stats() ClusterStats {
 	}
 	if c.nfault != nil {
 		st.Net.InjectedWire = int64(c.nfault.Stats().Total())
+	}
+	for _, sh := range c.wanShape {
+		st.Net.WANDelayedFrames += sh.Delayed()
+		st.Net.WANCutHeld += sh.Held()
+	}
+	if c.wanInj != nil {
+		st.Net.WANShapedWrites += c.wanInj.Delayed()
+		st.Net.WANCutHeld += c.wanInj.Held()
 	}
 	c.retiredMu.Lock()
 	r := c.retired
@@ -624,9 +713,14 @@ func (c *Cluster) teardown(rs *runState) error {
 			_ = inj.Close()
 		}
 	}
-	// Disarm wire corruption before tearing transports down, so shutdown
-	// traffic (final acks, closes) is not re-broken mid-teardown.
+	for _, sh := range c.wanShape {
+		sh.Close()
+	}
+	// Disarm wire corruption and WAN shaping before tearing transports down,
+	// so shutdown traffic (final acks, closes) is not re-broken or parked
+	// behind modeled delays mid-teardown.
 	c.nfault.Disarm()
+	c.wanInj.Disarm()
 	for _, tr := range trans {
 		if tr != nil {
 			_ = tr.Close()

@@ -45,6 +45,11 @@ type RecoveryConfig struct {
 	FS wal.FS
 	// Checkpoint enables periodic snapshot + segment rotation of every log.
 	Checkpoint wal.CheckpointPolicy
+	// Mirror keeps each log's replayable state mirrored in memory even when
+	// no automatic checkpoint policy runs, so on-demand compaction
+	// (Cluster.CheckpointWALs — the resident engine's WAL retention horizon)
+	// can snapshot at any moment. Implied by the Degrade policy.
+	Mirror bool
 	// Durability decides what a node does when its log stops accepting
 	// writes: FailStop (default) or Degrade.
 	Durability DurabilityPolicy

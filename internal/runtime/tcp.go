@@ -15,6 +15,7 @@ import (
 	"chc/internal/netfault"
 	"chc/internal/rlink"
 	"chc/internal/telemetry"
+	"chc/internal/wan"
 	"chc/internal/wire"
 )
 
@@ -123,6 +124,12 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 	if c.netPlan != nil {
 		c.nfault = netfault.New(*c.netPlan)
 	}
+	// Likewise one shared WAN conn shaper: link delay/bandwidth clocks are
+	// keyed by link label, so a redialed connection resumes shaping where
+	// the old one left off.
+	if c.wanModel != nil {
+		c.wanInj = wan.NewInjector(c.wanModel)
+	}
 	transports := make([]*tcpTransport, n)
 	for i := 0; i < n; i++ {
 		t := &tcpTransport{
@@ -132,6 +139,7 @@ func NewTCPCluster(procs []dist.Process, opts ...Option) (*Cluster, error) {
 			peers:  make([]*tcpPeer, n),
 			health: make([]*peerHealth, n),
 			nfault: c.nfault,
+			wan:    c.wanInj,
 			cfg:    c.wireCfg,
 			stop:   make(chan struct{}),
 		}
@@ -230,6 +238,10 @@ type tcpTransport struct {
 	// nfault, when non-nil, corrupts the write side of dialed connections
 	// per the cluster's wire-fault plan.
 	nfault *netfault.Injector
+
+	// wan, when non-nil, shapes the write side of dialed connections through
+	// the cluster's WAN model (delay only, chunking-independent).
+	wan *wan.Injector
 
 	// cfg is the write-path tuning (coalescing, flush deadline, compression).
 	cfg WireConfig
@@ -386,6 +398,12 @@ func (t *tcpTransport) dial(to dist.ProcID) error {
 		// link carries. The injector keys offsets by link label, not conn,
 		// so a redial resumes the fault schedule where the old conn died.
 		conn = t.nfault.WrapConn(fmt.Sprintf("%d->%d", t.self, to), conn)
+	}
+	if t.wan != nil {
+		// Outermost on the write path: a write is delayed whole first, then
+		// (possibly) corrupted by netfault, so the fault schedule's byte
+		// offsets are untouched by shaping.
+		conn = t.wan.WrapConn(fmt.Sprintf("%d->%d", t.self, to), conn)
 	}
 	w := bufio.NewWriter(conn)
 	hs := wire.Frame{Type: wire.FrameHandshake, From: t.self}

@@ -15,7 +15,7 @@ var (
 	mQueued = telemetry.Default().Gauge("chc_service_instances_queued",
 		"Instances admitted but waiting for a running slot.")
 	mDecided = telemetry.Default().CounterVec("chc_service_instances_finished_total",
-		"Instances finished, by outcome (decided, failed).", "outcome")
+		"Instances finished, by outcome (decided, failed, deadline).", "outcome")
 	mEvicted = telemetry.Default().Counter("chc_service_instances_evicted_total",
 		"Finished instance records evicted after their retention period.")
 	mDrainSeconds = telemetry.Default().Histogram("chc_service_drain_seconds",

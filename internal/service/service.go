@@ -18,11 +18,13 @@ import (
 	"time"
 
 	"chc/internal/chaos"
+	"chc/internal/dist"
 	"chc/internal/engine"
 	"chc/internal/multiplex"
 	"chc/internal/netfault"
 	"chc/internal/runtime"
 	"chc/internal/wal"
+	"chc/internal/wan"
 )
 
 // Admission errors. The HTTP layer maps ErrOverloaded to 429 and
@@ -33,6 +35,9 @@ var (
 	ErrNotFound   = errors.New("service: no such instance")
 	// ErrClosed fails records abandoned by Close before they could run.
 	ErrClosed = errors.New("service: server closed")
+	// ErrDeadline fails records whose instance outlived InstanceDeadline;
+	// the engine aborts the instance so it stops consuming cluster capacity.
+	ErrDeadline = errors.New("service: instance deadline exceeded")
 )
 
 // Config describes a service instance.
@@ -54,6 +59,25 @@ type Config struct {
 	Checkpoint wal.CheckpointPolicy
 	Durability runtime.DurabilityPolicy
 	Restarts   []runtime.RestartPlan
+	Crashes    []dist.CrashPlan
+
+	// WAN shapes the cluster's links through a wide-area model (geo
+	// topology, jitter, bandwidth, one-way partition windows). Delay-only.
+	WAN     *wan.Plan
+	WANSeed int64
+
+	// WALRetire is the WAL retention horizon: after every WALRetire retired
+	// instances the engine checkpoints and compacts each node's journal, so
+	// a long-lived daemon's logs track recent history instead of its whole
+	// lifetime (requires WALDir; 0 disables).
+	WALRetire int
+
+	// InstanceDeadline bounds each instance's running time. An instance
+	// still undecided after the deadline is aborted and fails with
+	// ErrDeadline (outcome "deadline"), so a stalled instance — a crashed
+	// quorum, a partition that never heals — cannot pin a running slot
+	// forever. Zero disables.
+	InstanceDeadline time.Duration
 
 	// MaxActive bounds concurrently running instances (default 64).
 	MaxActive int
@@ -162,17 +186,21 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	session, err := multiplex.OpenSession(multiplex.SessionConfig{
-		N:          cfg.N,
-		Transport:  cfg.Transport,
-		Chaos:      cfg.Chaos,
-		ChaosSeed:  cfg.ChaosSeed,
-		NetFaults:  cfg.NetFaults,
-		Wire:       cfg.Wire,
-		WALDir:     cfg.WALDir,
-		WALFS:      cfg.WALFS,
-		Checkpoint: cfg.Checkpoint,
-		Durability: cfg.Durability,
-		Restarts:   cfg.Restarts,
+		N:                cfg.N,
+		Transport:        cfg.Transport,
+		Chaos:            cfg.Chaos,
+		ChaosSeed:        cfg.ChaosSeed,
+		NetFaults:        cfg.NetFaults,
+		Wire:             cfg.Wire,
+		WAN:              cfg.WAN,
+		WANSeed:          cfg.WANSeed,
+		WALDir:           cfg.WALDir,
+		WALFS:            cfg.WALFS,
+		Checkpoint:       cfg.Checkpoint,
+		Durability:       cfg.Durability,
+		Restarts:         cfg.Restarts,
+		Crashes:          cfg.Crashes,
+		RetireCheckpoint: cfg.WALRetire,
 	})
 	if err != nil {
 		return nil, err
@@ -255,7 +283,20 @@ func (s *Server) start(rec *record) {
 	s.watchers.Add(1)
 	go func() {
 		defer s.watchers.Done()
-		<-ticket.Done()
+		if d := s.cfg.InstanceDeadline; d > 0 {
+			deadline := time.NewTimer(d)
+			select {
+			case <-ticket.Done():
+				deadline.Stop()
+			case <-deadline.C:
+				// Abort completes the ticket (OnFailed), so the wait below
+				// is bounded; wrapping ErrDeadline marks the outcome.
+				_ = s.session.Engine().Abort(ticket.ID, fmt.Errorf("%w (%v)", ErrDeadline, d))
+				<-ticket.Done()
+			}
+		} else {
+			<-ticket.Done()
+		}
 		res, terr := ticket.Result()
 		s.finish(rec, res, terr)
 	}()
@@ -268,10 +309,14 @@ func (s *Server) finish(rec *record, res multiplex.InstanceResult, err error) {
 	rec.res = res
 	rec.err = err
 	rec.finished = time.Now()
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrDeadline):
+		rec.state = StateFailed
+		mDecided.With("deadline").Inc()
+	case err != nil:
 		rec.state = StateFailed
 		mDecided.With("failed").Inc()
-	} else {
+	default:
 		rec.state = StateDecided
 		mDecided.With("decided").Inc()
 	}

@@ -1,0 +1,259 @@
+package wan
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+)
+
+// Injector shapes TCP connections through the WAN model (netfault idiom:
+// one injector per cluster, link state keyed by the "i->j" label so delay
+// and bandwidth clocks survive reconnects). It is delay-only and
+// chunking-independent: each Write is queued whole with a computed release
+// time and written to the underlying conn unmodified, in order, so byte
+// boundaries, checksums and the framing layer are untouched — WAN shaping
+// can never trip the corruption/quarantine machinery.
+type Injector struct {
+	m     *Model
+	start time.Time
+
+	mu    sync.Mutex
+	links map[string]*connLink
+
+	disarmed atomic.Bool
+	delayed  atomic.Int64
+	held     atomic.Int64
+}
+
+// connLink carries one directed link's clocks across reconnects.
+type connLink struct {
+	mu   sync.Mutex
+	seq  int64
+	free time.Duration
+	last time.Duration
+}
+
+// NewInjector builds the cluster's conn shaper over a resolved model.
+func NewInjector(m *Model) *Injector {
+	return &Injector{m: m, start: time.Now(), links: make(map[string]*connLink)}
+}
+
+// Disarm stops shaping: queued writes flush immediately and future wraps
+// are pass-through. Used at cluster teardown, next to netfault's Disarm.
+func (inj *Injector) Disarm() {
+	if inj == nil {
+		return
+	}
+	inj.disarmed.Store(true)
+}
+
+// Delayed returns the number of writes released late (nil-safe).
+func (inj *Injector) Delayed() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.delayed.Load()
+}
+
+// Held returns the number of writes held by a cut window (nil-safe).
+func (inj *Injector) Held() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.held.Load()
+}
+
+func (inj *Injector) link(label string) *connLink {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	l, ok := inj.links[label]
+	if !ok {
+		l = &connLink{}
+		inj.links[label] = l
+	}
+	return l
+}
+
+// WrapConn shapes the write path of c for the directed link label "i->j".
+// Unparseable labels and a disarmed injector return c unchanged (nil-safe).
+func (inj *Injector) WrapConn(label string, c net.Conn) net.Conn {
+	if inj == nil || inj.disarmed.Load() {
+		return c
+	}
+	var from, to int
+	if n, err := fmt.Sscanf(label, "%d->%d", &from, &to); n != 2 || err != nil {
+		return c
+	}
+	sc := &shapedConn{
+		Conn: c,
+		inj:  inj,
+		link: inj.link(label),
+		from: dist.ProcID(from),
+		to:   dist.ProcID(to),
+		ch:   make(chan wanChunk, 256),
+		done: make(chan struct{}),
+	}
+	sc.wg.Add(1)
+	go sc.pump()
+	return sc
+}
+
+// wanChunk is one queued Write with its computed release time.
+type wanChunk struct {
+	buf     []byte
+	release time.Duration // since Injector.start
+}
+
+// shapedConn queues writes and releases them from a per-conn pump
+// goroutine. Propagation delay overlaps across writes (pipelining), while
+// the link's serialization clock provides the bandwidth queueing delay;
+// per-link FIFO release order is preserved across everything, including
+// cut-window holds.
+type shapedConn struct {
+	net.Conn
+	inj      *Injector
+	link     *connLink
+	from, to dist.ProcID
+
+	wmu    sync.Mutex // guards closed/werr against Write
+	closed bool
+	werr   error
+
+	ch   chan wanChunk
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// Write computes the chunk's release time under the link clocks and queues
+// it; it reports success immediately (the bytes are committed to the link)
+// unless the pump has already observed a transport error.
+func (c *shapedConn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return 0, err
+	}
+	c.wmu.Unlock()
+	if c.inj.disarmed.Load() {
+		// Pass through only once the queue is empty; otherwise keep FIFO
+		// order by queueing with an immediate release.
+		if len(c.ch) == 0 {
+			return c.Conn.Write(b)
+		}
+	}
+
+	now := time.Since(c.inj.start)
+	l := c.link
+	l.mu.Lock()
+	seq := l.seq
+	l.seq++
+	depart := now
+	if depart < l.free {
+		depart = l.free
+	}
+	depart, cutHeld := c.inj.m.CutRelease(c.from, c.to, depart)
+	tx := c.inj.m.TxTime(c.from, c.to, len(b))
+	l.free = depart + tx
+	release := depart + tx + c.inj.m.Delay(c.from, c.to, seq)
+	if release < l.last {
+		release = l.last
+	}
+	l.last = release
+	l.mu.Unlock()
+
+	path := c.inj.m.PathLabel(c.from, c.to)
+	mLinkBytes.With(linkLabel(c.from, c.to)).Add(int64(len(b)))
+	if cutHeld {
+		c.inj.held.Add(1)
+		mWritesCutHeld.With(path).Inc()
+	}
+	if release > now {
+		c.inj.delayed.Add(1)
+		mWritesDelayed.With(path).Inc()
+		mShapeDelay.With(path).Observe((release - now).Seconds())
+	}
+
+	// The transport reuses its write buffers, so the chunk must own a copy.
+	chunk := wanChunk{buf: append([]byte(nil), b...), release: release}
+	select {
+	case c.ch <- chunk:
+		return len(b), nil
+	case <-c.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// pump releases queued chunks at their computed times, in order. On Close
+// it flushes whatever is queued immediately (no delay) so no committed
+// bytes are lost mid-frame, then exits.
+func (c *shapedConn) pump() {
+	defer c.wg.Done()
+	for {
+		select {
+		case k := <-c.ch:
+			c.wait(k.release)
+			if _, err := c.Conn.Write(k.buf); err != nil {
+				c.setErr(err)
+			}
+		case <-c.done:
+			for {
+				select {
+				case k := <-c.ch:
+					if _, err := c.Conn.Write(k.buf); err != nil {
+						c.setErr(err)
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// wait sleeps until the release time, aborting early on Close or Disarm.
+func (c *shapedConn) wait(release time.Duration) {
+	if c.inj.disarmed.Load() {
+		return
+	}
+	d := release - time.Since(c.inj.start)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.done:
+	}
+}
+
+func (c *shapedConn) setErr(err error) {
+	c.wmu.Lock()
+	if c.werr == nil {
+		c.werr = err
+	}
+	c.wmu.Unlock()
+}
+
+// Close flushes the queue (immediately, via the pump's drain path) and
+// closes the underlying conn.
+func (c *shapedConn) Close() error {
+	c.once.Do(func() {
+		c.wmu.Lock()
+		c.closed = true
+		c.wmu.Unlock()
+		close(c.done)
+		c.wg.Wait()
+	})
+	return c.Conn.Close()
+}

@@ -1,0 +1,83 @@
+package wan
+
+import (
+	"chc/internal/dist"
+	"chc/internal/telemetry"
+)
+
+// WAN metric families. The per-region-pair ("path") families are naturally
+// low-cardinality — presets top out at a handful of regions — but the
+// per-link family grows with n², so every family here registers a label
+// cardinality cap: beyond it, new series collapse into the all-"other"
+// overflow series instead of growing the registry without bound (the same
+// contract the transport's per-peer families rely on).
+var (
+	mSimDeliveries = telemetry.Default().CounterVec(
+		"chc_wan_sim_deliveries_total",
+		"Simulator messages delivered through the WAN virtual-time scheduler, by region pair.",
+		"path")
+	mSimCutHeld = telemetry.Default().CounterVec(
+		"chc_wan_sim_cut_held_total",
+		"Simulator departures postponed past a one-way partition window, by region pair.",
+		"path")
+	mFramesDelayed = telemetry.Default().CounterVec(
+		"chc_wan_frames_delayed_total",
+		"In-process frames released late by the WAN shaper, by region pair.",
+		"path")
+	mFramesCutHeld = telemetry.Default().CounterVec(
+		"chc_wan_frames_cut_held_total",
+		"In-process frames held by a one-way partition window, by region pair.",
+		"path")
+	mWritesDelayed = telemetry.Default().CounterVec(
+		"chc_wan_writes_delayed_total",
+		"TCP writes released late by the WAN conn shaper, by region pair.",
+		"path")
+	mWritesCutHeld = telemetry.Default().CounterVec(
+		"chc_wan_writes_cut_held_total",
+		"TCP writes held by a one-way partition window, by region pair.",
+		"path")
+	mShapeDelay = telemetry.Default().HistogramVec(
+		"chc_wan_delay_seconds",
+		"Delay imposed on a shaped frame or write (propagation + queueing + cut hold), by region pair.",
+		[]float64{.0001, .0005, .001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5},
+		"path")
+	mLinkBytes = telemetry.Default().CounterVec(
+		"chc_wan_link_bytes_total",
+		"Bytes charged against WAN link bandwidth, by directed link (i->j).",
+		"link")
+	mRegionDecide = telemetry.Default().HistogramVec(
+		"chc_wan_region_decide_seconds",
+		"Open-to-decide latency of resident instances per deciding process, by region (WAN-modeled clusters only).",
+		[]float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30},
+		"region")
+)
+
+func init() {
+	// Region-pair families: presets have at most a handful of regions, but
+	// regions=N is operator-controlled, so cap the pair space anyway.
+	for _, name := range []string{
+		"chc_wan_sim_deliveries_total",
+		"chc_wan_sim_cut_held_total",
+		"chc_wan_frames_delayed_total",
+		"chc_wan_frames_cut_held_total",
+		"chc_wan_writes_delayed_total",
+		"chc_wan_writes_cut_held_total",
+		"chc_wan_delay_seconds",
+	} {
+		telemetry.SetLabelCardinality(name, 64)
+	}
+	telemetry.SetLabelCardinality("chc_wan_region_decide_seconds", 64)
+	// The per-link family is the n² one: a 1000-link mesh must overflow
+	// into "other" rather than materialize a thousand series.
+	telemetry.SetLabelCardinality("chc_wan_link_bytes_total", 256)
+}
+
+// ObserveRegionDecide records one process's open-to-decide latency against
+// its region's histogram. The resident engine calls this when a WAN model
+// is active; seconds <= 0 is ignored.
+func (m *Model) ObserveRegionDecide(proc int, seconds float64) {
+	if m == nil || seconds <= 0 {
+		return
+	}
+	mRegionDecide.With(m.RegionName(m.RegionOf(dist.ProcID(proc)))).Observe(seconds)
+}

@@ -1,0 +1,212 @@
+package wan
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chc/internal/dist"
+	"chc/internal/wire"
+)
+
+// Sender pushes a frame toward a peer (the rlink transport contract). The
+// shaper wraps one and releases frames late instead of immediately.
+type Sender interface {
+	SendFrame(to dist.ProcID, f wire.Frame) error
+}
+
+// Shaper delays one node's outbound frames through the WAN model on the
+// in-process transports (chaos-injector idiom: it slots into the same
+// sender chain, below chaos so that only frames surviving fault injection
+// are charged against the link). It is delay-only — every frame is
+// eventually released in per-link FIFO order — so reliability, crash
+// budgets and quarantine machinery never observe it.
+//
+// Delays are drawn from the same seeded distributions as the simulator's,
+// but release interleaving rides the wall clock, so end-to-end schedules
+// are approximately (not bitwise) reproducible — the same determinism
+// scope the chaos injector documents.
+type Shaper struct {
+	self   dist.ProcID
+	m      *Model
+	next   Sender
+	start  time.Time
+	links  []*shapeLink
+	done   chan struct{}
+	closed atomic.Bool
+
+	delayed atomic.Int64
+	held    atomic.Int64
+}
+
+// shapeLink is the wall-clock twin of the scheduler's simLink. Frames queue
+// in q and a single pump goroutine per busy link releases them in order —
+// independent timers could fire near-equal deadlines out of order, and the
+// shaper promises per-link FIFO.
+type shapeLink struct {
+	mu   sync.Mutex
+	seq  int64
+	free time.Duration // bandwidth serialization clock (since start)
+	last time.Duration // FIFO clamp on release times
+
+	q       []timedFrame
+	pumping bool
+}
+
+// timedFrame is one queued frame with its computed release time.
+type timedFrame struct {
+	to      dist.ProcID
+	f       wire.Frame
+	release time.Duration // since Shaper.start
+}
+
+// NewShaper wraps next with WAN shaping for frames sent by self.
+func NewShaper(self dist.ProcID, m *Model, next Sender) *Shaper {
+	links := make([]*shapeLink, m.N())
+	for i := range links {
+		links[i] = &shapeLink{}
+	}
+	return &Shaper{self: self, m: m, next: next, start: time.Now(), links: links, done: make(chan struct{})}
+}
+
+// SendFrame schedules the frame's release through the link model. Frames
+// with no residual delay pass straight through; late frames queue on the
+// link and a pump goroutine releases them at their times, FIFO per link.
+func (sh *Shaper) SendFrame(to dist.ProcID, f wire.Frame) error {
+	if sh.closed.Load() {
+		return nil
+	}
+	if to < 0 || int(to) >= len(sh.links) {
+		return sh.next.SendFrame(to, f)
+	}
+	l := sh.links[to]
+	now := time.Since(sh.start)
+	l.mu.Lock()
+	seq := l.seq
+	l.seq++
+	depart := now
+	if depart < l.free {
+		depart = l.free
+	}
+	depart, cutHeld := sh.m.CutRelease(sh.self, to, depart)
+	tx := sh.m.TxTime(sh.self, to, sh.m.MsgBytes())
+	l.free = depart + tx
+	release := depart + tx + sh.m.Delay(sh.self, to, seq)
+	if release < l.last {
+		release = l.last
+	}
+	l.last = release
+	direct := release <= now && !l.pumping
+	var spawn bool
+	if !direct {
+		l.q = append(l.q, timedFrame{to: to, f: f, release: release})
+		if !l.pumping {
+			l.pumping = true
+			spawn = true
+		}
+	}
+	l.mu.Unlock()
+
+	path := sh.m.PathLabel(sh.self, to)
+	mLinkBytes.With(linkLabel(sh.self, to)).Add(int64(sh.m.MsgBytes()))
+	if cutHeld {
+		sh.held.Add(1)
+		mFramesCutHeld.With(path).Inc()
+	}
+	if direct {
+		return sh.next.SendFrame(to, f)
+	}
+	sh.delayed.Add(1)
+	mFramesDelayed.With(path).Inc()
+	mShapeDelay.With(path).Observe((release - now).Seconds())
+	if spawn {
+		go sh.pump(l)
+	}
+	return nil
+}
+
+// pump releases a link's queued frames in order, exiting once the queue
+// drains (a later SendFrame respawns it) or the shaper closes.
+func (sh *Shaper) pump(l *shapeLink) {
+	for {
+		l.mu.Lock()
+		if len(l.q) == 0 {
+			l.pumping = false
+			l.mu.Unlock()
+			return
+		}
+		k := l.q[0]
+		l.q = l.q[1:]
+		l.mu.Unlock()
+		if d := k.release - time.Since(sh.start); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-sh.done:
+				t.Stop()
+			}
+		}
+		if sh.closed.Load() {
+			// Teardown: remaining frames release into the void, exactly
+			// like the chaos injector.
+			continue
+		}
+		_ = sh.next.SendFrame(k.to, k.f)
+	}
+}
+
+// Close disarms the shaper: queued frames drain into the void, exactly like
+// the chaos injector at teardown.
+func (sh *Shaper) Close() {
+	if !sh.closed.Swap(true) {
+		close(sh.done)
+	}
+}
+
+// Delayed returns the number of frames released late.
+func (sh *Shaper) Delayed() int64 { return sh.delayed.Load() }
+
+// Held returns the number of frames held by a one-way cut window.
+func (sh *Shaper) Held() int64 { return sh.held.Load() }
+
+func linkLabel(from, to dist.ProcID) string {
+	return itoa(int(from)) + "->" + itoa(int(to))
+}
+
+// itoa avoids strconv in the hot path for small ids.
+func itoa(v int) string {
+	if v >= 0 && v < len(smallInts) {
+		return smallInts[v]
+	}
+	return bigItoa(v)
+}
+
+var smallInts = func() [64]string {
+	var s [64]string
+	for i := range s {
+		s[i] = bigItoa(i)
+	}
+	return s
+}()
+
+func bigItoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

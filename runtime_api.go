@@ -80,6 +80,8 @@ type networkOptions struct {
 	checkpoint  int64
 	durability  DurabilityPolicy
 	wire        *WireConfig
+	wan         *WANPlan
+	wanSeed     int64
 }
 
 // WireConfig tunes the TCP transport's write path: frame coalescing (on by
@@ -304,6 +306,8 @@ func RunNetworked(cfg RunConfig, transport TransportKind, timeout time.Duration,
 	}
 	engOpts.NetFaults = netOpts.netPlan
 	engOpts.Wire = netOpts.wire
+	engOpts.WAN = netOpts.wan
+	engOpts.WANSeed = netOpts.wanSeed
 	if netOpts.checkpoint > 0 {
 		engOpts.Checkpoint = wal.CheckpointPolicy{EveryBytes: netOpts.checkpoint}
 	}
